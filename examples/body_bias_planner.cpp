@@ -1,0 +1,78 @@
+// From optimizer output to silicon: Figure-1 substrate-bias planning.
+//
+// The paper's manufacturing proposal: skip the threshold-adjust implant
+// (leaving ~80-100 mV "natural" devices) and program the optimizer's Vts
+// with static reverse bias on the p-substrate and n-well. This example runs
+// the joint optimization and prints the resulting bias plan: rail voltages,
+// regulation sensitivity, and safety margins.
+//
+//   $ ./examples/body_bias_planner [--circuit=s298*] [--fc=3e8] [--nv=2]
+#include <cstdio>
+#include <iostream>
+#include <set>
+
+#include "bench_suite/experiment.h"
+#include "opt/evaluator.h"
+#include "opt/joint_optimizer.h"
+#include "tech/body_bias.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace minergy;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string circuit = cli.get("circuit", std::string("s298*"));
+  const netlist::Netlist nl = bench_suite::make_circuit(circuit);
+
+  bench_suite::ExperimentConfig cfg;
+  cfg.clock_frequency = cli.get("fc", 300e6);
+  bool scaled = false;
+  const double tc = bench_suite::choose_cycle_time(nl, cfg, &scaled);
+  activity::ActivityProfile profile;
+  profile.input_density = 0.3;
+  const opt::CircuitEvaluator eval(nl, cfg.tech, profile,
+                                   {.clock_frequency = 1.0 / tc});
+
+  opt::OptimizerOptions opts = cfg.opts;
+  opts.num_thresholds = cli.get("nv", 1);
+  const opt::OptimizationResult r = opt::JointOptimizer(eval, opts).run();
+  if (!r.feasible) {
+    std::printf("optimization infeasible\n");
+    return 1;
+  }
+
+  std::printf("== Body-bias plan for %s ==\n", circuit.c_str());
+  std::printf("optimized operating point: Vdd = %.3f V, %zu threshold "
+              "group(s)\n\n",
+              r.vdd, r.vts_groups.size());
+
+  const tech::BodyBiasCalculator calc{tech::BodyBiasParams{}};
+  util::Table table({"Vts target(mV)", "NMOS Vsb(V)", "V_SUBSTRATE(V)",
+                     "PMOS Vsb(V)", "V_NWELL(V)", "dVt/dVsb(mV/V)",
+                     "realizable"});
+  for (double vts : r.vts_groups) {
+    const tech::BiasSolution n = calc.nmos_substrate_bias(vts);
+    const tech::BiasSolution p = calc.pmos_well_bias(vts);
+    table.begin_row()
+        .add(vts * 1e3, 0)
+        .add(n.vsb, 3)
+        .add(calc.substrate_rail(vts), 3)
+        .add(p.vsb, 3)
+        .add(calc.nwell_rail(vts, r.vdd), 3)
+        .add(n.sensitivity * 1e3, 1)
+        .add(n.in_safe_range && p.in_safe_range ? "yes" : "NO");
+  }
+  std::cout << table.to_text();
+
+  // How tightly must the bias generator regulate? A dVts budget of +/-10 mV
+  // maps through the sensitivity to a Vsb ripple budget.
+  const tech::BiasSolution n = calc.nmos_substrate_bias(r.vts_primary);
+  std::printf(
+      "\nWith dVt/dVsb = %.1f mV/V at the primary threshold, holding Vts "
+      "within +/-10 mV\nneeds the substrate generator regulated to "
+      "+/-%.0f mV — a relaxed spec, which is\nwhy the paper's static-bias "
+      "scheme is practical on an unmodified process.\n",
+      n.sensitivity * 1e3, 10.0 / (n.sensitivity * 1e3) * 1e3);
+  return 0;
+}

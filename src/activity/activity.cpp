@@ -1,0 +1,179 @@
+#include "activity/activity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace minergy::activity {
+
+void ActivityProfile::validate() const {
+  auto require = [](bool ok, const char* what) {
+    if (!ok)
+      throw std::invalid_argument(std::string("ActivityProfile: ") + what);
+  };
+  require(input_probability >= 0.0 && input_probability <= 1.0,
+          "probability must be in [0, 1]");
+  require(input_density >= 0.0, "density must be >= 0");
+  // With P(x) = p, a transition happens with probability <= 2*min(p, 1-p)
+  // per cycle in a stationary process; we only require the looser bound.
+  require(input_density <= 1.0, "per-cycle input density must be <= 1");
+  require(dff_iterations >= 1, "need at least one DFF iteration");
+  require(damping > 0.0 && damping <= 1.0, "damping must be in (0, 1]");
+  for (const auto& [name, p] : probability_overrides) {
+    require(p >= 0.0 && p <= 1.0, "override probability out of range");
+  }
+  for (const auto& [name, d] : density_overrides) {
+    require(d >= 0.0 && d <= 1.0, "override density out of range");
+  }
+}
+
+double gate_probability(netlist::GateType type,
+                        const std::vector<double>& p) {
+  using netlist::GateType;
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kDff:
+    case GateType::kBuf:
+      MINERGY_CHECK(p.size() == 1);
+      return p[0];
+    case GateType::kNot:
+      MINERGY_CHECK(p.size() == 1);
+      return 1.0 - p[0];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      double prod = 1.0;
+      for (double v : p) prod *= v;
+      return type == GateType::kAnd ? prod : 1.0 - prod;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      double prod = 1.0;
+      for (double v : p) prod *= 1.0 - v;
+      return type == GateType::kOr ? 1.0 - prod : prod;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      // Fold pairwise: P(a xor b) = a(1-b) + b(1-a).
+      double acc = p.at(0);
+      for (std::size_t i = 1; i < p.size(); ++i) {
+        acc = acc * (1.0 - p[i]) + p[i] * (1.0 - acc);
+      }
+      return type == GateType::kXor ? acc : 1.0 - acc;
+    }
+  }
+  MINERGY_CHECK_MSG(false, "unreachable gate type");
+  return 0.0;
+}
+
+double gate_density(netlist::GateType type, const std::vector<double>& p,
+                    const std::vector<double>& d) {
+  using netlist::GateType;
+  MINERGY_CHECK(p.size() == d.size());
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kDff:
+    case GateType::kBuf:
+    case GateType::kNot:
+      MINERGY_CHECK(d.size() == 1);
+      return d[0];  // |dy/dx| = 1
+    case GateType::kAnd:
+    case GateType::kNand: {
+      // P(dy/dx_i) = prod_{j != i} P(x_j).
+      double sum = 0.0;
+      for (std::size_t i = 0; i < d.size(); ++i) {
+        double sens = 1.0;
+        for (std::size_t j = 0; j < p.size(); ++j) {
+          if (j != i) sens *= p[j];
+        }
+        sum += sens * d[i];
+      }
+      return sum;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      // P(dy/dx_i) = prod_{j != i} (1 - P(x_j)).
+      double sum = 0.0;
+      for (std::size_t i = 0; i < d.size(); ++i) {
+        double sens = 1.0;
+        for (std::size_t j = 0; j < p.size(); ++j) {
+          if (j != i) sens *= 1.0 - p[j];
+        }
+        sum += sens * d[i];
+      }
+      return sum;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      // dy/dx_i == 1 for XOR: every input transition propagates.
+      double sum = 0.0;
+      for (double v : d) sum += v;
+      return sum;
+    }
+  }
+  MINERGY_CHECK_MSG(false, "unreachable gate type");
+  return 0.0;
+}
+
+ActivityResult estimate_activity(const netlist::Netlist& nl,
+                                 const ActivityProfile& profile) {
+  MINERGY_CHECK(nl.finalized());
+  profile.validate();
+
+  ActivityResult r;
+  r.probability.assign(nl.size(), 0.5);
+  r.density.assign(nl.size(), 0.0);
+
+  // Primary inputs.
+  for (netlist::GateId id : nl.primary_inputs()) {
+    const std::string& name = nl.gate(id).name;
+    auto pit = profile.probability_overrides.find(name);
+    auto dit = profile.density_overrides.find(name);
+    r.probability[id] = pit != profile.probability_overrides.end()
+                            ? pit->second
+                            : profile.input_probability;
+    r.density[id] = dit != profile.density_overrides.end()
+                        ? dit->second
+                        : profile.input_density;
+  }
+  // DFF Q-pins start at the PI default and converge by iteration.
+  for (netlist::GateId id : nl.dffs()) {
+    r.probability[id] = 0.5;
+    r.density[id] = profile.input_density;
+  }
+
+  const int iterations = nl.dffs().empty() ? 1 : profile.dff_iterations;
+  std::vector<double> fp, fd;
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (netlist::GateId id : nl.combinational()) {
+      const netlist::Gate& g = nl.gate(id);
+      fp.clear();
+      fd.clear();
+      for (netlist::GateId f : g.fanins) {
+        fp.push_back(r.probability[f]);
+        fd.push_back(r.density[f]);
+      }
+      r.probability[id] = std::clamp(gate_probability(g.type, fp), 0.0, 1.0);
+      r.density[id] = std::max(gate_density(g.type, fp, fd), 0.0);
+    }
+    // Latch D-pin statistics into Q with damping. A DFF filters multiple
+    // transitions per cycle down to at most one, so Q's density is capped
+    // by the probability that D's settled value toggles; we use
+    // min(D(d), 1) as that first-order estimate.
+    for (netlist::GateId id : nl.dffs()) {
+      const netlist::Gate& g = nl.gate(id);
+      if (g.fanins.empty()) continue;
+      const netlist::GateId d = g.fanins[0];
+      const double a = profile.damping;
+      r.probability[id] =
+          std::clamp(a * r.probability[d] + (1.0 - a) * r.probability[id],
+                     0.0, 1.0);
+      r.density[id] = a * std::min(r.density[d], 1.0) +
+                      (1.0 - a) * r.density[id];
+    }
+  }
+  return r;
+}
+
+}  // namespace minergy::activity

@@ -1,0 +1,61 @@
+// Signal-probability and transition-density estimation (Najm, DAC '91).
+//
+// Section 4.1 of the paper: given signal probabilities and transition
+// densities at the primary inputs, internal-node densities are propagated
+// with the Boolean-difference rule
+//
+//   D(y) = sum_i P(dy/dx_i) * D(x_i)
+//
+// assuming spatial input independence (the paper's stated first-order
+// approximation). The density D(y) is the activity factor a_i used in the
+// dynamic-energy model. Sequential feedback through DFFs is resolved by
+// damped fixed-point iteration.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace minergy::activity {
+
+struct ActivityProfile {
+  // Defaults applied to every primary input (the paper's tables assume
+  // uniform input activities).
+  double input_probability = 0.5;
+  double input_density = 0.1;  // transitions per clock cycle
+
+  // Optional per-input overrides, keyed by PI name.
+  std::unordered_map<std::string, double> probability_overrides;
+  std::unordered_map<std::string, double> density_overrides;
+
+  // Fixed-point iterations for DFF feedback loops.
+  int dff_iterations = 12;
+  double damping = 0.5;  // new = damping*computed + (1-damping)*old
+
+  void validate() const;  // throws std::invalid_argument
+};
+
+struct ActivityResult {
+  std::vector<double> probability;  // indexed by gate id, in [0, 1]
+  std::vector<double> density;      // transitions/cycle, >= 0
+};
+
+// Computes probabilities and densities for every net. The netlist must be
+// finalized.
+ActivityResult estimate_activity(const netlist::Netlist& nl,
+                                 const ActivityProfile& profile);
+
+// --- Building blocks (exposed for tests) -----------------------------------
+
+// Output signal probability of one gate given fanin probabilities.
+double gate_probability(netlist::GateType type,
+                        const std::vector<double>& fanin_probs);
+
+// Output transition density via the Boolean-difference rule.
+double gate_density(netlist::GateType type,
+                    const std::vector<double>& fanin_probs,
+                    const std::vector<double>& fanin_densities);
+
+}  // namespace minergy::activity

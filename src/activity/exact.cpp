@@ -1,0 +1,144 @@
+#include "activity/exact.h"
+
+#include <algorithm>
+
+#include "bdd/bdd.h"
+#include "util/check.h"
+
+namespace minergy::activity {
+
+ActivityResult estimate_activity_exact(const netlist::Netlist& nl,
+                                       const ActivityProfile& profile,
+                                       const ExactOptions& options) {
+  MINERGY_CHECK(nl.finalized());
+  profile.validate();
+
+  // Variables = combinational sources (PIs and DFF Q-pins), in id order.
+  const auto& sources = nl.sources();
+  const int num_vars = static_cast<int>(sources.size());
+  std::vector<int> var_of(nl.size(), -1);
+  for (int v = 0; v < num_vars; ++v) {
+    var_of[sources[static_cast<std::size_t>(v)]] = v;
+  }
+
+  bdd::BddManager manager(num_vars, options.node_limit);
+
+  // Build the global function of every net once (structure is static; only
+  // the source statistics change across DFF iterations).
+  std::vector<bdd::NodeRef> fn(nl.size(), manager.zero());
+  for (int v = 0; v < num_vars; ++v) {
+    fn[sources[static_cast<std::size_t>(v)]] = manager.var(v);
+  }
+  for (netlist::GateId id : nl.combinational()) {
+    const netlist::Gate& g = nl.gate(id);
+    using netlist::GateType;
+    bdd::NodeRef acc;
+    switch (g.type) {
+      case GateType::kBuf:
+      case GateType::kNot:
+        acc = fn[g.fanins[0]];
+        if (g.type == GateType::kNot) acc = manager.not_of(acc);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        acc = manager.one();
+        for (netlist::GateId f : g.fanins) acc = manager.and_of(acc, fn[f]);
+        if (g.type == GateType::kNand) acc = manager.not_of(acc);
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        acc = manager.zero();
+        for (netlist::GateId f : g.fanins) acc = manager.or_of(acc, fn[f]);
+        if (g.type == GateType::kNor) acc = manager.not_of(acc);
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        acc = manager.zero();
+        for (netlist::GateId f : g.fanins) acc = manager.xor_of(acc, fn[f]);
+        if (g.type == GateType::kXnor) acc = manager.not_of(acc);
+        break;
+      }
+      default:
+        MINERGY_CHECK_MSG(false, "unexpected gate type");
+        acc = manager.zero();
+    }
+    fn[id] = acc;
+  }
+
+  // Precompute each net's Boolean differences wrt its support variables.
+  struct Sensitivity {
+    int var;
+    bdd::NodeRef diff;
+  };
+  std::vector<std::vector<Sensitivity>> sens(nl.size());
+  for (netlist::GateId id : nl.combinational()) {
+    for (int v = 0; v < num_vars; ++v) {
+      if (!manager.depends_on(fn[id], v)) continue;
+      sens[id].push_back({v, manager.boolean_difference(fn[id], v)});
+    }
+  }
+
+  // Source statistics (possibly iterated for DFF feedback).
+  std::vector<double> var_prob(static_cast<std::size_t>(num_vars), 0.5);
+  std::vector<double> var_density(static_cast<std::size_t>(num_vars),
+                                  profile.input_density);
+  for (int v = 0; v < num_vars; ++v) {
+    const netlist::Gate& g = nl.gate(sources[static_cast<std::size_t>(v)]);
+    if (g.type != netlist::GateType::kInput) continue;
+    auto pit = profile.probability_overrides.find(g.name);
+    auto dit = profile.density_overrides.find(g.name);
+    var_prob[static_cast<std::size_t>(v)] =
+        pit != profile.probability_overrides.end()
+            ? pit->second
+            : profile.input_probability;
+    var_density[static_cast<std::size_t>(v)] =
+        dit != profile.density_overrides.end() ? dit->second
+                                               : profile.input_density;
+  }
+
+  ActivityResult r;
+  r.probability.assign(nl.size(), 0.5);
+  r.density.assign(nl.size(), 0.0);
+
+  const int iterations = nl.dffs().empty() ? 1 : options.dff_iterations;
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (int v = 0; v < num_vars; ++v) {
+      const netlist::GateId src = sources[static_cast<std::size_t>(v)];
+      r.probability[src] = var_prob[static_cast<std::size_t>(v)];
+      r.density[src] = var_density[static_cast<std::size_t>(v)];
+    }
+    for (netlist::GateId id : nl.combinational()) {
+      r.probability[id] =
+          std::clamp(manager.probability(fn[id], var_prob), 0.0, 1.0);
+      double d = 0.0;
+      for (const auto& s : sens[id]) {
+        d += manager.probability(s.diff, var_prob) *
+             var_density[static_cast<std::size_t>(s.var)];
+      }
+      r.density[id] = std::max(d, 0.0);
+    }
+    // Damped latch of D statistics into Q variables.
+    bool any_dff = false;
+    for (int v = 0; v < num_vars; ++v) {
+      const netlist::GateId src = sources[static_cast<std::size_t>(v)];
+      const netlist::Gate& g = nl.gate(src);
+      if (g.type != netlist::GateType::kDff || g.fanins.empty()) continue;
+      any_dff = true;
+      const netlist::GateId d = g.fanins[0];
+      const double a = options.damping;
+      var_prob[static_cast<std::size_t>(v)] = std::clamp(
+          a * r.probability[d] +
+              (1.0 - a) * var_prob[static_cast<std::size_t>(v)],
+          0.0, 1.0);
+      var_density[static_cast<std::size_t>(v)] =
+          a * std::min(r.density[d], 1.0) +
+          (1.0 - a) * var_density[static_cast<std::size_t>(v)];
+    }
+    if (!any_dff) break;
+  }
+  return r;
+}
+
+}  // namespace minergy::activity

@@ -1,0 +1,34 @@
+// Exact activity estimation via BDDs.
+//
+// The first-order estimator (activity.h) assumes spatial independence of
+// gate inputs, which reconvergent fanout violates. This estimator builds a
+// global ROBDD for every net in terms of the combinational sources and
+// computes
+//   * exact signal probabilities P(y), and
+//   * exact Boolean-difference probabilities P(dy/dx_i) — so the Najm
+//     density sum D(y) = sum_i P(dy/dx_i) * D(x_i) is evaluated without
+//     the independence approximation (the Stamoulis/Hajj-class correction
+//     the paper cites as "more complex transition density computation").
+//
+// Sequential feedback uses the same damped fixed-point iteration as the
+// first-order estimator. Cost is exponential in the worst case: a node
+// limit converts blow-up into bdd::BddOverflow, letting callers fall back.
+#pragma once
+
+#include "activity/activity.h"
+#include "netlist/netlist.h"
+
+namespace minergy::activity {
+
+struct ExactOptions {
+  std::size_t node_limit = 1u << 20;
+  int dff_iterations = 8;
+  double damping = 0.5;
+};
+
+// Throws bdd::BddOverflow if any net's BDD exceeds the node limit.
+ActivityResult estimate_activity_exact(const netlist::Netlist& nl,
+                                       const ActivityProfile& profile,
+                                       const ExactOptions& options = {});
+
+}  // namespace minergy::activity

@@ -1,0 +1,185 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace minergy::bdd {
+namespace {
+
+// Pack three 21-bit fields into one 64-bit key (node refs and variable
+// indices both fit: the node limit is capped at 2^21).
+constexpr std::uint64_t pack(std::uint64_t a, std::uint64_t b,
+                             std::uint64_t c) {
+  return (a << 42) | (b << 21) | c;
+}
+
+}  // namespace
+
+BddManager::BddManager(int num_vars, std::size_t node_limit)
+    : num_vars_(num_vars), node_limit_(std::min<std::size_t>(node_limit, 1u << 21)) {
+  MINERGY_CHECK(num_vars >= 0);
+  MINERGY_CHECK(num_vars < (1 << 20));
+  nodes_.push_back({kTerminalVar, 0, 0});  // 0 = false
+  nodes_.push_back({kTerminalVar, 1, 1});  // 1 = true
+  var_nodes_.assign(static_cast<std::size_t>(num_vars), 0);
+  for (int i = 0; i < num_vars; ++i) {
+    var_nodes_[static_cast<std::size_t>(i)] =
+        make_node(i, zero(), one());
+  }
+}
+
+NodeRef BddManager::make_node(int var, NodeRef lo, NodeRef hi) {
+  if (lo == hi) return lo;  // reduction rule
+  const std::uint64_t key =
+      pack(static_cast<std::uint64_t>(var) + 1, lo, hi);
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= node_limit_) {
+    throw BddOverflow("BDD node limit (" + std::to_string(node_limit_) +
+                      ") exceeded");
+  }
+  const NodeRef ref = static_cast<NodeRef>(nodes_.size());
+  nodes_.push_back({var, lo, hi});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+NodeRef BddManager::var(int index) {
+  MINERGY_CHECK(index >= 0 && index < num_vars_);
+  return var_nodes_[static_cast<std::size_t>(index)];
+}
+
+int BddManager::top_var(NodeRef f, NodeRef g, NodeRef h) const {
+  int v = kTerminalVar;
+  v = std::min(v, nodes_[f].var);
+  v = std::min(v, nodes_[g].var);
+  v = std::min(v, nodes_[h].var);
+  return v;
+}
+
+NodeRef BddManager::ite(NodeRef f, NodeRef g, NodeRef h) {
+  // Terminal cases.
+  if (f == one()) return g;
+  if (f == zero()) return h;
+  if (g == h) return g;
+  if (g == one() && h == zero()) return f;
+
+  const std::uint64_t key = pack(f, g, h);
+  auto it = ite_memo_.find(key);
+  if (it != ite_memo_.end()) return it->second;
+
+  const int v = top_var(f, g, h);
+  auto cof = [&](NodeRef x, bool value) -> NodeRef {
+    const Node& n = nodes_[x];
+    if (n.var != v) return x;
+    return value ? n.hi : n.lo;
+  };
+  const NodeRef lo = ite(cof(f, false), cof(g, false), cof(h, false));
+  const NodeRef hi = ite(cof(f, true), cof(g, true), cof(h, true));
+  const NodeRef result = make_node(v, lo, hi);
+  ite_memo_.emplace(key, result);
+  return result;
+}
+
+NodeRef BddManager::not_of(NodeRef f) { return ite(f, zero(), one()); }
+
+NodeRef BddManager::and_of(NodeRef f, NodeRef g) { return ite(f, g, zero()); }
+
+NodeRef BddManager::or_of(NodeRef f, NodeRef g) { return ite(f, one(), g); }
+
+NodeRef BddManager::xor_of(NodeRef f, NodeRef g) {
+  return ite(f, not_of(g), g);
+}
+
+NodeRef BddManager::cofactor(NodeRef f, int index, bool value) {
+  MINERGY_CHECK(index >= 0 && index < num_vars_);
+  std::unordered_map<NodeRef, NodeRef> memo;
+  auto rec = [&](auto&& self, NodeRef x) -> NodeRef {
+    // Copy: recursive make_node calls can grow (reallocate) nodes_, so a
+    // reference into the vector must not be held across them.
+    const Node n = nodes_[x];
+    if (n.var > index) return x;  // terminals have var = INT_MAX > index
+    auto it = memo.find(x);
+    if (it != memo.end()) return it->second;
+    NodeRef result;
+    if (n.var == index) {
+      result = value ? n.hi : n.lo;
+    } else {
+      const NodeRef lo = self(self, n.lo);
+      const NodeRef hi = self(self, n.hi);
+      result = make_node(n.var, lo, hi);
+    }
+    memo.emplace(x, result);
+    return result;
+  };
+  return rec(rec, f);
+}
+
+NodeRef BddManager::boolean_difference(NodeRef f, int index) {
+  return xor_of(cofactor(f, index, false), cofactor(f, index, true));
+}
+
+double BddManager::probability(NodeRef f,
+                               std::span<const double> probs) const {
+  MINERGY_CHECK(probs.size() >= static_cast<std::size_t>(num_vars_));
+  std::unordered_map<NodeRef, double> memo;
+  auto rec = [&](auto&& self, NodeRef x) -> double {
+    if (x == zero()) return 0.0;
+    if (x == one()) return 1.0;
+    auto it = memo.find(x);
+    if (it != memo.end()) return it->second;
+    const Node& n = nodes_[x];
+    const double p = probs[static_cast<std::size_t>(n.var)];
+    const double result =
+        (1.0 - p) * self(self, n.lo) + p * self(self, n.hi);
+    memo.emplace(x, result);
+    return result;
+  };
+  return rec(rec, f);
+}
+
+bool BddManager::evaluate(NodeRef f, std::span<const bool> assignment) const {
+  MINERGY_CHECK(assignment.size() >= static_cast<std::size_t>(num_vars_));
+  while (!is_terminal(f)) {
+    const Node& n = nodes_[f];
+    f = assignment[static_cast<std::size_t>(n.var)] ? n.hi : n.lo;
+  }
+  return f == one();
+}
+
+std::size_t BddManager::size(NodeRef f) const {
+  std::vector<NodeRef> stack{f};
+  std::unordered_map<NodeRef, bool> seen;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const NodeRef x = stack.back();
+    stack.pop_back();
+    if (is_terminal(x) || seen.count(x)) continue;
+    seen.emplace(x, true);
+    ++count;
+    stack.push_back(nodes_[x].lo);
+    stack.push_back(nodes_[x].hi);
+  }
+  return count;
+}
+
+bool BddManager::depends_on(NodeRef f, int index) const {
+  std::vector<NodeRef> stack{f};
+  std::unordered_map<NodeRef, bool> seen;
+  while (!stack.empty()) {
+    const NodeRef x = stack.back();
+    stack.pop_back();
+    if (is_terminal(x) || seen.count(x)) continue;
+    seen.emplace(x, true);
+    const Node& n = nodes_[x];
+    if (n.var == index) return true;
+    if (n.var < index) {  // ordered: deeper nodes may still contain index
+      stack.push_back(n.lo);
+      stack.push_back(n.hi);
+    }
+  }
+  return false;
+}
+
+}  // namespace minergy::bdd

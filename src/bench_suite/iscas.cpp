@@ -1,0 +1,101 @@
+#include "bench_suite/iscas.h"
+
+#include <stdexcept>
+
+#include "netlist/bench_io.h"
+
+namespace minergy::bench_suite {
+namespace {
+
+// ISCAS-85 c17 (verbatim).
+constexpr const char* kC17 = R"(# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+// ISCAS-89 s27 (verbatim).
+constexpr const char* kS27 = R"(# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+
+netlist::GeneratorSpec surrogate(const std::string& name, int pis, int pos,
+                                 int dffs, int gates, int depth,
+                                 std::uint64_t seed) {
+  netlist::GeneratorSpec g;
+  g.name = name;
+  g.num_inputs = pis;
+  g.num_outputs = pos;
+  g.num_dffs = dffs;
+  g.num_gates = gates;
+  g.depth = depth;
+  g.seed = seed;
+  return g;
+}
+
+}  // namespace
+
+netlist::Netlist make_c17() { return netlist::parse_bench_string(kC17, "c17"); }
+
+netlist::Netlist make_s27() { return netlist::parse_bench_string(kS27, "s27"); }
+
+const std::vector<CircuitSpec>& paper_circuits() {
+  // Published ISCAS-89 statistics: {PI, PO, DFF, logic gates, depth}.
+  static const std::vector<CircuitSpec> kCircuits = {
+      {"s27", /*surrogate=*/false, {}},
+      {"s208*", true, surrogate("s208", 10, 1, 8, 96, 11, 0x2081)},
+      {"s298*", true, surrogate("s298", 3, 6, 14, 119, 9, 0x2981)},
+      {"s344*", true, surrogate("s344", 9, 11, 15, 160, 14, 0x3441)},
+      {"s386*", true, surrogate("s386", 7, 7, 6, 159, 11, 0x3861)},
+      {"s420*", true, surrogate("s420", 18, 1, 16, 196, 13, 0x4201)},
+      {"s510*", true, surrogate("s510", 19, 7, 6, 211, 12, 0x5101)},
+      {"s832*", true, surrogate("s832", 18, 19, 5, 287, 10, 0x8321)},
+  };
+  return kCircuits;
+}
+
+netlist::Netlist make_circuit(const CircuitSpec& spec) {
+  if (!spec.surrogate) {
+    if (spec.name == "s27") return make_s27();
+    if (spec.name == "c17") return make_c17();
+    throw std::invalid_argument("unknown embedded circuit: " + spec.name);
+  }
+  return netlist::generate_random_logic(spec.gen);
+}
+
+netlist::Netlist make_circuit(const std::string& name) {
+  for (const CircuitSpec& spec : paper_circuits()) {
+    if (spec.name == name || spec.gen.name == name) return make_circuit(spec);
+  }
+  if (name == "c17") return make_c17();
+  throw std::invalid_argument("unknown benchmark circuit: " + name);
+}
+
+}  // namespace minergy::bench_suite

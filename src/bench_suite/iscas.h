@@ -1,0 +1,38 @@
+// The paper's benchmark suite.
+//
+// Table 1/2 run on eight ISCAS-89 circuits. Two small circuits (c17, s27)
+// are embedded verbatim; the larger ones are *surrogates* generated to
+// match the published gate count, depth, I/O and register statistics of the
+// corresponding ISCAS-89 circuit (see DESIGN.md "Substitutions" — the
+// optimizer consumes only topology and activity, which the surrogates
+// preserve statistically).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/generator.h"
+#include "netlist/netlist.h"
+
+namespace minergy::bench_suite {
+
+// Embedded real netlists.
+netlist::Netlist make_c17();
+netlist::Netlist make_s27();
+
+struct CircuitSpec {
+  std::string name;      // e.g. "s298*" (star marks a surrogate)
+  bool surrogate = true;
+  netlist::GeneratorSpec gen;  // used when surrogate
+};
+
+// The eight circuits of the paper's tables, smallest first.
+const std::vector<CircuitSpec>& paper_circuits();
+
+// Instantiate a spec (real netlist for s27, generated surrogate otherwise).
+netlist::Netlist make_circuit(const CircuitSpec& spec);
+
+// Lookup by name in paper_circuits(); throws std::invalid_argument.
+netlist::Netlist make_circuit(const std::string& name);
+
+}  // namespace minergy::bench_suite

@@ -1,0 +1,205 @@
+#include "charlib/charlib.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace minergy::charlib {
+
+std::string cell_name(const CellSpec& spec) {
+  if (!spec.name.empty()) return spec.name;
+  std::string base(netlist::to_string(spec.type));
+  char buf[48];
+  if (spec.fanin >= 2) {
+    std::snprintf(buf, sizeof buf, "%s%d_W%.0f", base.c_str(), spec.fanin,
+                  spec.width);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s_W%.0f", base.c_str(), spec.width);
+  }
+  return buf;
+}
+
+std::string liberty_function(netlist::GateType type, int fanin) {
+  using netlist::GateType;
+  auto join = [&](const char* op, bool invert) {
+    std::string inner;
+    for (int i = 0; i < fanin; ++i) {
+      if (i) inner += std::string(" ") + op + " ";
+      inner += "A" + std::to_string(i);
+    }
+    if (fanin == 1) inner = "A0";
+    return invert ? "!(" + inner + ")" : "(" + inner + ")";
+  };
+  switch (type) {
+    case GateType::kBuf: return "(A0)";
+    case GateType::kNot: return "!(A0)";
+    case GateType::kAnd: return join("*", false);
+    case GateType::kNand: return join("*", true);
+    case GateType::kOr: return join("+", false);
+    case GateType::kNor: return join("+", true);
+    case GateType::kXor: return join("^", false);
+    case GateType::kXnor: return join("^", true);
+    default:
+      MINERGY_CHECK_MSG(false, "no Liberty function for this type");
+      return "";
+  }
+}
+
+Characterizer::Characterizer(const tech::DeviceModel& dev, double vdd,
+                             double vts)
+    : dev_(dev), vdd_(vdd), vts_(vts) {
+  MINERGY_CHECK(vdd > 0.0);
+  MINERGY_CHECK(vts > 0.0);
+}
+
+double Characterizer::cell_delay(const CellSpec& spec, double slew,
+                                 double load) const {
+  MINERGY_CHECK(spec.fanin >= 1);
+  MINERGY_CHECK(spec.width > 0.0);
+  const double w = spec.width;
+  const double fin = static_cast<double>(spec.fanin);
+  const double self =
+      w * (dev_.cpar_per_wunit() + (fin - 1.0) * dev_.cmid_per_wunit());
+  const double drive =
+      w * (dev_.idrive_per_wunit(vdd_, vts_) /
+               tech::DeviceModel::stack_factor(spec.fanin) -
+           fin * dev_.ioff_per_wunit(vts_));
+  MINERGY_CHECK_MSG(drive > 0.0, "cell cannot sink its own leakage");
+  // Slope term: the Eq. A3 coefficient applied to the driving stage's
+  // delay, which the slew approximates as twice that delay.
+  const double slope = dev_.slope_coefficient(vdd_, vts_) * 0.5 * slew;
+  return slope + 0.5 * vdd_ * (self + load) / drive;
+}
+
+CellData Characterizer::characterize(const CellSpec& spec,
+                                     const std::vector<double>& slews,
+                                     const std::vector<double>& loads) const {
+  MINERGY_CHECK(!slews.empty() && !loads.empty());
+  CellData cell;
+  cell.spec = spec;
+  cell.name = cell_name(spec);
+  cell.input_cap = spec.width * dev_.cin_per_wunit();
+  cell.leakage_power = vdd_ * spec.width * dev_.ioff_per_wunit(vts_);
+  // Area proxy: total device width, N plus beta-scaled P, per input leg.
+  cell.area = spec.width * (1.0 + dev_.technology().beta_ratio) *
+              static_cast<double>(std::max(spec.fanin, 1));
+  cell.timing.slews = slews;
+  cell.timing.loads = loads;
+  cell.timing.delay.resize(slews.size());
+  cell.timing.transition.resize(slews.size());
+  for (std::size_t i = 0; i < slews.size(); ++i) {
+    cell.timing.delay[i].resize(loads.size());
+    cell.timing.transition[i].resize(loads.size());
+    for (std::size_t j = 0; j < loads.size(); ++j) {
+      const double d = cell_delay(spec, slews[i], loads[j]);
+      cell.timing.delay[i][j] = d;
+      // Output edge rate tracks the cell's own switching delay (the slope
+      // contribution does not steepen the output).
+      cell.timing.transition[i][j] =
+          2.0 * cell_delay(spec, 0.0, loads[j]);
+    }
+  }
+  return cell;
+}
+
+CellData Characterizer::characterize(const CellSpec& spec) const {
+  const double cin = spec.width * dev_.cin_per_wunit();
+  std::vector<double> loads, slews;
+  for (double k : {1.0, 2.0, 4.0, 8.0, 16.0}) loads.push_back(k * cin);
+  const double d0 = cell_delay(spec, 0.0, 4.0 * cin);
+  for (double k : {0.25, 0.5, 1.0, 2.0, 4.0}) slews.push_back(k * 2.0 * d0);
+  return characterize(spec, slews, loads);
+}
+
+namespace {
+
+void emit_lut(std::ostringstream& os, const char* group,
+              const Lut& lut, bool transition) {
+  os << "      " << group << " (delay_template) {\n";
+  auto emit_index = [&](const char* name, const std::vector<double>& v,
+                        double scale) {
+    os << "        " << name << " (\"";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) os << ", ";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.6g", v[i] * scale);
+      os << buf;
+    }
+    os << "\");\n";
+  };
+  emit_index("index_1", lut.slews, 1e9);   // ns
+  emit_index("index_2", lut.loads, 1e12);  // pF
+  os << "        values ( \\\n";
+  const auto& grid = transition ? lut.transition : lut.delay;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    os << "          \"";
+    for (std::size_t j = 0; j < grid[i].size(); ++j) {
+      if (j) os << ", ";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.6g", grid[i][j] * 1e9);
+      os << buf;
+    }
+    os << "\"" << (i + 1 == grid.size() ? " \\\n" : ", \\\n");
+  }
+  os << "        );\n      }\n";
+}
+
+}  // namespace
+
+std::string export_liberty(const std::string& library_name,
+                           const Characterizer& chr,
+                           const std::vector<CellData>& cells) {
+  std::ostringstream os;
+  os << "/* generated by minergy at Vdd=" << chr.vdd()
+     << "V, Vts=" << chr.vts() << "V */\n";
+  os << "library (" << library_name << ") {\n";
+  os << "  delay_model : table_lookup;\n";
+  os << "  time_unit : \"1ns\";\n";
+  os << "  voltage_unit : \"1V\";\n";
+  os << "  current_unit : \"1mA\";\n";
+  os << "  capacitive_load_unit (1, pf);\n";
+  os << "  leakage_power_unit : \"1nW\";\n";
+  os << "  nom_voltage : " << chr.vdd() << ";\n";
+  os << "  nom_temperature : 27;\n";
+  os << "  nom_process : 1;\n";
+  os << "  lu_table_template (delay_template) {\n";
+  os << "    variable_1 : input_net_transition;\n";
+  os << "    variable_2 : total_output_net_capacitance;\n";
+  os << "  }\n";
+
+  for (const CellData& cell : cells) {
+    os << "  cell (" << cell.name << ") {\n";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.4g", cell.area);
+    os << "    area : " << buf << ";\n";
+    std::snprintf(buf, sizeof buf, "%.6g", cell.leakage_power * 1e9);
+    os << "    cell_leakage_power : " << buf << ";\n";
+    const int fanin = std::max(cell.spec.fanin, 1);
+    for (int i = 0; i < fanin; ++i) {
+      std::snprintf(buf, sizeof buf, "%.6g", cell.input_cap * 1e12);
+      os << "    pin (A" << i << ") {\n"
+         << "      direction : input;\n"
+         << "      capacitance : " << buf << ";\n"
+         << "    }\n";
+    }
+    os << "    pin (Y) {\n";
+    os << "      direction : output;\n";
+    os << "      function : \"" << liberty_function(cell.spec.type, fanin)
+       << "\";\n";
+    os << "      timing () {\n";
+    os << "      related_pin : \"";
+    for (int i = 0; i < fanin; ++i) os << (i ? " " : "") << "A" << i;
+    os << "\";\n";
+    emit_lut(os, "cell_rise", cell.timing, false);
+    emit_lut(os, "cell_fall", cell.timing, false);
+    emit_lut(os, "rise_transition", cell.timing, true);
+    emit_lut(os, "fall_transition", cell.timing, true);
+    os << "      }\n    }\n  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace minergy::charlib

@@ -1,0 +1,79 @@
+// Cell characterization and Liberty (.lib) export.
+//
+// The optimizer picks a continuous (Vdd, Vts, w) point per design; to hand
+// the result to a conventional flow one needs a characterized library *at
+// that operating point*. This module builds lookup-table models — delay and
+// output transition vs. (input slew, output load) — from the same
+// transregional device model the optimizer used, plus leakage and pin
+// capacitance, and serializes them in Liberty syntax.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/gate.h"
+#include "tech/device_model.h"
+
+namespace minergy::charlib {
+
+struct CellSpec {
+  netlist::GateType type = netlist::GateType::kNand;
+  int fanin = 2;
+  double width = 4.0;  // w, feature-size units
+  std::string name;    // defaults to e.g. "NAND2_W4"
+};
+
+struct Lut {
+  std::vector<double> slews;  // s, index_1
+  std::vector<double> loads;  // F, index_2
+  // values[slew][load]
+  std::vector<std::vector<double>> delay;       // s
+  std::vector<std::vector<double>> transition;  // s
+};
+
+struct CellData {
+  CellSpec spec;
+  std::string name;
+  double input_cap = 0.0;       // F per input pin
+  double leakage_power = 0.0;   // W
+  double area = 0.0;            // feature-size^2 units (proxy)
+  Lut timing;
+};
+
+class Characterizer {
+ public:
+  // Operating point shared by the whole library.
+  Characterizer(const tech::DeviceModel& dev, double vdd, double vts);
+
+  double vdd() const { return vdd_; }
+  double vts() const { return vts_; }
+
+  // Closed-form delay of the cell driving `load` with input slew `slew`.
+  double cell_delay(const CellSpec& spec, double slew, double load) const;
+
+  CellData characterize(const CellSpec& spec,
+                        const std::vector<double>& slews,
+                        const std::vector<double>& loads) const;
+
+  // A default 5x5 grid scaled to the cell's own drive (loads from 1x to
+  // ~16x its input capacitance; slews around its unloaded delay).
+  CellData characterize(const CellSpec& spec) const;
+
+ private:
+  const tech::DeviceModel& dev_;
+  double vdd_, vts_;
+};
+
+// Liberty serialization. Cells must share the Characterizer's operating
+// point (nom_voltage etc. come from it).
+std::string export_liberty(const std::string& library_name,
+                           const Characterizer& chr,
+                           const std::vector<CellData>& cells);
+
+// Boolean function string for a cell's output pin ("!(A0 A1)", ...).
+std::string liberty_function(netlist::GateType type, int fanin);
+
+// Canonical cell name ("NAND2_W4").
+std::string cell_name(const CellSpec& spec);
+
+}  // namespace minergy::charlib

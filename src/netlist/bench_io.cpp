@@ -1,0 +1,192 @@
+#include "netlist/bench_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace minergy::netlist {
+namespace {
+
+struct Statement {
+  enum class Kind { kInput, kOutput, kAssign } kind;
+  std::string lhs;                  // signal name
+  GateType type = GateType::kBuf;   // for kAssign
+  std::vector<std::string> args;    // fanin names for kAssign
+  int line_no = 0;
+};
+
+// Parses "HEAD(arg1, arg2)" -> {HEAD, args}; returns false if no match.
+bool parse_call(std::string_view text, std::string* head,
+                std::vector<std::string>* args) {
+  const auto open = text.find('(');
+  const auto close = text.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return false;
+  }
+  *head = std::string(util::trim(text.substr(0, open)));
+  args->clear();
+  const std::string_view inner = text.substr(open + 1, close - open - 1);
+  for (const auto& piece : util::split(inner, ',')) {
+    const auto trimmed = util::trim(piece);
+    if (!trimmed.empty()) args->emplace_back(trimmed);
+  }
+  return true;
+}
+
+}  // namespace
+
+Netlist parse_bench(std::istream& in, const std::string& name) {
+  std::vector<Statement> stmts;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto body = util::trim(line);
+    if (body.empty()) continue;
+
+    Statement st;
+    st.line_no = line_no;
+    const auto eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(x) or OUTPUT(x).
+      std::string head;
+      std::vector<std::string> args;
+      if (!parse_call(body, &head, &args) || args.size() != 1) {
+        throw util::ParseError("expected INPUT(x) or OUTPUT(x)", name,
+                               line_no);
+      }
+      const std::string u = util::to_upper(head);
+      if (u == "INPUT") {
+        st.kind = Statement::Kind::kInput;
+      } else if (u == "OUTPUT") {
+        st.kind = Statement::Kind::kOutput;
+      } else {
+        throw util::ParseError("unknown directive '" + head + "'", name,
+                               line_no);
+      }
+      st.lhs = args[0];
+    } else {
+      st.kind = Statement::Kind::kAssign;
+      st.lhs = std::string(util::trim(body.substr(0, eq)));
+      std::string head;
+      if (!parse_call(body.substr(eq + 1), &head, &st.args)) {
+        throw util::ParseError("expected 'name = GATE(a, b, ...)'", name,
+                               line_no);
+      }
+      const auto type = gate_type_from_string(head);
+      if (!type || *type == GateType::kInput) {
+        throw util::ParseError("unknown gate type '" + head + "'", name,
+                               line_no);
+      }
+      st.type = *type;
+      if (st.lhs.empty()) {
+        throw util::ParseError("missing signal name before '='", name,
+                               line_no);
+      }
+      if (st.args.empty()) {
+        throw util::ParseError("gate '" + st.lhs + "' has no fanins", name,
+                               line_no);
+      }
+    }
+    stmts.push_back(std::move(st));
+  }
+
+  // Pass 1: declare all signals.
+  Netlist nl(name);
+  for (const Statement& st : stmts) {
+    switch (st.kind) {
+      case Statement::Kind::kInput:
+        nl.add_input(st.lhs);
+        break;
+      case Statement::Kind::kAssign:
+        if (st.type == GateType::kDff) {
+          nl.add_dff(st.lhs);
+        } else {
+          nl.add_gate(st.type, st.lhs);
+        }
+        break;
+      case Statement::Kind::kOutput:
+        break;  // resolved in pass 2
+    }
+  }
+
+  // Pass 2: connect fanins and outputs.
+  for (const Statement& st : stmts) {
+    if (st.kind == Statement::Kind::kOutput) {
+      const GateId id = nl.find(st.lhs);
+      if (id == kInvalidGate) {
+        throw util::ParseError("OUTPUT references undefined signal '" +
+                                   st.lhs + "'",
+                               name, st.line_no);
+      }
+      nl.mark_output(id);
+      continue;
+    }
+    if (st.kind != Statement::Kind::kAssign) continue;
+    std::vector<GateId> fanins;
+    fanins.reserve(st.args.size());
+    for (const std::string& arg : st.args) {
+      const GateId f = nl.find(arg);
+      if (f == kInvalidGate) {
+        throw util::ParseError(
+            "gate '" + st.lhs + "' references undefined signal '" + arg + "'",
+            name, st.line_no);
+      }
+      fanins.push_back(f);
+    }
+    nl.set_fanins(nl.find(st.lhs), std::move(fanins));
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+Netlist parse_bench_string(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  return parse_bench(in, name);
+}
+
+Netlist parse_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::ParseError("cannot open file", path, 0);
+  return parse_bench(in, std::filesystem::path(path).stem().string());
+}
+
+std::string to_bench(const Netlist& nl) {
+  MINERGY_CHECK(nl.finalized());
+  std::ostringstream os;
+  os << "# " << nl.name() << " — written by minergy\n";
+  for (GateId id : nl.primary_inputs()) {
+    os << "INPUT(" << nl.gate(id).name << ")\n";
+  }
+  for (GateId id : nl.primary_outputs()) {
+    os << "OUTPUT(" << nl.gate(id).name << ")\n";
+  }
+  os << '\n';
+  auto emit = [&](const Gate& g) {
+    os << g.name << " = " << to_string(g.type) << '(';
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      if (i) os << ", ";
+      os << nl.gate(g.fanins[i]).name;
+    }
+    os << ")\n";
+  };
+  for (GateId id : nl.dffs()) emit(nl.gate(id));
+  for (GateId id : nl.combinational()) emit(nl.gate(id));
+  return os.str();
+}
+
+void write_bench_file(const Netlist& nl, const std::string& path) {
+  std::ofstream out(path);
+  MINERGY_CHECK_MSG(static_cast<bool>(out), "cannot open output file " + path);
+  out << to_bench(nl);
+}
+
+}  // namespace minergy::netlist

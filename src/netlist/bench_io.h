@@ -1,0 +1,29 @@
+// ISCAS .bench reader/writer.
+//
+// Grammar (case-insensitive keywords, '#' comments):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(in1, in2, ...)      GATE in {AND,NAND,OR,NOR,XOR,XNOR,
+//                                            NOT,BUF,DFF}
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace minergy::netlist {
+
+// Parse from a stream/string/file. The returned netlist is finalized.
+// Throws util::ParseError on malformed input and std::invalid_argument on
+// semantic errors (undefined signals, cycles).
+Netlist parse_bench(std::istream& in, const std::string& name = "bench");
+Netlist parse_bench_string(const std::string& text,
+                           const std::string& name = "bench");
+Netlist parse_bench_file(const std::string& path);
+
+// Serialize a finalized netlist back to .bench text.
+std::string to_bench(const Netlist& nl);
+void write_bench_file(const Netlist& nl, const std::string& path);
+
+}  // namespace minergy::netlist

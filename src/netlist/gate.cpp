@@ -1,0 +1,117 @@
+#include "netlist/gate.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace minergy::netlist {
+
+std::string_view to_string(GateType type) {
+  switch (type) {
+    case GateType::kInput: return "INPUT";
+    case GateType::kBuf: return "BUF";
+    case GateType::kNot: return "NOT";
+    case GateType::kAnd: return "AND";
+    case GateType::kNand: return "NAND";
+    case GateType::kOr: return "OR";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+    case GateType::kDff: return "DFF";
+  }
+  return "?";
+}
+
+std::optional<GateType> gate_type_from_string(std::string_view s) {
+  const std::string u = util::to_upper(util::trim(s));
+  if (u == "INPUT") return GateType::kInput;
+  if (u == "BUF" || u == "BUFF" || u == "BUFFER") return GateType::kBuf;
+  if (u == "NOT" || u == "INV" || u == "INVERTER") return GateType::kNot;
+  if (u == "AND") return GateType::kAnd;
+  if (u == "NAND") return GateType::kNand;
+  if (u == "OR") return GateType::kOr;
+  if (u == "NOR") return GateType::kNor;
+  if (u == "XOR") return GateType::kXor;
+  if (u == "XNOR") return GateType::kXnor;
+  if (u == "DFF" || u == "FF" || u == "SDFF") return GateType::kDff;
+  return std::nullopt;
+}
+
+bool is_combinational(GateType type) {
+  return type != GateType::kInput && type != GateType::kDff;
+}
+
+bool is_inverting(GateType type) {
+  switch (type) {
+    case GateType::kNot:
+    case GateType::kNand:
+    case GateType::kNor:
+    case GateType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int min_fanin(GateType type) {
+  switch (type) {
+    case GateType::kInput: return 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+    case GateType::kDff:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+int max_fanin(GateType type) {
+  switch (type) {
+    case GateType::kInput: return 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+    case GateType::kDff:
+      return 1;
+    default:
+      return 0;  // unbounded
+  }
+}
+
+bool evaluate(GateType type, std::span<const bool> inputs) {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kDff:
+    case GateType::kBuf: {
+      MINERGY_CHECK(inputs.size() == 1);
+      return inputs[0];
+    }
+    case GateType::kNot: {
+      MINERGY_CHECK(inputs.size() == 1);
+      return !inputs[0];
+    }
+    case GateType::kAnd:
+    case GateType::kNand: {
+      MINERGY_CHECK(!inputs.empty());
+      bool all = true;
+      for (bool v : inputs) all = all && v;
+      return type == GateType::kAnd ? all : !all;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      MINERGY_CHECK(!inputs.empty());
+      bool any = false;
+      for (bool v : inputs) any = any || v;
+      return type == GateType::kOr ? any : !any;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      MINERGY_CHECK(!inputs.empty());
+      bool parity = false;
+      for (bool v : inputs) parity = parity != v;
+      return type == GateType::kXor ? parity : !parity;
+    }
+  }
+  MINERGY_CHECK_MSG(false, "unreachable gate type");
+  return false;
+}
+
+}  // namespace minergy::netlist

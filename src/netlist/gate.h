@@ -1,0 +1,52 @@
+// Gate vocabulary for CMOS random-logic networks.
+//
+// The paper assumes simple multi-input static CMOS gates with symmetric
+// series/parallel pull-up and pull-down networks (Appendix A.1); DFFs appear
+// only as sequential boundaries of the ISCAS-89 circuits and are treated as
+// cut points (Q = pseudo primary input, D = pseudo primary output).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace minergy::netlist {
+
+enum class GateType {
+  kInput,  // primary input (no fanin)
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kDff,  // sequential element; fanin = D, output = Q
+};
+
+// Canonical upper-case name ("NAND", "DFF", ...).
+std::string_view to_string(GateType type);
+
+// Parses common spellings (case-insensitive; accepts BUF/BUFF, FF/DFF).
+std::optional<GateType> gate_type_from_string(std::string_view s);
+
+// True for the logic gates the optimizer sizes (everything except
+// kInput and kDff).
+bool is_combinational(GateType type);
+
+// True if the gate logically inverts (single-stage static CMOS: NOT, NAND,
+// NOR, XNOR). AND/OR/BUF are modeled as the paper does, as one sized stage.
+bool is_inverting(GateType type);
+
+// Allowed fanin count: [min_fanin, max_fanin] (max_fanin = 0 means
+// unbounded).
+int min_fanin(GateType type);
+int max_fanin(GateType type);
+
+// Boolean evaluation over the input values. kInput/kDff are identity over
+// their (externally supplied) single value.
+bool evaluate(GateType type, std::span<const bool> inputs);
+
+}  // namespace minergy::netlist

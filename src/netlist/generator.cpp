@@ -1,0 +1,207 @@
+#include "netlist/generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace minergy::netlist {
+
+void GeneratorSpec::validate() const {
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("GeneratorSpec: ") + what);
+  };
+  require(num_inputs >= 1, "need at least one input");
+  require(num_outputs >= 1, "need at least one output");
+  require(num_dffs >= 0, "negative DFF count");
+  require(num_gates >= 1, "need at least one gate");
+  require(depth >= 1, "depth must be >= 1");
+  require(num_gates >= depth, "num_gates must be >= depth");
+  require(frac_single_input >= 0 && frac_single_input < 1, "bad NOT share");
+  require(frac_xor >= 0 && frac_xor < 1, "bad XOR share");
+  require(max_fanin >= 2, "max_fanin must be >= 2");
+}
+
+Netlist generate_random_logic(const GeneratorSpec& spec) {
+  spec.validate();
+  util::Rng rng(spec.seed);
+  Netlist nl(spec.name);
+
+  // Sources: PIs and DFF Q-pins.
+  std::vector<GateId> sources;
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    sources.push_back(nl.add_input("pi" + std::to_string(i)));
+  }
+  std::vector<GateId> dff_ids;
+  for (int i = 0; i < spec.num_dffs; ++i) {
+    const GateId q = nl.add_dff("ff" + std::to_string(i));
+    dff_ids.push_back(q);
+    sources.push_back(q);
+  }
+
+  // Assign each gate a level in [1, depth]: one gate per level first (to
+  // guarantee the target depth), then the rest with a mild bias toward the
+  // shallow half — real random logic tapers toward the outputs.
+  std::vector<int> gate_level(static_cast<std::size_t>(spec.num_gates));
+  for (int i = 0; i < spec.depth; ++i) gate_level[static_cast<std::size_t>(i)] = i + 1;
+  for (int i = spec.depth; i < spec.num_gates; ++i) {
+    const double u = rng.uniform();
+    gate_level[static_cast<std::size_t>(i)] =
+        1 + static_cast<int>(static_cast<double>(spec.depth) *
+                             std::min(0.999, u * u * 0.35 + u * 0.65));
+  }
+  std::sort(gate_level.begin(), gate_level.end());
+
+  // nodes_at_level[l] lists nets available at level l (sources at 0).
+  std::vector<std::vector<GateId>> nodes_at_level(
+      static_cast<std::size_t>(spec.depth) + 1);
+  nodes_at_level[0] = sources;
+
+  // Track how often each net is already used as a fanin so selection can
+  // prefer unobserved nets — keeps the dangling-gate (promoted-PO) count
+  // close to the requested num_outputs, like real synthesized logic.
+  std::vector<int> use_count(
+      static_cast<std::size_t>(spec.num_gates) + sources.size() + 8, 0);
+  auto pick_from_level = [&](int level) -> GateId {
+    const auto& pool = nodes_at_level[static_cast<std::size_t>(level)];
+    MINERGY_CHECK(!pool.empty());
+    // Two tries: prefer a so-far-unobserved net.
+    GateId cand = pool[rng.uniform_index(pool.size())];
+    if (use_count[cand] > 0) {
+      const GateId second = pool[rng.uniform_index(pool.size())];
+      if (use_count[second] == 0) cand = second;
+    }
+    return cand;
+  };
+  // Pick a node strictly below `level`, geometrically biased to be close.
+  auto pick_below = [&](int level) -> GateId {
+    int l = level - 1;
+    while (l > 0 && rng.bernoulli(0.45)) --l;
+    // The level is guaranteed non-empty for l == level-1; walk down/up to a
+    // non-empty one otherwise.
+    while (nodes_at_level[static_cast<std::size_t>(l)].empty()) --l;
+    return pick_from_level(l);
+  };
+
+  std::vector<GateId> logic_ids;
+  logic_ids.reserve(static_cast<std::size_t>(spec.num_gates));
+  for (int i = 0; i < spec.num_gates; ++i) {
+    const int level = gate_level[static_cast<std::size_t>(i)];
+    // Fanin count: 1 with the NOT share, otherwise 2..max_fanin with a
+    // strong preference for 2-input gates.
+    int k;
+    if (rng.bernoulli(spec.frac_single_input)) {
+      k = 1;
+    } else {
+      k = 2;
+      while (k < spec.max_fanin && rng.bernoulli(0.25)) ++k;
+    }
+    GateType type;
+    if (k == 1) {
+      type = rng.bernoulli(0.75) ? GateType::kNot : GateType::kBuf;
+    } else if (rng.bernoulli(spec.frac_xor)) {
+      type = rng.bernoulli(0.5) ? GateType::kXor : GateType::kXnor;
+      k = 2;  // keep XORs 2-input, as synthesized logic overwhelmingly is
+    } else {
+      const double u = rng.uniform();
+      type = u < 0.35   ? GateType::kNand
+             : u < 0.70 ? GateType::kNor
+             : u < 0.85 ? GateType::kAnd
+                        : GateType::kOr;
+    }
+
+    // First fanin comes from level-1 to make the level assignment exact;
+    // the rest from anywhere below, without duplicates.
+    std::vector<GateId> fanins;
+    fanins.push_back(pick_from_level(level - 1));
+    int attempts = 0;
+    while (static_cast<int>(fanins.size()) < k && attempts < 64) {
+      const GateId cand = pick_below(level);
+      if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end()) {
+        fanins.push_back(cand);
+      }
+      ++attempts;
+    }
+    if (static_cast<int>(fanins.size()) < 2 && k >= 2) {
+      // Tiny design (not enough distinct nets); degrade to an inverter.
+      type = GateType::kNot;
+    }
+    if (type == GateType::kNot || type == GateType::kBuf) {
+      fanins.resize(1);
+    }
+    for (GateId f : fanins) ++use_count[f];
+    const GateId id =
+        nl.add_gate(type, "g" + std::to_string(i), std::move(fanins));
+    nodes_at_level[static_cast<std::size_t>(level)].push_back(id);
+    logic_ids.push_back(id);
+  }
+
+  // Connect DFF D-pins to gates in the top third of levels.
+  const int top_from = std::max(1, 2 * spec.depth / 3);
+  for (GateId q : dff_ids) {
+    int l = top_from + static_cast<int>(rng.uniform_index(
+                           static_cast<std::uint64_t>(spec.depth - top_from + 1)));
+    while (nodes_at_level[static_cast<std::size_t>(l)].empty()) --l;
+    const GateId d = pick_from_level(l);
+    ++use_count[d];
+    nl.set_fanins(q, {d});
+  }
+
+  // Track use counts so we can find dangling nets and unused sources.
+  std::vector<int> uses(nl.size(), 0);
+  for (const Gate& g : nl.gates()) {
+    for (GateId f : g.fanins) ++uses[f];
+  }
+
+  // Unused sources: append them as extra fanins to random multi-input gates
+  // (level ordering stays valid because sources are level 0).
+  std::vector<GateId> multi;
+  for (GateId id : logic_ids) {
+    if (nl.gate(id).fanin_count() >= 2 &&
+        nl.gate(id).fanin_count() < spec.max_fanin) {
+      multi.push_back(id);
+    }
+  }
+  for (GateId s : sources) {
+    if (uses[s] > 0 || multi.empty()) continue;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const GateId host = multi[rng.uniform_index(multi.size())];
+      auto fanins = nl.gate(host).fanins;
+      if (std::find(fanins.begin(), fanins.end(), s) != fanins.end()) continue;
+      if (static_cast<int>(fanins.size()) >= spec.max_fanin) continue;
+      fanins.push_back(s);
+      nl.set_fanins(host, std::move(fanins));
+      ++uses[s];
+      break;
+    }
+  }
+
+  // Recompute uses after the source patch.
+  std::fill(uses.begin(), uses.end(), 0);
+  for (const Gate& g : nl.gates()) {
+    for (GateId f : g.fanins) ++uses[f];
+  }
+
+  // Dangling logic gates observe nothing: promote them to primary outputs.
+  std::vector<GateId> dangling;
+  for (GateId id : logic_ids) {
+    if (uses[id] == 0) dangling.push_back(id);
+  }
+  for (GateId id : dangling) nl.mark_output(id);
+  // Top up to the requested PO count with the deepest driven gates.
+  int po_count = static_cast<int>(dangling.size());
+  for (auto it = logic_ids.rbegin(); it != logic_ids.rend() && po_count < spec.num_outputs;
+       ++it) {
+    if (std::find(dangling.begin(), dangling.end(), *it) == dangling.end()) {
+      nl.mark_output(*it);
+      ++po_count;
+    }
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace minergy::netlist

@@ -1,0 +1,38 @@
+// Seeded random-logic-network generator.
+//
+// Used to synthesize ISCAS-89 *surrogate* circuits: networks that match a
+// target gate count, depth, I/O and register count, and realistic fanin /
+// fanout statistics. The paper's optimizer consumes only network topology
+// and activity, so statistically matched surrogates exercise identical code
+// paths (see DESIGN.md, "Substitutions").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace minergy::netlist {
+
+struct GeneratorSpec {
+  std::string name = "random";
+  int num_inputs = 8;
+  int num_outputs = 8;   // minimum; dangling gates are promoted to POs
+  int num_dffs = 0;
+  int num_gates = 100;   // combinational gates
+  int depth = 10;        // target combinational depth (levels of logic)
+  std::uint64_t seed = 1;
+
+  double frac_single_input = 0.15;  // NOT/BUF share
+  double frac_xor = 0.05;           // XOR/XNOR share of multi-input gates
+  int max_fanin = 4;
+
+  void validate() const;  // throws std::invalid_argument
+};
+
+// Generates and finalizes a netlist per the spec. Deterministic in the seed.
+// Guarantees: combinational depth == spec.depth (when num_gates >= depth),
+// every source drives at least one gate, every gate reaches a PO or DFF.
+Netlist generate_random_logic(const GeneratorSpec& spec);
+
+}  // namespace minergy::netlist

@@ -1,0 +1,43 @@
+#include "netlist/stats.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace minergy::netlist {
+
+NetlistStats compute_stats(const Netlist& nl) {
+  MINERGY_CHECK(nl.finalized());
+  NetlistStats s;
+  s.num_gates = nl.num_combinational();
+  s.num_inputs = nl.primary_inputs().size();
+  s.num_outputs = nl.primary_outputs().size();
+  s.num_dffs = nl.dffs().size();
+  s.depth = nl.depth();
+
+  double fanin_sum = 0.0, fanout_sum = 0.0;
+  for (GateId id : nl.combinational()) {
+    const Gate& g = nl.gate(id);
+    fanin_sum += g.fanin_count();
+    fanout_sum += g.branch_count();
+    s.max_fanout = std::max(s.max_fanout, g.branch_count());
+    s.type_counts[static_cast<std::size_t>(g.type)]++;
+  }
+  if (s.num_gates > 0) {
+    s.avg_fanin = fanin_sum / static_cast<double>(s.num_gates);
+    s.avg_fanout = fanout_sum / static_cast<double>(s.num_gates);
+  }
+  return s;
+}
+
+std::string NetlistStats::to_string() const {
+  std::ostringstream os;
+  os << "gates=" << num_gates << " depth=" << depth << " PI=" << num_inputs
+     << " PO=" << num_outputs << " DFF=" << num_dffs << " avg_fanin=";
+  os.precision(3);
+  os << avg_fanin << " avg_fanout=" << avg_fanout
+     << " max_fanout=" << max_fanout;
+  return os.str();
+}
+
+}  // namespace minergy::netlist

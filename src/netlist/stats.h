@@ -1,0 +1,29 @@
+// Descriptive statistics of a netlist (used by the surrogate generator's
+// calibration tests and the `netlist_info` tool).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace minergy::netlist {
+
+struct NetlistStats {
+  std::size_t num_gates = 0;    // combinational gates
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_dffs = 0;
+  int depth = 0;
+  double avg_fanin = 0.0;
+  double avg_fanout = 0.0;  // branch count over logic gates
+  int max_fanout = 0;
+  // Gate-type histogram indexed by static_cast<size_t>(GateType).
+  std::array<std::size_t, 10> type_counts{};
+
+  std::string to_string() const;
+};
+
+NetlistStats compute_stats(const Netlist& nl);
+
+}  // namespace minergy::netlist

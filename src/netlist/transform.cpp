@@ -1,0 +1,230 @@
+#include "netlist/transform.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace minergy::netlist {
+namespace {
+
+// The non-inverting companion used for the inner nodes of a tree.
+GateType inner_type(GateType type) {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kNand:
+      return GateType::kAnd;
+    case GateType::kOr:
+    case GateType::kNor:
+      return GateType::kOr;
+    case GateType::kXor:
+    case GateType::kXnor:
+      return GateType::kXor;
+    default:
+      return type;
+  }
+}
+
+bool root_inverts(GateType type) {
+  return type == GateType::kNand || type == GateType::kNor ||
+         type == GateType::kXnor;
+}
+
+}  // namespace
+
+Netlist decompose_to_two_input(const Netlist& nl) {
+  MINERGY_CHECK(nl.finalized());
+  Netlist out(nl.name() + "_2in");
+  std::vector<GateId> map(nl.size(), kInvalidGate);
+
+  // Recreate sources first (ids keep relative order).
+  for (const Gate& g : nl.gates()) {
+    if (g.type == GateType::kInput) map[g.id] = out.add_input(g.name);
+    if (g.type == GateType::kDff) map[g.id] = out.add_dff(g.name);
+  }
+
+  // Logic gates in topological order so mapped fanins already exist.
+  for (GateId id : nl.combinational()) {
+    const Gate& g = nl.gate(id);
+    std::vector<GateId> ins;
+    for (GateId f : g.fanins) {
+      MINERGY_CHECK(map[f] != kInvalidGate);
+      ins.push_back(map[f]);
+    }
+    if (ins.size() <= 2) {
+      map[id] = out.add_gate(g.type, g.name, std::move(ins));
+    } else {
+      // Balanced reduction: combine pairs level by level; the final
+      // combination carries the original gate's name and inversion.
+      const GateType inner = inner_type(g.type);
+      const GateType root =
+          root_inverts(g.type)
+              ? (inner == GateType::kAnd   ? GateType::kNand
+                 : inner == GateType::kOr  ? GateType::kNor
+                                           : GateType::kXnor)
+              : inner;
+      int counter = 0;
+      while (ins.size() > 2) {
+        std::vector<GateId> next;
+        for (std::size_t i = 0; i + 1 < ins.size(); i += 2) {
+          next.push_back(out.add_gate(
+              inner, g.name + "_t" + std::to_string(counter++),
+              {ins[i], ins[i + 1]}));
+        }
+        if (ins.size() % 2) next.push_back(ins.back());
+        ins = std::move(next);
+      }
+      map[id] = out.add_gate(root, g.name, std::move(ins));
+    }
+  }
+
+  // Reconnect DFF D-pins and primary outputs.
+  for (GateId id : nl.dffs()) {
+    const Gate& g = nl.gate(id);
+    if (!g.fanins.empty()) out.set_fanins(map[id], {map[g.fanins[0]]});
+  }
+  for (GateId id : nl.primary_outputs()) out.mark_output(map[id]);
+
+  out.finalize();
+  return out;
+}
+
+Netlist buffer_high_fanout(const Netlist& nl, int max_fanout) {
+  MINERGY_CHECK(nl.finalized());
+  if (max_fanout < 2) throw std::invalid_argument("max_fanout must be >= 2");
+
+  Netlist out(nl.name() + "_buf");
+  std::vector<GateId> map(nl.size(), kInvalidGate);
+  for (const Gate& g : nl.gates()) {
+    if (g.type == GateType::kInput) map[g.id] = out.add_input(g.name);
+    if (g.type == GateType::kDff) map[g.id] = out.add_dff(g.name);
+  }
+  for (GateId id : nl.combinational()) {
+    const Gate& g = nl.gate(id);
+    std::vector<GateId> ins;
+    for (GateId f : g.fanins) ins.push_back(map[f]);
+    map[id] = out.add_gate(g.type, g.name, std::move(ins));
+  }
+  for (GateId id : nl.dffs()) {
+    const Gate& g = nl.gate(id);
+    if (!g.fanins.empty()) out.set_fanins(map[id], {map[g.fanins[0]]});
+  }
+
+  // Split overloaded nets with a bottom-up buffer tree: every level (the
+  // original driver included) ends up with at most max_fanout gate sinks.
+  for (const Gate& g : nl.gates()) {
+    if (g.fanouts.size() <= static_cast<std::size_t>(max_fanout)) continue;
+
+    // A sink is either an input pin of a mapped gate or a buffer awaiting
+    // its source.
+    struct Sink {
+      GateId gate;        // mapped id
+      std::size_t index;  // fanin position
+    };
+    std::vector<Sink> current;
+    for (GateId sink : g.fanouts) {
+      const Gate& s = nl.gate(sink);
+      for (std::size_t i = 0; i < s.fanins.size(); ++i) {
+        if (s.fanins[i] == g.id) current.push_back({map[sink], i});
+      }
+    }
+    auto connect = [&](const Sink& sink, GateId source) {
+      auto fanins = out.gate(sink.gate).fanins;
+      MINERGY_CHECK(sink.index < fanins.size());
+      fanins[sink.index] = source;
+      out.set_fanins(sink.gate, std::move(fanins));
+    };
+
+    int counter = 0;
+    while (current.size() > static_cast<std::size_t>(max_fanout)) {
+      std::vector<Sink> next_level;
+      for (std::size_t start = 0; start < current.size();
+           start += static_cast<std::size_t>(max_fanout)) {
+        const std::size_t take = std::min<std::size_t>(
+            static_cast<std::size_t>(max_fanout), current.size() - start);
+        if (take == 1) {
+          next_level.push_back(current[start]);
+          continue;
+        }
+        // Placeholder source; the parent level reconnects it.
+        const GateId buf = out.add_gate(
+            GateType::kBuf, g.name + "_buf" + std::to_string(counter++),
+            {map[g.id]});
+        for (std::size_t k = 0; k < take; ++k) {
+          connect(current[start + k], buf);
+        }
+        next_level.push_back({buf, 0});
+      }
+      current = std::move(next_level);
+    }
+    for (const Sink& sink : current) connect(sink, map[g.id]);
+  }
+
+  for (GateId id : nl.primary_outputs()) out.mark_output(map[id]);
+
+  out.finalize();
+  return out;
+}
+
+Netlist sweep_dead_logic(const Netlist& nl) {
+  MINERGY_CHECK(nl.finalized());
+
+  // Liveness fixed point: a net is live if it (transitively) feeds a PO or
+  // the D-pin of a live DFF. Start from POs, iterate because DFF liveness
+  // feeds back into combinational liveness.
+  std::vector<char> live(nl.size(), 0);
+  auto mark_cone = [&](GateId root) {
+    std::vector<GateId> stack{root};
+    while (!stack.empty()) {
+      const GateId id = stack.back();
+      stack.pop_back();
+      if (live[id]) continue;
+      live[id] = 1;
+      for (GateId f : nl.gate(id).fanins) stack.push_back(f);
+    }
+  };
+  for (GateId id : nl.primary_outputs()) mark_cone(id);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (GateId q : nl.dffs()) {
+      if (!live[q]) continue;
+      const Gate& g = nl.gate(q);
+      if (!g.fanins.empty() && !live[g.fanins[0]]) {
+        mark_cone(g.fanins[0]);
+        changed = true;
+      }
+    }
+  }
+
+  Netlist out(nl.name() + "_swept");
+  std::vector<GateId> map(nl.size(), kInvalidGate);
+  for (const Gate& g : nl.gates()) {
+    if (g.type == GateType::kInput) {
+      map[g.id] = out.add_input(g.name);  // interface: always kept
+    } else if (g.type == GateType::kDff && live[g.id]) {
+      map[g.id] = out.add_dff(g.name);
+    }
+  }
+  for (GateId id : nl.combinational()) {
+    if (!live[id]) continue;
+    const Gate& g = nl.gate(id);
+    std::vector<GateId> ins;
+    for (GateId f : g.fanins) {
+      MINERGY_CHECK(map[f] != kInvalidGate);
+      ins.push_back(map[f]);
+    }
+    map[id] = out.add_gate(g.type, g.name, std::move(ins));
+  }
+  for (GateId q : nl.dffs()) {
+    if (!live[q]) continue;
+    const Gate& g = nl.gate(q);
+    if (!g.fanins.empty()) out.set_fanins(map[q], {map[g.fanins[0]]});
+  }
+  for (GateId id : nl.primary_outputs()) out.mark_output(map[id]);
+
+  out.finalize();
+  return out;
+}
+
+}  // namespace minergy::netlist

@@ -1,0 +1,38 @@
+// Structural netlist transforms.
+//
+// The paper's delay model charges multi-input gates a series-stack penalty
+// (worst-case drive divided by fanin count) and its budgeting weights gates
+// by fanout; these transforms let the experiments probe both assumptions:
+//
+//  * decompose_to_two_input — balanced 2-input tree decomposition of every
+//    wide gate (trades stack factor for logic depth),
+//  * buffer_high_fanout    — inserts buffers so no net drives more than
+//    `max_fanout` branch pins (trades load for depth).
+//
+// Both produce a new, finalized netlist that is logically equivalent to the
+// input (verified exhaustively in the test suite).
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace minergy::netlist {
+
+// Rewrites every gate with more than two fanins into a balanced tree of
+// 2-input gates. AND/OR/XOR trees are direct; NAND/NOR/XNOR keep the
+// inversion only at the root (inner nodes are AND/OR/XOR). 1- and 2-input
+// gates pass through unchanged.
+Netlist decompose_to_two_input(const Netlist& nl);
+
+// Splits nets with more than `max_fanout` sinks by inserting a tree of BUF
+// gates so every level (the original driver included) drives at most
+// `max_fanout` gate pins. Primary-output pins stay on the original driver.
+Netlist buffer_high_fanout(const Netlist& nl, int max_fanout);
+
+// Removes logic that cannot reach any primary output — including registers
+// whose outputs only feed dead logic (computed to a fixed point, so dead
+// feedback loops disappear too). Primary inputs are interface and always
+// kept. The observable behavior (POs, live DFF next-state functions) is
+// unchanged.
+Netlist sweep_dead_logic(const Netlist& nl);
+
+}  // namespace minergy::netlist

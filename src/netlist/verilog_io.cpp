@@ -1,0 +1,227 @@
+#include "netlist/verilog_io.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace minergy::netlist {
+namespace {
+
+// Remove // and /* */ comments, preserving newlines for diagnostics.
+std::string strip_comments(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State { kCode, kLine, kBlock } state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          ++i;
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+          out += c;
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else if (c == '\n') {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+struct VerilogStatement {
+  std::string text;
+  int line_no;
+};
+
+// Split on ';', tracking the line number where each statement starts.
+std::vector<VerilogStatement> split_statements(const std::string& text) {
+  std::vector<VerilogStatement> stmts;
+  std::string cur;
+  int line = 1;
+  int start_line = 1;
+  for (char c : text) {
+    if (c == ';') {
+      stmts.push_back({cur, start_line});
+      cur.clear();
+      start_line = line;
+    } else {
+      if (cur.empty() && !std::isspace(static_cast<unsigned char>(c))) {
+        start_line = line;
+      }
+      if (c == '\n') ++line;
+      cur += c;
+    }
+  }
+  const auto tail = util::trim(cur);
+  if (!tail.empty()) stmts.push_back({std::string(tail), start_line});
+  return stmts;
+}
+
+// "head (a, b, c)" -> head, {a,b,c}; also handles instance names:
+// "nand u1 (y, a, b)" callers split the keyword off first.
+std::vector<std::string> parse_terminal_list(std::string_view s,
+                                             const std::string& file,
+                                             int line_no) {
+  const auto open = s.find('(');
+  const auto close = s.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    throw util::ParseError("expected '(terminal, ...)'", file, line_no);
+  }
+  std::vector<std::string> out;
+  for (const auto& piece : util::split(s.substr(open + 1, close - open - 1),
+                                       ',')) {
+    const auto t = util::trim(piece);
+    if (t.empty()) {
+      throw util::ParseError("empty terminal in port list", file, line_no);
+    }
+    out.emplace_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+Netlist parse_verilog(std::istream& in, const std::string& name) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string clean = strip_comments(buffer.str());
+
+  std::string module_name = name;
+  std::vector<std::string> input_names, output_names;
+  struct Instance {
+    GateType type;
+    std::vector<std::string> terminals;  // [out, in...]
+    int line_no;
+  };
+  std::vector<Instance> instances;
+  bool in_module = false;
+  bool ended = false;
+
+  for (const auto& [raw, line_no] : split_statements(clean)) {
+    std::string body(util::trim(raw));
+    // `endmodule` may be glued to the last statement (it has no ';').
+    const auto endpos = body.find("endmodule");
+    if (endpos != std::string::npos) {
+      ended = true;
+      body = std::string(util::trim(body.substr(0, endpos)));
+    }
+    if (body.empty()) continue;
+    const auto tokens = util::split_ws(body);
+    MINERGY_CHECK(!tokens.empty());
+    const std::string keyword = util::to_lower(tokens[0]);
+
+    if (keyword == "module") {
+      if (in_module) throw util::ParseError("nested module", name, line_no);
+      in_module = true;
+      if (tokens.size() < 2) {
+        throw util::ParseError("module without a name", name, line_no);
+      }
+      // Name may be glued to the port list: "module top(a,b);"
+      const auto paren = tokens[1].find('(');
+      module_name = tokens[1].substr(0, paren);
+      continue;  // port list carries no direction info; ignore
+    }
+    if (!in_module) {
+      throw util::ParseError("statement outside module", name, line_no);
+    }
+    if (keyword == "input" || keyword == "output" || keyword == "wire") {
+      // Everything after the keyword is a comma-separated name list.
+      // (Materialize as std::string: body.substr() is a temporary, so a
+      // string_view of it would dangle past this statement.)
+      const std::string rest(util::trim(body.substr(tokens[0].size())));
+      for (const auto& piece : util::split(rest, ',')) {
+        const auto n = util::trim(piece);
+        if (n.empty()) continue;
+        if (keyword == "input") {
+          input_names.emplace_back(n);
+        } else if (keyword == "output") {
+          output_names.emplace_back(n);
+        }
+        // wires carry no information we need
+      }
+      continue;
+    }
+    const auto type = gate_type_from_string(keyword);
+    if (!type || *type == GateType::kInput) {
+      throw util::ParseError("unknown primitive '" + keyword + "'", name,
+                             line_no);
+    }
+    auto terminals = parse_terminal_list(body, name, line_no);
+    if (terminals.size() < 2) {
+      throw util::ParseError("primitive needs an output and >= 1 input", name,
+                             line_no);
+    }
+    instances.push_back({*type, std::move(terminals), line_no});
+  }
+  if (in_module && !ended) {
+    throw util::ParseError("missing endmodule", name, 0);
+  }
+
+  Netlist nl(module_name);
+  for (const auto& n : input_names) nl.add_input(n);
+  for (const auto& inst : instances) {
+    if (inst.type == GateType::kDff) {
+      nl.add_dff(inst.terminals[0]);
+    } else {
+      nl.add_gate(inst.type, inst.terminals[0]);
+    }
+  }
+  for (const auto& inst : instances) {
+    std::vector<GateId> fanins;
+    for (std::size_t i = 1; i < inst.terminals.size(); ++i) {
+      const GateId f = nl.find(inst.terminals[i]);
+      if (f == kInvalidGate) {
+        throw util::ParseError("undriven signal '" + inst.terminals[i] + "'",
+                               name, inst.line_no);
+      }
+      fanins.push_back(f);
+    }
+    nl.set_fanins(nl.find(inst.terminals[0]), std::move(fanins));
+  }
+  for (const auto& n : output_names) {
+    const GateId id = nl.find(n);
+    if (id == kInvalidGate) {
+      throw util::ParseError("output '" + n + "' is never driven", name, 0);
+    }
+    nl.mark_output(id);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist parse_verilog_string(const std::string& text,
+                             const std::string& name) {
+  std::istringstream in(text);
+  return parse_verilog(in, name);
+}
+
+Netlist parse_verilog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::ParseError("cannot open file", path, 0);
+  return parse_verilog(in, std::filesystem::path(path).stem().string());
+}
+
+}  // namespace minergy::netlist

@@ -1,0 +1,29 @@
+// Structural-Verilog subset reader.
+//
+// Supported grammar (one module per file; gate-primitive instances only):
+//
+//   module NAME (port, port, ...);
+//     input  a, b;          // or input a; input b;
+//     output y;
+//     wire   w1, w2;
+//     nand  u1 (y, a, b);   // first terminal is the output
+//     dff   r1 (q, d);
+//   endmodule
+//
+// Primitives: and, nand, or, nor, xor, xnor, not, buf, dff.
+// Comments: // line and /* block */.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace minergy::netlist {
+
+Netlist parse_verilog(std::istream& in, const std::string& name = "verilog");
+Netlist parse_verilog_string(const std::string& text,
+                             const std::string& name = "verilog");
+Netlist parse_verilog_file(const std::string& path);
+
+}  // namespace minergy::netlist

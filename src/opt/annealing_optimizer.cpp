@@ -1,0 +1,117 @@
+#include "opt/annealing_optimizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace minergy::opt {
+
+AnnealingOptimizer::AnnealingOptimizer(const CircuitEvaluator& eval,
+                                       AnnealingOptions options)
+    : eval_(eval), opts_(options) {
+  MINERGY_CHECK(opts_.max_moves >= 1);
+  MINERGY_CHECK(opts_.passes >= 1);
+  MINERGY_CHECK(opts_.cooling > 0.0 && opts_.cooling < 1.0);
+}
+
+OptimizationResult AnnealingOptimizer::run(
+    const CircuitState& warm_start) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const tech::Technology& tech = eval_.technology();
+  const netlist::Netlist& nl = eval_.netlist();
+  util::Rng rng(opts_.seed);
+
+  const double limit = opts_.skew_b * eval_.cycle_time();
+  int evals = 0;
+
+  auto cost_of = [&](const CircuitState& s, double* crit_out,
+                     double* energy_out) {
+    ++evals;
+    const double crit = eval_.critical_delay(s);
+    const double energy = eval_.energy(s).total();
+    if (crit_out) *crit_out = crit;
+    if (energy_out) *energy_out = energy;
+    const double violation = std::max(0.0, crit / limit - 1.0);
+    return energy * (1.0 + opts_.penalty_weight * violation);
+  };
+
+  CircuitState init = warm_start;
+  if (init.empty()) {
+    init = CircuitState::uniform(nl, tech.vdd_max,
+                                 0.5 * (tech.vts_min + tech.vts_max), 4.0);
+  }
+
+  CircuitState global_best = init;
+  double global_best_crit = 0.0, global_best_energy = 0.0;
+  double global_best_cost =
+      cost_of(global_best, &global_best_crit, &global_best_energy);
+
+  const int moves_per_pass = std::max(1, opts_.max_moves / opts_.passes);
+  for (int pass = 0; pass < opts_.passes; ++pass) {
+    CircuitState cur = pass == 0 ? init : global_best;
+    double cur_cost = cost_of(cur, nullptr, nullptr);
+    double temperature = opts_.initial_temp_scale * std::fabs(cur_cost);
+
+    for (int move = 0; move < moves_per_pass; ++move) {
+      CircuitState cand = cur;
+      const double r = rng.uniform();
+      if (r < 0.6) {
+        // Perturb one gate's width multiplicatively.
+        const auto& logic = nl.combinational();
+        if (!logic.empty()) {
+          const netlist::GateId id = logic[rng.uniform_index(logic.size())];
+          const double factor = std::exp(rng.normal(0.0, 0.25));
+          cand.widths[id] =
+              std::clamp(cand.widths[id] * factor, tech.w_min, tech.w_max);
+        }
+      } else if (r < 0.8) {
+        cand.vdd = std::clamp(cand.vdd + rng.normal(0.0, 0.08),
+                              tech.vdd_min, tech.vdd_max);
+      } else {
+        const double delta = rng.normal(0.0, 0.03);
+        for (double& v : cand.vts) {
+          v = std::clamp(v + delta, tech.vts_min, tech.vts_max);
+        }
+      }
+
+      double crit = 0.0, energy = 0.0;
+      const double cand_cost = cost_of(cand, &crit, &energy);
+      const double delta_cost = cand_cost - cur_cost;
+      if (delta_cost <= 0.0 ||
+          rng.bernoulli(std::exp(-delta_cost / std::max(temperature, 1e-30)))) {
+        cur = std::move(cand);
+        cur_cost = cand_cost;
+        if (crit <= limit * (1.0 + 1e-9) && cand_cost < global_best_cost) {
+          global_best = cur;
+          global_best_cost = cand_cost;
+          global_best_crit = crit;
+          global_best_energy = energy;
+        }
+      }
+      temperature *= opts_.cooling;
+    }
+  }
+
+  OptimizationResult result;
+  result.state = global_best;
+  result.critical_delay = global_best_crit > 0.0
+                              ? global_best_crit
+                              : eval_.critical_delay(global_best);
+  result.feasible = result.critical_delay <= limit * (1.0 + 1e-9);
+  result.energy = eval_.energy(global_best);
+  result.vdd = global_best.vdd;
+  result.vts_primary =
+      global_best.vts.empty() ? 0.0 : global_best.vts.front();
+  result.vts_groups = {result.vts_primary};
+  result.circuit_evaluations = evals;
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace minergy::opt

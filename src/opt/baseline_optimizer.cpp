@@ -1,0 +1,115 @@
+#include "opt/baseline_optimizer.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "opt/sizer.h"
+#include "util/check.h"
+#include "util/search.h"
+
+namespace minergy::opt {
+
+BaselineOptimizer::BaselineOptimizer(const CircuitEvaluator& eval,
+                                     OptimizerOptions options,
+                                     double fixed_vts)
+    : eval_(eval),
+      opts_(options),
+      fixed_vts_(fixed_vts > 0.0 ? fixed_vts
+                                 : eval.technology().nominal_vts) {
+  MINERGY_CHECK(opts_.steps >= 1);
+}
+
+OptimizationResult BaselineOptimizer::run() const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const tech::Technology& tech = eval_.technology();
+  const netlist::Netlist& nl = eval_.netlist();
+  const timing::BudgetResult budgets = eval_.budgeter().assign(
+      eval_.cycle_time(), {.clock_skew_b = opts_.skew_b});
+  const GateSizer sizer(eval_.delay_calculator());
+  const std::vector<double> vts_corner(nl.size(),
+                                       eval_.delay_vts(fixed_vts_));
+
+  int evals = 0;
+  OptimizationResult result;
+  result.vts_primary = fixed_vts_;
+  result.vts_groups = {fixed_vts_};
+
+  const double limit = opts_.skew_b * eval_.cycle_time();
+  auto probe = [&](double vdd) {
+    ++evals;
+    SizingResult sized =
+        sizer.size(budgets.t_max, vdd, vts_corner, opts_.sizing_steps);
+    CircuitState state;
+    state.vdd = vdd;
+    state.vts.assign(nl.size(), fixed_vts_);
+    state.widths = std::move(sized.widths);
+    timing::TimingReport report = eval_.sta(state, limit);
+    double crit = report.critical_delay;
+    bool ok = crit <= limit * (1.0 + 1e-9);
+    if (ok) {
+      // Same post-processing width recovery as the joint flow (the two
+      // flows must share sizing machinery for a fair comparison).
+      for (int pass = 0; pass < opts_.recovery_passes; ++pass) {
+        SizingResult recovered = sizer.recover(
+            state.widths, vdd, vts_corner, limit, report, opts_.sizing_steps);
+        CircuitState candidate = state;
+        candidate.widths = std::move(recovered.widths);
+        const timing::TimingReport check = eval_.sta(candidate, limit);
+        if (check.critical_delay > limit * (1.0 + 1e-9)) break;
+        state = std::move(candidate);
+        crit = check.critical_delay;
+        report = check;
+      }
+    }
+    return std::tuple(std::move(state), crit, ok);
+  };
+
+  // Feasibility boundary: delay is monotone decreasing in Vdd at fixed Vts,
+  // so the smallest feasible supply is found by bisection.
+  auto feasible_at = [&](double vdd) { return std::get<2>(probe(vdd)); };
+  if (!feasible_at(tech.vdd_max)) {
+    result.feasible = false;
+    result.circuit_evaluations = evals;
+    result.runtime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+  }
+  const double vdd_boundary = util::bisect_min_true(
+      tech.vdd_min, tech.vdd_max, opts_.steps + 4, feasible_at);
+
+  // Energy over [boundary, vdd_max] is near-monotone increasing (CV^2)
+  // but the width relief just above the boundary can create a shallow
+  // interior minimum; a short golden-section handles both shapes.
+  double best_energy = std::numeric_limits<double>::infinity();
+  CircuitState best_state;
+  double best_crit = 0.0;
+  auto energy_at = [&](double vdd) {
+    auto [state, crit, ok] = probe(vdd);
+    if (!ok) return best_energy * 4.0 + 1.0;
+    const double e = eval_.energy(state).total();
+    if (e < best_energy) {
+      best_energy = e;
+      best_state = std::move(state);
+      best_crit = crit;
+    }
+    return e;
+  };
+  energy_at(vdd_boundary);
+  util::golden_section_min(vdd_boundary, tech.vdd_max,
+                           opts_.refine ? opts_.refine_steps : 4, energy_at);
+
+  result.state = best_state;
+  result.energy = eval_.energy(best_state);
+  result.critical_delay = best_crit;
+  result.feasible = true;
+  result.vdd = best_state.vdd;
+  result.circuit_evaluations = evals;
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace minergy::opt

@@ -1,0 +1,27 @@
+// The conventional reference flow of Table 1: threshold voltage frozen at
+// the technology's nominal value (700 mV in the paper); only the supply
+// voltage and the device widths are optimized against the same cycle-time
+// constraint. The joint optimizer's savings (Table 2) are quoted against
+// this result.
+#pragma once
+
+#include "opt/evaluator.h"
+#include "opt/result.h"
+
+namespace minergy::opt {
+
+class BaselineOptimizer {
+ public:
+  // fixed_vts < 0 selects the technology's nominal_vts.
+  BaselineOptimizer(const CircuitEvaluator& eval, OptimizerOptions options = {},
+                    double fixed_vts = -1.0);
+
+  OptimizationResult run() const;
+
+ private:
+  const CircuitEvaluator& eval_;
+  OptimizerOptions opts_;
+  double fixed_vts_;
+};
+
+}  // namespace minergy::opt

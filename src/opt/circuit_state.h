@@ -1,0 +1,29 @@
+// The optimization variables of the power-minimization problem (Section 2):
+// one global supply voltage, a threshold voltage per gate (the paper's n_v
+// distinct values appear as repeated entries), and a width per gate.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace minergy::opt {
+
+struct CircuitState {
+  double vdd = 0.0;
+  std::vector<double> vts;     // per gate id (V)
+  std::vector<double> widths;  // per gate id (multiples of F)
+
+  static CircuitState uniform(const netlist::Netlist& nl, double vdd,
+                              double vts, double width) {
+    CircuitState s;
+    s.vdd = vdd;
+    s.vts.assign(nl.size(), vts);
+    s.widths.assign(nl.size(), width);
+    return s;
+  }
+
+  bool empty() const { return vts.empty(); }
+};
+
+}  // namespace minergy::opt

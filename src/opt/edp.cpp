@@ -1,0 +1,57 @@
+#include "opt/edp.h"
+
+#include <cmath>
+#include <limits>
+
+#include "opt/evaluator.h"
+#include "opt/joint_optimizer.h"
+#include "util/check.h"
+
+namespace minergy::opt {
+
+EdpResult minimize_energy_delay_product(
+    const netlist::Netlist& nl, const tech::Technology& tech,
+    const activity::ActivityProfile& profile, const EdpOptions& options) {
+  MINERGY_CHECK(options.points >= 2);
+  MINERGY_CHECK(options.t_lo_factor > 1.0);
+  MINERGY_CHECK(options.t_hi_factor > options.t_lo_factor);
+
+  // Fastest achievable cycle time anchors the sweep.
+  double t_min;
+  {
+    const CircuitEvaluator probe(nl, tech, profile,
+                                 {.clock_frequency = 1e9});
+    t_min = probe.minimum_cycle_time(options.base.skew_b);
+  }
+
+  EdpResult result;
+  result.edp = std::numeric_limits<double>::infinity();
+  const double log_lo = std::log(options.t_lo_factor * t_min);
+  const double log_hi = std::log(options.t_hi_factor * t_min);
+  for (int i = 0; i < options.points; ++i) {
+    const double t = std::exp(
+        log_lo + (log_hi - log_lo) * static_cast<double>(i) /
+                     static_cast<double>(options.points - 1));
+    const CircuitEvaluator eval(nl, tech, profile,
+                                {.clock_frequency = 1.0 / t});
+    const OptimizationResult r = JointOptimizer(eval, options.base).run();
+
+    EdpPoint point;
+    point.cycle_time = t;
+    point.feasible = r.feasible;
+    if (r.feasible) {
+      point.energy = r.energy.total();
+      point.critical_delay = r.critical_delay;
+      point.edp = point.energy * point.critical_delay;
+      if (point.edp < result.edp) {
+        result.edp = point.edp;
+        result.cycle_time = t;
+        result.best = r;
+      }
+    }
+    result.sweep.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace minergy::opt

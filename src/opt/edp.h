@@ -1,0 +1,47 @@
+// Energy-delay-product optimization (the alternative objective the paper
+// attributes to Burr/Shott: when no hard clock constraint exists, minimize
+// E * t instead of energy alone, recovering some performance).
+//
+// Implemented on top of the constrained joint optimizer: sweep candidate
+// cycle times T over [t_lo, t_hi] * T_min (log-spaced), run the joint
+// optimization at each, and pick the point minimizing
+// total-energy * critical-delay. Leakage integrates over the cycle, so E
+// itself grows with T and the product has an interior minimum.
+#pragma once
+
+#include <vector>
+
+#include "activity/activity.h"
+#include "netlist/netlist.h"
+#include "opt/result.h"
+#include "tech/technology.h"
+
+namespace minergy::opt {
+
+struct EdpPoint {
+  double cycle_time = 0.0;
+  double energy = 0.0;
+  double critical_delay = 0.0;
+  double edp = 0.0;
+  bool feasible = false;
+};
+
+struct EdpResult {
+  OptimizationResult best;
+  double cycle_time = 0.0;  // the T the best point was optimized against
+  double edp = 0.0;
+  std::vector<EdpPoint> sweep;
+};
+
+struct EdpOptions {
+  OptimizerOptions base;
+  int points = 9;            // sweep resolution
+  double t_lo_factor = 1.1;  // relative to the minimum achievable cycle time
+  double t_hi_factor = 10.0;
+};
+
+EdpResult minimize_energy_delay_product(
+    const netlist::Netlist& nl, const tech::Technology& tech,
+    const activity::ActivityProfile& profile, const EdpOptions& options = {});
+
+}  // namespace minergy::opt

@@ -1,0 +1,141 @@
+#include "opt/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/sizer.h"
+#include "util/check.h"
+
+namespace minergy::opt {
+
+CircuitEvaluator::CircuitEvaluator(const netlist::Netlist& nl,
+                                   const tech::Technology& tech,
+                                   const activity::ActivityProfile& profile,
+                                   const EvalSettings& settings)
+    : nl_(nl),
+      tech_(tech),
+      settings_(settings),
+      dev_(tech_),
+      own_wires_(tech_, nl_),
+      wires_(&own_wires_),
+      act_(activity::estimate_activity(nl_, profile)),
+      delay_(nl_, dev_, *wires_),
+      energy_(nl_, dev_, *wires_, act_, settings_.clock_frequency),
+      budgeter_(nl_) {
+  MINERGY_CHECK(settings_.clock_frequency > 0.0);
+  MINERGY_CHECK(settings_.vts_tolerance >= 0.0 &&
+                settings_.vts_tolerance < 1.0);
+}
+
+CircuitEvaluator::CircuitEvaluator(const netlist::Netlist& nl,
+                                   const tech::Technology& tech,
+                                   const activity::ActivityProfile& profile,
+                                   const EvalSettings& settings,
+                                   const interconnect::WireLoads& wires)
+    : nl_(nl),
+      tech_(tech),
+      settings_(settings),
+      dev_(tech_),
+      own_wires_(tech_, nl_),
+      wires_(&wires),
+      act_(activity::estimate_activity(nl_, profile)),
+      delay_(nl_, dev_, *wires_),
+      energy_(nl_, dev_, *wires_, act_, settings_.clock_frequency),
+      budgeter_(nl_) {
+  MINERGY_CHECK(settings_.clock_frequency > 0.0);
+  MINERGY_CHECK(settings_.vts_tolerance >= 0.0 &&
+                settings_.vts_tolerance < 1.0);
+}
+
+timing::TimingReport CircuitEvaluator::sta(const CircuitState& state,
+                                           double cycle_limit) const {
+  std::vector<double> vts_corner(state.vts.size());
+  for (std::size_t i = 0; i < state.vts.size(); ++i) {
+    vts_corner[i] = delay_vts(state.vts[i]);
+  }
+  return timing::run_sta(delay_, state.widths, state.vdd,
+                         std::span<const double>(vts_corner), cycle_limit);
+}
+
+double CircuitEvaluator::critical_delay(const CircuitState& state) const {
+  return sta(state, cycle_time()).critical_delay;
+}
+
+power::EnergyBreakdown CircuitEvaluator::energy(
+    const CircuitState& state) const {
+  power::EnergyBreakdown total;
+  for (netlist::GateId id : nl_.combinational()) {
+    // Dynamic energy at nominal threshold (capacitances are Vt-independent
+    // here), leakage at the low-Vt corner.
+    const power::EnergyBreakdown nominal =
+        energy_.gate_energy(id, state.widths, state.vdd, state.vts[id]);
+    if (settings_.vts_tolerance == 0.0) {
+      total += nominal;
+    } else {
+      const power::EnergyBreakdown leaky = energy_.gate_energy(
+          id, state.widths, state.vdd, leakage_vts(state.vts[id]));
+      total.dynamic_energy += nominal.dynamic_energy;
+      total.static_energy += leaky.static_energy;
+    }
+  }
+  if (settings_.include_short_circuit) {
+    // Input transition times come from the gate delays of the driving
+    // stage: one STA at the delay corner.
+    const timing::TimingReport report = sta(state, cycle_time());
+    for (netlist::GateId id : nl_.combinational()) {
+      double slowest_fanin = 0.0;
+      bool source_driven_only = true;
+      for (netlist::GateId f : nl_.gate(id).fanins) {
+        if (netlist::is_combinational(nl_.gate(f).type)) {
+          slowest_fanin = std::max(slowest_fanin, report.gate_delay[f]);
+          source_driven_only = false;
+        }
+      }
+      const double tau_in = source_driven_only ? settings_.input_slew
+                                               : 2.0 * slowest_fanin;
+      total.short_circuit_energy += energy_.short_circuit_energy(
+          id, state.widths, state.vdd, state.vts[id], tau_in);
+    }
+  }
+  return total;
+}
+
+bool CircuitEvaluator::meets_timing(const CircuitState& state,
+                                    double skew_b) const {
+  // Tiny relative tolerance absorbs floating-point noise at the boundary.
+  return critical_delay(state) <= skew_b * cycle_time() * (1.0 + 1e-9);
+}
+
+double CircuitEvaluator::minimum_cycle_time(double skew_b, double vts) const {
+  const GateSizer sizer(delay_);
+  if (vts < 0.0) vts = tech_.vts_min;
+  std::vector<double> vts_corner(nl_.size(), delay_vts(vts));
+
+  auto feasible_at = [&](double tc) {
+    const timing::BudgetResult budgets =
+        budgeter_.assign(tc, {.clock_skew_b = skew_b});
+    const SizingResult sized = sizer.size(budgets.t_max, tech_.vdd_max,
+                                          std::span<const double>(vts_corner));
+    const timing::TimingReport report =
+        timing::run_sta(delay_, sized.widths, tech_.vdd_max,
+                        std::span<const double>(vts_corner), tc);
+    return report.critical_delay <= skew_b * tc;
+  };
+
+  // Exponential bracket then bisection.
+  double hi = 1e-9;
+  while (!feasible_at(hi) && hi < 1.0) hi *= 2.0;
+  MINERGY_CHECK_MSG(hi < 1.0, "circuit cannot meet any cycle time <= 1 s");
+  double lo = hi / 2.0;
+  for (int i = 0; i < 40; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible_at(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace minergy::opt

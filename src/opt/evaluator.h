@@ -1,0 +1,110 @@
+// CircuitEvaluator: one bundle of netlist + technology + activity + wire
+// models with the derived delay and energy calculators — the evaluation
+// context every optimizer probes.
+//
+// Process-variation corners (Figure 2a of the paper) are supported by
+// evaluating delay at a pessimistically *raised* threshold and leakage at a
+// pessimistically *lowered* one:
+//   delay  uses  vts * (1 + vts_tolerance)
+//   leakage uses vts * (1 - vts_tolerance)
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "activity/activity.h"
+#include "interconnect/wire_model.h"
+#include "netlist/netlist.h"
+#include "opt/circuit_state.h"
+#include "power/energy_model.h"
+#include "tech/device_model.h"
+#include "tech/technology.h"
+#include "timing/delay_budget.h"
+#include "timing/delay_model.h"
+#include "timing/sta.h"
+
+namespace minergy::opt {
+
+struct EvalSettings {
+  double clock_frequency = 300e6;  // f_c (Hz)
+  double vts_tolerance = 0.0;      // +/- fractional process variation
+
+  // The paper's announced "next version" feature: include the Veendrick
+  // short-circuit component in the cost function. Each gate's input
+  // transition time is taken as 2x its slowest fanin's delay (primary
+  // inputs ramp in `input_slew`).
+  bool include_short_circuit = false;
+  double input_slew = 50e-12;  // s, edge rate at primary inputs
+};
+
+class CircuitEvaluator {
+ public:
+  CircuitEvaluator(const netlist::Netlist& nl, const tech::Technology& tech,
+                   const activity::ActivityProfile& profile,
+                   const EvalSettings& settings);
+
+  // Same, but with externally supplied per-net wire loads (e.g. a
+  // place::PlacedWireModel) instead of the built-in stochastic Rent's-rule
+  // model. `wires` must outlive the evaluator.
+  CircuitEvaluator(const netlist::Netlist& nl, const tech::Technology& tech,
+                   const activity::ActivityProfile& profile,
+                   const EvalSettings& settings,
+                   const interconnect::WireLoads& wires);
+
+  const netlist::Netlist& netlist() const { return nl_; }
+  const tech::Technology& technology() const { return tech_; }
+  const tech::DeviceModel& device() const { return dev_; }
+  // The built-in a-priori stochastic model (always constructed).
+  const interconnect::WireModel& wires() const { return own_wires_; }
+  // The loads the delay/energy models actually use.
+  const interconnect::WireLoads& wire_loads() const { return *wires_; }
+  const activity::ActivityResult& activity() const { return act_; }
+  const timing::DelayCalculator& delay_calculator() const { return delay_; }
+  const power::EnergyModel& energy_model() const { return energy_; }
+  const timing::DelayBudgeter& budgeter() const { return budgeter_; }
+
+  double clock_frequency() const { return settings_.clock_frequency; }
+  double cycle_time() const { return 1.0 / settings_.clock_frequency; }
+  double vts_tolerance() const { return settings_.vts_tolerance; }
+
+  // Threshold corners for a nominal per-gate value.
+  double delay_vts(double vts) const {
+    return vts * (1.0 + settings_.vts_tolerance);
+  }
+  double leakage_vts(double vts) const {
+    return vts * (1.0 - settings_.vts_tolerance);
+  }
+
+  // Full STA at the delay corner; `cycle_limit` only affects slacks.
+  timing::TimingReport sta(const CircuitState& state,
+                           double cycle_limit) const;
+
+  // Worst-case critical-path delay at the delay corner.
+  double critical_delay(const CircuitState& state) const;
+
+  // Energy per cycle: dynamic at nominal, leakage at the leaky corner.
+  power::EnergyBreakdown energy(const CircuitState& state) const;
+
+  // critical_delay(state) <= limit (default: the skewed cycle budget).
+  bool meets_timing(const CircuitState& state, double skew_b) const;
+
+  // Smallest cycle time this circuit can meet at (vdd_max, the given
+  // uniform threshold, budget-driven sizing); vts < 0 selects vts_min (the
+  // technology's strongest corner). Used by the experiment harness to scale
+  // infeasible paper constraints. Deterministic bisection.
+  double minimum_cycle_time(double skew_b = 0.95, double vts = -1.0) const;
+
+ private:
+  const netlist::Netlist& nl_;
+  tech::Technology tech_;
+  EvalSettings settings_;
+  tech::DeviceModel dev_;
+  interconnect::WireModel own_wires_;
+  const interconnect::WireLoads* wires_;  // own_wires_ or external
+  activity::ActivityResult act_;
+  timing::DelayCalculator delay_;
+  power::EnergyModel energy_;
+  timing::DelayBudgeter budgeter_;
+};
+
+}  // namespace minergy::opt

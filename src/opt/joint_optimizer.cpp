@@ -1,0 +1,277 @@
+#include "opt/joint_optimizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "opt/lagrangian_sizer.h"
+#include "opt/sizer.h"
+#include "opt/tilos_sizer.h"
+#include "util/check.h"
+#include "util/search.h"
+
+namespace minergy::opt {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+JointOptimizer::JointOptimizer(const CircuitEvaluator& eval,
+                               OptimizerOptions options)
+    : eval_(eval), opts_(options) {
+  MINERGY_CHECK(opts_.steps >= 1);
+  MINERGY_CHECK(opts_.sizing_steps >= 1);
+  MINERGY_CHECK(opts_.num_thresholds >= 1);
+  MINERGY_CHECK(opts_.skew_b > 0.0 && opts_.skew_b <= 1.0);
+}
+
+JointOptimizer::Probe JointOptimizer::probe(
+    double vdd, const std::vector<double>& vts,
+    const timing::BudgetResult& budgets, int* evals) const {
+  const netlist::Netlist& nl = eval_.netlist();
+  Probe p;
+  p.state.vdd = vdd;
+  p.state.vts = vts;
+
+  // Width search uses the delay-corner thresholds (worst-case timing).
+  std::vector<double> vts_corner(vts.size());
+  for (std::size_t i = 0; i < vts.size(); ++i) {
+    vts_corner[i] = eval_.delay_vts(vts[i]);
+  }
+  const GateSizer sizer(eval_.delay_calculator());
+  SizingResult sized =
+      sizer.size(budgets.t_max, vdd, vts_corner, opts_.sizing_steps);
+  p.state.widths = std::move(sized.widths);
+  MINERGY_CHECK(p.state.widths.size() == nl.size());
+
+  // Accept on the real constraint: full STA against the skewed cycle time.
+  const double limit = opts_.skew_b * eval_.cycle_time();
+  timing::TimingReport report = eval_.sta(p.state, limit);
+  p.critical_delay = report.critical_delay;
+  p.feasible = p.critical_delay <= limit * (1.0 + 1e-9);
+
+  if (p.feasible) {
+    // Post-processing width recovery: shrink oversized gates back into the
+    // circuit's real slack (each pass verified by a fresh STA; a pass that
+    // breaks timing is reverted and iteration stops).
+    for (int pass = 0; pass < opts_.recovery_passes; ++pass) {
+      SizingResult recovered = sizer.recover(p.state.widths, vdd, vts_corner,
+                                             limit, report,
+                                             opts_.sizing_steps);
+      CircuitState candidate = p.state;
+      candidate.widths = std::move(recovered.widths);
+      const timing::TimingReport check = eval_.sta(candidate, limit);
+      if (check.critical_delay > limit * (1.0 + 1e-9)) break;
+      p.state = std::move(candidate);
+      p.critical_delay = check.critical_delay;
+      report = check;
+    }
+  }
+  p.energy = eval_.energy(p.state);
+  ++*evals;
+  return p;
+}
+
+JointOptimizer::Probe JointOptimizer::probe_uniform(
+    double vdd, double vts, const timing::BudgetResult& budgets,
+    int* evals) const {
+  return probe(vdd, std::vector<double>(eval_.netlist().size(), vts), budgets,
+               evals);
+}
+
+void JointOptimizer::refine(const timing::BudgetResult& budgets, Probe* best,
+                            int* evals) const {
+  if (!best->feasible) return;
+  const tech::Technology& tech = eval_.technology();
+  const double center_vdd = best->state.vdd;
+
+  // Penalized energy at (vdd, vts): infeasible points are pushed uphill in
+  // proportion to their violation so the golden-section stays oriented.
+  auto penalized = [&](double vdd, double vts, Probe* out) {
+    Probe p = probe_uniform(vdd, vts, budgets, evals);
+    double cost = p.energy.total();
+    if (!p.feasible) {
+      const double limit = opts_.skew_b * eval_.cycle_time();
+      cost = best->energy.total() * (2.0 + 10.0 * (p.critical_delay / limit));
+    }
+    if (p.feasible && p.energy.total() < best->energy.total()) *best = p;
+    if (out) *out = p;
+    return cost;
+  };
+
+  auto energy_at_vdd = [&](double vdd) {
+    return util::golden_section_min(
+        tech.vts_min, tech.vts_max, opts_.refine_steps,
+        [&](double vts) { return penalized(vdd, vts, nullptr); });
+  };
+  // 1-D polish on Vdd in a +/-30% window around the discrete optimum; the
+  // best probe seen anywhere is captured by `penalized`.
+  const double lo = std::max(tech.vdd_min, 0.7 * center_vdd);
+  const double hi = std::min(tech.vdd_max, 1.3 * center_vdd);
+  util::golden_section_min(lo, hi, opts_.refine_steps, [&](double vdd) {
+    double best_vts = energy_at_vdd(vdd);
+    Probe p;
+    return penalized(vdd, best_vts, &p);
+  });
+}
+
+void JointOptimizer::assign_threshold_groups(
+    const timing::BudgetResult& budgets, Probe* best,
+    OptimizationResult* result, int* evals) const {
+  const netlist::Netlist& nl = eval_.netlist();
+  const tech::Technology& tech = eval_.technology();
+  const int nv = opts_.num_thresholds;
+  result->vts_groups = {best->state.vts.empty() ? 0.0 : best->state.vts[0]};
+  if (nv <= 1 || !best->feasible) return;
+
+  // Group gates by timing slack at the current optimum: group 0 (most
+  // critical) keeps the base threshold; groups 1..nv-1 may be raised.
+  const timing::TimingReport report =
+      eval_.sta(best->state, opts_.skew_b * eval_.cycle_time());
+  std::vector<netlist::GateId> order(nl.combinational());
+  std::sort(order.begin(), order.end(),
+            [&](netlist::GateId a, netlist::GateId b) {
+              return report.slack[a] < report.slack[b];
+            });
+  std::vector<int> group(nl.size(), 0);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    group[order[rank]] = static_cast<int>(
+        (rank * static_cast<std::size_t>(nv)) / std::max<std::size_t>(
+            order.size(), 1));
+  }
+
+  const double base_vts = best->state.vts[order.empty() ? 0 : order[0]];
+  std::vector<double> group_vts(static_cast<std::size_t>(nv), base_vts);
+
+  // Raise each group's threshold from the slackest group inward: binary
+  // search the highest value that stays feasible and does not increase
+  // energy.
+  for (int gi = nv - 1; gi >= 1; --gi) {
+    double lo = base_vts, hi = tech.vts_max;
+    for (int s = 0; s < opts_.steps; ++s) {
+      const double mid = 0.5 * (lo + hi);
+      std::vector<double> vts = best->state.vts;
+      for (netlist::GateId id : nl.combinational()) {
+        if (group[id] == gi) vts[id] = mid;
+      }
+      Probe p = probe(best->state.vdd, vts, budgets, evals);
+      if (p.feasible && p.energy.total() <= best->energy.total()) {
+        *best = p;
+        group_vts[static_cast<std::size_t>(gi)] = mid;
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  result->vts_groups.assign(group_vts.begin(), group_vts.end());
+  std::sort(result->vts_groups.begin(), result->vts_groups.end());
+  result->vts_groups.erase(
+      std::unique(result->vts_groups.begin(), result->vts_groups.end()),
+      result->vts_groups.end());
+}
+
+OptimizationResult JointOptimizer::run() const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const tech::Technology& tech = eval_.technology();
+  const timing::BudgetResult budgets = eval_.budgeter().assign(
+      eval_.cycle_time(), {.clock_skew_b = opts_.skew_b});
+
+  int evals = 0;
+  Probe best;
+  best.energy.static_energy = kInf;
+  best.energy.dynamic_energy = 0.0;
+  best.feasible = false;
+
+  // --- Procedure 2: nested binary search ---------------------------------
+  double prev_total = kInf;  // "total energy decreased" reference
+  util::Range vdd_range{tech.vdd_min, tech.vdd_max};
+  for (int m = 0; m < opts_.steps; ++m) {
+    const double vdd = vdd_range.mid();
+    bool improved_at_this_vdd = false;
+
+    util::Range vts_range{tech.vts_min, tech.vts_max};
+    for (int m2 = 0; m2 < opts_.steps; ++m2) {
+      const double vts = vts_range.mid();
+      Probe p = probe_uniform(vdd, vts, budgets, &evals);
+      const bool good = p.feasible && p.energy.total() < prev_total;
+      if (good) {
+        prev_total = p.energy.total();
+        improved_at_this_vdd = true;
+        if (!best.feasible || p.energy.total() < best.energy.total()) {
+          best = std::move(p);
+        }
+        vts_range = vts_range.higher();  // cut leakage while timing holds
+      } else {
+        vts_range = vts_range.lower();
+      }
+    }
+    vdd_range = improved_at_this_vdd ? vdd_range.lower() : vdd_range.higher();
+  }
+
+  if (opts_.refine) refine(budgets, &best, &evals);
+
+  if (opts_.tilos_polish && best.feasible) {
+    // Global sensitivity re-sizing at the chosen (Vdd, Vts): start from
+    // minimum widths and grow only what the critical path needs.
+    std::vector<double> vts_corner(best.state.vts.size());
+    for (std::size_t i = 0; i < vts_corner.size(); ++i) {
+      vts_corner[i] = eval_.delay_vts(best.state.vts[i]);
+    }
+    const TilosSizer tilos(eval_.delay_calculator(), eval_.energy_model());
+    const TilosResult sized = tilos.size(best.state.vdd, vts_corner,
+                                         opts_.skew_b * eval_.cycle_time());
+    if (sized.feasible) {
+      Probe candidate = best;
+      candidate.state.widths = sized.widths;
+      candidate.critical_delay = sized.critical_delay;
+      candidate.energy = eval_.energy(candidate.state);
+      ++evals;
+      if (candidate.energy.total() < best.energy.total()) {
+        best = std::move(candidate);
+      }
+    }
+  }
+
+  if (opts_.lagrangian_polish && best.feasible) {
+    std::vector<double> vts_corner(best.state.vts.size());
+    for (std::size_t i = 0; i < vts_corner.size(); ++i) {
+      vts_corner[i] = eval_.delay_vts(best.state.vts[i]);
+    }
+    const LagrangianSizer lr(eval_.delay_calculator(), eval_.energy_model());
+    const LagrangianResult sized = lr.size(
+        best.state.vdd, vts_corner, opts_.skew_b * eval_.cycle_time());
+    if (sized.feasible) {
+      Probe candidate = best;
+      candidate.state.widths = sized.widths;
+      candidate.critical_delay = sized.critical_delay;
+      candidate.energy = eval_.energy(candidate.state);
+      ++evals;
+      if (candidate.energy.total() < best.energy.total()) {
+        best = std::move(candidate);
+      }
+    }
+  }
+
+  OptimizationResult result;
+  assign_threshold_groups(budgets, &best, &result, &evals);
+
+  result.state = best.state;
+  result.energy = best.energy;
+  result.critical_delay = best.critical_delay;
+  result.feasible = best.feasible;
+  result.vdd = best.state.vdd;
+  result.vts_primary = best.state.vts.empty() ? 0.0 : best.state.vts[0];
+  if (result.vts_groups.empty() && !best.state.vts.empty()) {
+    result.vts_groups = {result.vts_primary};
+  }
+  result.circuit_evaluations = evals;
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace minergy::opt

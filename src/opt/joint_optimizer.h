@@ -1,0 +1,53 @@
+// Procedure 2: joint (Vdd, Vts, widths) minimization of total energy under
+// the cycle-time constraint.
+//
+// Outer binary search on the global supply voltage, middle binary search on
+// the threshold voltage(s), inner per-gate minimum-width search against the
+// Procedure-1 delay budgets. Search directions follow the paper: a probe
+// that meets timing *and* lowers the best total energy seen so far sends
+// Vdd LOWER and Vts HIGHER; anything else reverses the half-interval. The
+// best evaluated state (verified by full STA) is returned.
+//
+// Extensions beyond the paper's pseudocode, all optional:
+//  * best-seen tracking (never return a worse point than one already seen),
+//  * golden-section refinement around the discrete solution,
+//  * n_v > 1 threshold groups assigned by timing slack.
+#pragma once
+
+#include "opt/evaluator.h"
+#include "opt/result.h"
+
+namespace minergy::opt {
+
+class JointOptimizer {
+ public:
+  JointOptimizer(const CircuitEvaluator& eval, OptimizerOptions options = {});
+
+  OptimizationResult run() const;
+
+ private:
+  struct Probe {
+    CircuitState state;
+    power::EnergyBreakdown energy;
+    double critical_delay = 0.0;
+    bool feasible = false;
+  };
+
+  // Budget-driven sizing + STA + energy at a uniform (vdd, vts).
+  Probe probe_uniform(double vdd, double vts,
+                      const timing::BudgetResult& budgets, int* evals) const;
+  // Same with a per-gate threshold vector (multi-Vt mode).
+  Probe probe(double vdd, const std::vector<double>& vts,
+              const timing::BudgetResult& budgets, int* evals) const;
+
+  void refine(const timing::BudgetResult& budgets, Probe* best,
+              int* evals) const;
+  void assign_threshold_groups(const timing::BudgetResult& budgets,
+                               Probe* best, OptimizationResult* result,
+                               int* evals) const;
+
+  const CircuitEvaluator& eval_;
+  OptimizerOptions opts_;
+};
+
+}  // namespace minergy::opt

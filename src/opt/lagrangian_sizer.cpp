@@ -1,0 +1,128 @@
+#include "opt/lagrangian_sizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timing/sta.h"
+#include "util/check.h"
+#include "util/search.h"
+
+namespace minergy::opt {
+
+LagrangianSizer::LagrangianSizer(const timing::DelayCalculator& calc,
+                                 const power::EnergyModel& energy,
+                                 LagrangianOptions options)
+    : calc_(calc), energy_(energy), opts_(options) {
+  MINERGY_CHECK(opts_.iterations >= 1);
+  MINERGY_CHECK(opts_.width_steps >= 4);
+  MINERGY_CHECK(opts_.step > 0.0);
+}
+
+LagrangianResult LagrangianSizer::size(double vdd,
+                                       std::span<const double> vts,
+                                       double cycle_limit) const {
+  const netlist::Netlist& nl = calc_.netlist();
+  const tech::Technology& tech = calc_.device().technology();
+  MINERGY_CHECK(vts.size() == nl.size());
+  MINERGY_CHECK(cycle_limit > 0.0);
+
+  std::vector<double> widths(nl.size(), 4.0);
+  timing::TimingReport report =
+      timing::run_sta(calc_, widths, vdd, vts, cycle_limit);
+
+  // Multiplier scale commensurate with the energy/delay magnitudes.
+  double e0 = 0.0, d0 = 0.0;
+  for (netlist::GateId id : nl.combinational()) {
+    e0 += energy_.gate_energy(id, widths, vdd, vts[id]).total();
+    d0 += report.gate_delay[id];
+  }
+  const double n = static_cast<double>(nl.num_combinational());
+  const double mu0 =
+      opts_.initial_mu_scale * (e0 / std::max(d0, 1e-30));
+  std::vector<double> mu(nl.size(), mu0 / std::max(n, 1.0));
+
+  LagrangianResult best;
+  best.energy = std::numeric_limits<double>::infinity();
+  LagrangianResult last;
+
+  // Feasibility pushes: if the subgradient schedule has not produced a
+  // feasible iterate by the end of a round, boost every multiplier (making
+  // delay dominate the relaxed objective) and run another round.
+  const int max_rounds = 4;
+  for (int round = 0; round < max_rounds; ++round) {
+    if (round > 0) {
+      if (best.feasible) break;
+      for (double& m : mu) m = std::min(m * 10.0, 1e6 * mu0);
+    }
+  for (int iter = 0; iter < opts_.iterations; ++iter) {
+    // --- Inner: coordinate-wise minimization of E + sum mu*d -------------
+    for (netlist::GateId id : nl.combinational()) {
+      const netlist::Gate& g = nl.gate(id);
+      double slope_in = 0.0;
+      for (netlist::GateId f : g.fanins) {
+        slope_in = std::max(slope_in, report.gate_delay[f]);
+      }
+      // Fanins' slope inputs (independent of w_i).
+      struct FaninCtx {
+        netlist::GateId id;
+        double slope_in;
+      };
+      std::vector<FaninCtx> fanins;
+      for (netlist::GateId f : g.fanins) {
+        if (!netlist::is_combinational(nl.gate(f).type)) continue;
+        double s = 0.0;
+        for (netlist::GateId ff : nl.gate(f).fanins) {
+          s = std::max(s, report.gate_delay[ff]);
+        }
+        fanins.push_back({f, s});
+      }
+
+      auto local_cost = [&](double w) {
+        widths[id] = w;
+        double cost = energy_.gate_energy(id, widths, vdd, vts[id]).total();
+        cost += mu[id] * calc_.gate_delay(id, widths, vdd, vts[id], slope_in);
+        for (const FaninCtx& f : fanins) {
+          // The fanin's energy term carries the w_i * cin load it drives,
+          // and its mu-weighted delay slows with the same load.
+          cost += energy_.gate_energy(f.id, widths, vdd, vts[f.id]).total();
+          cost += mu[f.id] *
+                  calc_.gate_delay(f.id, widths, vdd, vts[f.id], f.slope_in);
+        }
+        return cost;
+      };
+      const double w_best = util::golden_section_min(
+          tech.w_min, tech.w_max, opts_.width_steps, local_cost);
+      widths[id] = w_best;
+    }
+
+    // --- Outer: measure, record, update multipliers ----------------------
+    report = timing::run_sta(calc_, widths, vdd, vts, cycle_limit);
+    double energy = 0.0;
+    for (netlist::GateId id : nl.combinational()) {
+      energy += energy_.gate_energy(id, widths, vdd, vts[id]).total();
+    }
+    last.widths = widths;
+    last.critical_delay = report.critical_delay;
+    last.energy = energy;
+    last.feasible = report.critical_delay <= cycle_limit * (1.0 + 1e-9);
+    last.iterations_used = iter + 1;
+    if (last.feasible && energy < best.energy) best = last;
+
+    // Subgradient on per-gate path criticality c_i = (T - slack_i)/T.
+    for (netlist::GateId id : nl.combinational()) {
+      const double c = (cycle_limit - report.slack[id]) / cycle_limit;
+      mu[id] *= std::exp(opts_.step * (c - 1.0));
+      mu[id] = std::clamp(mu[id], 1e-12 * mu0, 1e6 * mu0);
+    }
+    // Global correction toward the constraint boundary.
+    const double ratio = report.critical_delay / cycle_limit;
+    const double scale = std::pow(ratio, 2.0 * opts_.step);
+    for (netlist::GateId id : nl.combinational()) mu[id] *= scale;
+  }
+  }
+
+  if (!best.feasible) return last;  // report the closest attempt
+  return best;
+}
+
+}  // namespace minergy::opt

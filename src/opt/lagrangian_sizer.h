@@ -1,0 +1,60 @@
+// Lagrangian-relaxation width optimization.
+//
+// The paper cites Sapatnekar's exact convex-programming solution to the
+// sizing problem [10] as the rigorous alternative to its fast heuristic;
+// this module implements the classic Lagrangian-relaxation realization of
+// that lineage (Chen–Chu–Wong style), adapted to the total-energy
+// objective:
+//
+//   minimize  E(w)            (static + dynamic, Appendix A.1)
+//   s.t.      every source-to-sink path delay <= T
+//
+// Per-gate multipliers mu_i weight each gate's delay in the relaxed
+// objective  E(w) + sum_i mu_i * d_i(w); the inner step minimizes it one
+// width at a time (the cost of w_i is separable into its own gate energy,
+// its fanins' extra switched capacitance and the mu-weighted delays of
+// itself and its fanins), and the outer step updates mu by a subgradient
+// rule driven by each gate's path criticality, with a global rescale that
+// enforces the timing constraint. The best feasible iterate is returned.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "power/energy_model.h"
+#include "timing/delay_model.h"
+
+namespace minergy::opt {
+
+struct LagrangianOptions {
+  int iterations = 40;        // outer multiplier updates
+  int width_steps = 24;       // golden-section steps per gate
+  double step = 0.35;         // subgradient step size
+  double initial_mu_scale = 1.0;
+};
+
+struct LagrangianResult {
+  std::vector<double> widths;
+  bool feasible = false;
+  double critical_delay = 0.0;
+  double energy = 0.0;
+  int iterations_used = 0;
+};
+
+class LagrangianSizer {
+ public:
+  LagrangianSizer(const timing::DelayCalculator& calc,
+                  const power::EnergyModel& energy,
+                  LagrangianOptions options = {});
+
+  // vts: delay-corner thresholds per gate id. cycle_limit: b * Tc.
+  LagrangianResult size(double vdd, std::span<const double> vts,
+                        double cycle_limit) const;
+
+ private:
+  const timing::DelayCalculator& calc_;
+  const power::EnergyModel& energy_;
+  LagrangianOptions opts_;
+};
+
+}  // namespace minergy::opt

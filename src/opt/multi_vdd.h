@@ -1,0 +1,55 @@
+// Dual supply voltages (the paper's "we retain the flexibility to use more
+// than one threshold or power supply voltage if desired").
+//
+// Clustered voltage scaling on top of a single-supply joint optimum: gates
+// with timing slack are moved to a second, lower supply. The assignment is
+// *downstream-closed* — a low-Vdd gate never drives a high-Vdd gate — so no
+// level converters are required (a reduced-swing input would leave a
+// high-supply PMOS half-on and burn static current). The low set therefore
+// grows backward from the primary outputs in slack order, and the second
+// supply value is found by binary search on feasibility/energy.
+#pragma once
+
+#include "opt/evaluator.h"
+#include "opt/result.h"
+
+namespace minergy::opt {
+
+struct MultiVddOptions {
+  OptimizerOptions base;       // options for the single-supply pre-pass
+  int vdd_search_steps = 10;   // binary-search iterations for Vdd_low
+  double min_slack_fraction = 0.05;  // eligibility: slack > frac * Tc
+};
+
+struct MultiVddResult {
+  OptimizationResult single;  // the single-supply starting point
+  bool improved = false;
+
+  double vdd_high = 0.0;
+  double vdd_low = 0.0;
+  std::vector<char> low_domain;  // per gate id: 1 = on the low supply
+  std::size_t low_count = 0;
+
+  power::EnergyBreakdown energy;  // final (dual-supply) energy
+  double critical_delay = 0.0;
+  bool feasible = false;
+
+  double savings_vs_single() const {
+    return feasible && energy.total() > 0.0
+               ? single.energy.total() / energy.total()
+               : 1.0;
+  }
+};
+
+class MultiVddOptimizer {
+ public:
+  MultiVddOptimizer(const CircuitEvaluator& eval, MultiVddOptions options = {});
+
+  MultiVddResult run() const;
+
+ private:
+  const CircuitEvaluator& eval_;
+  MultiVddOptions opts_;
+};
+
+}  // namespace minergy::opt

@@ -1,0 +1,55 @@
+// Shared option/result types for the optimizers.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "opt/circuit_state.h"
+#include "power/energy_model.h"
+
+namespace minergy::opt {
+
+struct OptimizerOptions {
+  int steps = 10;          // M, binary-search iterations per nested loop
+  int sizing_steps = 12;   // M for the per-gate width search
+  double skew_b = 0.95;    // clock-skew factor b of Eq. (1)
+  int num_thresholds = 1;  // n_v distinct threshold voltages
+  // Width-recovery (Section 4.2 post-processing) iterations per probe:
+  // each pass redistributes the measured slack into relaxed budgets and
+  // re-runs the minimum-width search, monotonically shrinking widths.
+  int recovery_passes = 2;
+
+  // Local continuous refinement around the binary-search solution. The
+  // paper's Procedure 2 is the nested search alone; the refinement is an
+  // optional polish (compared in bench/ablation_budgeting).
+  bool refine = true;
+  int refine_steps = 10;
+
+  // Replace the budget-driven widths at the final operating point with a
+  // TILOS-style global sensitivity sizing when that meets timing with less
+  // energy. OFF by default: the paper's flow is budget-driven, and
+  // bench/ablation_budgeting quantifies exactly what this buys.
+  bool tilos_polish = false;
+
+  // Same idea with the Lagrangian-relaxation sizer (the Sapatnekar-lineage
+  // method the paper cites as [10]); usually the strongest width polish.
+  bool lagrangian_polish = false;
+};
+
+struct OptimizationResult {
+  CircuitState state;
+  power::EnergyBreakdown energy;  // per cycle, at the evaluation corner
+  double critical_delay = std::numeric_limits<double>::infinity();
+  bool feasible = false;
+
+  double vdd = 0.0;          // chosen global supply
+  double vts_primary = 0.0;  // the (first) threshold voltage
+  std::vector<double> vts_groups;  // all distinct thresholds in use
+
+  int circuit_evaluations = 0;  // full size+STA+energy passes
+  double runtime_seconds = 0.0;
+
+  double total_energy() const { return energy.total(); }
+};
+
+}  // namespace minergy::opt

@@ -1,0 +1,54 @@
+// Inner loop of Procedure 2: per-gate minimum-width selection.
+//
+// Given per-gate delay budgets t_MAX,i and a candidate (Vdd, Vts), each
+// gate's width is the smallest w in [w_min, w_max] whose worst-case delay
+// meets its budget, found by binary search (power is monotone increasing
+// and delay monotone decreasing in w, other variables fixed). Gates are
+// processed output-side first so every gate sees its final fanout loads;
+// the slope term conservatively uses the fanins' *budgets* (their actual
+// delays can only be smaller).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "timing/delay_model.h"
+#include "timing/sta.h"
+
+namespace minergy::opt {
+
+struct SizingResult {
+  std::vector<double> widths;  // per gate id (w_min for non-logic entries)
+  bool all_budgets_met = false;
+  int gates_missed = 0;  // budgets unreachable even at w_max
+};
+
+class GateSizer {
+ public:
+  explicit GateSizer(const timing::DelayCalculator& calc);
+
+  // t_max indexed by gate id; vts is the *delay-corner* threshold per gate.
+  // `steps` is the paper's M binary-search iterations.
+  SizingResult size(std::span<const double> t_max, double vdd,
+                    std::span<const double> vts, int steps = 10) const;
+
+  // Width-recovery pass (the paper's Section-4.2 "post processing of delay
+  // assignments"): Procedure-1 budgets can starve gates on already-consumed
+  // paths, forcing them far wider than the circuit needs. Given a sized
+  // state and its STA report, redistribute each gate's positive slack into
+  // a relaxed budget
+  //     t_rec(g) = d(g) * limit / (limit - slack(g))
+  // (the zero-slack rule: since slack(g) <= slack(p) for every path p
+  // through g, all path budget sums stay <= limit) and re-run the
+  // minimum-width search against it, never increasing any width. Callers
+  // must re-verify with a full STA; recovery is monotone in energy.
+  SizingResult recover(std::span<const double> widths, double vdd,
+                       std::span<const double> vts, double cycle_limit,
+                       const timing::TimingReport& report,
+                       int steps = 10) const;
+
+ private:
+  const timing::DelayCalculator& calc_;
+};
+
+}  // namespace minergy::opt

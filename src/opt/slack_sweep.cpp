@@ -1,0 +1,44 @@
+#include "opt/slack_sweep.h"
+
+#include "opt/baseline_optimizer.h"
+#include "opt/evaluator.h"
+#include "opt/joint_optimizer.h"
+#include "util/check.h"
+
+namespace minergy::opt {
+
+SlackSweep::SlackSweep(const netlist::Netlist& nl,
+                       const tech::Technology& tech,
+                       const activity::ActivityProfile& profile,
+                       double clock_frequency, OptimizerOptions options)
+    : nl_(nl),
+      tech_(tech),
+      profile_(profile),
+      fc_(clock_frequency),
+      opts_(options) {}
+
+std::vector<SlackPoint> SlackSweep::sweep(
+    const std::vector<double>& slack_factors) const {
+  const CircuitEvaluator nominal(nl_, tech_, profile_,
+                                 {.clock_frequency = fc_});
+  const OptimizationResult baseline = BaselineOptimizer(nominal, opts_).run();
+  MINERGY_CHECK_MSG(baseline.feasible,
+                    "baseline infeasible; scale the cycle time first");
+
+  std::vector<SlackPoint> out;
+  for (double s : slack_factors) {
+    MINERGY_CHECK(s >= 1.0);
+    const CircuitEvaluator relaxed(nl_, tech_, profile_,
+                                   {.clock_frequency = fc_ / s});
+    SlackPoint p;
+    p.slack_factor = s;
+    p.joint = JointOptimizer(relaxed, opts_).run();
+    p.baseline_energy = baseline.energy.total();
+    p.savings =
+        p.joint.feasible ? p.baseline_energy / p.joint.energy.total() : 0.0;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace minergy::opt

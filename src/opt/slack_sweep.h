@@ -1,0 +1,40 @@
+// Cycle-time slack study (Figure 2b of the paper).
+//
+// The joint optimizer runs with progressively relaxed cycle times
+// T_c' = slack_factor * T_c while the Table-1 baseline stays pinned at the
+// nominal T_c, showing how available slack converts into power savings.
+#pragma once
+
+#include <vector>
+
+#include "activity/activity.h"
+#include "netlist/netlist.h"
+#include "opt/result.h"
+#include "tech/technology.h"
+
+namespace minergy::opt {
+
+struct SlackPoint {
+  double slack_factor = 1.0;  // T_c' / T_c
+  OptimizationResult joint;
+  double baseline_energy = 0.0;  // at nominal T_c
+  double savings = 0.0;
+};
+
+class SlackSweep {
+ public:
+  SlackSweep(const netlist::Netlist& nl, const tech::Technology& tech,
+             const activity::ActivityProfile& profile, double clock_frequency,
+             OptimizerOptions options = {});
+
+  std::vector<SlackPoint> sweep(const std::vector<double>& slack_factors) const;
+
+ private:
+  const netlist::Netlist& nl_;
+  tech::Technology tech_;
+  activity::ActivityProfile profile_;
+  double fc_;
+  OptimizerOptions opts_;
+};
+
+}  // namespace minergy::opt

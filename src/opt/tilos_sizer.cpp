@@ -1,0 +1,95 @@
+#include "opt/tilos_sizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "timing/sta.h"
+#include "util/check.h"
+
+namespace minergy::opt {
+
+TilosSizer::TilosSizer(const timing::DelayCalculator& calc,
+                       const power::EnergyModel& energy, TilosOptions options)
+    : calc_(calc), energy_(energy), opts_(options) {
+  MINERGY_CHECK(opts_.upsize_factor > 1.0);
+  MINERGY_CHECK(opts_.max_iterations >= 1);
+}
+
+TilosResult TilosSizer::size(double vdd, std::span<const double> vts,
+                             double cycle_limit) const {
+  const netlist::Netlist& nl = calc_.netlist();
+  const tech::Technology& tech = calc_.device().technology();
+  MINERGY_CHECK(vts.size() == nl.size());
+
+  TilosResult r;
+  r.widths.assign(nl.size(), tech.w_min);
+
+  for (int iter = 0; iter < opts_.max_iterations; ++iter) {
+    const timing::TimingReport report =
+        timing::run_sta(calc_, r.widths, vdd, vts, cycle_limit);
+    r.critical_delay = report.critical_delay;
+    r.iterations = iter;
+    if (report.critical_delay <= cycle_limit * (1.0 + 1e-9)) {
+      r.feasible = true;
+      return r;
+    }
+
+    // Candidate moves: upsize any gate on the critical path. Score by the
+    // local delay improvement per local energy increase.
+    double best_score = 0.0;
+    netlist::GateId best_gate = netlist::kInvalidGate;
+    double best_new_w = 0.0;
+    for (netlist::GateId id : report.critical_path) {
+      const double w_old = r.widths[id];
+      const double w_new =
+          std::min(tech.w_max, w_old * opts_.upsize_factor);
+      if (w_new <= w_old * (1.0 + 1e-12)) continue;
+
+      double slope_in = 0.0;
+      for (netlist::GateId f : nl.gate(id).fanins) {
+        slope_in = std::max(slope_in, report.gate_delay[f]);
+      }
+      const double d_old =
+          calc_.gate_delay(id, r.widths, vdd, vts[id], slope_in);
+      r.widths[id] = w_new;
+      const double d_new =
+          calc_.gate_delay(id, r.widths, vdd, vts[id], slope_in);
+      const power::EnergyBreakdown e_new =
+          energy_.gate_energy(id, r.widths, vdd, vts[id]);
+      r.widths[id] = w_old;
+      const power::EnergyBreakdown e_old =
+          energy_.gate_energy(id, r.widths, vdd, vts[id]);
+
+      // Upsizing also loads the fanins: account for their extra switched
+      // capacitance (0.5 * Vdd^2 * delta_w * Cin per driving fanin).
+      double fanin_extra = 0.0;
+      for (netlist::GateId f : nl.gate(id).fanins) {
+        if (!netlist::is_combinational(nl.gate(f).type)) continue;
+        fanin_extra += 0.5 * vdd * vdd * (w_new - w_old) *
+                       calc_.device().cin_per_wunit();
+      }
+
+      const double delay_gain = d_old - d_new;
+      const double energy_cost =
+          (e_new.total() - e_old.total()) + fanin_extra;
+      if (delay_gain <= 0.0) continue;
+      const double score = delay_gain / std::max(energy_cost, 1e-30);
+      if (score > best_score) {
+        best_score = score;
+        best_gate = id;
+        best_new_w = w_new;
+      }
+    }
+    if (best_gate == netlist::kInvalidGate) break;  // saturated at w_max
+    r.widths[best_gate] = best_new_w;
+  }
+
+  const timing::TimingReport final_report =
+      timing::run_sta(calc_, r.widths, vdd, vts, cycle_limit);
+  r.critical_delay = final_report.critical_delay;
+  r.feasible = final_report.critical_delay <= cycle_limit * (1.0 + 1e-9);
+  return r;
+}
+
+}  // namespace minergy::opt

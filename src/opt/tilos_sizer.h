@@ -1,0 +1,46 @@
+// TILOS-style sensitivity-driven sizing (ablation baseline).
+//
+// An alternative to the budget-driven width search of Procedure 2: start
+// from minimum widths and greedily upsize the gate on the critical path
+// with the best local delay-reduction per unit of energy increase, until
+// the cycle constraint is met or no move helps. Used by
+// bench/ablation_budgeting to quantify what the paper's fanout-proportional
+// budgeting buys over classic sensitivity sizing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "power/energy_model.h"
+#include "timing/delay_model.h"
+
+namespace minergy::opt {
+
+struct TilosOptions {
+  double upsize_factor = 1.15;
+  int max_iterations = 20000;
+};
+
+struct TilosResult {
+  std::vector<double> widths;
+  bool feasible = false;
+  int iterations = 0;
+  double critical_delay = 0.0;
+};
+
+class TilosSizer {
+ public:
+  TilosSizer(const timing::DelayCalculator& calc,
+             const power::EnergyModel& energy, TilosOptions options = {});
+
+  // vts indexed by gate id (delay corner already applied by the caller).
+  TilosResult size(double vdd, std::span<const double> vts,
+                   double cycle_limit) const;
+
+ private:
+  const timing::DelayCalculator& calc_;
+  const power::EnergyModel& energy_;
+  TilosOptions opts_;
+};
+
+}  // namespace minergy::opt

@@ -1,0 +1,48 @@
+#include "opt/variation.h"
+
+#include "opt/baseline_optimizer.h"
+#include "opt/evaluator.h"
+#include "opt/joint_optimizer.h"
+#include "util/check.h"
+
+namespace minergy::opt {
+
+VariationAnalyzer::VariationAnalyzer(const netlist::Netlist& nl,
+                                     const tech::Technology& tech,
+                                     const activity::ActivityProfile& profile,
+                                     double clock_frequency,
+                                     OptimizerOptions options)
+    : nl_(nl),
+      tech_(tech),
+      profile_(profile),
+      fc_(clock_frequency),
+      opts_(options) {}
+
+std::vector<VariationPoint> VariationAnalyzer::sweep(
+    const std::vector<double>& tolerances) const {
+  // Nominal Table-1 reference.
+  const CircuitEvaluator nominal(nl_, tech_, profile_,
+                                 {.clock_frequency = fc_, .vts_tolerance = 0.0});
+  const OptimizationResult baseline = BaselineOptimizer(nominal, opts_).run();
+  MINERGY_CHECK_MSG(baseline.feasible,
+                    "baseline infeasible; scale the cycle time first");
+
+  std::vector<VariationPoint> out;
+  for (double tol : tolerances) {
+    MINERGY_CHECK(tol >= 0.0 && tol < 1.0);
+    const CircuitEvaluator corner(
+        nl_, tech_, profile_,
+        {.clock_frequency = fc_, .vts_tolerance = tol});
+    VariationPoint p;
+    p.tolerance = tol;
+    p.joint = JointOptimizer(corner, opts_).run();
+    p.baseline_energy = baseline.energy.total();
+    p.savings = p.joint.feasible
+                    ? p.baseline_energy / p.joint.energy.total()
+                    : 0.0;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace minergy::opt

@@ -1,0 +1,45 @@
+// Process-variation study (Figure 2a of the paper).
+//
+// For each tolerated threshold-voltage variation (+/- x %), the joint
+// optimizer runs with worst-case corners: delay evaluated at Vts*(1+x) and
+// leakage at Vts*(1-x). The resulting worst-case power is compared against
+// the *nominal* fixed-Vts baseline of Table 1, giving the achievable
+// savings as a function of how much process fluctuation must be absorbed.
+#pragma once
+
+#include <vector>
+
+#include "activity/activity.h"
+#include "netlist/netlist.h"
+#include "opt/result.h"
+#include "tech/technology.h"
+
+namespace minergy::opt {
+
+struct VariationPoint {
+  double tolerance = 0.0;  // fractional +/- Vts variation
+  OptimizationResult joint;
+  double baseline_energy = 0.0;  // nominal Table-1 reference (J/cycle)
+  double savings = 0.0;          // baseline_energy / joint energy
+};
+
+class VariationAnalyzer {
+ public:
+  VariationAnalyzer(const netlist::Netlist& nl, const tech::Technology& tech,
+                    const activity::ActivityProfile& profile,
+                    double clock_frequency, OptimizerOptions options = {});
+
+  // tolerances are fractions (0.05 = +/-5 %). The baseline is computed once
+  // at the nominal corner.
+  std::vector<VariationPoint> sweep(
+      const std::vector<double>& tolerances) const;
+
+ private:
+  const netlist::Netlist& nl_;
+  tech::Technology tech_;
+  activity::ActivityProfile profile_;
+  double fc_;
+  OptimizerOptions opts_;
+};
+
+}  // namespace minergy::opt

@@ -1,0 +1,76 @@
+#include "opt/yield.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace minergy::opt {
+
+YieldAnalyzer::YieldAnalyzer(const CircuitEvaluator& eval,
+                             YieldOptions options)
+    : eval_(eval), opts_(options) {
+  MINERGY_CHECK(opts_.samples >= 1);
+  MINERGY_CHECK(opts_.sigma_gate >= 0.0);
+  MINERGY_CHECK(opts_.sigma_die >= 0.0);
+}
+
+YieldResult YieldAnalyzer::analyze(const CircuitState& state) const {
+  const netlist::Netlist& nl = eval_.netlist();
+  MINERGY_CHECK(state.vts.size() == nl.size());
+  const tech::Technology& tech = eval_.technology();
+  const double limit = opts_.skew_b * eval_.cycle_time();
+
+  util::Rng rng(opts_.seed);
+  util::RunningStats delay_stats, energy_stats, leak_stats;
+  std::vector<double> delays, energies, leaks;
+  delays.reserve(static_cast<std::size_t>(opts_.samples));
+  energies.reserve(static_cast<std::size_t>(opts_.samples));
+  leaks.reserve(static_cast<std::size_t>(opts_.samples));
+
+  YieldResult result;
+  result.samples = opts_.samples;
+
+  std::vector<double> vts(nl.size());
+  for (int s = 0; s < opts_.samples; ++s) {
+    const double die_shift = rng.normal(0.0, opts_.sigma_die);
+    for (netlist::GateId id : nl.combinational()) {
+      // Thresholds cannot drop below the physical floor; clamp into the
+      // model's validity range rather than folding the distribution.
+      vts[id] = std::clamp(
+          state.vts[id] + die_shift + rng.normal(0.0, opts_.sigma_gate),
+          0.02, tech.vts_max + 0.2);
+    }
+    const timing::TimingReport sta =
+        timing::run_sta(eval_.delay_calculator(), state.widths, state.vdd,
+                        std::span<const double>(vts), limit);
+    power::EnergyBreakdown energy;
+    for (netlist::GateId id : nl.combinational()) {
+      energy += eval_.energy_model().gate_energy(id, state.widths, state.vdd,
+                                                 vts[id]);
+    }
+    if (sta.critical_delay <= limit * (1.0 + 1e-9)) ++result.timing_pass;
+    delay_stats.add(sta.critical_delay);
+    energy_stats.add(energy.total());
+    leak_stats.add(energy.static_energy);
+    delays.push_back(sta.critical_delay);
+    energies.push_back(energy.total());
+    leaks.push_back(energy.static_energy);
+  }
+
+  result.timing_yield = static_cast<double>(result.timing_pass) /
+                        static_cast<double>(result.samples);
+  result.mean_delay = delay_stats.mean();
+  result.mean_energy = energy_stats.mean();
+  result.mean_leakage = leak_stats.mean();
+  result.p95_delay = util::quantile(delays, 0.95);
+  result.p95_energy = util::quantile(energies, 0.95);
+  result.p95_leakage = util::quantile(leaks, 0.95);
+  std::sort(energies.begin(), energies.end());
+  result.energy_samples = std::move(energies);
+  return result;
+}
+
+}  // namespace minergy::opt

@@ -1,0 +1,57 @@
+// Parametric-yield analysis of an optimized design.
+//
+// Figure 2a treats Vts variation with worst-case corners; the statistical
+// complement asks: with *per-gate* random threshold shifts (sigma given),
+// what fraction of manufactured die still meet the cycle time, and what is
+// the distribution of their leakage? Ultra-low-Vt designs live or die on
+// this — the exponential Ioff(Vt) turns a symmetric threshold distribution
+// into a long-tailed power distribution, and the die-to-die (correlated)
+// component shifts whole chips.
+//
+// Model: Vts(gate) = Vts_nominal + G + L(gate), with G ~ N(0, sigma_die)
+// shared by the whole die and L ~ N(0, sigma_gate) independent per gate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/evaluator.h"
+#include "opt/result.h"
+
+namespace minergy::opt {
+
+struct YieldOptions {
+  int samples = 200;          // Monte-Carlo die count
+  double sigma_gate = 0.010;  // V, independent per-gate sigma
+  double sigma_die = 0.015;   // V, fully correlated die-to-die sigma
+  double skew_b = 0.95;
+  std::uint64_t seed = 424242;
+};
+
+struct YieldResult {
+  int samples = 0;
+  int timing_pass = 0;          // die meeting the skewed cycle time
+  double timing_yield = 0.0;    // fraction
+  double mean_delay = 0.0;      // s, across all die
+  double p95_delay = 0.0;       // s
+  double mean_energy = 0.0;     // J/cycle
+  double p95_energy = 0.0;      // J/cycle
+  double mean_leakage = 0.0;    // J/cycle, static component
+  double p95_leakage = 0.0;     // J/cycle
+  // Energy of every sampled die (sorted ascending), for histogramming.
+  std::vector<double> energy_samples;
+};
+
+class YieldAnalyzer {
+ public:
+  YieldAnalyzer(const CircuitEvaluator& eval, YieldOptions options = {});
+
+  // Evaluates the given fixed design point under threshold variation.
+  YieldResult analyze(const CircuitState& state) const;
+
+ private:
+  const CircuitEvaluator& eval_;
+  YieldOptions opts_;
+};
+
+}  // namespace minergy::opt

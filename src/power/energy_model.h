@@ -1,0 +1,87 @@
+// Energy models (Appendix A.1 of the paper).
+//
+// Static energy per cycle of gate i:   E_si = Vdd * w_i * Ioff / f_c
+// Dynamic energy per cycle of gate i:
+//   E_di = 1/2 * a_i * Vdd^2 * [ w_i*(C_PD + (f_in-1)*C_m)
+//                                + sum_j (w_j*C_t + C_INT_j) ]
+// where a_i is the transition density at the gate's output. The paper
+// neglects short-circuit dissipation (an order of magnitude below switching
+// under typical slopes; Veendrick 1984) but announces it for "the next
+// version of the optimization tool" — we implement that next version as an
+// optional component:
+//
+//   E_sc,i = a_i/6 * w_i * I_D(Vdd/2, Vts) * tau_in * max(0, Vdd - 2*Vts)
+//
+// a Veendrick-style estimate built from the same transregional current:
+// during an input ramp of duration tau_in both networks conduct roughly the
+// midpoint current over the (Vdd - 2*Vts)/Vdd fraction of the swing. It
+// vanishes smoothly in subthreshold operation, where I_D(Vdd/2, Vts) is
+// exponentially small.
+#pragma once
+
+#include <span>
+
+#include "activity/activity.h"
+#include "interconnect/wire_model.h"
+#include "netlist/netlist.h"
+#include "tech/device_model.h"
+
+namespace minergy::power {
+
+struct EnergyBreakdown {
+  double static_energy = 0.0;         // J per cycle
+  double dynamic_energy = 0.0;        // J per cycle
+  double short_circuit_energy = 0.0;  // J per cycle (optional component)
+
+  double total() const {
+    return static_energy + dynamic_energy + short_circuit_energy;
+  }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& other) {
+    static_energy += other.static_energy;
+    dynamic_energy += other.dynamic_energy;
+    short_circuit_energy += other.short_circuit_energy;
+    return *this;
+  }
+};
+
+class EnergyModel {
+ public:
+  // clock_frequency is f_c (Hz); activities are transitions per cycle.
+  EnergyModel(const netlist::Netlist& nl, const tech::DeviceModel& dev,
+              const interconnect::WireLoads& wires,
+              const activity::ActivityResult& act, double clock_frequency);
+
+  double clock_frequency() const { return fc_; }
+
+  // Energy per cycle of one logic gate at the given operating point
+  // (static + dynamic; short-circuit is opt-in below).
+  EnergyBreakdown gate_energy(netlist::GateId id,
+                              std::span<const double> widths, double vdd,
+                              double vts) const;
+
+  // Short-circuit energy per cycle for an input transition time tau_in (s).
+  double short_circuit_energy(netlist::GateId id,
+                              std::span<const double> widths, double vdd,
+                              double vts, double input_transition) const;
+
+  // Network total over all logic gates. vts indexed by gate id.
+  EnergyBreakdown total_energy(std::span<const double> widths, double vdd,
+                               std::span<const double> vts) const;
+  EnergyBreakdown total_energy(std::span<const double> widths, double vdd,
+                               double vts) const;
+
+  // Average power (W) = energy per cycle * f_c.
+  double total_power(std::span<const double> widths, double vdd,
+                     double vts) const;
+
+ private:
+  const netlist::Netlist& nl_;
+  const tech::DeviceModel& dev_;
+  const interconnect::WireLoads& wires_;
+  const activity::ActivityResult& act_;
+  double fc_;
+  double po_load_cap_;
+};
+
+}  // namespace minergy::power

@@ -1,0 +1,237 @@
+#include "sim/logic_sim.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace minergy::sim {
+
+LogicSimulator::LogicSimulator(const netlist::Netlist& nl) : nl_(nl) {
+  MINERGY_CHECK(nl.finalized());
+  values_.assign(nl.size(), 0);
+}
+
+void LogicSimulator::set_input(netlist::GateId pi, bool value) {
+  MINERGY_CHECK(nl_.gate(pi).type == netlist::GateType::kInput);
+  values_[pi] = value ? 1 : 0;
+}
+
+void LogicSimulator::set_state(netlist::GateId dff, bool value) {
+  MINERGY_CHECK(nl_.gate(dff).type == netlist::GateType::kDff);
+  values_[dff] = value ? 1 : 0;
+}
+
+void LogicSimulator::evaluate() {
+  for (netlist::GateId id : nl_.combinational()) {
+    const netlist::Gate& g = nl_.gate(id);
+    const std::size_t n = g.fanins.size();
+    if (n > scratch_cap_) {
+      scratch_cap_ = std::max<std::size_t>(n, 16);
+      scratch_ = std::make_unique<bool[]>(scratch_cap_);
+    }
+    for (std::size_t i = 0; i < n; ++i) scratch_[i] = values_[g.fanins[i]] != 0;
+    values_[id] = netlist::evaluate(
+                      g.type, std::span<const bool>(scratch_.get(), n))
+                      ? 1
+                      : 0;
+  }
+}
+
+void LogicSimulator::step() {
+  evaluate();
+  // Sample all D pins before writing any Q (two-phase clocking).
+  std::vector<char> next_q;
+  next_q.reserve(nl_.dffs().size());
+  for (netlist::GateId q : nl_.dffs()) {
+    const netlist::Gate& g = nl_.gate(q);
+    MINERGY_CHECK(!g.fanins.empty());
+    next_q.push_back(values_[g.fanins[0]]);
+  }
+  std::size_t i = 0;
+  for (netlist::GateId q : nl_.dffs()) values_[q] = next_q[i++];
+}
+
+namespace {
+
+// Per-PI Markov chain: stationary probability p, transition density d.
+// With flip rates alpha = P(0->1), beta = P(1->0):
+//   p = alpha / (alpha + beta),  d = 2*alpha*beta/(alpha+beta)
+// =>  alpha = d / (2*(1-p)),  beta = d / (2*p).
+struct Chain {
+  double alpha = 0.0, beta = 0.0, p = 0.5;
+};
+
+std::vector<Chain> build_input_chains(
+    const netlist::Netlist& nl, const activity::ActivityProfile& profile) {
+  std::vector<Chain> chains;
+  for (netlist::GateId pi : nl.primary_inputs()) {
+    const std::string& name = nl.gate(pi).name;
+    auto pit = profile.probability_overrides.find(name);
+    auto dit = profile.density_overrides.find(name);
+    const double p = pit != profile.probability_overrides.end()
+                         ? pit->second
+                         : profile.input_probability;
+    const double d = dit != profile.density_overrides.end()
+                         ? dit->second
+                         : profile.input_density;
+    Chain c;
+    c.p = p;
+    if (d > 0.0 && p > 0.0 && p < 1.0) {
+      c.alpha = std::min(1.0, d / (2.0 * (1.0 - p)));
+      c.beta = std::min(1.0, d / (2.0 * p));
+    }
+    chains.push_back(c);
+  }
+  return chains;
+}
+
+}  // namespace
+
+MeasuredActivity measure_activity(const netlist::Netlist& nl,
+                                  const activity::ActivityProfile& profile,
+                                  int cycles, util::Rng& rng) {
+  MINERGY_CHECK(cycles > 0);
+  profile.validate();
+  LogicSimulator simulator(nl);
+
+  const std::vector<Chain> chains = build_input_chains(nl, profile);
+  std::vector<netlist::GateId> pis = nl.primary_inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    simulator.set_input(pis[i], rng.bernoulli(chains[i].p));
+  }
+  for (netlist::GateId q : nl.dffs()) simulator.set_state(q, rng.bernoulli(0.5));
+
+  std::vector<double> ones(nl.size(), 0.0), toggles(nl.size(), 0.0);
+  std::vector<char> prev(nl.size(), 0);
+
+  const int warmup = std::max(16, cycles / 10);
+  for (int cycle = -warmup; cycle < cycles; ++cycle) {
+    // Advance the input chains.
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      const bool v = simulator.value(pis[i]);
+      const double flip = v ? chains[i].beta : chains[i].alpha;
+      if (rng.bernoulli(flip)) simulator.set_input(pis[i], !v);
+    }
+    simulator.evaluate();
+    if (cycle >= 0) {
+      for (std::size_t id = 0; id < nl.size(); ++id) {
+        const char v = simulator.value(static_cast<netlist::GateId>(id)) ? 1 : 0;
+        ones[id] += v;
+        if (cycle > 0 && v != prev[id]) toggles[id] += 1.0;
+        prev[id] = v;
+      }
+    } else {
+      for (std::size_t id = 0; id < nl.size(); ++id) {
+        prev[id] = simulator.value(static_cast<netlist::GateId>(id)) ? 1 : 0;
+      }
+    }
+    // Clock the registers (Q <- settled D) without re-evaluating.
+    simulator.step();
+  }
+
+  MeasuredActivity m;
+  m.cycles = cycles;
+  m.probability.resize(nl.size());
+  m.density.resize(nl.size());
+  for (std::size_t id = 0; id < nl.size(); ++id) {
+    m.probability[id] = ones[id] / static_cast<double>(cycles);
+    m.density[id] = toggles[id] / static_cast<double>(cycles - 1);
+  }
+  return m;
+}
+
+MeasuredActivity measure_glitch_activity(
+    const netlist::Netlist& nl, const activity::ActivityProfile& profile,
+    int cycles, util::Rng& rng) {
+  MINERGY_CHECK(nl.finalized());
+  MINERGY_CHECK(cycles > 0);
+  profile.validate();
+
+  const std::vector<Chain> chains = build_input_chains(nl, profile);
+  const std::vector<netlist::GateId>& pis = nl.primary_inputs();
+
+  std::vector<char> value(nl.size(), 0);
+  std::vector<char> next(nl.size(), 0);
+  std::vector<double> ones(nl.size(), 0.0), toggles(nl.size(), 0.0);
+  std::unique_ptr<bool[]> scratch;
+  std::size_t scratch_cap = 0;
+
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    value[pis[i]] = rng.bernoulli(chains[i].p) ? 1 : 0;
+  }
+  for (netlist::GateId q : nl.dffs()) value[q] = rng.bernoulli(0.5) ? 1 : 0;
+
+  auto gate_output = [&](netlist::GateId id) -> char {
+    const netlist::Gate& g = nl.gate(id);
+    const std::size_t n = g.fanins.size();
+    if (n > scratch_cap) {
+      scratch_cap = std::max<std::size_t>(n, 16);
+      scratch = std::make_unique<bool[]>(scratch_cap);
+    }
+    for (std::size_t i = 0; i < n; ++i) scratch[i] = value[g.fanins[i]] != 0;
+    return netlist::evaluate(g.type,
+                             std::span<const bool>(scratch.get(), n))
+               ? 1
+               : 0;
+  };
+
+  // Unit-delay propagation to a fixpoint (Jacobi iteration: all gates see
+  // last step's values, so each sweep advances time by one gate delay).
+  // Returns the number of toggles recorded per gate when `count` is set.
+  auto settle = [&](bool count) {
+    const int max_steps = nl.depth() + 4;
+    for (int step = 0; step < max_steps; ++step) {
+      bool changed = false;
+      for (netlist::GateId id : nl.combinational()) next[id] = gate_output(id);
+      for (netlist::GateId id : nl.combinational()) {
+        if (next[id] != value[id]) {
+          changed = true;
+          if (count) toggles[id] += 1.0;
+          value[id] = next[id];
+        }
+      }
+      if (!changed) break;
+    }
+  };
+
+  settle(/*count=*/false);  // initial settling, uncounted
+
+  const int warmup = std::max(8, cycles / 10);
+  for (int cycle = -warmup; cycle < cycles; ++cycle) {
+    const bool count = cycle >= 0;
+    // New primary-input values and register updates at the cycle boundary.
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      const bool v = value[pis[i]] != 0;
+      const double flip = v ? chains[i].beta : chains[i].alpha;
+      if (rng.bernoulli(flip)) {
+        value[pis[i]] = v ? 0 : 1;
+        if (count) toggles[pis[i]] += 1.0;
+      }
+    }
+    for (netlist::GateId q : nl.dffs()) {
+      const netlist::Gate& g = nl.gate(q);
+      if (g.fanins.empty()) continue;
+      const char d = value[g.fanins[0]];
+      if (d != value[q]) {
+        value[q] = d;
+        if (count) toggles[q] += 1.0;
+      }
+    }
+    settle(count);
+    if (count) {
+      for (std::size_t id = 0; id < nl.size(); ++id) ones[id] += value[id];
+    }
+  }
+
+  MeasuredActivity m;
+  m.cycles = cycles;
+  m.probability.resize(nl.size());
+  m.density.resize(nl.size());
+  for (std::size_t id = 0; id < nl.size(); ++id) {
+    m.probability[id] = ones[id] / static_cast<double>(cycles);
+    m.density[id] = toggles[id] / static_cast<double>(cycles);
+  }
+  return m;
+}
+
+}  // namespace minergy::sim

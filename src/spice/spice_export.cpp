@@ -1,0 +1,271 @@
+#include "spice/spice_export.h"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "interconnect/wire_model.h"
+#include "util/check.h"
+
+namespace minergy::spice {
+namespace {
+
+// SPICE node names must avoid netlist punctuation.
+std::string node(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') c = '_';
+  }
+  return out;
+}
+
+class Emitter {
+ public:
+  Emitter(const netlist::Netlist& nl, const tech::Technology& tech,
+          const opt::CircuitState& state, const ExportOptions& options)
+      : nl_(nl), tech_(tech), state_(state), opts_(options) {}
+
+  std::string run() {
+    header();
+    model_cards();
+    rails();
+    sources();
+    gates();
+    if (opts_.include_wire_parasitics) parasitics();
+    os_ << "\n.end\n";
+    return os_.str();
+  }
+
+ private:
+  void header() {
+    const std::string title =
+        opts_.title.empty() ? nl_.name() : opts_.title;
+    os_ << "* " << title << " — exported by minergy\n";
+    os_ << "* operating point: Vdd=" << state_.vdd << "V";
+    if (!state_.vts.empty()) os_ << ", Vts(gate 0)=" << state_.vts[0] << "V";
+    os_ << "\n* widths are per-gate optimizer results (w * F, PMOS scaled "
+        << "by beta=" << tech_.beta_ratio << ")\n";
+    os_ << "* DFFs are behavioral boundaries: Q pins are driven sources, "
+        << "D pins load-only\n\n";
+  }
+
+  void model_cards() {
+    // Level-1 approximations derived from the alpha-power parameters:
+    // kp chosen so I(Vov = 1 V) matches pc per unit width.
+    const double kp = 2.0 * tech_.pc * tech_.channel_length;
+    const double vto = opts_.include_body_bias_rails
+                           ? opts_.body_bias.vt0_nmos
+                           : (state_.vts.empty() ? 0.2 : state_.vts[0]);
+    os_ << ".model nfet nmos (level=1 vto=" << vto << " kp=" << kp
+        << " gamma=" << opts_.body_bias.gamma
+        << " phi=" << 2.0 * opts_.body_bias.phi_f << ")\n";
+    os_ << ".model pfet pmos (level=1 vto=-"
+        << (opts_.include_body_bias_rails
+                ? opts_.body_bias.vt0_pmos
+                : (state_.vts.empty() ? 0.2 : state_.vts[0]))
+        << " kp=" << 0.5 * kp << " gamma=" << opts_.body_bias.gamma
+        << " phi=" << 2.0 * opts_.body_bias.phi_f << ")\n\n";
+  }
+
+  void rails() {
+    os_ << "Vdd vdd 0 " << state_.vdd << "\n";
+    if (opts_.include_body_bias_rails && !state_.vts.empty()) {
+      // Figure 1: static reverse bias programs the optimizer's threshold on
+      // implant-free devices.
+      const tech::BodyBiasCalculator calc(opts_.body_bias);
+      const double target = state_.vts[0];
+      os_ << "Vsub vsub 0 " << calc.substrate_rail(target)
+          << " * p-substrate bias for Vtn=" << target << "\n";
+      os_ << "Vnw vnw 0 " << calc.nwell_rail(target, state_.vdd)
+          << " * n-well bias for |Vtp|=" << target << "\n\n";
+    } else {
+      os_ << "Vsub vsub 0 0\nVnw vnw 0 " << state_.vdd << "\n\n";
+    }
+  }
+
+  void sources() {
+    os_ << "* primary inputs (replace with stimulus)\n";
+    for (netlist::GateId id : nl_.primary_inputs()) {
+      os_ << "V" << node(nl_.gate(id).name) << " " << node(nl_.gate(id).name)
+          << " 0 0\n";
+    }
+    if (!nl_.dffs().empty()) {
+      os_ << "* DFF Q pins (behavioral)\n";
+      for (netlist::GateId id : nl_.dffs()) {
+        os_ << "V" << node(nl_.gate(id).name) << " "
+            << node(nl_.gate(id).name) << " 0 0\n";
+      }
+    }
+    os_ << "\n";
+  }
+
+  std::string wn(netlist::GateId id) const {  // NMOS width in meters
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4gu",
+                  state_.widths[id] * tech_.feature_size * 1e6);
+    return buf;
+  }
+  std::string wp(netlist::GateId id) const {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4gu",
+                  tech_.beta_ratio * state_.widths[id] * tech_.feature_size *
+                      1e6);
+    return buf;
+  }
+  std::string length() const {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4gu", tech_.channel_length * 1e6);
+    return buf;
+  }
+
+  void nmos(const std::string& inst, const std::string& d,
+            const std::string& g, const std::string& s, netlist::GateId id) {
+    os_ << "M" << inst << " " << d << " " << g << " " << s
+        << " vsub nfet W=" << wn(id) << " L=" << length() << "\n";
+  }
+  void pmos(const std::string& inst, const std::string& d,
+            const std::string& g, const std::string& s, netlist::GateId id) {
+    os_ << "M" << inst << " " << d << " " << g << " " << s
+        << " vnw pfet W=" << wp(id) << " L=" << length() << "\n";
+  }
+
+  // NAND-type stage: series NMOS pull-down, parallel PMOS pull-up.
+  void nand_stage(const std::string& base, const std::string& out,
+                  const std::vector<std::string>& ins, netlist::GateId id) {
+    std::string lower = "0";
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      const std::string upper =
+          i + 1 == ins.size() ? out : base + "_s" + std::to_string(i);
+      nmos(base + "_n" + std::to_string(i), upper, ins[i], lower, id);
+      lower = upper;
+    }
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      pmos(base + "_p" + std::to_string(i), out, ins[i], "vdd", id);
+    }
+  }
+
+  // NOR-type stage: parallel NMOS, series PMOS.
+  void nor_stage(const std::string& base, const std::string& out,
+                 const std::vector<std::string>& ins, netlist::GateId id) {
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      nmos(base + "_n" + std::to_string(i), out, ins[i], "0", id);
+    }
+    std::string upper = "vdd";
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      const std::string lower =
+          i + 1 == ins.size() ? out : base + "_s" + std::to_string(i);
+      pmos(base + "_p" + std::to_string(i), lower, ins[i], upper, id);
+      upper = lower;
+    }
+  }
+
+  void inverter(const std::string& base, const std::string& out,
+                const std::string& in, netlist::GateId id) {
+    nand_stage(base, out, {in}, id);
+  }
+
+  void gates() {
+    for (netlist::GateId id : nl_.combinational()) {
+      const netlist::Gate& g = nl_.gate(id);
+      const std::string out = node(g.name);
+      std::vector<std::string> ins;
+      for (netlist::GateId f : g.fanins) ins.push_back(node(nl_.gate(f).name));
+      os_ << "* " << g.name << " = " << to_string(g.type) << ", w="
+          << state_.widths[id] << "\n";
+      using netlist::GateType;
+      switch (g.type) {
+        case GateType::kNot:
+          inverter(out, out, ins[0], id);
+          break;
+        case GateType::kBuf:
+          inverter(out + "_i", out + "_b", ins[0], id);
+          inverter(out, out, out + "_b", id);
+          break;
+        case GateType::kNand:
+          nand_stage(out, out, ins, id);
+          break;
+        case GateType::kNor:
+          nor_stage(out, out, ins, id);
+          break;
+        case GateType::kAnd:
+          nand_stage(out + "_i", out + "_n", ins, id);
+          inverter(out, out, out + "_n", id);
+          break;
+        case GateType::kOr:
+          nor_stage(out + "_i", out + "_n", ins, id);
+          inverter(out, out, out + "_n", id);
+          break;
+        case GateType::kXor:
+        case GateType::kXnor: {
+          // Pairwise-folded NAND2 decomposition; the final inversion
+          // distinguishes XOR from XNOR.
+          std::string acc = ins[0];
+          for (std::size_t i = 1; i < ins.size(); ++i) {
+            const std::string stage =
+                out + "_x" + std::to_string(i);
+            const bool last = i + 1 == ins.size();
+            const std::string target =
+                last && g.type == GateType::kXor ? out : stage + "_o";
+            // y = nand(nand(a, nand(a,b)), nand(b, nand(a,b))).
+            nand_stage(stage + "_m", stage + "_m", {acc, ins[i]}, id);
+            nand_stage(stage + "_a", stage + "_a", {acc, stage + "_m"}, id);
+            nand_stage(stage + "_b", stage + "_b", {ins[i], stage + "_m"},
+                       id);
+            nand_stage(stage + "_y", target, {stage + "_a", stage + "_b"},
+                       id);
+            acc = target;
+          }
+          if (g.type == GateType::kXnor) inverter(out, out, acc, id);
+          break;
+        }
+        default:
+          MINERGY_CHECK_MSG(false, "unexpected gate type in export");
+      }
+    }
+    os_ << "\n";
+  }
+
+  void parasitics() {
+    const interconnect::WireModel wires(tech_, nl_);
+    os_ << "* lumped wire parasitics (stochastic Rent's-rule estimates)\n";
+    for (netlist::GateId id : nl_.combinational()) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "C%s %s 0 %.4gf",
+                    node(nl_.gate(id).name).c_str(),
+                    node(nl_.gate(id).name).c_str(),
+                    wires.net_cap(id) * 1e15);
+      os_ << buf << "\n";
+    }
+  }
+
+  const netlist::Netlist& nl_;
+  const tech::Technology& tech_;
+  const opt::CircuitState& state_;
+  ExportOptions opts_;
+  std::ostringstream os_;
+};
+
+}  // namespace
+
+std::string export_spice(const netlist::Netlist& nl,
+                         const tech::Technology& tech,
+                         const opt::CircuitState& state,
+                         const ExportOptions& options) {
+  MINERGY_CHECK(nl.finalized());
+  MINERGY_CHECK(state.widths.size() == nl.size());
+  MINERGY_CHECK(state.vts.size() == nl.size());
+  return Emitter(nl, tech, state, options).run();
+}
+
+void write_spice_file(const netlist::Netlist& nl,
+                      const tech::Technology& tech,
+                      const opt::CircuitState& state, const std::string& path,
+                      const ExportOptions& options) {
+  std::ofstream out(path);
+  MINERGY_CHECK_MSG(static_cast<bool>(out), "cannot open " + path);
+  out << export_spice(nl, tech, state, options);
+}
+
+}  // namespace minergy::spice

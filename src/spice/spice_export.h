@@ -1,0 +1,43 @@
+// Transistor-level SPICE export of an optimized circuit.
+//
+// Emits an HSPICE-style deck for the (Vdd, Vts, widths) operating point the
+// optimizer selected: level-1 model cards derived from the Technology,
+// static CMOS pull-up/pull-down networks per gate (series/parallel stacks,
+// the paper's symmetric-gate assumption), lumped wire parasitics per net,
+// and — per Figure 1 — the substrate / n-well bias rails that realize the
+// chosen threshold on an implant-free process.
+//
+// XOR/XNOR gates are emitted as their standard 4x NAND2 decomposition
+// (static CMOS has no single-stage XOR), with internal nodes named
+// <gate>_x1.. so the deck stays readable.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+#include "opt/circuit_state.h"
+#include "tech/body_bias.h"
+#include "tech/technology.h"
+
+namespace minergy::spice {
+
+struct ExportOptions {
+  bool include_wire_parasitics = true;
+  bool include_body_bias_rails = true;
+  tech::BodyBiasParams body_bias;
+  std::string title;  // defaults to the netlist name
+};
+
+// Requires a finalized netlist and a state sized for it. Wire parasitics
+// are taken from the same stochastic model the optimizer used.
+std::string export_spice(const netlist::Netlist& nl,
+                         const tech::Technology& tech,
+                         const opt::CircuitState& state,
+                         const ExportOptions& options = {});
+
+void write_spice_file(const netlist::Netlist& nl,
+                      const tech::Technology& tech,
+                      const opt::CircuitState& state, const std::string& path,
+                      const ExportOptions& options = {});
+
+}  // namespace minergy::spice

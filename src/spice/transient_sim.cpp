@@ -1,0 +1,107 @@
+#include "spice/transient_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace minergy::spice {
+
+TransientSim::TransientSim(const tech::DeviceModel& dev) : dev_(dev) {}
+
+double TransientSim::stack_current(const StageConfig& cfg, double vgs,
+                                   double vds, double vts) const {
+  if (vds <= 0.0) return 0.0;
+  if (vgs <= 0.0) {
+    // Off-state: subthreshold floor only.
+    const double ioff = cfg.width * dev_.ioff_per_wunit(vts);
+    return ioff * (1.0 - std::exp(-vds / dev_.technology().thermal_vt()));
+  }
+  const double isat =
+      cfg.width * dev_.idrive_per_wunit(vgs, vts) /
+      tech::DeviceModel::stack_factor(cfg.fanin);
+  // Smooth linear-to-saturation factor; collapses to the diffusion form
+  // (1 - e^{-vds/vT}) at low overdrive.
+  const double overdrive = std::max(vgs - vts, 0.0);
+  const double vscale =
+      std::max(dev_.technology().thermal_vt(), 0.3 * overdrive);
+  return isat * (1.0 - std::exp(-vds / vscale));
+}
+
+Waveform TransientSim::simulate(const StageConfig& cfg, double vdd,
+                                double vts, double dt, double t_end) const {
+  MINERGY_CHECK(vdd > 0.0);
+  MINERGY_CHECK(cfg.load_cap > 0.0);
+
+  // Auto timestep: resolve the nominal discharge time into ~2000 steps.
+  const double i_nominal = std::max(
+      stack_current(cfg, vdd, 0.5 * vdd, vts), 1e-18);
+  const double t_nominal = cfg.load_cap * vdd / i_nominal;
+  if (dt <= 0.0) dt = (t_nominal + cfg.input_rise_time) / 2000.0;
+  if (t_end <= 0.0) t_end = 20.0 * t_nominal + 2.0 * cfg.input_rise_time;
+
+  Waveform w;
+  const std::size_t max_points = 400000;
+  double v = vdd;
+  double t = 0.0;
+  auto vin_at = [&](double tt) {
+    return cfg.input_rise_time <= 0.0
+               ? vdd
+               : vdd * std::clamp(tt / cfg.input_rise_time, 0.0, 1.0);
+  };
+  while (t <= t_end && w.time.size() < max_points) {
+    w.time.push_back(t);
+    w.vout.push_back(v);
+    // Explicit midpoint.
+    const double k1 = -stack_current(cfg, vin_at(t), v, vts) / cfg.load_cap;
+    const double v_mid = std::max(0.0, v + 0.5 * dt * k1);
+    const double k2 =
+        -stack_current(cfg, vin_at(t + 0.5 * dt), v_mid, vts) / cfg.load_cap;
+    v = std::max(0.0, v + dt * k2);
+    t += dt;
+    if (v < 1e-4 * vdd) {  // fully discharged
+      w.time.push_back(t);
+      w.vout.push_back(v);
+      break;
+    }
+  }
+  return w;
+}
+
+double TransientSim::propagation_delay(const StageConfig& cfg, double vdd,
+                                       double vts, double dt) const {
+  const Waveform w = simulate(cfg, vdd, vts, dt);
+  const double v50 = 0.5 * vdd;
+  const double t_in_50 = 0.5 * cfg.input_rise_time;
+  for (std::size_t i = 1; i < w.vout.size(); ++i) {
+    if (w.vout[i] <= v50 && w.vout[i - 1] > v50) {
+      // Linear interpolation inside the step.
+      const double frac =
+          (w.vout[i - 1] - v50) / (w.vout[i - 1] - w.vout[i]);
+      const double t50 =
+          w.time[i - 1] + frac * (w.time[i] - w.time[i - 1]);
+      return t50 - t_in_50;
+    }
+  }
+  return -1.0;
+}
+
+double TransientSim::chain_delay(const StageConfig& cfg, int stages,
+                                 double vdd, double vts, double dt) const {
+  MINERGY_CHECK(stages >= 1);
+  double total = 0.0;
+  double edge = cfg.input_rise_time;
+  for (int s = 0; s < stages; ++s) {
+    StageConfig stage = cfg;
+    stage.input_rise_time = edge;
+    const double d = propagation_delay(stage, vdd, vts, dt);
+    if (d < 0.0) return -1.0;
+    total += d;
+    // The next stage sees (by symmetry) an edge whose 10-90 ramp we
+    // approximate as twice the 50% delay of this stage.
+    edge = std::max(2.0 * d, 1e-15);
+  }
+  return total;
+}
+
+}  // namespace minergy::spice

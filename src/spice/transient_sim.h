@@ -1,0 +1,62 @@
+// Minimal transient circuit simulation of a switching CMOS stage.
+//
+// Plays the role HSPICE played in the paper: the closed-form transregional
+// delay model (timing/) is cross-validated against numerical integration of
+// the *same* device equations with full Vgs/Vds dependence:
+//
+//   C dVout/dt = -I_stack(Vgs = Vin(t), Vds = Vout) + small-signal leakage
+//
+// Drain-current Vds dependence uses the saturation current from
+// tech::DeviceModel scaled by a smooth linear-region factor
+// (1 - exp(-Vds / Vscale)), which reduces to the subthreshold
+// (1 - exp(-Vds/vT)) form near/below threshold.
+#pragma once
+
+#include <vector>
+
+#include "tech/device_model.h"
+
+namespace minergy::spice {
+
+struct StageConfig {
+  double width = 4.0;        // w, in feature-size units
+  int fanin = 1;             // series-stack depth (1 = inverter)
+  double load_cap = 10e-15;  // external load (F)
+  double input_rise_time = 50e-12;  // 0 -> Vdd ramp (s)
+};
+
+struct Waveform {
+  std::vector<double> time;  // s
+  std::vector<double> vout;  // V
+};
+
+class TransientSim {
+ public:
+  explicit TransientSim(const tech::DeviceModel& dev);
+
+  // Drain current of the pull-down stack at the given bias (A).
+  double stack_current(const StageConfig& cfg, double vgs, double vds,
+                       double vts) const;
+
+  // Output high-to-low transition for a 0->Vdd input ramp starting at t=0.
+  // dt <= 0 picks an automatic step. Integration: explicit midpoint (RK2).
+  Waveform simulate(const StageConfig& cfg, double vdd, double vts,
+                    double dt = -1.0, double t_end = -1.0) const;
+
+  // Propagation delay: input 50% crossing to output 50% crossing.
+  // Returns a negative value if the output never crosses Vdd/2 (e.g. the
+  // stage cannot sink its own leakage).
+  double propagation_delay(const StageConfig& cfg, double vdd,
+                           double vts, double dt = -1.0) const;
+
+  // N identical stages back to back; each stage's input is the previous
+  // stage's (mirrored) output, so input-slope effects accumulate exactly as
+  // the closed-form slope term models them. Returns total delay.
+  double chain_delay(const StageConfig& cfg, int stages, double vdd,
+                     double vts, double dt = -1.0) const;
+
+ private:
+  const tech::DeviceModel& dev_;
+};
+
+}  // namespace minergy::spice

@@ -1,0 +1,75 @@
+#include "tech/body_bias.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace minergy::tech {
+
+void BodyBiasParams::validate() const {
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("BodyBiasParams: ") + what);
+  };
+  require(gamma > 0.0 && gamma < 2.0, "gamma out of range");
+  require(phi_f > 0.1 && phi_f < 0.6, "phi_f out of range");
+  require(vt0_nmos > -0.2 && vt0_nmos < 1.0, "vt0_nmos out of range");
+  require(vt0_pmos > -0.2 && vt0_pmos < 1.0, "vt0_pmos out of range");
+  require(max_reverse_bias > 0.0, "max_reverse_bias must be positive");
+  require(max_forward_bias >= 0.0 && max_forward_bias < 0.6,
+          "forward bias must stay below the diode drop");
+}
+
+BodyBiasCalculator::BodyBiasCalculator(const BodyBiasParams& params)
+    : params_(params) {
+  params_.validate();
+}
+
+double BodyBiasCalculator::vt_at_bias(double vt0, double vsb) const {
+  const double two_phi = 2.0 * params_.phi_f;
+  MINERGY_CHECK_MSG(two_phi + vsb > 0.0,
+                    "forward bias beyond the body-effect model's validity");
+  return vt0 +
+         params_.gamma * (std::sqrt(two_phi + vsb) - std::sqrt(two_phi));
+}
+
+BiasSolution BodyBiasCalculator::bias_for_target(double vt0,
+                                                 double target_vt) const {
+  const double two_phi = 2.0 * params_.phi_f;
+  // Invert Vt(Vsb): sqrt(2phi + vsb) = (target - vt0)/gamma + sqrt(2phi).
+  const double root = (target_vt - vt0) / params_.gamma + std::sqrt(two_phi);
+  BiasSolution s;
+  if (root <= 0.0) {
+    // Target unreachably below vt0 even at the strongest forward bias the
+    // model admits; clamp to the diode limit.
+    s.vsb = -params_.max_forward_bias;
+  } else {
+    s.vsb = root * root - two_phi;
+  }
+  s.vsb = std::min(s.vsb, params_.max_reverse_bias);
+  s.vsb = std::max(s.vsb, -params_.max_forward_bias);
+  s.sensitivity =
+      0.5 * params_.gamma / std::sqrt(std::max(two_phi + s.vsb, 1e-9));
+  // Safe iff the clamps did not bind (the exact target is realizable).
+  const double achieved = vt_at_bias(vt0, s.vsb);
+  s.in_safe_range = std::fabs(achieved - target_vt) < 1e-6;
+  return s;
+}
+
+BiasSolution BodyBiasCalculator::nmos_substrate_bias(double target_vtn) const {
+  return bias_for_target(params_.vt0_nmos, target_vtn);
+}
+
+BiasSolution BodyBiasCalculator::pmos_well_bias(double target_vtp) const {
+  return bias_for_target(params_.vt0_pmos, target_vtp);
+}
+
+double BodyBiasCalculator::substrate_rail(double target_vtn) const {
+  return -nmos_substrate_bias(target_vtn).vsb;
+}
+
+double BodyBiasCalculator::nwell_rail(double target_vtp, double vdd) const {
+  return vdd + pmos_well_bias(target_vtp).vsb;
+}
+
+}  // namespace minergy::tech

@@ -1,0 +1,64 @@
+// Static threshold adjustment through substrate/well biasing (Figure 1).
+//
+// The paper proposes manufacturing ultra-low-power parts on an unmodified
+// CMOS process by *eliminating the threshold-adjust implant* (leaving
+// low-Vt "natural" devices) and then programming the desired thresholds
+// with a static reverse bias on the p-substrate (NMOS) and the n-well
+// (PMOS):
+//
+//   Vt(Vsb) = Vt0 + gamma * (sqrt(2*phi_F + Vsb) - sqrt(2*phi_F))
+//
+// This module inverts that body-effect relation: given the Vts the joint
+// optimizer selected, it computes V_SUBSTRATE and V_NWELL, checks they stay
+// within the junction's safe reverse range, and reports the bias
+// sensitivity dVt/dVsb (how tightly the generated bias must be regulated).
+#pragma once
+
+#include "tech/technology.h"
+
+namespace minergy::tech {
+
+struct BodyBiasParams {
+  double gamma = 0.45;      // body-effect coefficient (sqrt(V))
+  double phi_f = 0.35;      // Fermi potential (V); 2*phi_F enters the model
+  double vt0_nmos = 0.08;   // natural (implant-free) NMOS threshold (V)
+  double vt0_pmos = 0.10;   // natural |Vt| of the PMOS (V)
+  double max_reverse_bias = 5.0;   // junction-safe reverse bias (V)
+  double max_forward_bias = 0.40;  // below the diode turn-on (V)
+
+  void validate() const;  // throws std::invalid_argument
+};
+
+struct BiasSolution {
+  double vsb = 0.0;          // source-to-body reverse bias (V; < 0 = forward)
+  double sensitivity = 0.0;  // dVt/dVsb at the operating point (V/V)
+  bool in_safe_range = false;
+};
+
+class BodyBiasCalculator {
+ public:
+  explicit BodyBiasCalculator(const BodyBiasParams& params);
+
+  const BodyBiasParams& params() const { return params_; }
+
+  // Threshold at a given source-to-body bias (vsb >= -max_forward_bias).
+  double vt_at_bias(double vt0, double vsb) const;
+
+  // Source-body bias required to move a device from vt0 to target_vt.
+  // Forward bias (negative vsb) is used for targets *below* vt0, clamped to
+  // the diode limit.
+  BiasSolution bias_for_target(double vt0, double target_vt) const;
+
+  // Rail voltages per Figure 1 for an NMOS/PMOS pair:
+  //   V_SUBSTRATE = -vsb_n          (p-substrate pulled below ground)
+  //   V_NWELL     = vdd + vsb_p     (n-well pulled above the supply)
+  BiasSolution nmos_substrate_bias(double target_vtn) const;
+  BiasSolution pmos_well_bias(double target_vtp) const;
+  double substrate_rail(double target_vtn) const;           // V_SUBSTRATE
+  double nwell_rail(double target_vtp, double vdd) const;   // V_NWELL
+
+ private:
+  BodyBiasParams params_;
+};
+
+}  // namespace minergy::tech

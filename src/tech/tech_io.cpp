@@ -1,0 +1,148 @@
+#include "tech/tech_io.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace minergy::tech {
+namespace {
+
+// Field registry: name -> accessor. One table serves both directions.
+struct Field {
+  std::function<double&(Technology&)> ref;
+};
+
+const std::map<std::string, Field>& fields() {
+  static const std::map<std::string, Field> kFields = {
+#define MINERGY_TECH_FIELD(name) \
+  {#name, {[](Technology& t) -> double& { return t.name; }}}
+      MINERGY_TECH_FIELD(feature_size),
+      MINERGY_TECH_FIELD(channel_length),
+      MINERGY_TECH_FIELD(alpha),
+      MINERGY_TECH_FIELD(pc),
+      MINERGY_TECH_FIELD(n_sub),
+      MINERGY_TECH_FIELD(temperature),
+      MINERGY_TECH_FIELD(junction_leak_per_w),
+      MINERGY_TECH_FIELD(blend_overdrive_factor),
+      MINERGY_TECH_FIELD(leakage_scale),
+      MINERGY_TECH_FIELD(beta_ratio),
+      MINERGY_TECH_FIELD(cgate_per_w),
+      MINERGY_TECH_FIELD(cpar_per_w),
+      MINERGY_TECH_FIELD(cmid_per_w),
+      MINERGY_TECH_FIELD(wire_cap_per_len),
+      MINERGY_TECH_FIELD(wire_res_per_len),
+      MINERGY_TECH_FIELD(flight_velocity),
+      MINERGY_TECH_FIELD(gate_pitch),
+      MINERGY_TECH_FIELD(rent_exponent),
+      MINERGY_TECH_FIELD(rent_k),
+      MINERGY_TECH_FIELD(vdd_min),
+      MINERGY_TECH_FIELD(vdd_max),
+      MINERGY_TECH_FIELD(vts_min),
+      MINERGY_TECH_FIELD(vts_max),
+      MINERGY_TECH_FIELD(w_min),
+      MINERGY_TECH_FIELD(w_max),
+      MINERGY_TECH_FIELD(clock_skew_b),
+      MINERGY_TECH_FIELD(po_load_w),
+      MINERGY_TECH_FIELD(nominal_vdd),
+      MINERGY_TECH_FIELD(nominal_vts),
+#undef MINERGY_TECH_FIELD
+  };
+  return kFields;
+}
+
+}  // namespace
+
+Technology parse_technology(std::istream& in, const std::string& name) {
+  Technology tech;  // default preset unless `base =` overrides
+  tech.name = name;
+  std::string line;
+  int line_no = 0;
+  bool first_directive = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto body = util::trim(line);
+    if (body.empty()) continue;
+
+    const auto eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      throw util::ParseError("expected 'key = value'", name, line_no);
+    }
+    const std::string key(util::trim(body.substr(0, eq)));
+    const std::string value(util::trim(body.substr(eq + 1)));
+    if (key == "base") {
+      if (!first_directive) {
+        throw util::ParseError("'base' must be the first directive", name,
+                               line_no);
+      }
+      try {
+        tech = Technology::by_name(value);
+        tech.name = name;
+      } catch (const std::invalid_argument& e) {
+        throw util::ParseError(e.what(), name, line_no);
+      }
+      first_directive = false;
+      continue;
+    }
+    first_directive = false;
+    if (key == "name") {
+      tech.name = value;
+      continue;
+    }
+    const auto it = fields().find(key);
+    if (it == fields().end()) {
+      throw util::ParseError("unknown technology parameter '" + key + "'",
+                             name, line_no);
+    }
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    // strtod must consume the whole (trimmed) value.
+    if (end == value.c_str() || !util::trim(std::string_view(end)).empty()) {
+      throw util::ParseError("bad numeric value '" + value + "'", name,
+                             line_no);
+    }
+    it->second.ref(tech) = parsed;
+  }
+  tech.validate();
+  return tech;
+}
+
+Technology parse_technology_string(const std::string& text,
+                                   const std::string& name) {
+  std::istringstream in(text);
+  return parse_technology(in, name);
+}
+
+Technology parse_technology_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::ParseError("cannot open file", path, 0);
+  return parse_technology(in,
+                          std::filesystem::path(path).stem().string());
+}
+
+std::string to_tech_string(const Technology& tech) {
+  std::ostringstream os;
+  os << "# minergy technology description\n";
+  os << "name = " << tech.name << "\n";
+  os.precision(12);
+  Technology copy = tech;
+  for (const auto& [key, field] : fields()) {
+    os << key << " = " << field.ref(copy) << "\n";
+  }
+  return os.str();
+}
+
+void write_technology_file(const Technology& tech, const std::string& path) {
+  std::ofstream out(path);
+  MINERGY_CHECK_MSG(static_cast<bool>(out), "cannot open " + path);
+  out << to_tech_string(tech);
+}
+
+}  // namespace minergy::tech

@@ -1,0 +1,32 @@
+// Plain-text technology files.
+//
+// Format: one `key = value` per line, `#` comments, keys matching the
+// Technology field names (SI units). Unknown keys are an error (they are
+// invariably typos); missing keys keep the preset/default value. An
+// optional `base = <preset-name>` line (first) selects the starting preset.
+//
+//   # my 0.35um low-power flavor
+//   base = generic350
+//   leakage_scale = 12
+//   vts_max = 0.6
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tech/technology.h"
+
+namespace minergy::tech {
+
+Technology parse_technology(std::istream& in,
+                            const std::string& name = "tech");
+Technology parse_technology_string(const std::string& text,
+                                   const std::string& name = "tech");
+Technology parse_technology_file(const std::string& path);
+
+// Serialize every field as `key = value` lines (round-trips through the
+// parser).
+std::string to_tech_string(const Technology& tech);
+void write_technology_file(const Technology& tech, const std::string& path);
+
+}  // namespace minergy::tech

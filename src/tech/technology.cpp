@@ -1,0 +1,91 @@
+#include "tech/technology.h"
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace minergy::tech {
+
+double Technology::thermal_vt() const {
+  return util::thermal_voltage(temperature);
+}
+
+void Technology::validate() const {
+  auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("Technology: ") + what);
+  };
+  require(feature_size > 0, "feature_size must be positive");
+  require(channel_length > 0, "channel_length must be positive");
+  require(alpha >= 1.0 && alpha <= 2.0, "alpha must be in [1, 2]");
+  require(pc > 0, "pc must be positive");
+  require(n_sub >= 1.0 && n_sub <= 3.0, "n_sub must be in [1, 3]");
+  require(temperature > 0, "temperature must be positive");
+  require(junction_leak_per_w >= 0, "junction leakage must be >= 0");
+  require(leakage_scale > 0, "leakage_scale must be positive");
+  require(blend_overdrive_factor > 0, "blend factor must be positive");
+  require(beta_ratio > 0, "beta_ratio must be positive");
+  require(cgate_per_w > 0 && cpar_per_w > 0 && cmid_per_w >= 0,
+          "capacitances must be positive");
+  require(wire_cap_per_len > 0 && wire_res_per_len >= 0,
+          "wire parasitics must be positive");
+  require(flight_velocity > 0, "flight velocity must be positive");
+  require(gate_pitch > 0, "gate pitch must be positive");
+  require(rent_exponent > 0 && rent_exponent < 1,
+          "Rent exponent must be in (0, 1)");
+  require(rent_k > 1, "Rent k must exceed 1");
+  require(vdd_min > 0 && vdd_min < vdd_max, "bad Vdd range");
+  require(vts_min > 0 && vts_min < vts_max, "bad Vts range");
+  require(w_min >= 1.0 && w_min < w_max, "bad width range");
+  require(clock_skew_b > 0 && clock_skew_b <= 1.0, "bad clock skew factor");
+  require(po_load_w >= 0, "PO load must be >= 0");
+  require(nominal_vdd > 0 && nominal_vts > 0, "bad nominal point");
+}
+
+Technology Technology::generic350() {
+  Technology t;  // defaults are the 0.35 um preset
+  t.name = "generic350";
+  return t;
+}
+
+Technology Technology::generic250() {
+  Technology t;
+  t.name = "generic250";
+  t.feature_size = 0.25e-6;
+  t.channel_length = 0.25e-6;
+  t.pc = 190.0;            // stronger drive per width
+  t.cgate_per_w = 1.6e-9;  // thinner oxide but shorter channel
+  t.cpar_per_w = 1.0e-9;
+  t.cmid_per_w = 0.7e-9;
+  t.gate_pitch = 5.0e-6;
+  t.vdd_max = 2.5;
+  t.nominal_vdd = 2.5;
+  t.nominal_vts = 0.55;
+  t.vts_max = 0.55;
+  return t;
+}
+
+Technology Technology::generic500() {
+  Technology t;
+  t.name = "generic500";
+  t.feature_size = 0.5e-6;
+  t.channel_length = 0.5e-6;
+  t.pc = 110.0;
+  t.cgate_per_w = 2.2e-9;
+  t.cpar_per_w = 1.5e-9;
+  t.cmid_per_w = 1.0e-9;
+  t.gate_pitch = 10.0e-6;
+  t.vdd_max = 5.0;
+  t.nominal_vdd = 5.0;
+  t.nominal_vts = 0.8;
+  t.vts_max = 0.8;
+  return t;
+}
+
+Technology Technology::by_name(const std::string& name) {
+  if (name == "generic350") return generic350();
+  if (name == "generic250") return generic250();
+  if (name == "generic500") return generic500();
+  throw std::invalid_argument("unknown technology preset: " + name);
+}
+
+}  // namespace minergy::tech

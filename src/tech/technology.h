@@ -1,0 +1,82 @@
+// Process-technology description.
+//
+// The paper targets a mid-1990s CMOS process with a 3.3 V nominal supply and
+// a 700 mV nominal threshold; the joint optimizer explores Vdd in
+// [0.1, 3.3] V, Vts in [0.1, 0.7] V and widths w in [1, 100] multiples of
+// the minimum feature size F (Procedure 2). All parameters here are in SI
+// units; per-width quantities are per meter of device width.
+#pragma once
+
+#include <string>
+
+namespace minergy::tech {
+
+struct Technology {
+  std::string name = "generic350";
+
+  // --- Lithography / geometry -------------------------------------------
+  double feature_size = 0.35e-6;  // F (m); device widths are w * F
+  double channel_length = 0.35e-6;  // Leff (m)
+
+  // --- MOSFET drive (alpha-power law, Sakurai–Newton) --------------------
+  // Saturation current per meter of NMOS width:
+  //   Id = pc * (Vgs - Vts)^alpha    [A/m], superthreshold
+  // extended into subthreshold with slope factor n_sub (see DeviceModel).
+  double alpha = 1.1;          // velocity-saturation index (quasi-ballistic transport)
+  double pc = 175.0;           // A/(m * V^alpha)
+  double n_sub = 1.4;          // subthreshold slope factor
+  double temperature = 300.0;  // K
+  double junction_leak_per_w = 1.0e-10;  // A/m, drain-junction leakage
+  // Blend point between sub- and superthreshold regions, in units of n*vT.
+  double blend_overdrive_factor = 2.0;
+  // Aggregate multiplier on subthreshold off-current: accounts for the
+  // leakage paths the single-device extrapolation misses (both N and P
+  // networks leak in one of the two output states, multiple parallel
+  // devices per network, DIBL at full-rail Vds, and elevated junction
+  // temperature). Calibrated so that the joint optimum lands at the
+  // paper's interior Vts (120-200 mV) with comparable static/dynamic
+  // components.
+  double leakage_scale = 8.0;
+
+  // --- Capacitances (per meter of NMOS width; PMOS is beta_ratio wider) --
+  double beta_ratio = 2.0;       // Wp / Wn for symmetric rise/fall
+  double cgate_per_w = 1.9e-9;   // gate-input cap of one device (F/m)
+  double cpar_per_w = 1.2e-9;    // drain junction+overlap+fringe (F/m)
+  double cmid_per_w = 0.8e-9;    // series-stack intermediate node (F/m)
+
+  // --- Interconnect -------------------------------------------------------
+  double wire_cap_per_len = 0.30e-9;  // F/m (0.3 fF/um incl. coupling)
+  double wire_res_per_len = 0.08e6;   // Ohm/m (0.08 Ohm/um)
+  double flight_velocity = 1.5e8;     // m/s, signal time-of-flight
+  double gate_pitch = 15.0e-6;        // m, average placed-gate pitch
+  double rent_exponent = 0.60;        // Rent's-rule p for random logic
+  double rent_k = 3.5;                // average pins per gate
+
+  // --- Optimization variable ranges (Procedure 2) -------------------------
+  double vdd_min = 0.1, vdd_max = 3.3;  // V
+  double vts_min = 0.1, vts_max = 0.7;  // V
+  double w_min = 1.0, w_max = 100.0;    // multiples of F
+
+  // --- System assumptions --------------------------------------------------
+  double clock_skew_b = 0.95;  // b <= 1 in Eq. (1)
+  double po_load_w = 4.0;      // primary-output load, in equivalent input-w units
+  double nominal_vdd = 3.3;    // V, conventional-design reference
+  double nominal_vts = 0.7;    // V, conventional-design reference
+
+  // Thermal voltage kT/q for this technology's temperature.
+  double thermal_vt() const;
+  // n * kT/q, the subthreshold exponential scale.
+  double nvt() const { return n_sub * thermal_vt(); }
+
+  // Throws std::invalid_argument if any parameter is non-physical.
+  void validate() const;
+
+  // Named presets.
+  static Technology generic350();  // default 0.35 um, paper-era process
+  static Technology generic250();  // scaled 0.25 um variant
+  static Technology generic500();  // relaxed 0.5 um variant
+  // Lookup by name ("generic350", ...); throws on unknown name.
+  static Technology by_name(const std::string& name);
+};
+
+}  // namespace minergy::tech

@@ -1,0 +1,104 @@
+#include "timing/delay_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace minergy::timing {
+
+DelayCalculator::DelayCalculator(const netlist::Netlist& nl,
+                                 const tech::DeviceModel& dev,
+                                 const interconnect::WireLoads& wires)
+    : nl_(nl), dev_(dev), wires_(wires) {
+  MINERGY_CHECK(nl.finalized());
+  po_load_cap_ = dev_.technology().po_load_w * dev_.cin_per_wunit();
+}
+
+double DelayCalculator::receiver_cap(netlist::GateId id,
+                                     std::span<const double> widths) const {
+  const netlist::Gate& g = nl_.gate(id);
+  double c = g.is_primary_output ? po_load_cap_ : 0.0;
+  for (netlist::GateId out : g.fanouts) {
+    if (netlist::is_combinational(nl_.gate(out).type)) {
+      c += widths[out] * dev_.cin_per_wunit();
+    } else {
+      c += po_load_cap_;  // DFF D-pin
+    }
+  }
+  return c;
+}
+
+double DelayCalculator::load_cap(netlist::GateId id,
+                                 std::span<const double> widths) const {
+  const netlist::Gate& g = nl_.gate(id);
+  const double w = widths[id];
+  const double fin = static_cast<double>(g.fanin_count());
+  const double self =
+      w * (dev_.cpar_per_wunit() + (fin - 1.0) * dev_.cmid_per_wunit());
+  return self + receiver_cap(id, widths) + wires_.net_cap(id);
+}
+
+DelayComponents DelayCalculator::gate_delay_components(
+    netlist::GateId id, std::span<const double> widths, double vdd, double vts,
+    double max_fanin_delay) const {
+  const netlist::Gate& g = nl_.gate(id);
+  MINERGY_CHECK(netlist::is_combinational(g.type));
+  const double w = widths[id];
+  const int fin = g.fanin_count();
+
+  DelayComponents c;
+  c.slope = dev_.slope_coefficient(vdd, vts) * max_fanin_delay;
+
+  const double drive = w * (dev_.idrive_per_wunit(vdd, vts) /
+                                tech::DeviceModel::stack_factor(fin) -
+                            static_cast<double>(fin) * dev_.ioff_per_wunit(vts));
+  if (drive <= 0.0) {
+    c.switching = std::numeric_limits<double>::infinity();
+    return c;
+  }
+  c.switching = 0.5 * vdd * load_cap(id, widths) / drive;
+  c.wire_rc = wires_.net_res(id) *
+              (0.5 * wires_.net_cap(id) + receiver_cap(id, widths));
+  c.flight = wires_.flight_time(id);
+  return c;
+}
+
+double DelayCalculator::gate_delay(netlist::GateId id,
+                                   std::span<const double> widths, double vdd,
+                                   double vts, double max_fanin_delay) const {
+  return gate_delay_components(id, widths, vdd, vts, max_fanin_delay).total();
+}
+
+double DelayCalculator::gate_delay_min(netlist::GateId id,
+                                       std::span<const double> widths,
+                                       double vdd, double vts,
+                                       double min_fanin_delay) const {
+  const netlist::Gate& g = nl_.gate(id);
+  MINERGY_CHECK(netlist::is_combinational(g.type));
+  const double w = widths[id];
+  const int fin = g.fanin_count();
+
+  const double slope = dev_.slope_coefficient(vdd, vts) * min_fanin_delay;
+  // Parallel-network transition: no stack division.
+  const double drive =
+      w * (dev_.idrive_per_wunit(vdd, vts) -
+           static_cast<double>(fin) * dev_.ioff_per_wunit(vts));
+  if (drive <= 0.0) return std::numeric_limits<double>::infinity();
+  const double switching = 0.5 * vdd * load_cap(id, widths) / drive;
+  const double wire_rc = wires_.net_res(id) *
+                         (0.5 * wires_.net_cap(id) + receiver_cap(id, widths));
+  return slope + switching + wire_rc + wires_.flight_time(id);
+}
+
+double DelayCalculator::intrinsic_delay_floor(netlist::GateId id,
+                                              std::span<const double> widths,
+                                              double vdd, double vts) const {
+  // Evaluate at maximum width with zero fanin delay: everything except the
+  // slope term, at the strongest drive the technology allows.
+  std::vector<double> w(widths.begin(), widths.end());
+  w[id] = dev_.technology().w_max;
+  return gate_delay(id, w, vdd, vts, 0.0);
+}
+
+}  // namespace minergy::timing

@@ -1,0 +1,86 @@
+// Transregional gate-delay model (Eq. A3 of the paper).
+//
+// The worst-case propagation delay of gate i is the sum of four components:
+//
+//   t_di = k_slope(Vts/Vdd) * max_j t_d(fanin_j)            (input slope)
+//        + (Vdd/2) * C_L / (I_D*w_i/s_stack - f_in*w_i*Ioff) (switching)
+//        + R_INT * (C_INT/2 + C_receivers)                   (wire RC)
+//        + L_INT / v                                         (time of flight)
+//
+// with C_L = w_i*(C_PD + (f_in-1)*C_m) + sum_j (w_j*C_t + C_INT).
+// The drive current is the transregional alpha-power model from tech/, so
+// the same expression covers super- and subthreshold operation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "interconnect/wire_model.h"
+#include "netlist/netlist.h"
+#include "tech/device_model.h"
+
+namespace minergy::timing {
+
+struct DelayComponents {
+  double slope = 0.0;
+  double switching = 0.0;
+  double wire_rc = 0.0;
+  double flight = 0.0;
+  double total() const { return slope + switching + wire_rc + flight; }
+};
+
+// Bound to one netlist / technology / wire model; stateless over the
+// optimization variables (widths, Vdd, Vts), which are passed per call so
+// the optimizer can probe candidate states cheaply.
+class DelayCalculator {
+ public:
+  DelayCalculator(const netlist::Netlist& nl, const tech::DeviceModel& dev,
+                  const interconnect::WireLoads& wires);
+
+  const netlist::Netlist& netlist() const { return nl_; }
+  const tech::DeviceModel& device() const { return dev_; }
+
+  // Total switched/driven load at gate id's output (F). `widths` is indexed
+  // by gate id; non-logic entries are ignored. Fanout loads use the fanout
+  // gate's width (DFF and primary-output pins present the technology's
+  // po_load_w equivalent width).
+  double load_cap(netlist::GateId id, std::span<const double> widths) const;
+
+  // Receiver-side input capacitance only (used for the wire RC term).
+  double receiver_cap(netlist::GateId id, std::span<const double> widths) const;
+
+  // Worst-case delay of gate id. max_fanin_delay is the largest delay among
+  // the gate's logic fanins (0 at sources). Returns +inf when the drive
+  // current is non-positive (leakage exceeds drive).
+  double gate_delay(netlist::GateId id, std::span<const double> widths,
+                    double vdd, double vts, double max_fanin_delay) const;
+
+  DelayComponents gate_delay_components(netlist::GateId id,
+                                        std::span<const double> widths,
+                                        double vdd, double vts,
+                                        double max_fanin_delay) const;
+
+  // Best-case (contamination) delay for min-delay/hold analysis: the
+  // fastest of the two output transitions switches through the *parallel*
+  // network (stack factor 1) with the earliest-arriving input
+  // (min_fanin_delay in the slope term). Always <= gate_delay(...) given
+  // min_fanin_delay <= max_fanin_delay.
+  double gate_delay_min(netlist::GateId id, std::span<const double> widths,
+                        double vdd, double vts,
+                        double min_fanin_delay) const;
+
+  // Intrinsic (self-loaded, zero fanin-delay) lower bound on the gate's
+  // delay at the given operating point — the floor the width search
+  // approaches as w -> w_max.
+  double intrinsic_delay_floor(netlist::GateId id,
+                               std::span<const double> widths, double vdd,
+                               double vts) const;
+
+ private:
+  const netlist::Netlist& nl_;
+  const tech::DeviceModel& dev_;
+  const interconnect::WireLoads& wires_;
+  double po_load_cap_;  // F, fixed pin load for POs and DFF D-pins
+};
+
+}  // namespace minergy::timing

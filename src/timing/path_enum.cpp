@@ -1,0 +1,162 @@
+#include "timing/path_enum.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace minergy::timing {
+
+using netlist::GateId;
+using netlist::kInvalidGate;
+
+PathAnalyzer::PathAnalyzer(const netlist::Netlist& nl) : nl_(nl) {
+  MINERGY_CHECK(nl.finalized());
+  prefix_.assign(nl.size(), 0);
+  suffix_.assign(nl.size(), 0);
+  prefix_arg_.assign(nl.size(), kInvalidGate);
+  suffix_arg_.assign(nl.size(), kInvalidGate);
+
+  const auto& topo = nl.combinational();
+  for (GateId id : topo) {
+    const netlist::Gate& g = nl.gate(id);
+    std::int64_t best = 0;
+    GateId arg = kInvalidGate;
+    for (GateId f : g.fanins) {
+      if (!netlist::is_combinational(nl.gate(f).type)) continue;
+      if (prefix_[f] > best || (prefix_[f] == best && arg == kInvalidGate)) {
+        best = prefix_[f];
+        arg = f;
+      }
+    }
+    prefix_[id] = best + g.branch_count();
+    prefix_arg_[id] = arg;
+  }
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId id = *it;
+    const netlist::Gate& g = nl.gate(id);
+    std::int64_t best = 0;
+    GateId arg = kInvalidGate;
+    for (GateId out : g.fanouts) {
+      if (!netlist::is_combinational(nl.gate(out).type)) continue;
+      if (suffix_[out] > best || (suffix_[out] == best && arg == kInvalidGate)) {
+        best = suffix_[out];
+        arg = out;
+      }
+    }
+    suffix_[id] = best + g.branch_count();
+    suffix_arg_[id] = arg;
+  }
+}
+
+std::int64_t PathAnalyzer::prefix_criticality(GateId id) const {
+  MINERGY_CHECK(id < prefix_.size());
+  return prefix_[id];
+}
+
+std::int64_t PathAnalyzer::suffix_criticality(GateId id) const {
+  MINERGY_CHECK(id < suffix_.size());
+  return suffix_[id];
+}
+
+std::int64_t PathAnalyzer::through_criticality(GateId id) const {
+  return prefix_criticality(id) + suffix_criticality(id) -
+         nl_.gate(id).branch_count();
+}
+
+Path PathAnalyzer::most_critical_through(GateId id) const {
+  Path p;
+  p.criticality = through_criticality(id);
+  // Walk the prefix chain back to a source-fed gate.
+  std::vector<GateId> back;
+  for (GateId g = id; g != kInvalidGate; g = prefix_arg_[g]) back.push_back(g);
+  std::reverse(back.begin(), back.end());
+  p.gates = std::move(back);
+  // And the suffix chain forward (id already included).
+  for (GateId g = suffix_arg_[id]; g != kInvalidGate; g = suffix_arg_[g]) {
+    p.gates.push_back(g);
+  }
+  return p;
+}
+
+Path PathAnalyzer::most_critical() const {
+  GateId best = kInvalidGate;
+  for (GateId id : nl_.combinational()) {
+    if (best == kInvalidGate ||
+        through_criticality(id) > through_criticality(best)) {
+      best = id;
+    }
+  }
+  if (best == kInvalidGate) return {};
+  return most_critical_through(best);
+}
+
+bool PathAnalyzer::is_path_end(GateId id) const {
+  const netlist::Gate& g = nl_.gate(id);
+  if (g.is_primary_output) return true;
+  bool has_logic_fanout = false;
+  for (GateId out : g.fanouts) {
+    if (netlist::is_combinational(nl_.gate(out).type)) {
+      has_logic_fanout = true;
+    } else {
+      return true;  // feeds a DFF D-pin
+    }
+  }
+  return !has_logic_fanout;  // dead-end logic still terminates a path
+}
+
+std::vector<Path> PathAnalyzer::top_k(std::size_t k) const {
+  // Best-first search over partial paths. The priority of a partial path
+  // ending at gate g is (criticality so far) + (best completion from g),
+  // which is admissible and exact, so paths pop in true decreasing order.
+  struct Node {
+    std::int64_t bound;
+    std::int64_t so_far;
+    bool complete;
+    std::vector<GateId> gates;
+  };
+  struct Cmp {
+    bool operator()(const Node& a, const Node& b) const {
+      return a.bound < b.bound;  // max-heap
+    }
+  };
+  std::priority_queue<Node, std::vector<Node>, Cmp> heap;
+
+  for (GateId id : nl_.combinational()) {
+    // Path starts: gates with no logic fanins (fed directly by sources).
+    bool has_logic_fanin = false;
+    for (GateId f : nl_.gate(id).fanins) {
+      if (netlist::is_combinational(nl_.gate(f).type)) has_logic_fanin = true;
+    }
+    if (has_logic_fanin) continue;
+    const std::int64_t own = nl_.gate(id).branch_count();
+    heap.push({suffix_[id], own, false, {id}});
+  }
+
+  std::vector<Path> out;
+  while (!heap.empty() && out.size() < k) {
+    Node node = heap.top();
+    heap.pop();
+    if (node.complete) {
+      out.push_back({std::move(node.gates), node.so_far});
+      continue;
+    }
+    const GateId tail = node.gates.back();
+    if (is_path_end(tail)) {
+      heap.push({node.so_far, node.so_far, true, node.gates});
+    }
+    for (GateId next : nl_.gate(tail).fanouts) {
+      if (!netlist::is_combinational(nl_.gate(next).type)) continue;
+      Node child;
+      child.so_far = node.so_far + nl_.gate(next).branch_count();
+      child.bound = node.so_far + suffix_[next];
+      child.complete = false;
+      child.gates = node.gates;
+      child.gates.push_back(next);
+      heap.push(std::move(child));
+    }
+  }
+  return out;
+}
+
+}  // namespace minergy::timing

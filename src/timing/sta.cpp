@@ -1,0 +1,160 @@
+#include "timing/sta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace minergy::timing {
+
+TimingReport run_sta(const DelayCalculator& calc,
+                     std::span<const double> widths, double vdd,
+                     std::span<const double> vts, double cycle_time) {
+  std::vector<double> v(calc.netlist().size(), vdd);
+  return run_sta(calc, widths, std::span<const double>(v), vts, cycle_time);
+}
+
+TimingReport run_sta(const DelayCalculator& calc,
+                     std::span<const double> widths,
+                     std::span<const double> vdd,
+                     std::span<const double> vts, double cycle_time) {
+  const netlist::Netlist& nl = calc.netlist();
+  MINERGY_CHECK(widths.size() == nl.size());
+  MINERGY_CHECK(vdd.size() == nl.size());
+  MINERGY_CHECK(vts.size() == nl.size());
+
+  TimingReport r;
+  r.gate_delay.assign(nl.size(), 0.0);
+  r.arrival.assign(nl.size(), 0.0);
+  r.slack.assign(nl.size(), 0.0);
+
+  // Forward pass: delays and arrivals together (slope coupling).
+  std::vector<netlist::GateId> worst_fanin(nl.size(), netlist::kInvalidGate);
+  for (netlist::GateId id : nl.combinational()) {
+    const netlist::Gate& g = nl.gate(id);
+    double max_fanin_delay = 0.0;
+    double max_fanin_arrival = 0.0;
+    netlist::GateId argmax = netlist::kInvalidGate;
+    for (netlist::GateId f : g.fanins) {
+      max_fanin_delay = std::max(max_fanin_delay, r.gate_delay[f]);
+      if (r.arrival[f] >= max_fanin_arrival) {
+        max_fanin_arrival = r.arrival[f];
+        argmax = netlist::is_combinational(nl.gate(f).type)
+                     ? f
+                     : netlist::kInvalidGate;
+      }
+    }
+    r.gate_delay[id] =
+        calc.gate_delay(id, widths, vdd[id], vts[id], max_fanin_delay);
+    r.arrival[id] = max_fanin_arrival + r.gate_delay[id];
+    worst_fanin[id] = argmax;
+  }
+
+  // Critical endpoint.
+  netlist::GateId worst_end = netlist::kInvalidGate;
+  for (netlist::GateId id : nl.sink_drivers()) {
+    if (worst_end == netlist::kInvalidGate ||
+        r.arrival[id] > r.arrival[worst_end]) {
+      worst_end = id;
+    }
+  }
+  if (worst_end != netlist::kInvalidGate) {
+    r.critical_delay = r.arrival[worst_end];
+    for (netlist::GateId id = worst_end; id != netlist::kInvalidGate;
+         id = worst_fanin[id]) {
+      r.critical_path.push_back(id);
+    }
+    std::reverse(r.critical_path.begin(), r.critical_path.end());
+  }
+
+  // Backward pass: required times -> slack.
+  std::vector<double> required(nl.size(),
+                               std::numeric_limits<double>::infinity());
+  for (netlist::GateId id : nl.sink_drivers()) {
+    required[id] = std::min(required[id], cycle_time);
+  }
+  const auto& topo = nl.combinational();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const netlist::GateId id = *it;
+    const double own_required = required[id];
+    const double fanin_required = own_required - r.gate_delay[id];
+    for (netlist::GateId f : nl.gate(id).fanins) {
+      if (netlist::is_combinational(nl.gate(f).type)) {
+        required[f] = std::min(required[f], fanin_required);
+      }
+    }
+  }
+  for (netlist::GateId id : nl.combinational()) {
+    r.slack[id] = std::isinf(required[id]) ? cycle_time - r.arrival[id]
+                                           : required[id] - r.arrival[id];
+  }
+  return r;
+}
+
+TimingReport run_sta(const DelayCalculator& calc,
+                     std::span<const double> widths, double vdd, double vts,
+                     double cycle_time) {
+  std::vector<double> v(calc.netlist().size(), vts);
+  return run_sta(calc, widths, vdd, std::span<const double>(v), cycle_time);
+}
+
+MinTimingReport run_min_sta(const DelayCalculator& calc,
+                            std::span<const double> widths, double vdd,
+                            std::span<const double> vts) {
+  const netlist::Netlist& nl = calc.netlist();
+  MINERGY_CHECK(widths.size() == nl.size());
+  MINERGY_CHECK(vts.size() == nl.size());
+
+  MinTimingReport r;
+  r.gate_delay.assign(nl.size(), 0.0);
+  r.arrival.assign(nl.size(), 0.0);
+  std::vector<netlist::GateId> best_fanin(nl.size(), netlist::kInvalidGate);
+
+  for (netlist::GateId id : nl.combinational()) {
+    const netlist::Gate& g = nl.gate(id);
+    double min_fanin_delay = std::numeric_limits<double>::infinity();
+    double min_fanin_arrival = std::numeric_limits<double>::infinity();
+    netlist::GateId argmin = netlist::kInvalidGate;
+    for (netlist::GateId f : g.fanins) {
+      min_fanin_delay = std::min(min_fanin_delay, r.gate_delay[f]);
+      if (r.arrival[f] <= min_fanin_arrival) {
+        min_fanin_arrival = r.arrival[f];
+        argmin = netlist::is_combinational(nl.gate(f).type)
+                     ? f
+                     : netlist::kInvalidGate;
+      }
+    }
+    if (g.fanins.empty()) {
+      min_fanin_delay = 0.0;
+      min_fanin_arrival = 0.0;
+    }
+    r.gate_delay[id] =
+        calc.gate_delay_min(id, widths, vdd, vts[id], min_fanin_delay);
+    r.arrival[id] = min_fanin_arrival + r.gate_delay[id];
+    best_fanin[id] = argmin;
+  }
+
+  netlist::GateId best_end = netlist::kInvalidGate;
+  for (netlist::GateId id : nl.sink_drivers()) {
+    if (best_end == netlist::kInvalidGate ||
+        r.arrival[id] < r.arrival[best_end]) {
+      best_end = id;
+    }
+  }
+  if (best_end != netlist::kInvalidGate) {
+    r.shortest_delay = r.arrival[best_end];
+    for (netlist::GateId id = best_end; id != netlist::kInvalidGate;
+         id = best_fanin[id]) {
+      r.shortest_path.push_back(id);
+    }
+    std::reverse(r.shortest_path.begin(), r.shortest_path.end());
+  }
+  return r;
+}
+
+bool hold_safe(const MinTimingReport& report, double hold_margin) {
+  return report.shortest_delay >= hold_margin;
+}
+
+}  // namespace minergy::timing

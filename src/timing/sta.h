@@ -1,0 +1,61 @@
+// Static timing analysis over the combinational core.
+//
+// Gate delays couple through the input-slope term (a gate's delay depends on
+// its slowest fanin's *delay*, Eq. A3), so delays and arrivals are both
+// computed in one topological pass.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "timing/delay_model.h"
+
+namespace minergy::timing {
+
+struct TimingReport {
+  std::vector<double> gate_delay;  // per gate id; 0 for sources
+  std::vector<double> arrival;     // per gate id; 0 at sources
+  double critical_delay = 0.0;     // max arrival over PO / DFF-D drivers
+  std::vector<netlist::GateId> critical_path;  // source-side first
+
+  // Required times / slack against a cycle constraint.
+  std::vector<double> slack;  // per gate id (filled by run_sta)
+};
+
+// vts is indexed by gate id (per-gate thresholds support the paper's
+// multiple-threshold mode; pass the same value everywhere for n_v = 1).
+TimingReport run_sta(const DelayCalculator& calc, std::span<const double> widths,
+                     double vdd, std::span<const double> vts,
+                     double cycle_time);
+
+// Convenience overload: uniform threshold.
+TimingReport run_sta(const DelayCalculator& calc, std::span<const double> widths,
+                     double vdd, double vts, double cycle_time);
+
+// Fully per-gate operating point (multiple supply *and* threshold
+// voltages — the paper's "more than one threshold or power supply voltage
+// if desired"). vdd indexed by gate id.
+TimingReport run_sta(const DelayCalculator& calc, std::span<const double> widths,
+                     std::span<const double> vdd, std::span<const double> vts,
+                     double cycle_time);
+
+// --- Min-delay (hold) analysis ---------------------------------------------
+
+struct MinTimingReport {
+  std::vector<double> gate_delay;  // contamination delay per gate id
+  std::vector<double> arrival;     // earliest arrival per gate id
+  // Shortest source-to-sink path delay (the hold-critical number).
+  double shortest_delay = 0.0;
+  std::vector<netlist::GateId> shortest_path;  // source-side first
+};
+
+// Earliest-arrival propagation using the best-case gate delays. A register
+// transfer is hold-safe when shortest_delay >= hold_margin (e.g. the
+// (1 - b) * T_c skew budget the max-delay side reserved).
+MinTimingReport run_min_sta(const DelayCalculator& calc,
+                            std::span<const double> widths, double vdd,
+                            std::span<const double> vts);
+
+bool hold_safe(const MinTimingReport& report, double hold_margin);
+
+}  // namespace minergy::timing

@@ -1,0 +1,58 @@
+// Error-reporting primitives used throughout minergy.
+//
+// We follow the C++ Core Guidelines: exceptions for errors that a caller may
+// want to handle (parse failures, infeasible constraints), and hard checks
+// for programming-contract violations.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace minergy::util {
+
+// Thrown when an input file or textual description cannot be parsed.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, const std::string& file, int line_no)
+      : std::runtime_error(file + ":" + std::to_string(line_no) + ": " + what),
+        file_(file),
+        line_no_(line_no) {}
+
+  const std::string& file() const { return file_; }
+  int line_no() const { return line_no_; }
+
+ private:
+  std::string file_;
+  int line_no_;
+};
+
+// Thrown when an optimization problem has no feasible solution within the
+// technology's variable ranges (e.g. the requested cycle time cannot be met
+// even at maximum drive).
+class InfeasibleError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MINERGY_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace minergy::util
+
+// Contract check: condition must hold or the program state is corrupt.
+#define MINERGY_CHECK(cond)                                                \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::minergy::util::throw_check_failure(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define MINERGY_CHECK_MSG(cond, msg)                                        \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::minergy::util::throw_check_failure(#cond, __FILE__, __LINE__, msg); \
+  } while (false)

@@ -1,0 +1,77 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace minergy::util {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  MINERGY_CHECK(hi > lo);
+  MINERGY_CHECK(bins > 0);
+}
+
+void Histogram::add(double x, double weight) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(bins()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(bins());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::quantile(double q) const {
+  MINERGY_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ <= 0.0) return lo_;
+  const double target = q * total_;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < bins(); ++i) {
+    const double next = acc + counts_[i];
+    if (next >= target) {
+      // Interpolate inside the bin.
+      const double frac =
+          counts_[i] > 0.0 ? (target - acc) / counts_[i] : 0.0;
+      return bin_lo(i) + frac * (bin_hi(i) - bin_lo(i));
+    }
+    acc = next;
+  }
+  return hi_;
+}
+
+double quantile(std::vector<double> values, double q) {
+  MINERGY_CHECK(!values.empty());
+  MINERGY_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace minergy::util

@@ -1,0 +1,58 @@
+// Streaming statistics and simple histograms.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace minergy::util {
+
+// Welford online accumulator: mean / variance / extrema in one pass.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+// boundary bins so no sample is lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+  // Inverse CDF: smallest x with CDF(x) >= q, q in [0, 1].
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+// Exact quantile of a copied sample set (linear interpolation).
+double quantile(std::vector<double> values, double q);
+
+}  // namespace minergy::util

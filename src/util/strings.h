@@ -1,0 +1,32 @@
+// Small string utilities shared by the parsers and reporters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minergy::util {
+
+// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+// Split on a delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+// Split on arbitrary whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+// ASCII case conversion.
+std::string to_upper(std::string_view s);
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+// Engineering-notation formatting: 1.23e-12 -> "1.23p", with unit suffix,
+// e.g. format_eng(3.2e-9, "s") == "3.200ns".
+std::string format_eng(double value, std::string_view unit, int precision = 3);
+
+// Fixed scientific formatting used in the paper-style tables ("1.23e-12").
+std::string format_sci(double value, int precision = 3);
+
+}  // namespace minergy::util

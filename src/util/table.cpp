@@ -1,0 +1,130 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace minergy::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MINERGY_CHECK(!headers_.empty());
+}
+
+Table& Table::begin_row() {
+  if (!rows_.empty()) {
+    MINERGY_CHECK_MSG(rows_.back().size() == headers_.size(),
+                      "previous row incomplete");
+  }
+  rows_.emplace_back();
+  return *this;
+}
+
+void Table::check_row_open() const {
+  MINERGY_CHECK_MSG(!rows_.empty(), "begin_row() before add()");
+  MINERGY_CHECK_MSG(rows_.back().size() < headers_.size(), "row overflow");
+}
+
+Table& Table::add(std::string cell) {
+  check_row_open();
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return add(std::string(buf));
+}
+
+Table& Table::add_sci(double value, int precision) {
+  return add(format_sci(value, precision));
+}
+
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+Table& Table::add(std::size_t value) { return add(std::to_string(value)); }
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  MINERGY_CHECK(cells.size() == headers_.size());
+  begin_row();
+  for (auto& c : cells) add(std::move(c));
+  return *this;
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  MINERGY_CHECK(row < rows_.size() && col < rows_[row].size());
+  return rows_[row][col];
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << v << std::string(width[c] - v.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << quote(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << ' ' << (c < cells.size() ? cells[c] : std::string()) << " |";
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_text(); }
+
+}  // namespace minergy::util

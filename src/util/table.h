@@ -1,0 +1,46 @@
+// Column-aligned text tables with CSV and Markdown emitters.
+//
+// The bench binaries use this to print the paper's Tables 1/2 and figure
+// series in a uniform, machine-diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace minergy::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Start a new row. Subsequent add_* calls append cells to it.
+  Table& begin_row();
+  Table& add(std::string cell);
+  Table& add(double value, int precision = 4);
+  Table& add_sci(double value, int precision = 3);
+  Table& add(int value);
+  Table& add(std::size_t value);
+
+  // Convenience: append a fully formed row (must match header width).
+  Table& add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+  const std::string& cell(std::size_t row, std::size_t col) const;
+
+  // Renderers.
+  std::string to_text() const;      // padded ASCII columns
+  std::string to_csv() const;       // RFC-ish CSV (quotes fields with commas)
+  std::string to_markdown() const;  // GitHub-flavored pipe table
+
+  void print(std::ostream& os) const;  // to_text()
+
+ private:
+  void check_row_open() const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace minergy::util

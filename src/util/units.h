@@ -1,0 +1,32 @@
+// Physical constants and unit multipliers (SI throughout).
+#pragma once
+
+namespace minergy::util {
+
+// Boltzmann constant (J/K).
+inline constexpr double kBoltzmann = 1.380649e-23;
+// Elementary charge (C).
+inline constexpr double kElectronCharge = 1.602176634e-19;
+// Vacuum permittivity (F/m).
+inline constexpr double kEpsilon0 = 8.8541878128e-12;
+// Relative permittivity of SiO2.
+inline constexpr double kEpsSiO2 = 3.9;
+// Speed of light (m/s).
+inline constexpr double kSpeedOfLight = 2.99792458e8;
+
+// Thermal voltage kT/q at temperature T (K).
+inline constexpr double thermal_voltage(double temperature_k) {
+  return kBoltzmann * temperature_k / kElectronCharge;
+}
+
+// Unit multipliers.
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+inline constexpr double kFemto = 1e-15;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+}  // namespace minergy::util

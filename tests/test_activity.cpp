@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "activity/activity.h"
+#include "netlist/bench_io.h"
+
+namespace minergy::activity {
+namespace {
+
+using netlist::GateId;
+using netlist::GateType;
+using netlist::Netlist;
+
+// ----------------------------------------------- per-gate building blocks
+
+TEST(GateProbability, BasicGates) {
+  EXPECT_DOUBLE_EQ(gate_probability(GateType::kAnd, {0.5, 0.5}), 0.25);
+  EXPECT_DOUBLE_EQ(gate_probability(GateType::kNand, {0.5, 0.5}), 0.75);
+  EXPECT_DOUBLE_EQ(gate_probability(GateType::kOr, {0.5, 0.5}), 0.75);
+  EXPECT_DOUBLE_EQ(gate_probability(GateType::kNor, {0.5, 0.5}), 0.25);
+  EXPECT_DOUBLE_EQ(gate_probability(GateType::kNot, {0.3}), 0.7);
+  EXPECT_DOUBLE_EQ(gate_probability(GateType::kBuf, {0.3}), 0.3);
+  EXPECT_DOUBLE_EQ(gate_probability(GateType::kXor, {0.5, 0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(gate_probability(GateType::kXnor, {0.5, 0.5}), 0.5);
+}
+
+TEST(GateProbability, AsymmetricInputs) {
+  EXPECT_NEAR(gate_probability(GateType::kAnd, {0.2, 0.9}), 0.18, 1e-12);
+  EXPECT_NEAR(gate_probability(GateType::kOr, {0.2, 0.9}),
+              1.0 - 0.8 * 0.1, 1e-12);
+  // XOR: p(1-q) + q(1-p).
+  EXPECT_NEAR(gate_probability(GateType::kXor, {0.2, 0.9}),
+              0.2 * 0.1 + 0.9 * 0.8, 1e-12);
+}
+
+TEST(GateProbability, ThreeInputGates) {
+  EXPECT_NEAR(gate_probability(GateType::kAnd, {0.5, 0.5, 0.5}), 0.125,
+              1e-12);
+  EXPECT_NEAR(gate_probability(GateType::kNor, {0.5, 0.5, 0.5}), 0.125,
+              1e-12);
+  // Three-input XOR of p=0.5 stays 0.5.
+  EXPECT_NEAR(gate_probability(GateType::kXor, {0.5, 0.5, 0.5}), 0.5, 1e-12);
+}
+
+TEST(GateDensity, InverterAndBufferPassThrough) {
+  EXPECT_DOUBLE_EQ(gate_density(GateType::kNot, {0.4}, {0.2}), 0.2);
+  EXPECT_DOUBLE_EQ(gate_density(GateType::kBuf, {0.4}, {0.2}), 0.2);
+}
+
+TEST(GateDensity, AndBooleanDifference) {
+  // D(y) = P(x2)*D(x1) + P(x1)*D(x2).
+  EXPECT_NEAR(gate_density(GateType::kAnd, {0.5, 0.8}, {0.1, 0.3}),
+              0.8 * 0.1 + 0.5 * 0.3, 1e-12);
+  // NAND has the same sensitivities.
+  EXPECT_NEAR(gate_density(GateType::kNand, {0.5, 0.8}, {0.1, 0.3}),
+              0.8 * 0.1 + 0.5 * 0.3, 1e-12);
+}
+
+TEST(GateDensity, OrBooleanDifference) {
+  // D(y) = (1-P(x2))*D(x1) + (1-P(x1))*D(x2).
+  EXPECT_NEAR(gate_density(GateType::kOr, {0.5, 0.8}, {0.1, 0.3}),
+              0.2 * 0.1 + 0.5 * 0.3, 1e-12);
+}
+
+TEST(GateDensity, XorPropagatesEverything) {
+  EXPECT_NEAR(gate_density(GateType::kXor, {0.5, 0.5}, {0.1, 0.3}), 0.4,
+              1e-12);
+  EXPECT_NEAR(gate_density(GateType::kXnor, {0.2, 0.9}, {0.25, 0.25}), 0.5,
+              1e-12);
+}
+
+TEST(GateDensity, ZeroInputDensityGivesZero) {
+  EXPECT_DOUBLE_EQ(gate_density(GateType::kNand, {0.5, 0.5}, {0.0, 0.0}),
+                   0.0);
+}
+
+// --------------------------------------------------- profile validation
+
+TEST(ActivityProfile, Validation) {
+  ActivityProfile p;
+  EXPECT_NO_THROW(p.validate());
+  p.input_probability = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ActivityProfile{};
+  p.input_density = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ActivityProfile{};
+  p.damping = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ActivityProfile{};
+  p.probability_overrides["x"] = 2.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+// ------------------------------------------------------- whole networks
+
+Netlist chain3() {
+  return netlist::parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+n1 = NOT(a)
+n2 = NOT(n1)
+y = NOT(n2)
+)");
+}
+
+TEST(EstimateActivity, InverterChainPreservesDensity) {
+  Netlist nl = chain3();
+  ActivityProfile profile;
+  profile.input_probability = 0.3;
+  profile.input_density = 0.2;
+  const ActivityResult r = estimate_activity(nl, profile);
+  const GateId y = nl.find("y");
+  EXPECT_NEAR(r.density[y], 0.2, 1e-12);
+  EXPECT_NEAR(r.probability[y], 0.7, 1e-12);  // three inversions
+}
+
+TEST(EstimateActivity, AndTreeAttenuatesDensity) {
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+g1 = AND(a, b)
+g2 = AND(c, d)
+y = AND(g1, g2)
+)");
+  ActivityProfile profile;  // p = 0.5, d = 0.1
+  const ActivityResult r = estimate_activity(nl, profile);
+  // g1: D = 0.5*0.1 + 0.5*0.1 = 0.1? No: P=0.5 each -> D(g1) = 0.1.
+  // y: P(g)=0.25 each -> D(y) = 0.25*0.1 + 0.25*0.1 = 0.05.
+  EXPECT_NEAR(r.density[nl.find("g1")], 0.1, 1e-12);
+  EXPECT_NEAR(r.probability[nl.find("g1")], 0.25, 1e-12);
+  EXPECT_NEAR(r.density[nl.find("y")], 0.05, 1e-12);
+  EXPECT_NEAR(r.probability[nl.find("y")], 0.0625, 1e-12);
+}
+
+TEST(EstimateActivity, XorTreeAccumulatesDensity) {
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = XOR(a, b)
+)");
+  ActivityProfile profile;
+  profile.input_density = 0.3;
+  const ActivityResult r = estimate_activity(nl, profile);
+  EXPECT_NEAR(r.density[nl.find("y")], 0.6, 1e-12);
+}
+
+TEST(EstimateActivity, PerInputOverridesApply) {
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(a, b)
+)");
+  ActivityProfile profile;
+  profile.probability_overrides["a"] = 1.0;
+  profile.density_overrides["a"] = 0.0;
+  const ActivityResult r = estimate_activity(nl, profile);
+  // With a stuck at 1, y follows b exactly.
+  EXPECT_NEAR(r.probability[nl.find("y")], 0.5, 1e-12);
+  EXPECT_NEAR(r.density[nl.find("y")], profile.input_density, 1e-12);
+}
+
+TEST(EstimateActivity, SequentialFixedPointConverges) {
+  // Shift register: the flop's output statistics converge to its input's.
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+q1 = DFF(g)
+q2 = DFF(q1b)
+g = BUF(a)
+q1b = BUF(q1)
+y = BUF(q2)
+)");
+  ActivityProfile profile;
+  profile.input_probability = 0.3;
+  profile.input_density = 0.25;
+  profile.dff_iterations = 60;
+  const ActivityResult r = estimate_activity(nl, profile);
+  EXPECT_NEAR(r.probability[nl.find("q2")], 0.3, 1e-6);
+  EXPECT_NEAR(r.density[nl.find("q2")], 0.25, 1e-6);
+}
+
+TEST(EstimateActivity, FeedbackLoopStaysBoundedAndCentered) {
+  // q = DFF(not q): the first-order method cannot see the anticorrelation
+  // (the flop toggles every cycle); it must still converge to a bounded,
+  // probability-0.5 fixed point rather than diverge or oscillate.
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+q = DFF(n)
+n = NOT(q)
+y = BUF(q)
+)");
+  ActivityProfile profile;
+  profile.dff_iterations = 50;
+  const ActivityResult r = estimate_activity(nl, profile);
+  EXPECT_NEAR(r.probability[nl.find("q")], 0.5, 1e-6);
+  EXPECT_GE(r.density[nl.find("q")], 0.0);
+  EXPECT_LE(r.density[nl.find("q")], 1.0);
+}
+
+TEST(EstimateActivity, ProbabilitiesStayInRange) {
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+g1 = NAND(a, b)
+g2 = NOR(b, c)
+g3 = XOR(g1, g2)
+g4 = XNOR(g3, a)
+y = OR(g4, g2, g1)
+)");
+  ActivityProfile profile;
+  profile.input_probability = 0.9;
+  profile.input_density = 0.8;
+  const ActivityResult r = estimate_activity(nl, profile);
+  for (GateId id : nl.combinational()) {
+    EXPECT_GE(r.probability[id], 0.0);
+    EXPECT_LE(r.probability[id], 1.0);
+    EXPECT_GE(r.density[id], 0.0);
+  }
+}
+
+TEST(EstimateActivity, ZeroActivityInputsGiveZeroEverywhere) {
+  Netlist nl = chain3();
+  ActivityProfile profile;
+  profile.input_density = 0.0;
+  const ActivityResult r = estimate_activity(nl, profile);
+  for (GateId id : nl.combinational()) {
+    EXPECT_DOUBLE_EQ(r.density[id], 0.0);
+  }
+}
+
+// Density scales linearly with input density in a fixed-probability network
+// (the Boolean-difference rule is linear in D).
+class ActivityLinearity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ActivityLinearity, DensityScalesLinearly) {
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+g1 = NAND(a, b)
+g2 = NOR(g1, c)
+y = XOR(g2, a)
+)");
+  const double d = GetParam();
+  ActivityProfile p1, p2;
+  p1.input_density = d;
+  p2.input_density = d / 2.0;
+  const ActivityResult r1 = estimate_activity(nl, p1);
+  const ActivityResult r2 = estimate_activity(nl, p2);
+  const GateId y = nl.find("y");
+  EXPECT_NEAR(r1.density[y], 2.0 * r2.density[y], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, ActivityLinearity,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.5, 1.0));
+
+}  // namespace
+}  // namespace minergy::activity

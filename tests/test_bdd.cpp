@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "activity/exact.h"
+#include "bdd/bdd.h"
+#include "netlist/bench_io.h"
+#include "netlist/generator.h"
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace minergy::bdd {
+namespace {
+
+TEST(BddManager, TerminalsAndVars) {
+  BddManager m(3);
+  EXPECT_NE(m.zero(), m.one());
+  EXPECT_TRUE(m.is_terminal(m.zero()));
+  EXPECT_FALSE(m.is_terminal(m.var(0)));
+  EXPECT_NE(m.var(0), m.var(1));
+  EXPECT_EQ(m.var(2), m.var(2));  // canonical
+}
+
+TEST(BddManager, CanonicityOfEquivalentFormulas) {
+  BddManager m(3);
+  const NodeRef a = m.var(0), b = m.var(1), c = m.var(2);
+  // Associativity / commutativity give identical nodes.
+  EXPECT_EQ(m.and_of(a, b), m.and_of(b, a));
+  EXPECT_EQ(m.and_of(m.and_of(a, b), c), m.and_of(a, m.and_of(b, c)));
+  // De Morgan.
+  EXPECT_EQ(m.not_of(m.and_of(a, b)),
+            m.or_of(m.not_of(a), m.not_of(b)));
+  // Double negation.
+  EXPECT_EQ(m.not_of(m.not_of(a)), a);
+  // x xor x = 0; x and !x = 0; x or !x = 1.
+  EXPECT_EQ(m.xor_of(a, a), m.zero());
+  EXPECT_EQ(m.and_of(a, m.not_of(a)), m.zero());
+  EXPECT_EQ(m.or_of(a, m.not_of(a)), m.one());
+}
+
+TEST(BddManager, IteIdentities) {
+  BddManager m(2);
+  const NodeRef a = m.var(0), b = m.var(1);
+  EXPECT_EQ(m.ite(m.one(), a, b), a);
+  EXPECT_EQ(m.ite(m.zero(), a, b), b);
+  EXPECT_EQ(m.ite(a, m.one(), m.zero()), a);
+  EXPECT_EQ(m.ite(a, b, b), b);
+}
+
+TEST(BddManager, EvaluateMatchesTruthTable) {
+  BddManager m(3);
+  const NodeRef f = m.or_of(m.and_of(m.var(0), m.var(1)),
+                            m.not_of(m.var(2)));  // ab + !c
+  for (int bits = 0; bits < 8; ++bits) {
+    const bool a = bits & 1, b = bits & 2, c = bits & 4;
+    const bool expected = (a && b) || !c;
+    const bool assignment[3] = {a, b, c};
+    EXPECT_EQ(m.evaluate(f, assignment), expected) << bits;
+  }
+}
+
+TEST(BddManager, CofactorsAndBooleanDifference) {
+  BddManager m(2);
+  const NodeRef a = m.var(0), b = m.var(1);
+  const NodeRef f = m.and_of(a, b);
+  EXPECT_EQ(m.cofactor(f, 0, true), b);
+  EXPECT_EQ(m.cofactor(f, 0, false), m.zero());
+  // d(ab)/da = b.
+  EXPECT_EQ(m.boolean_difference(f, 0), b);
+  // d(a xor b)/da = 1.
+  EXPECT_EQ(m.boolean_difference(m.xor_of(a, b), 0), m.one());
+  // d(f)/dx for x not in support = 0.
+  BddManager m3(3);
+  EXPECT_EQ(m3.boolean_difference(m3.var(0), 2), m3.zero());
+}
+
+TEST(BddManager, ProbabilityExactValues) {
+  BddManager m(3);
+  const NodeRef a = m.var(0), b = m.var(1);
+  const double probs[3] = {0.5, 0.25, 0.8};
+  EXPECT_NEAR(m.probability(m.and_of(a, b), probs), 0.5 * 0.25, 1e-12);
+  EXPECT_NEAR(m.probability(m.or_of(a, b), probs),
+              1.0 - 0.5 * 0.75, 1e-12);
+  EXPECT_NEAR(m.probability(m.xor_of(a, b), probs),
+              0.5 * 0.75 + 0.25 * 0.5, 1e-12);
+  // Reconvergence handled exactly: P(a and !a) = 0 despite P(a) = 0.5.
+  EXPECT_NEAR(m.probability(m.and_of(a, m.not_of(a)), probs), 0.0, 1e-12);
+}
+
+TEST(BddManager, SizeAndSupport) {
+  BddManager m(4);
+  const NodeRef f =
+      m.xor_of(m.xor_of(m.var(0), m.var(1)), m.var(2));  // parity of 3
+  EXPECT_EQ(m.size(m.var(0)), 1u);
+  EXPECT_GE(m.size(f), 3u);
+  EXPECT_TRUE(m.depends_on(f, 0));
+  EXPECT_TRUE(m.depends_on(f, 2));
+  EXPECT_FALSE(m.depends_on(f, 3));
+}
+
+TEST(BddManager, CofactorSurvivesNodeTableGrowth) {
+  // Regression: cofactor's recursion creates new nodes while traversing,
+  // which reallocates the node table; holding references across that is
+  // the bug this pins down. Build a large-enough function that the table
+  // reallocates mid-cofactor, and verify functional correctness.
+  constexpr int kVars = 20;
+  BddManager m(kVars);
+  NodeRef f = m.zero();
+  for (int i = 0; i + 1 < kVars; i += 2) {
+    f = m.xor_of(f, m.and_of(m.var(i), m.var(i + 1)));
+  }
+  for (int i = 0; i < kVars; ++i) {
+    const NodeRef diff = m.boolean_difference(f, i);
+    // d f / d x_i = partner variable (pairwise AND inside XOR chain).
+    const int partner = (i % 2 == 0) ? i + 1 : i - 1;
+    EXPECT_EQ(diff, m.var(partner)) << "var " << i;
+  }
+  // Restriction identities hold after heavy growth.
+  for (int i = 0; i < kVars; ++i) {
+    const NodeRef lo = m.cofactor(f, i, false);
+    const NodeRef hi = m.cofactor(f, i, true);
+    EXPECT_EQ(m.xor_of(lo, hi), m.boolean_difference(f, i));
+    EXPECT_FALSE(m.depends_on(lo, i));
+    EXPECT_FALSE(m.depends_on(hi, i));
+  }
+}
+
+TEST(BddManager, OverflowThrows) {
+  // Parity of n variables is linear, but a tiny node limit still trips.
+  BddManager m(16, /*node_limit=*/20);
+  NodeRef acc = m.zero();
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 16; ++i) acc = m.xor_of(acc, m.var(i));
+      },
+      BddOverflow);
+}
+
+// ----------------------------- exact activity ------------------------------
+
+TEST(ExactActivity, MatchesFirstOrderOnTree) {
+  const netlist::Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+g1 = NAND(a, b)
+g2 = NOR(c, d)
+y = AND(g1, g2)
+)");
+  activity::ActivityProfile profile;
+  profile.input_density = 0.3;
+  const auto first = activity::estimate_activity(nl, profile);
+  const auto exact = activity::estimate_activity_exact(nl, profile);
+  for (netlist::GateId id : nl.combinational()) {
+    EXPECT_NEAR(first.probability[id], exact.probability[id], 1e-12);
+    EXPECT_NEAR(first.density[id], exact.density[id], 1e-12);
+  }
+}
+
+TEST(ExactActivity, ReconvergenceHandledExactly) {
+  // y = AND(a, NOT a) is constant 0: exact gives P = 0, D = 0; the
+  // first-order method reports D = 0.5 (the documented error).
+  const netlist::Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+n = NOT(a)
+y = AND(a, n)
+)");
+  activity::ActivityProfile profile;
+  profile.input_density = 0.5;
+  const auto first = activity::estimate_activity(nl, profile);
+  const auto exact = activity::estimate_activity_exact(nl, profile);
+  const netlist::GateId y = nl.find("y");
+  EXPECT_NEAR(exact.probability[y], 0.0, 1e-12);
+  EXPECT_NEAR(exact.density[y], 0.0, 1e-12);
+  EXPECT_NEAR(first.density[y], 0.5, 1e-9);
+}
+
+TEST(ExactActivity, MatchesMonteCarloOnReconvergentCircuit) {
+  // c17 has reconvergent fanout; exact probabilities must match simulation
+  // tightly (densities agree in the low-activity regime where simultaneous
+  // input switching is negligible).
+  const netlist::Netlist nl = netlist::parse_bench_string(R"(
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)");
+  activity::ActivityProfile profile;
+  profile.input_density = 0.05;
+  const auto exact = activity::estimate_activity_exact(nl, profile);
+  util::Rng rng(99);
+  const auto mc = sim::measure_activity(nl, profile, 200000, rng);
+  for (netlist::GateId id : nl.combinational()) {
+    EXPECT_NEAR(exact.probability[id], mc.probability[id], 0.01)
+        << nl.gate(id).name;
+    EXPECT_NEAR(exact.density[id], mc.density[id], 0.01)
+        << nl.gate(id).name;
+  }
+}
+
+TEST(ExactActivity, ExactNeverExceedsFirstOrderOnAndOrLogic) {
+  // For monotone reconvergence the independence assumption overestimates
+  // switching; check the aggregate ordering on random circuits.
+  netlist::GeneratorSpec spec;
+  spec.num_inputs = 8;
+  spec.num_gates = 40;
+  spec.depth = 6;
+  spec.frac_xor = 0.0;
+  spec.seed = 5;
+  const netlist::Netlist nl = netlist::generate_random_logic(spec);
+  activity::ActivityProfile profile;
+  profile.input_density = 0.2;
+  const auto first = activity::estimate_activity(nl, profile);
+  const auto exact = activity::estimate_activity_exact(nl, profile);
+  double first_sum = 0.0, exact_sum = 0.0;
+  for (netlist::GateId id : nl.combinational()) {
+    first_sum += first.density[id];
+    exact_sum += exact.density[id];
+  }
+  EXPECT_LE(exact_sum, first_sum * 1.05);
+}
+
+TEST(ExactActivity, SequentialCircuitConverges) {
+  const netlist::Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = XOR(a, q)
+y = BUF(q)
+)");
+  activity::ActivityProfile profile;
+  profile.input_density = 0.4;
+  const auto exact = activity::estimate_activity_exact(nl, profile);
+  EXPECT_NEAR(exact.probability[nl.find("q")], 0.5, 0.05);
+  EXPECT_GT(exact.density[nl.find("d")], 0.0);
+}
+
+TEST(ExactActivity, S27Works) {
+  const netlist::Netlist nl = netlist::parse_bench_string(R"(
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)");
+  activity::ActivityProfile profile;
+  profile.input_density = 0.3;
+  const auto exact = activity::estimate_activity_exact(nl, profile);
+  for (netlist::GateId id : nl.combinational()) {
+    EXPECT_GE(exact.probability[id], 0.0);
+    EXPECT_LE(exact.probability[id], 1.0);
+    EXPECT_GE(exact.density[id], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace minergy::bdd

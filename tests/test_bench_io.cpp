@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.h"
+#include "util/check.h"
+
+namespace minergy::netlist {
+namespace {
+
+constexpr const char* kC17 = R"(
+# ISCAS-85 c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+TEST(BenchParser, ParsesC17) {
+  Netlist nl = parse_bench_string(kC17, "c17");
+  EXPECT_EQ(nl.primary_inputs().size(), 5u);
+  EXPECT_EQ(nl.primary_outputs().size(), 2u);
+  EXPECT_EQ(nl.num_combinational(), 6u);
+  EXPECT_EQ(nl.depth(), 3);
+  const GateId g22 = nl.find("22");
+  ASSERT_NE(g22, kInvalidGate);
+  EXPECT_EQ(nl.gate(g22).type, GateType::kNand);
+  EXPECT_TRUE(nl.gate(g22).is_primary_output);
+}
+
+TEST(BenchParser, ForwardReferencesResolve) {
+  // OUTPUT and fanin references before the defining assignment.
+  const char* text = R"(
+OUTPUT(y)
+INPUT(a)
+y = NOT(b)
+b = NOT(a)
+)";
+  Netlist nl = parse_bench_string(text);
+  EXPECT_EQ(nl.depth(), 2);
+}
+
+TEST(BenchParser, ParsesDff) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(o)
+q = DFF(g)
+g = NAND(a, q)
+o = NOT(g)
+)";
+  Netlist nl = parse_bench_string(text);
+  EXPECT_EQ(nl.dffs().size(), 1u);
+  EXPECT_EQ(nl.num_combinational(), 2u);
+}
+
+TEST(BenchParser, CaseInsensitiveAndWhitespaceTolerant) {
+  const char* text = "input( a )\noutput(y)\n y  =  nand( a , a2 )\n"
+                     "INPUT(a2)\n";
+  Netlist nl = parse_bench_string(text);
+  EXPECT_EQ(nl.num_combinational(), 1u);
+  EXPECT_EQ(nl.gate(nl.find("y")).type, GateType::kNand);
+}
+
+TEST(BenchParser, CommentsAndBlankLinesIgnored) {
+  const char* text = R"(
+# full comment line
+
+INPUT(a)   # trailing comment
+OUTPUT(y)
+y = NOT(a)
+)";
+  EXPECT_NO_THROW(parse_bench_string(text));
+}
+
+TEST(BenchParser, UndefinedFaninThrows) {
+  const char* text = "INPUT(a)\ny = NAND(a, ghost)\nOUTPUT(y)\n";
+  EXPECT_THROW(parse_bench_string(text), util::ParseError);
+}
+
+TEST(BenchParser, UndefinedOutputThrows) {
+  const char* text = "INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)\n";
+  EXPECT_THROW(parse_bench_string(text), util::ParseError);
+}
+
+TEST(BenchParser, UnknownGateThrows) {
+  const char* text = "INPUT(a)\ny = MAJ3(a, a, a)\n";
+  EXPECT_THROW(parse_bench_string(text), util::ParseError);
+}
+
+TEST(BenchParser, MalformedLineThrows) {
+  EXPECT_THROW(parse_bench_string("INPUT a\n"), util::ParseError);
+  EXPECT_THROW(parse_bench_string("y = NAND(a\n"), util::ParseError);
+  EXPECT_THROW(parse_bench_string("y = (a, b)\n"), util::ParseError);
+}
+
+TEST(BenchParser, ErrorCarriesLineNumber) {
+  try {
+    parse_bench_string("INPUT(a)\nINPUT(b)\ny = FROB(a, b)\n", "t.bench");
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.line_no(), 3);
+    EXPECT_EQ(e.file(), "t.bench");
+  }
+}
+
+TEST(BenchParser, DuplicateDefinitionThrows) {
+  const char* text = "INPUT(a)\ny = NOT(a)\ny = NOT(a)\n";
+  EXPECT_THROW(parse_bench_string(text), std::invalid_argument);
+}
+
+TEST(BenchWriter, RoundTripPreservesStructure) {
+  Netlist nl = parse_bench_string(kC17, "c17");
+  const std::string text = to_bench(nl);
+  Netlist nl2 = parse_bench_string(text, "c17rt");
+  EXPECT_EQ(nl2.primary_inputs().size(), nl.primary_inputs().size());
+  EXPECT_EQ(nl2.primary_outputs().size(), nl.primary_outputs().size());
+  EXPECT_EQ(nl2.num_combinational(), nl.num_combinational());
+  EXPECT_EQ(nl2.depth(), nl.depth());
+  // Same connectivity gate by gate.
+  for (const Gate& g : nl.gates()) {
+    const GateId id2 = nl2.find(g.name);
+    ASSERT_NE(id2, kInvalidGate) << g.name;
+    EXPECT_EQ(nl2.gate(id2).type, g.type);
+    EXPECT_EQ(nl2.gate(id2).fanins.size(), g.fanins.size());
+  }
+}
+
+TEST(BenchWriter, RoundTripWithDff) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(o)
+q = DFF(g)
+g = NAND(a, q)
+o = NOT(g)
+)";
+  Netlist nl = parse_bench_string(text);
+  Netlist nl2 = parse_bench_string(to_bench(nl));
+  EXPECT_EQ(nl2.dffs().size(), 1u);
+  EXPECT_EQ(nl2.num_combinational(), 2u);
+}
+
+TEST(BenchFile, MissingFileThrows) {
+  EXPECT_THROW(parse_bench_file("/nonexistent/file.bench"), util::ParseError);
+}
+
+TEST(BenchFile, WriteAndReadBack) {
+  Netlist nl = parse_bench_string(kC17, "c17");
+  const std::string path = ::testing::TempDir() + "/c17_roundtrip.bench";
+  write_bench_file(nl, path);
+  Netlist nl2 = parse_bench_file(path);
+  EXPECT_EQ(nl2.num_combinational(), 6u);
+}
+
+}  // namespace
+}  // namespace minergy::netlist

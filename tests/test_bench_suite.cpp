@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "bench_suite/experiment.h"
+#include "bench_suite/iscas.h"
+#include "netlist/stats.h"
+
+namespace minergy::bench_suite {
+namespace {
+
+TEST(Iscas, C17Structure) {
+  netlist::Netlist nl = make_c17();
+  EXPECT_EQ(nl.name(), "c17");
+  EXPECT_EQ(nl.primary_inputs().size(), 5u);
+  EXPECT_EQ(nl.primary_outputs().size(), 2u);
+  EXPECT_EQ(nl.num_combinational(), 6u);
+  EXPECT_EQ(nl.depth(), 3);
+  // All gates are 2-input NANDs.
+  for (netlist::GateId id : nl.combinational()) {
+    EXPECT_EQ(nl.gate(id).type, netlist::GateType::kNand);
+    EXPECT_EQ(nl.gate(id).fanin_count(), 2);
+  }
+}
+
+TEST(Iscas, S27Structure) {
+  netlist::Netlist nl = make_s27();
+  EXPECT_EQ(nl.primary_inputs().size(), 4u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_EQ(nl.dffs().size(), 3u);
+  EXPECT_EQ(nl.num_combinational(), 10u);
+}
+
+TEST(Iscas, PaperSuiteInstantiates) {
+  const auto& specs = paper_circuits();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs.front().name, "s27");
+  for (const CircuitSpec& spec : specs) {
+    const netlist::Netlist nl = make_circuit(spec);
+    const netlist::NetlistStats s = netlist::compute_stats(nl);
+    EXPECT_GT(s.num_gates, 0u) << spec.name;
+    if (spec.surrogate) {
+      EXPECT_EQ(s.num_gates, static_cast<std::size_t>(spec.gen.num_gates));
+      EXPECT_EQ(s.depth, spec.gen.depth);
+      EXPECT_EQ(s.num_dffs, static_cast<std::size_t>(spec.gen.num_dffs));
+    }
+  }
+}
+
+TEST(Iscas, SurrogatesMatchPublishedIscasScale) {
+  // Sanity pins on the published ISCAS-89 statistics the surrogates mimic.
+  const netlist::NetlistStats s298 =
+      netlist::compute_stats(make_circuit("s298*"));
+  EXPECT_EQ(s298.num_gates, 119u);
+  EXPECT_EQ(s298.num_dffs, 14u);
+  const netlist::NetlistStats s832 =
+      netlist::compute_stats(make_circuit("s832*"));
+  EXPECT_EQ(s832.num_gates, 287u);
+}
+
+TEST(Iscas, LookupByEitherName) {
+  EXPECT_NO_THROW(make_circuit("s298*"));
+  EXPECT_NO_THROW(make_circuit("s298"));
+  EXPECT_NO_THROW(make_circuit("c17"));
+  EXPECT_THROW(make_circuit("s99999"), std::invalid_argument);
+}
+
+TEST(Iscas, SurrogatesAreDeterministic) {
+  const std::string a = netlist::compute_stats(make_circuit("s344*")).to_string();
+  const std::string b = netlist::compute_stats(make_circuit("s344*")).to_string();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Experiment, ChooseCycleTimeUsesRequestedWhenFeasible) {
+  ExperimentConfig cfg;
+  cfg.clock_frequency = 10e6;  // 100 ns: trivially feasible
+  bool scaled = true;
+  const double tc = choose_cycle_time(make_s27(), cfg, &scaled);
+  EXPECT_FALSE(scaled);
+  EXPECT_DOUBLE_EQ(tc, 1e-7);
+}
+
+TEST(Experiment, ChooseCycleTimeScalesWhenInfeasible) {
+  ExperimentConfig cfg;
+  cfg.clock_frequency = 20e9;  // 50 ps: impossible for the baseline
+  bool scaled = false;
+  const double tc = choose_cycle_time(make_s27(), cfg, &scaled);
+  EXPECT_TRUE(scaled);
+  EXPECT_GT(tc, 5e-11);
+}
+
+TEST(Experiment, RunCircuitProducesPaperShapedRows) {
+  ExperimentConfig cfg;
+  cfg.input_activities = {0.1, 0.5};
+  const auto rows = run_circuit(paper_circuits()[0], cfg);  // s27
+  ASSERT_EQ(rows.size(), 2u);
+  for (const CircuitExperiment& e : rows) {
+    EXPECT_EQ(e.circuit, "s27");
+    ASSERT_TRUE(e.baseline.feasible);
+    ASSERT_TRUE(e.joint.feasible);
+    EXPECT_GT(e.savings, 1.0);
+    EXPECT_LT(e.joint.vdd, e.baseline.vdd);
+    EXPECT_LT(e.joint.vts_primary, e.baseline.vts_primary);
+    EXPECT_LE(e.baseline.critical_delay, e.cycle_time);
+    EXPECT_LE(e.joint.critical_delay, e.cycle_time);
+  }
+  // The paper's observation: savings increase with input activity.
+  EXPECT_GT(rows[1].savings, rows[0].savings);
+}
+
+}  // namespace
+}  // namespace minergy::bench_suite

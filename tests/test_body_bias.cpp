@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/body_bias.h"
+
+namespace minergy::tech {
+namespace {
+
+TEST(BodyBiasParams, Validation) {
+  BodyBiasParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.gamma = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = BodyBiasParams{};
+  p.max_forward_bias = 0.7;  // beyond diode turn-on
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(BodyBias, ZeroBiasGivesNaturalThreshold) {
+  const BodyBiasCalculator calc{BodyBiasParams{}};
+  EXPECT_NEAR(calc.vt_at_bias(0.08, 0.0), 0.08, 1e-12);
+}
+
+TEST(BodyBias, ReverseBiasRaisesThreshold) {
+  const BodyBiasCalculator calc{BodyBiasParams{}};
+  double prev = 0.0;
+  for (double vsb = 0.0; vsb <= 5.0; vsb += 0.5) {
+    const double vt = calc.vt_at_bias(0.08, vsb);
+    EXPECT_GT(vt, prev - 1e-12);
+    prev = vt;
+  }
+  EXPECT_GT(calc.vt_at_bias(0.08, 3.0), 0.4);  // substantial range
+}
+
+TEST(BodyBias, RoundTripTargetToBias) {
+  const BodyBiasCalculator calc{BodyBiasParams{}};
+  for (double target : {0.10, 0.15, 0.20, 0.35, 0.55}) {
+    const BiasSolution s = calc.bias_for_target(0.08, target);
+    ASSERT_TRUE(s.in_safe_range) << "target " << target;
+    EXPECT_NEAR(calc.vt_at_bias(0.08, s.vsb), target, 1e-9);
+    EXPECT_GE(s.vsb, 0.0);  // raising Vt needs reverse bias
+  }
+}
+
+TEST(BodyBias, ForwardBiasLowersThreshold) {
+  const BodyBiasCalculator calc{BodyBiasParams{}};
+  const BiasSolution s = calc.bias_for_target(0.12, 0.08);
+  EXPECT_LT(s.vsb, 0.0);
+  if (s.in_safe_range) {
+    EXPECT_NEAR(calc.vt_at_bias(0.12, s.vsb), 0.08, 1e-9);
+  }
+}
+
+TEST(BodyBias, UnreachableTargetsAreClamped) {
+  const BodyBiasCalculator calc{BodyBiasParams{}};
+  // Far above the reverse-bias ceiling.
+  const BiasSolution high = calc.bias_for_target(0.08, 2.0);
+  EXPECT_FALSE(high.in_safe_range);
+  EXPECT_NEAR(high.vsb, calc.params().max_reverse_bias, 1e-12);
+  // Far below what forward bias can reach.
+  const BiasSolution low = calc.bias_for_target(0.5, -0.5);
+  EXPECT_FALSE(low.in_safe_range);
+  EXPECT_NEAR(low.vsb, -calc.params().max_forward_bias, 1e-12);
+}
+
+TEST(BodyBias, SensitivityDropsWithReverseBias) {
+  // dVt/dVsb = gamma / (2 sqrt(2phi + vsb)): regulation gets easier at
+  // deeper reverse bias.
+  const BodyBiasCalculator calc{BodyBiasParams{}};
+  const BiasSolution near = calc.bias_for_target(0.08, 0.15);
+  const BiasSolution far = calc.bias_for_target(0.08, 0.55);
+  EXPECT_GT(near.sensitivity, far.sensitivity);
+  EXPECT_GT(far.sensitivity, 0.0);
+}
+
+TEST(BodyBias, Figure1RailVoltages) {
+  // Figure 1: substrate below ground, n-well above Vdd.
+  const BodyBiasCalculator calc{BodyBiasParams{}};
+  const double v_sub = calc.substrate_rail(0.18);
+  EXPECT_LT(v_sub, 0.0);
+  const double v_nwell = calc.nwell_rail(0.18, 0.9);
+  EXPECT_GT(v_nwell, 0.9);
+  // Consistency with the underlying solution.
+  EXPECT_NEAR(-v_sub, calc.nmos_substrate_bias(0.18).vsb, 1e-12);
+  EXPECT_NEAR(v_nwell - 0.9, calc.pmos_well_bias(0.18).vsb, 1e-12);
+}
+
+TEST(BodyBias, PaperOperatingPointsAreRealizable) {
+  // The joint optimizer lands at Vts in ~[100, 210] mV; with natural
+  // devices at 80-100 mV all of that window must be reachable with modest
+  // reverse bias.
+  const BodyBiasCalculator calc{BodyBiasParams{}};
+  for (double vts = 0.10; vts <= 0.21; vts += 0.01) {
+    const BiasSolution n = calc.nmos_substrate_bias(vts);
+    EXPECT_TRUE(n.in_safe_range) << vts;
+    EXPECT_LT(n.vsb, 1.0) << vts;  // well within the junction limit
+  }
+}
+
+}  // namespace
+}  // namespace minergy::tech

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "charlib/charlib.h"
+#include "spice/transient_sim.h"
+
+namespace minergy::charlib {
+namespace {
+
+using netlist::GateType;
+
+struct Fixture {
+  tech::Technology tech = tech::Technology::generic350();
+  tech::DeviceModel dev{tech};
+  Characterizer chr{dev, 0.9, 0.15};
+};
+
+TEST(CellName, Defaults) {
+  EXPECT_EQ(cell_name({GateType::kNand, 2, 4.0, ""}), "NAND2_W4");
+  EXPECT_EQ(cell_name({GateType::kNot, 1, 2.0, ""}), "NOT_W2");
+  EXPECT_EQ(cell_name({GateType::kNor, 3, 8.0, ""}), "NOR3_W8");
+  EXPECT_EQ(cell_name({GateType::kAnd, 2, 1.0, "CUSTOM"}), "CUSTOM");
+}
+
+TEST(LibertyFunction, Strings) {
+  EXPECT_EQ(liberty_function(GateType::kNand, 2), "!(A0 * A1)");
+  EXPECT_EQ(liberty_function(GateType::kNor, 3), "!(A0 + A1 + A2)");
+  EXPECT_EQ(liberty_function(GateType::kXor, 2), "(A0 ^ A1)");
+  EXPECT_EQ(liberty_function(GateType::kNot, 1), "!(A0)");
+  EXPECT_EQ(liberty_function(GateType::kBuf, 1), "(A0)");
+}
+
+TEST(Characterizer, DelayMonotoneInLoadAndSlew) {
+  Fixture f;
+  const CellSpec spec{GateType::kNand, 2, 4.0, ""};
+  double prev = 0.0;
+  for (double load = 1e-15; load <= 64e-15; load *= 2.0) {
+    const double d = f.chr.cell_delay(spec, 50e-12, load);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+  prev = 0.0;
+  for (double slew = 0.0; slew <= 400e-12; slew += 50e-12) {
+    const double d = f.chr.cell_delay(spec, slew, 10e-15);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Characterizer, WiderCellIsFasterUnderFixedLoad) {
+  Fixture f;
+  const double d2 =
+      f.chr.cell_delay({GateType::kNand, 2, 2.0, ""}, 50e-12, 20e-15);
+  const double d8 =
+      f.chr.cell_delay({GateType::kNand, 2, 8.0, ""}, 50e-12, 20e-15);
+  EXPECT_LT(d8, d2);
+}
+
+TEST(Characterizer, StackFactorSlowsWideFanin) {
+  Fixture f;
+  const double d2 =
+      f.chr.cell_delay({GateType::kNand, 2, 4.0, ""}, 0.0, 20e-15);
+  const double d4 =
+      f.chr.cell_delay({GateType::kNand, 4, 4.0, ""}, 0.0, 20e-15);
+  EXPECT_GT(d4, d2);
+}
+
+TEST(Characterizer, TableShapeAndValues) {
+  Fixture f;
+  const CellData cell = f.chr.characterize({GateType::kNor, 2, 4.0, ""});
+  ASSERT_EQ(cell.timing.slews.size(), 5u);
+  ASSERT_EQ(cell.timing.loads.size(), 5u);
+  ASSERT_EQ(cell.timing.delay.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(cell.timing.delay[i].size(), 5u);
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_GT(cell.timing.delay[i][j], 0.0);
+      EXPECT_GT(cell.timing.transition[i][j], 0.0);
+      if (j > 0) {
+        EXPECT_GT(cell.timing.delay[i][j], cell.timing.delay[i][j - 1]);
+      }
+      if (i > 0) {
+        EXPECT_GE(cell.timing.delay[i][j], cell.timing.delay[i - 1][j]);
+      }
+    }
+  }
+  EXPECT_GT(cell.input_cap, 0.0);
+  EXPECT_GT(cell.leakage_power, 0.0);
+  EXPECT_GT(cell.area, 0.0);
+}
+
+TEST(Characterizer, LeakageScalesWithThreshold) {
+  Fixture f;
+  const Characterizer low(f.dev, 0.9, 0.12);
+  const Characterizer high(f.dev, 0.9, 0.30);
+  const CellSpec spec{GateType::kNot, 1, 4.0, ""};
+  const CellData a = low.characterize(spec);
+  const CellData b = high.characterize(spec);
+  EXPECT_GT(a.leakage_power, 10.0 * b.leakage_power);
+}
+
+TEST(Characterizer, AgreesWithTransientSimulation) {
+  // Characterized delay vs the numerical integrator at matching
+  // conditions (inverter, step input): same constant-factor band the
+  // Appendix-A validation establishes.
+  Fixture f;
+  const spice::TransientSim sim(f.dev);
+  const CellSpec spec{GateType::kNot, 1, 4.0, ""};
+  for (double load : {6e-15, 24e-15}) {
+    spice::StageConfig cfg;
+    cfg.width = spec.width;
+    cfg.fanin = 1;
+    cfg.load_cap = load + spec.width * f.dev.cpar_per_wunit();
+    cfg.input_rise_time = 1e-12;
+    const double simulated = sim.propagation_delay(cfg, 0.9, 0.15);
+    const double characterized = f.chr.cell_delay(spec, 0.0, load);
+    ASSERT_GT(simulated, 0.0);
+    const double ratio = simulated / characterized;
+    EXPECT_GT(ratio, 0.4) << "load " << load;
+    EXPECT_LT(ratio, 2.5) << "load " << load;
+  }
+}
+
+TEST(LibertyExport, StructurallySound) {
+  Fixture f;
+  std::vector<CellData> cells;
+  cells.push_back(f.chr.characterize({GateType::kNot, 1, 2.0, ""}));
+  cells.push_back(f.chr.characterize({GateType::kNand, 2, 4.0, ""}));
+  cells.push_back(f.chr.characterize({GateType::kNor, 3, 4.0, ""}));
+  const std::string lib = export_liberty("minergy_lp", f.chr, cells);
+
+  EXPECT_NE(lib.find("library (minergy_lp)"), std::string::npos);
+  EXPECT_NE(lib.find("nom_voltage : 0.9"), std::string::npos);
+  EXPECT_NE(lib.find("cell (NOT_W2)"), std::string::npos);
+  EXPECT_NE(lib.find("cell (NAND2_W4)"), std::string::npos);
+  EXPECT_NE(lib.find("cell (NOR3_W4)"), std::string::npos);
+  EXPECT_NE(lib.find("function : \"!(A0 * A1)\""), std::string::npos);
+  EXPECT_NE(lib.find("lu_table_template (delay_template)"),
+            std::string::npos);
+  // One timing arc with four tables per cell.
+  auto count = [&](const std::string& needle) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = lib.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count("cell_rise"), 3u);
+  EXPECT_EQ(count("rise_transition"), 3u);
+  EXPECT_EQ(count("pin (Y)"), 3u);
+  // NOR3 has three input pins.
+  EXPECT_EQ(count("pin (A2)"), 1u);
+  // Braces balance.
+  EXPECT_EQ(count("{"), count("}"));
+}
+
+TEST(LibertyExport, Deterministic) {
+  Fixture f;
+  std::vector<CellData> cells{f.chr.characterize({GateType::kNot, 1, 2.0, ""})};
+  EXPECT_EQ(export_liberty("x", f.chr, cells),
+            export_liberty("x", f.chr, cells));
+}
+
+}  // namespace
+}  // namespace minergy::charlib

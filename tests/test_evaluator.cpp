@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generator.h"
+#include "opt/evaluator.h"
+
+namespace minergy::opt {
+namespace {
+
+using netlist::Netlist;
+
+Netlist make_circuit(std::uint64_t seed = 17) {
+  netlist::GeneratorSpec spec;
+  spec.num_inputs = 8;
+  spec.num_gates = 60;
+  spec.depth = 7;
+  spec.num_dffs = 3;
+  spec.seed = seed;
+  return netlist::generate_random_logic(spec);
+}
+
+TEST(CircuitEvaluator, BasicAccessors) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const activity::ActivityProfile profile;
+  CircuitEvaluator eval(nl, tech, profile, {.clock_frequency = 250e6});
+  EXPECT_DOUBLE_EQ(eval.clock_frequency(), 250e6);
+  EXPECT_NEAR(eval.cycle_time(), 4e-9, 1e-18);
+  EXPECT_EQ(&eval.netlist(), &nl);
+  EXPECT_EQ(eval.vts_tolerance(), 0.0);
+}
+
+TEST(CircuitEvaluator, RejectsBadSettings) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const activity::ActivityProfile profile;
+  EXPECT_THROW(
+      CircuitEvaluator(nl, tech, profile, {.clock_frequency = -1.0}),
+      std::logic_error);
+  EXPECT_THROW(CircuitEvaluator(nl, tech, profile,
+                                {.clock_frequency = 1e8, .vts_tolerance = 1.5}),
+               std::logic_error);
+}
+
+TEST(CircuitEvaluator, CornerScalingIsSymmetric) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const activity::ActivityProfile profile;
+  CircuitEvaluator eval(nl, tech, profile,
+                        {.clock_frequency = 3e8, .vts_tolerance = 0.2});
+  EXPECT_NEAR(eval.delay_vts(0.2), 0.24, 1e-12);
+  EXPECT_NEAR(eval.leakage_vts(0.2), 0.16, 1e-12);
+}
+
+TEST(CircuitEvaluator, CornersMakeThingsWorse) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const activity::ActivityProfile profile;
+  CircuitEvaluator nominal(nl, tech, profile, {.clock_frequency = 3e8});
+  CircuitEvaluator corner(
+      nl, tech, profile, {.clock_frequency = 3e8, .vts_tolerance = 0.15});
+
+  const CircuitState state = CircuitState::uniform(nl, 1.2, 0.25, 5.0);
+  // Worst-case delay is slower, worst-case leakage higher.
+  EXPECT_GT(corner.critical_delay(state), nominal.critical_delay(state));
+  EXPECT_GT(corner.energy(state).static_energy,
+            nominal.energy(state).static_energy);
+  // Dynamic energy is Vt-independent, so corners leave it unchanged.
+  EXPECT_DOUBLE_EQ(corner.energy(state).dynamic_energy,
+                   nominal.energy(state).dynamic_energy);
+}
+
+TEST(CircuitEvaluator, MeetsTimingMatchesCriticalDelay) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const activity::ActivityProfile profile;
+  CircuitEvaluator eval(nl, tech, profile, {.clock_frequency = 3e8});
+  const CircuitState strong = CircuitState::uniform(nl, 3.3, 0.15, 20.0);
+  const CircuitState weak = CircuitState::uniform(nl, 0.25, 0.6, 1.0);
+  EXPECT_TRUE(eval.meets_timing(strong, 0.95));
+  EXPECT_FALSE(eval.meets_timing(weak, 0.95));
+}
+
+TEST(CircuitEvaluator, StaRespectsCycleLimitForSlack) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const activity::ActivityProfile profile;
+  CircuitEvaluator eval(nl, tech, profile, {.clock_frequency = 3e8});
+  const CircuitState state = CircuitState::uniform(nl, 1.5, 0.2, 5.0);
+  const timing::TimingReport a = eval.sta(state, 10e-9);
+  const timing::TimingReport b = eval.sta(state, 20e-9);
+  EXPECT_DOUBLE_EQ(a.critical_delay, b.critical_delay);
+  // Slack shifts by exactly the extra 10 ns.
+  const netlist::GateId id = nl.combinational().front();
+  EXPECT_NEAR(b.slack[id] - a.slack[id], 10e-9, 1e-15);
+}
+
+TEST(CircuitEvaluator, MinimumCycleTimeIsTightAndFeasible) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const activity::ActivityProfile profile;
+  CircuitEvaluator eval(nl, tech, profile, {.clock_frequency = 3e8});
+  const double tmin = eval.minimum_cycle_time();
+  EXPECT_GT(tmin, 0.0);
+  EXPECT_LT(tmin, 1e-6);
+  // A relaxed version of the same bound must also be reachable at a high
+  // threshold; the ordering between thresholds must be physical.
+  const double tmin_highvt = eval.minimum_cycle_time(0.95, 0.7);
+  EXPECT_GT(tmin_highvt, tmin);
+}
+
+TEST(CircuitEvaluator, EnergySplitsAreConsistent) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  activity::ActivityProfile profile;
+  profile.input_density = 0.3;
+  CircuitEvaluator eval(nl, tech, profile, {.clock_frequency = 3e8});
+  const CircuitState state = CircuitState::uniform(nl, 1.0, 0.3, 4.0);
+  const power::EnergyBreakdown direct = eval.energy(state);
+  const power::EnergyBreakdown via_model =
+      eval.energy_model().total_energy(state.widths, state.vdd, 0.3);
+  EXPECT_NEAR(direct.static_energy, via_model.static_energy, 1e-25);
+  EXPECT_NEAR(direct.dynamic_energy, via_model.dynamic_energy, 1e-25);
+}
+
+TEST(CircuitState, UniformFactory) {
+  Netlist nl = make_circuit();
+  const CircuitState s = CircuitState::uniform(nl, 1.1, 0.22, 3.3);
+  EXPECT_EQ(s.vts.size(), nl.size());
+  EXPECT_EQ(s.widths.size(), nl.size());
+  EXPECT_DOUBLE_EQ(s.vdd, 1.1);
+  EXPECT_DOUBLE_EQ(s.vts[0], 0.22);
+  EXPECT_DOUBLE_EQ(s.widths[nl.size() - 1], 3.3);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(CircuitState{}.empty());
+}
+
+}  // namespace
+}  // namespace minergy::opt

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.h"
+#include "netlist/generator.h"
+#include "netlist/stats.h"
+
+namespace minergy::netlist {
+namespace {
+
+GeneratorSpec small_spec() {
+  GeneratorSpec g;
+  g.name = "t";
+  g.num_inputs = 6;
+  g.num_outputs = 4;
+  g.num_dffs = 3;
+  g.num_gates = 60;
+  g.depth = 8;
+  g.seed = 99;
+  return g;
+}
+
+TEST(Generator, SpecValidation) {
+  GeneratorSpec g = small_spec();
+  EXPECT_NO_THROW(g.validate());
+  g.num_gates = 5;  // < depth
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  g = small_spec();
+  g.num_inputs = 0;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  g = small_spec();
+  g.max_fanin = 1;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(Generator, MatchesSpecExactly) {
+  const GeneratorSpec spec = small_spec();
+  Netlist nl = generate_random_logic(spec);
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.num_gates, static_cast<std::size_t>(spec.num_gates));
+  EXPECT_EQ(s.num_inputs, static_cast<std::size_t>(spec.num_inputs));
+  EXPECT_EQ(s.num_dffs, static_cast<std::size_t>(spec.num_dffs));
+  EXPECT_EQ(s.depth, spec.depth);
+  EXPECT_GE(s.num_outputs, static_cast<std::size_t>(spec.num_outputs));
+}
+
+TEST(Generator, DeterministicInSeed) {
+  Netlist a = generate_random_logic(small_spec());
+  Netlist b = generate_random_logic(small_spec());
+  EXPECT_EQ(to_bench(a), to_bench(b));
+}
+
+TEST(Generator, DifferentSeedsGiveDifferentCircuits) {
+  GeneratorSpec g2 = small_spec();
+  g2.seed = 100;
+  Netlist a = generate_random_logic(small_spec());
+  Netlist b = generate_random_logic(g2);
+  EXPECT_NE(to_bench(a), to_bench(b));
+}
+
+TEST(Generator, EverySourceDrivesSomething) {
+  Netlist nl = generate_random_logic(small_spec());
+  for (GateId id : nl.sources()) {
+    EXPECT_FALSE(nl.gate(id).fanouts.empty())
+        << "dangling source " << nl.gate(id).name;
+  }
+}
+
+TEST(Generator, EveryGateIsObserved) {
+  Netlist nl = generate_random_logic(small_spec());
+  for (GateId id : nl.combinational()) {
+    const Gate& g = nl.gate(id);
+    EXPECT_TRUE(!g.fanouts.empty() || g.is_primary_output)
+        << "unobserved gate " << g.name;
+  }
+}
+
+TEST(Generator, FaninBoundsRespected) {
+  GeneratorSpec spec = small_spec();
+  spec.max_fanin = 3;
+  Netlist nl = generate_random_logic(spec);
+  for (GateId id : nl.combinational()) {
+    EXPECT_LE(nl.gate(id).fanin_count(), spec.max_fanin) << nl.gate(id).name;
+    EXPECT_GE(nl.gate(id).fanin_count(), 1);
+  }
+}
+
+TEST(Generator, NoDuplicateFanins) {
+  Netlist nl = generate_random_logic(small_spec());
+  for (GateId id : nl.combinational()) {
+    auto fanins = nl.gate(id).fanins;
+    std::sort(fanins.begin(), fanins.end());
+    EXPECT_EQ(std::adjacent_find(fanins.begin(), fanins.end()), fanins.end());
+  }
+}
+
+TEST(Generator, RoundTripsThroughBenchFormat) {
+  Netlist nl = generate_random_logic(small_spec());
+  Netlist nl2 = parse_bench_string(to_bench(nl), "rt");
+  EXPECT_EQ(nl2.num_combinational(), nl.num_combinational());
+  EXPECT_EQ(nl2.depth(), nl.depth());
+  EXPECT_EQ(nl2.dffs().size(), nl.dffs().size());
+}
+
+TEST(Generator, PurelyCombinationalWorks) {
+  GeneratorSpec spec = small_spec();
+  spec.num_dffs = 0;
+  Netlist nl = generate_random_logic(spec);
+  EXPECT_TRUE(nl.dffs().empty());
+  EXPECT_EQ(nl.depth(), spec.depth);
+}
+
+TEST(Generator, TinySpecWorks) {
+  GeneratorSpec spec;
+  spec.num_inputs = 1;
+  spec.num_outputs = 1;
+  spec.num_gates = 1;
+  spec.depth = 1;
+  Netlist nl = generate_random_logic(spec);
+  EXPECT_EQ(nl.num_combinational(), 1u);
+}
+
+// Depth sweep: the generator must hit the requested depth exactly across a
+// range of shapes (the surrogate calibration relies on it).
+class GeneratorDepth : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorDepth, DepthIsExact) {
+  GeneratorSpec spec = small_spec();
+  spec.depth = GetParam();
+  spec.num_gates = std::max(spec.num_gates, 4 * spec.depth);
+  Netlist nl = generate_random_logic(spec);
+  EXPECT_EQ(nl.depth(), spec.depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, GeneratorDepth,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+// Seed sweep of structural invariants.
+class GeneratorSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeeds, InvariantsHold) {
+  GeneratorSpec spec = small_spec();
+  spec.seed = GetParam();
+  Netlist nl = generate_random_logic(spec);
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.depth, spec.depth);
+  EXPECT_GT(s.avg_fanin, 1.0);
+  EXPECT_LT(s.avg_fanin, 4.0);
+  for (GateId id : nl.combinational()) {
+    EXPECT_TRUE(!nl.gate(id).fanouts.empty() || nl.gate(id).is_primary_output);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace minergy::netlist

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.h"
+#include "netlist/generator.h"
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace minergy::sim {
+namespace {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+TEST(GlitchActivity, BalancedChainHasNoGlitches) {
+  // A single path: unit-delay and zero-delay toggles agree exactly.
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+n1 = NOT(a)
+n2 = NOT(n1)
+y = NOT(n2)
+)");
+  activity::ActivityProfile profile;
+  profile.input_density = 0.4;
+  util::Rng r1(5), r2(5);
+  const MeasuredActivity settled = measure_activity(nl, profile, 30000, r1);
+  const MeasuredActivity glitchy =
+      measure_glitch_activity(nl, profile, 30000, r2);
+  for (GateId id : nl.combinational()) {
+    EXPECT_NEAR(glitchy.density[id], settled.density[id], 0.02)
+        << nl.gate(id).name;
+  }
+}
+
+TEST(GlitchActivity, UnbalancedXorGlitches) {
+  // y = XOR(a, buffered a): every input toggle makes y glitch (it returns
+  // to its settled value), so the unit-delay density is ~2x the input
+  // density while the settled density is ~0.
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+b1 = BUF(a)
+b2 = BUF(b1)
+y = XOR(a, b2)
+)");
+  activity::ActivityProfile profile;
+  profile.input_density = 0.4;
+  util::Rng r1(7), r2(7);
+  const MeasuredActivity settled = measure_activity(nl, profile, 40000, r1);
+  const MeasuredActivity glitchy =
+      measure_glitch_activity(nl, profile, 40000, r2);
+  const GateId y = nl.find("y");
+  EXPECT_NEAR(settled.density[y], 0.0, 0.01);       // y == 0 when settled
+  EXPECT_NEAR(glitchy.density[y], 2.0 * 0.4, 0.05);  // full glitch pair
+}
+
+TEST(GlitchActivity, GlitchDensityAtLeastSettledDensity) {
+  netlist::GeneratorSpec spec;
+  spec.num_inputs = 6;
+  spec.num_gates = 60;
+  spec.depth = 8;
+  spec.num_dffs = 4;
+  spec.seed = 77;
+  Netlist nl = netlist::generate_random_logic(spec);
+  activity::ActivityProfile profile;
+  profile.input_density = 0.3;
+  util::Rng r1(9), r2(9);
+  const MeasuredActivity settled = measure_activity(nl, profile, 20000, r1);
+  const MeasuredActivity glitchy =
+      measure_glitch_activity(nl, profile, 20000, r2);
+  double settled_sum = 0.0, glitch_sum = 0.0;
+  for (GateId id : nl.combinational()) {
+    // Per-node statistical noise allowed; aggregate must dominate clearly.
+    EXPECT_GE(glitchy.density[id], settled.density[id] - 0.05)
+        << nl.gate(id).name;
+    settled_sum += settled.density[id];
+    glitch_sum += glitchy.density[id];
+  }
+  EXPECT_GE(glitch_sum, settled_sum * 0.95);
+}
+
+TEST(GlitchActivity, ProbabilitiesMatchSettledModel) {
+  // The settled value each cycle is model-independent; only transition
+  // counts differ.
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+g1 = NAND(a, b)
+g2 = NOR(a, g1)
+y = XOR(g1, g2)
+)");
+  activity::ActivityProfile profile;
+  profile.input_density = 0.3;
+  util::Rng r1(11), r2(11);
+  const MeasuredActivity settled = measure_activity(nl, profile, 40000, r1);
+  const MeasuredActivity glitchy =
+      measure_glitch_activity(nl, profile, 40000, r2);
+  for (GateId id : nl.combinational()) {
+    EXPECT_NEAR(glitchy.probability[id], settled.probability[id], 0.02)
+        << nl.gate(id).name;
+  }
+}
+
+TEST(GlitchActivity, DeterministicGivenSeed) {
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+)");
+  activity::ActivityProfile profile;
+  util::Rng r1(3), r2(3);
+  const MeasuredActivity a = measure_glitch_activity(nl, profile, 5000, r1);
+  const MeasuredActivity b = measure_glitch_activity(nl, profile, 5000, r2);
+  EXPECT_EQ(a.density, b.density);
+  EXPECT_EQ(a.probability, b.probability);
+}
+
+TEST(GlitchActivity, SequentialCircuitRuns) {
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = XOR(a, q)
+y = BUF(q)
+)");
+  activity::ActivityProfile profile;
+  profile.input_density = 0.5;
+  util::Rng rng(21);
+  const MeasuredActivity m = measure_glitch_activity(nl, profile, 20000, rng);
+  EXPECT_GT(m.density[nl.find("q")], 0.1);
+  EXPECT_NEAR(m.probability[nl.find("q")], 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace minergy::sim

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interconnect/wire_model.h"
+#include "netlist/generator.h"
+
+namespace minergy::interconnect {
+namespace {
+
+TEST(WireLengthDistribution, PmfIsNormalized) {
+  for (std::size_t n : {4u, 16u, 100u, 1000u}) {
+    WireLengthDistribution d(n, 0.6);
+    double total = 0.0;
+    for (int l = 1; l <= d.max_length(); ++l) {
+      EXPECT_GE(d.pmf(l), 0.0);
+      total += d.pmf(l);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "N=" << n;
+  }
+}
+
+TEST(WireLengthDistribution, MaxLengthIsTwiceSqrtN) {
+  WireLengthDistribution d(100, 0.6);
+  EXPECT_EQ(d.max_length(), 20);
+}
+
+TEST(WireLengthDistribution, ShortWiresDominate) {
+  WireLengthDistribution d(400, 0.6);
+  // Rent's-rule distributions are heavily weighted to local wires.
+  EXPECT_GT(d.pmf(1), d.pmf(10));
+  EXPECT_GT(d.pmf(2), d.pmf(20));
+}
+
+TEST(WireLengthDistribution, MeanGrowsWithCircuitSize) {
+  const double m1 = WireLengthDistribution(64, 0.6).mean();
+  const double m2 = WireLengthDistribution(4096, 0.6).mean();
+  EXPECT_GT(m2, m1);
+  EXPECT_GE(m1, 1.0);
+}
+
+TEST(WireLengthDistribution, HigherRentExponentGivesLongerWires) {
+  const double low = WireLengthDistribution(1024, 0.45).mean();
+  const double high = WireLengthDistribution(1024, 0.75).mean();
+  EXPECT_GT(high, low);
+}
+
+TEST(WireLengthDistribution, QuantileIsMonotone) {
+  WireLengthDistribution d(256, 0.6);
+  int prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const int l = d.quantile(q);
+    EXPECT_GE(l, prev);
+    EXPECT_GE(l, 1);
+    EXPECT_LE(l, d.max_length());
+    prev = l;
+  }
+  EXPECT_EQ(d.quantile(0.0), 1);
+}
+
+TEST(WireLengthDistribution, RejectsBadParameters) {
+  EXPECT_THROW(WireLengthDistribution(0, 0.6), std::logic_error);
+  EXPECT_THROW(WireLengthDistribution(16, 0.0), std::logic_error);
+  EXPECT_THROW(WireLengthDistribution(16, 1.0), std::logic_error);
+}
+
+class WireModelTest : public ::testing::Test {
+ protected:
+  WireModelTest() {
+    netlist::GeneratorSpec spec;
+    spec.num_inputs = 6;
+    spec.num_gates = 80;
+    spec.depth = 8;
+    spec.seed = 42;
+    nl_ = netlist::generate_random_logic(spec);
+  }
+  tech::Technology tech_ = tech::Technology::generic350();
+  netlist::Netlist nl_;
+};
+
+TEST_F(WireModelTest, AllNetsHavePhysicalValues) {
+  WireModel w(tech_, nl_);
+  for (netlist::GateId id : nl_.combinational()) {
+    EXPECT_GT(w.net_length(id), 0.0);
+    EXPECT_GE(w.routed_length(id), w.net_length(id));
+    EXPECT_GT(w.net_cap(id), 0.0);
+    EXPECT_GE(w.net_res(id), 0.0);
+    EXPECT_GT(w.flight_time(id), 0.0);
+  }
+}
+
+TEST_F(WireModelTest, DeterministicAcrossInstances) {
+  WireModel a(tech_, nl_);
+  WireModel b(tech_, nl_);
+  for (netlist::GateId id : nl_.combinational()) {
+    EXPECT_EQ(a.net_length(id), b.net_length(id));
+  }
+}
+
+TEST_F(WireModelTest, LengthsSpanTheDistribution) {
+  WireModel w(tech_, nl_);
+  double lo = 1e9, hi = 0.0;
+  for (netlist::GateId id : nl_.combinational()) {
+    lo = std::min(lo, w.net_length(id));
+    hi = std::max(hi, w.net_length(id));
+  }
+  EXPECT_LT(lo, hi);  // not all nets identical
+  EXPECT_GE(lo, tech_.gate_pitch);
+}
+
+TEST_F(WireModelTest, RoutedLengthGrowsWithBranches) {
+  WireModel w(tech_, nl_);
+  for (netlist::GateId id : nl_.combinational()) {
+    const int branches = nl_.gate(id).branch_count();
+    EXPECT_NEAR(w.routed_length(id),
+                w.net_length(id) * (1.0 + 0.4 * (branches - 1)), 1e-12);
+  }
+}
+
+TEST_F(WireModelTest, CapScalesWithTechnologyWireCap) {
+  tech::Technology fat = tech_;
+  fat.wire_cap_per_len *= 2.0;
+  WireModel a(tech_, nl_);
+  WireModel b(fat, nl_);
+  const netlist::GateId id = nl_.combinational().front();
+  EXPECT_NEAR(b.net_cap(id), 2.0 * a.net_cap(id), 1e-25);
+}
+
+TEST_F(WireModelTest, FlightTimeMatchesVelocity) {
+  WireModel w(tech_, nl_);
+  const netlist::GateId id = nl_.combinational().front();
+  EXPECT_NEAR(w.flight_time(id), w.net_length(id) / tech_.flight_velocity,
+              1e-20);
+}
+
+}  // namespace
+}  // namespace minergy::interconnect

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generator.h"
+#include "opt/edp.h"
+#include "opt/evaluator.h"
+#include "opt/joint_optimizer.h"
+#include "opt/multi_vdd.h"
+
+namespace minergy::opt {
+namespace {
+
+using netlist::Netlist;
+
+Netlist make_circuit(std::uint64_t seed = 61) {
+  netlist::GeneratorSpec spec;
+  spec.num_inputs = 6;
+  spec.num_gates = 70;
+  spec.depth = 7;
+  spec.num_dffs = 4;
+  spec.seed = seed;
+  return netlist::generate_random_logic(spec);
+}
+
+activity::ActivityProfile profile() {
+  activity::ActivityProfile p;
+  p.input_density = 0.3;
+  return p;
+}
+
+// ------------------------------------------------------------- multi-Vdd
+
+TEST(MultiVdd, NeverWorseThanSingleSupply) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const CircuitEvaluator eval(nl, tech, profile(),
+                              {.clock_frequency = 200e6});
+  const MultiVddResult r = MultiVddOptimizer(eval).run();
+  ASSERT_TRUE(r.single.feasible);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.energy.total(), r.single.energy.total() * (1.0 + 1e-12));
+  EXPECT_GE(r.savings_vs_single(), 1.0);
+}
+
+TEST(MultiVdd, LowDomainIsDownstreamClosed) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const CircuitEvaluator eval(nl, tech, profile(),
+                              {.clock_frequency = 150e6});
+  const MultiVddResult r = MultiVddOptimizer(eval).run();
+  if (!r.improved) GTEST_SKIP() << "no dual-supply gain on this circuit";
+  for (netlist::GateId id : nl.combinational()) {
+    if (!r.low_domain[id]) continue;
+    for (netlist::GateId out : nl.gate(id).fanouts) {
+      if (netlist::is_combinational(nl.gate(out).type)) {
+        EXPECT_TRUE(r.low_domain[out])
+            << "low-Vdd gate " << nl.gate(id).name
+            << " drives high-Vdd gate " << nl.gate(out).name;
+      }
+    }
+  }
+  EXPECT_LT(r.vdd_low, r.vdd_high);
+  EXPECT_GT(r.low_count, 0u);
+}
+
+TEST(MultiVdd, MeetsTimingAtDualSupplyPoint) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const CircuitEvaluator eval(nl, tech, profile(),
+                              {.clock_frequency = 150e6});
+  MultiVddOptions opts;
+  const MultiVddResult r = MultiVddOptimizer(eval, opts).run();
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.critical_delay,
+            opts.base.skew_b * eval.cycle_time() * (1.0 + 1e-9));
+}
+
+TEST(MultiVdd, MoreSlackMoreGatesInLowDomain) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const CircuitEvaluator tight(nl, tech, profile(),
+                               {.clock_frequency = 250e6});
+  const CircuitEvaluator loose(nl, tech, profile(),
+                               {.clock_frequency = 60e6});
+  const MultiVddResult rt = MultiVddOptimizer(tight).run();
+  const MultiVddResult rl = MultiVddOptimizer(loose).run();
+  if (rt.improved && rl.improved) {
+    EXPECT_GE(rl.low_count + 5, rt.low_count);  // allow small noise
+  }
+  SUCCEED();
+}
+
+TEST(MultiVdd, Deterministic) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const CircuitEvaluator eval(nl, tech, profile(),
+                              {.clock_frequency = 150e6});
+  const MultiVddResult a = MultiVddOptimizer(eval).run();
+  const MultiVddResult b = MultiVddOptimizer(eval).run();
+  EXPECT_EQ(a.energy.total(), b.energy.total());
+  EXPECT_EQ(a.vdd_low, b.vdd_low);
+  EXPECT_EQ(a.low_count, b.low_count);
+}
+
+// ------------------------------------------------------------------- EDP
+
+TEST(Edp, FindsInteriorOptimum) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  EdpOptions opts;
+  opts.points = 7;
+  const EdpResult r =
+      minimize_energy_delay_product(nl, tech, profile(), opts);
+  ASSERT_TRUE(r.best.feasible);
+  EXPECT_GT(r.edp, 0.0);
+  ASSERT_EQ(r.sweep.size(), 7u);
+  // Every feasible sweep point has consistent EDP arithmetic and none
+  // beats the reported best.
+  for (const EdpPoint& p : r.sweep) {
+    if (!p.feasible) continue;
+    EXPECT_NEAR(p.edp, p.energy * p.critical_delay, 1e-30);
+    EXPECT_GE(p.edp, r.edp * (1.0 - 1e-12));
+  }
+}
+
+TEST(Edp, ProductBeatsEnergyTimesDelayOfPureEnergyRun) {
+  // A very relaxed pure-energy optimization minimizes E but lets the delay
+  // balloon; the EDP optimum must have a smaller product.
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const EdpResult r = minimize_energy_delay_product(nl, tech, profile());
+  ASSERT_TRUE(r.best.feasible);
+  const CircuitEvaluator relaxed(nl, tech, profile(),
+                                 {.clock_frequency = 5e6});  // 200 ns
+  const OptimizationResult slow = JointOptimizer(relaxed).run();
+  ASSERT_TRUE(slow.feasible);
+  EXPECT_LT(r.edp, slow.energy.total() * slow.critical_delay);
+}
+
+TEST(Edp, RejectsBadOptions) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  EdpOptions opts;
+  opts.points = 1;
+  EXPECT_THROW(minimize_energy_delay_product(nl, tech, profile(), opts),
+               std::logic_error);
+  opts = EdpOptions{};
+  opts.t_lo_factor = 0.5;
+  EXPECT_THROW(minimize_energy_delay_product(nl, tech, profile(), opts),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace minergy::opt

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "netlist/bench_io.h"
+#include "netlist/generator.h"
+#include "timing/path_enum.h"
+
+namespace minergy::timing {
+namespace {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+// a -> g1 -> g2 -> y1(PO);  g1 -> y2(PO). g1 has 2 branches.
+Netlist make_fork() {
+  return netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y1)
+OUTPUT(y2)
+g1 = NAND(a, b)
+g2 = NOT(g1)
+y1 = NOT(g2)
+y2 = NOT(g1)
+)");
+}
+
+TEST(PathAnalyzer, CriticalityValuesOnFork) {
+  Netlist nl = make_fork();
+  PathAnalyzer pa(nl);
+  const GateId g1 = nl.find("g1");
+  const GateId g2 = nl.find("g2");
+  const GateId y1 = nl.find("y1");
+  const GateId y2 = nl.find("y2");
+  // branch counts: g1 = 2 (g2, y2), g2 = 1, y1 = 1, y2 = 1.
+  EXPECT_EQ(pa.prefix_criticality(g1), 2);
+  EXPECT_EQ(pa.prefix_criticality(g2), 3);
+  EXPECT_EQ(pa.prefix_criticality(y1), 4);
+  EXPECT_EQ(pa.suffix_criticality(g1), 4);  // g1+g2+y1
+  EXPECT_EQ(pa.through_criticality(y2), 3);
+  EXPECT_EQ(pa.through_criticality(y1), 4);
+}
+
+TEST(PathAnalyzer, MostCriticalPathOnFork) {
+  Netlist nl = make_fork();
+  PathAnalyzer pa(nl);
+  const Path p = pa.most_critical();
+  EXPECT_EQ(p.criticality, 4);
+  ASSERT_EQ(p.gates.size(), 3u);
+  EXPECT_EQ(p.gates[0], nl.find("g1"));
+  EXPECT_EQ(p.gates[1], nl.find("g2"));
+  EXPECT_EQ(p.gates[2], nl.find("y1"));
+}
+
+TEST(PathAnalyzer, MostCriticalThroughSpecificGate) {
+  Netlist nl = make_fork();
+  PathAnalyzer pa(nl);
+  const Path p = pa.most_critical_through(nl.find("y2"));
+  ASSERT_EQ(p.gates.size(), 2u);
+  EXPECT_EQ(p.gates[0], nl.find("g1"));
+  EXPECT_EQ(p.gates[1], nl.find("y2"));
+  EXPECT_EQ(p.criticality, 3);
+}
+
+TEST(PathAnalyzer, TopKOrderingOnFork) {
+  Netlist nl = make_fork();
+  PathAnalyzer pa(nl);
+  const auto paths = pa.top_k(10);
+  ASSERT_EQ(paths.size(), 2u);  // only two complete paths exist
+  EXPECT_EQ(paths[0].criticality, 4);
+  EXPECT_EQ(paths[1].criticality, 3);
+}
+
+// Brute-force enumeration for cross-checking top_k on random DAGs.
+std::vector<Path> brute_force_paths(const Netlist& nl) {
+  std::vector<Path> all;
+  std::function<void(GateId, Path&)> dfs = [&](GateId id, Path& p) {
+    p.gates.push_back(id);
+    p.criticality += nl.gate(id).branch_count();
+    bool has_logic_fanout = false;
+    bool is_end = nl.gate(id).is_primary_output;
+    for (GateId out : nl.gate(id).fanouts) {
+      if (netlist::is_combinational(nl.gate(out).type)) {
+        has_logic_fanout = true;
+      } else {
+        is_end = true;  // DFF D-pin
+      }
+    }
+    if (is_end || !has_logic_fanout) all.push_back(p);
+    for (GateId out : nl.gate(id).fanouts) {
+      if (netlist::is_combinational(nl.gate(out).type)) dfs(out, p);
+    }
+    p.gates.pop_back();
+    p.criticality -= nl.gate(id).branch_count();
+  };
+  for (GateId id : nl.combinational()) {
+    bool starts = true;
+    for (GateId f : nl.gate(id).fanins) {
+      if (netlist::is_combinational(nl.gate(f).type)) starts = false;
+    }
+    if (!starts) continue;
+    Path p;
+    dfs(id, p);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Path& a, const Path& b) {
+              return a.criticality > b.criticality;
+            });
+  return all;
+}
+
+class TopKCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopKCrossCheck, MatchesBruteForce) {
+  netlist::GeneratorSpec spec;
+  spec.num_inputs = 5;
+  spec.num_gates = 24;
+  spec.depth = 5;
+  spec.num_dffs = 2;
+  spec.seed = GetParam();
+  Netlist nl = netlist::generate_random_logic(spec);
+  PathAnalyzer pa(nl);
+
+  const auto expected = brute_force_paths(nl);
+  const std::size_t k = std::min<std::size_t>(expected.size(), 12);
+  const auto got = pa.top_k(k);
+  ASSERT_EQ(got.size(), k);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(got[i].criticality, expected[i].criticality) << "rank " << i;
+    // Criticality recomputed from the emitted gates must be consistent.
+    std::int64_t sum = 0;
+    for (GateId id : got[i].gates) sum += nl.gate(id).branch_count();
+    EXPECT_EQ(sum, got[i].criticality);
+  }
+  // Decreasing order.
+  for (std::size_t i = 1; i < k; ++i) {
+    EXPECT_LE(got[i].criticality, got[i - 1].criticality);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopKCrossCheck,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(PathAnalyzer, TopKPathsAreDistinct) {
+  netlist::GeneratorSpec spec;
+  spec.num_inputs = 5;
+  spec.num_gates = 30;
+  spec.depth = 6;
+  spec.seed = 31;
+  Netlist nl = netlist::generate_random_logic(spec);
+  PathAnalyzer pa(nl);
+  const auto paths = pa.top_k(20);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_NE(paths[i].gates, paths[j].gates);
+    }
+  }
+}
+
+TEST(PathAnalyzer, ThroughCriticalityConsistentWithReconstruction) {
+  netlist::GeneratorSpec spec;
+  spec.num_inputs = 6;
+  spec.num_gates = 40;
+  spec.depth = 6;
+  spec.seed = 77;
+  Netlist nl = netlist::generate_random_logic(spec);
+  PathAnalyzer pa(nl);
+  for (GateId id : nl.combinational()) {
+    const Path p = pa.most_critical_through(id);
+    std::int64_t sum = 0;
+    bool contains = false;
+    for (GateId g : p.gates) {
+      sum += nl.gate(g).branch_count();
+      contains |= g == id;
+    }
+    EXPECT_TRUE(contains);
+    EXPECT_EQ(sum, pa.through_criticality(id));
+    // Path is a connected chain.
+    for (std::size_t i = 1; i < p.gates.size(); ++i) {
+      const auto& fi = nl.gate(p.gates[i]).fanins;
+      EXPECT_NE(std::find(fi.begin(), fi.end(), p.gates[i - 1]), fi.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace minergy::timing

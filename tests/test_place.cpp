@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.h"
+#include "netlist/generator.h"
+#include "place/placement.h"
+#include "timing/delay_model.h"
+#include "timing/sta.h"
+#include "util/rng.h"
+
+namespace minergy::place {
+namespace {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+Netlist make_circuit(std::uint64_t seed = 8) {
+  netlist::GeneratorSpec spec;
+  spec.num_inputs = 8;
+  spec.num_gates = 80;
+  spec.depth = 8;
+  spec.num_dffs = 4;
+  spec.seed = seed;
+  return netlist::generate_random_logic(spec);
+}
+
+TEST(Placement, DefaultIsLegalRowMajor) {
+  Netlist nl = make_circuit();
+  Placement p(nl);
+  EXPECT_TRUE(p.legal());
+  EXPECT_GE(static_cast<std::size_t>(p.grid_width()) *
+                static_cast<std::size_t>(p.grid_height()),
+            nl.size());
+}
+
+TEST(Placement, SwapKeepsLegality) {
+  Netlist nl = make_circuit();
+  Placement p(nl);
+  p.swap(0, 5);
+  p.swap(3, 7);
+  EXPECT_TRUE(p.legal());
+  // Swapping back restores the original cells.
+  const Cell c0 = p.location(0);
+  p.swap(0, 5);
+  EXPECT_NE(p.location(0).x * 10000 + p.location(0).y,
+            c0.x * 10000 + c0.y);
+}
+
+TEST(Placement, SetLocationBoundsChecked) {
+  Netlist nl = make_circuit();
+  Placement p(nl);
+  EXPECT_THROW(p.set_location(0, {-1, 0}), std::logic_error);
+  EXPECT_THROW(p.set_location(0, {0, p.grid_height()}), std::logic_error);
+}
+
+TEST(Placement, HpwlOfKnownConfiguration) {
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+)");
+  Placement p(nl);  // 3 nodes -> 2x2 grid
+  ASSERT_GE(p.grid_width(), 2);
+  const GateId a = nl.find("a"), b = nl.find("b"), y = nl.find("y");
+  p.set_location(a, {0, 0});
+  p.set_location(b, {1, 1});
+  p.set_location(y, {1, 0});
+  // Net a: pins {a, y} -> bbox (0..1, 0..0) -> HPWL 1.
+  EXPECT_DOUBLE_EQ(p.net_hpwl(a), 1.0);
+  // Net b: pins {b, y} -> bbox (1..1, 0..1) -> HPWL 1.
+  EXPECT_DOUBLE_EQ(p.net_hpwl(b), 1.0);
+  // y drives nothing (PO only): HPWL 0.
+  EXPECT_DOUBLE_EQ(p.net_hpwl(y), 0.0);
+  EXPECT_DOUBLE_EQ(p.total_hpwl(), 2.0);
+}
+
+TEST(AnnealingPlacer, ProducesLegalPlacement) {
+  Netlist nl = make_circuit();
+  const Placement p = AnnealingPlacer({.seed = 3}).place(nl);
+  EXPECT_TRUE(p.legal());
+}
+
+TEST(AnnealingPlacer, DeterministicInSeed) {
+  Netlist nl = make_circuit();
+  const Placement a = AnnealingPlacer({.seed = 3}).place(nl);
+  const Placement b = AnnealingPlacer({.seed = 3}).place(nl);
+  for (GateId id = 0; id < nl.size(); ++id) {
+    EXPECT_EQ(a.location(id).x, b.location(id).x);
+    EXPECT_EQ(a.location(id).y, b.location(id).y);
+  }
+}
+
+TEST(AnnealingPlacer, BeatsRandomPlacementSubstantially) {
+  Netlist nl = make_circuit();
+  // Random baseline: average HPWL over a few shuffles.
+  util::Rng rng(17);
+  double random_hpwl = 0.0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    Placement p(nl);
+    for (std::size_t i = 0; i + 1 < nl.size(); ++i) {
+      const auto j = i + static_cast<std::size_t>(
+                             rng.uniform_index(nl.size() - i));
+      p.swap(static_cast<GateId>(i), static_cast<GateId>(j));
+    }
+    random_hpwl += p.total_hpwl();
+  }
+  random_hpwl /= trials;
+
+  const Placement placed = AnnealingPlacer({.seed = 5}).place(nl);
+  EXPECT_LT(placed.total_hpwl(), 0.7 * random_hpwl);
+}
+
+TEST(PlacedWireModel, PhysicalAndConsistent) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const Placement placed = AnnealingPlacer({.seed = 7}).place(nl);
+  const PlacedWireModel wires(tech, placed);
+  for (GateId id : nl.combinational()) {
+    EXPECT_GE(wires.net_length(id), tech.gate_pitch);
+    EXPECT_GE(wires.routed_length(id), wires.net_length(id));
+    EXPECT_GT(wires.net_cap(id), 0.0);
+    EXPECT_NEAR(wires.flight_time(id),
+                wires.net_length(id) / tech.flight_velocity, 1e-20);
+  }
+}
+
+TEST(PlacedWireModel, DrivesTheTimingFlow) {
+  // The whole analysis stack must run on placed wires through the abstract
+  // WireLoads interface.
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const tech::DeviceModel dev(tech);
+  const Placement placed = AnnealingPlacer({.seed = 11}).place(nl);
+  const PlacedWireModel wires(tech, placed);
+  const timing::DelayCalculator calc(nl, dev, wires);
+  const std::vector<double> w(nl.size(), 4.0);
+  const timing::TimingReport r = timing::run_sta(calc, w, 1.2, 0.2, 10e-9);
+  EXPECT_GT(r.critical_delay, 0.0);
+  EXPECT_LT(r.critical_delay, 1e-6);
+}
+
+TEST(PlacedWireModel, BetterPlacementMeansSmallerLoads) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  Placement shuffled(nl);
+  util::Rng rng(23);
+  for (std::size_t i = 0; i + 1 < nl.size(); ++i) {
+    const auto j = i + static_cast<std::size_t>(
+                           rng.uniform_index(nl.size() - i));
+    shuffled.swap(static_cast<GateId>(i), static_cast<GateId>(j));
+  }
+  const Placement annealed = AnnealingPlacer({.seed = 29}).place(nl);
+  const PlacedWireModel random_wires(tech, shuffled);
+  const PlacedWireModel placed_wires(tech, annealed);
+  double random_cap = 0.0, placed_cap = 0.0;
+  for (GateId id : nl.combinational()) {
+    random_cap += random_wires.net_cap(id);
+    placed_cap += placed_wires.net_cap(id);
+  }
+  EXPECT_LT(placed_cap, random_cap);
+}
+
+}  // namespace
+}  // namespace minergy::place

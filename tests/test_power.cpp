@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "activity/activity.h"
+#include "interconnect/wire_model.h"
+#include "netlist/bench_io.h"
+#include "power/energy_model.h"
+
+namespace minergy::power {
+namespace {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+struct Fixture {
+  Fixture()
+      : nl(netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+g1 = NAND(a, b)
+g2 = NOR(g1, c)
+y = NOT(g2)
+)")),
+        tech(tech::Technology::generic350()),
+        dev(tech),
+        wires(tech, nl),
+        act(activity::estimate_activity(nl, profile())),
+        energy(nl, dev, wires, act, kFc) {}
+
+  static activity::ActivityProfile profile() {
+    activity::ActivityProfile p;
+    p.input_density = 0.2;
+    return p;
+  }
+
+  static constexpr double kFc = 300e6;
+
+  std::vector<double> widths(double w) const {
+    return std::vector<double>(nl.size(), w);
+  }
+
+  Netlist nl;
+  tech::Technology tech;
+  tech::DeviceModel dev;
+  interconnect::WireModel wires;
+  activity::ActivityResult act;
+  EnergyModel energy;
+};
+
+TEST(EnergyModel, StaticEnergyMatchesClosedForm) {
+  Fixture f;
+  const auto w = f.widths(5.0);
+  const GateId g1 = f.nl.find("g1");
+  const EnergyBreakdown e = f.energy.gate_energy(g1, w, 1.2, 0.25);
+  // E_s = Vdd * w * Ioff / f_c.
+  const double expected =
+      1.2 * 5.0 * f.dev.ioff_per_wunit(0.25) / Fixture::kFc;
+  EXPECT_NEAR(e.static_energy, expected, expected * 1e-12);
+}
+
+TEST(EnergyModel, DynamicEnergyMatchesClosedForm) {
+  Fixture f;
+  const auto w = f.widths(5.0);
+  const GateId g1 = f.nl.find("g1");  // 2 inputs, fanout = {g2}
+  const EnergyBreakdown e = f.energy.gate_energy(g1, w, 1.2, 0.25);
+  const double cap = 5.0 * (f.dev.cpar_per_wunit() + f.dev.cmid_per_wunit()) +
+                     5.0 * f.dev.cin_per_wunit() + f.wires.net_cap(g1);
+  const double expected =
+      0.5 * f.act.density[g1] * 1.2 * 1.2 * cap;
+  EXPECT_NEAR(e.dynamic_energy, expected, expected * 1e-12);
+}
+
+TEST(EnergyModel, PrimaryOutputLoadIsCharged) {
+  Fixture f;
+  const auto w = f.widths(5.0);
+  const GateId y = f.nl.find("y");
+  const EnergyBreakdown e = f.energy.gate_energy(y, w, 1.0, 0.25);
+  const double cap = 5.0 * f.dev.cpar_per_wunit() +
+                     f.tech.po_load_w * f.dev.cin_per_wunit() +
+                     f.wires.net_cap(y);
+  EXPECT_NEAR(e.dynamic_energy, 0.5 * f.act.density[y] * cap, 1e-25);
+}
+
+TEST(EnergyModel, TotalIsSumOfGates) {
+  Fixture f;
+  const auto w = f.widths(3.0);
+  EnergyBreakdown sum;
+  for (GateId id : f.nl.combinational()) {
+    sum += f.energy.gate_energy(id, w, 1.0, 0.3);
+  }
+  const EnergyBreakdown total = f.energy.total_energy(w, 1.0, 0.3);
+  EXPECT_NEAR(total.static_energy, sum.static_energy, 1e-25);
+  EXPECT_NEAR(total.dynamic_energy, sum.dynamic_energy, 1e-25);
+  EXPECT_NEAR(total.total(), sum.static_energy + sum.dynamic_energy, 1e-25);
+}
+
+TEST(EnergyModel, PowerIsEnergyTimesFrequency) {
+  Fixture f;
+  const auto w = f.widths(3.0);
+  EXPECT_NEAR(f.energy.total_power(w, 1.0, 0.3),
+              f.energy.total_energy(w, 1.0, 0.3).total() * Fixture::kFc,
+              1e-12);
+}
+
+TEST(EnergyModel, StaticDecreasesWithVts) {
+  Fixture f;
+  const auto w = f.widths(3.0);
+  double prev = 1e9;
+  for (double vts = 0.1; vts <= 0.7; vts += 0.1) {
+    const double e = f.energy.total_energy(w, 1.0, vts).static_energy;
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(EnergyModel, DynamicIndependentOfVts) {
+  Fixture f;
+  const auto w = f.widths(3.0);
+  const double e1 = f.energy.total_energy(w, 1.0, 0.1).dynamic_energy;
+  const double e2 = f.energy.total_energy(w, 1.0, 0.6).dynamic_energy;
+  EXPECT_DOUBLE_EQ(e1, e2);
+}
+
+TEST(EnergyModel, DynamicScalesQuadraticallyWithVdd) {
+  Fixture f;
+  const auto w = f.widths(3.0);
+  const double e1 = f.energy.total_energy(w, 1.0, 0.3).dynamic_energy;
+  const double e2 = f.energy.total_energy(w, 2.0, 0.3).dynamic_energy;
+  EXPECT_NEAR(e2 / e1, 4.0, 1e-9);
+}
+
+TEST(EnergyModel, StaticScalesLinearlyWithVddAndWidth) {
+  Fixture f;
+  const double e1 =
+      f.energy.total_energy(f.widths(2.0), 1.0, 0.3).static_energy;
+  const double e2 =
+      f.energy.total_energy(f.widths(4.0), 2.0, 0.3).static_energy;
+  EXPECT_NEAR(e2 / e1, 4.0, 1e-9);
+}
+
+TEST(EnergyModel, EnergyIncreasesWithActivity) {
+  Fixture f;
+  activity::ActivityProfile hot = Fixture::profile();
+  hot.input_density = 0.8;
+  const activity::ActivityResult act_hot =
+      activity::estimate_activity(f.nl, hot);
+  EnergyModel hot_model(f.nl, f.dev, f.wires, act_hot, Fixture::kFc);
+  const auto w = f.widths(3.0);
+  EXPECT_GT(hot_model.total_energy(w, 1.0, 0.3).dynamic_energy,
+            f.energy.total_energy(w, 1.0, 0.3).dynamic_energy);
+  // Static is activity-independent.
+  EXPECT_DOUBLE_EQ(hot_model.total_energy(w, 1.0, 0.3).static_energy,
+                   f.energy.total_energy(w, 1.0, 0.3).static_energy);
+}
+
+TEST(EnergyModel, PerGateThresholdVectorHonored) {
+  Fixture f;
+  const auto w = f.widths(3.0);
+  std::vector<double> vts(f.nl.size(), 0.3);
+  const double base =
+      f.energy.total_energy(w, 1.0, std::span<const double>(vts))
+          .static_energy;
+  vts[f.nl.find("g1")] = 0.6;  // one gate leaks less
+  const double reduced =
+      f.energy.total_energy(w, 1.0, std::span<const double>(vts))
+          .static_energy;
+  EXPECT_LT(reduced, base);
+}
+
+TEST(EnergyModel, StaticEnergyScalesInverselyWithFrequency) {
+  Fixture f;
+  EnergyModel slow(f.nl, f.dev, f.wires, f.act, Fixture::kFc / 2.0);
+  const auto w = f.widths(3.0);
+  EXPECT_NEAR(slow.total_energy(w, 1.0, 0.3).static_energy,
+              2.0 * f.energy.total_energy(w, 1.0, 0.3).static_energy,
+              1e-25);
+  EXPECT_DOUBLE_EQ(slow.total_energy(w, 1.0, 0.3).dynamic_energy,
+                   f.energy.total_energy(w, 1.0, 0.3).dynamic_energy);
+}
+
+TEST(EnergyBreakdown, Accumulates) {
+  EnergyBreakdown a{1.0, 2.0};
+  EnergyBreakdown b{0.5, 0.25};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.static_energy, 1.5);
+  EXPECT_DOUBLE_EQ(a.dynamic_energy, 2.25);
+  EXPECT_DOUBLE_EQ(a.total(), 3.75);
+}
+
+}  // namespace
+}  // namespace minergy::power

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interconnect/wire_model.h"
+#include "netlist/generator.h"
+#include "opt/sizer.h"
+#include "timing/delay_budget.h"
+#include "timing/sta.h"
+
+namespace minergy::opt {
+namespace {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+struct Fixture {
+  explicit Fixture(std::uint64_t seed = 3)
+      : nl(make(seed)),
+        tech(tech::Technology::generic350()),
+        dev(tech),
+        wires(tech, nl),
+        calc(nl, dev, wires),
+        budgeter(nl) {}
+
+  static Netlist make(std::uint64_t seed) {
+    netlist::GeneratorSpec spec;
+    spec.num_inputs = 8;
+    spec.num_gates = 70;
+    spec.depth = 8;
+    spec.num_dffs = 4;
+    spec.seed = seed;
+    return netlist::generate_random_logic(spec);
+  }
+
+  Netlist nl;
+  tech::Technology tech;
+  tech::DeviceModel dev;
+  interconnect::WireModel wires;
+  timing::DelayCalculator calc;
+  timing::DelayBudgeter budgeter;
+};
+
+TEST(GateSizer, MeetsBudgetsAtStrongOperatingPoint) {
+  Fixture f;
+  const timing::BudgetResult budgets = f.budgeter.assign(3.33e-9);
+  const std::vector<double> vts(f.nl.size(), 0.15);
+  const GateSizer sizer(f.calc);
+  const SizingResult r = sizer.size(budgets.t_max, 3.3, vts);
+  EXPECT_TRUE(r.all_budgets_met);
+  EXPECT_EQ(r.gates_missed, 0);
+  // And the full STA (with actual fanin delays <= budgets) passes too.
+  const timing::TimingReport sta = timing::run_sta(
+      f.calc, r.widths, 3.3, std::span<const double>(vts), 3.33e-9);
+  EXPECT_LE(sta.critical_delay, 0.95 * 3.33e-9 * (1.0 + 1e-9));
+}
+
+TEST(GateSizer, WidthsWithinTechnologyRange) {
+  Fixture f;
+  const timing::BudgetResult budgets = f.budgeter.assign(3.33e-9);
+  const std::vector<double> vts(f.nl.size(), 0.2);
+  const SizingResult r = GateSizer(f.calc).size(budgets.t_max, 2.0, vts);
+  for (GateId id : f.nl.combinational()) {
+    EXPECT_GE(r.widths[id], f.tech.w_min);
+    EXPECT_LE(r.widths[id], f.tech.w_max);
+  }
+}
+
+TEST(GateSizer, NearMinimalWidths) {
+  // The selected width meets the budget but a slightly smaller one (beyond
+  // the binary-search resolution) must violate it for gates above w_min.
+  Fixture f;
+  const timing::BudgetResult budgets = f.budgeter.assign(3.33e-9);
+  const std::vector<double> vts(f.nl.size(), 0.2);
+  const int steps = 16;
+  const double vdd = 2.0;
+  SizingResult r = GateSizer(f.calc).size(budgets.t_max, vdd, vts, steps);
+  ASSERT_TRUE(r.all_budgets_met);
+  const double resolution =
+      (f.tech.w_max - f.tech.w_min) / std::pow(2.0, steps);
+  int checked = 0;
+  for (GateId id : f.nl.combinational()) {
+    const double w = r.widths[id];
+    if (w <= f.tech.w_min * 1.001) continue;
+    double slope_in = 0.0;
+    for (GateId fanin : f.nl.gate(id).fanins) {
+      if (netlist::is_combinational(f.nl.gate(fanin).type)) {
+        slope_in = std::max(slope_in, budgets.t_max[fanin]);
+      }
+    }
+    auto widths = r.widths;
+    widths[id] = std::max(f.tech.w_min, w - 4.0 * resolution);
+    const double d = f.calc.gate_delay(id, widths, vdd, 0.2, slope_in);
+    EXPECT_GT(d, budgets.t_max[id] * (1.0 - 1e-9)) << f.nl.gate(id).name;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(GateSizer, ImpossibleBudgetsReported) {
+  Fixture f;
+  // Budgets from an absurd cycle time cannot be met even at w_max.
+  const timing::BudgetResult budgets = f.budgeter.assign(1e-12);
+  const std::vector<double> vts(f.nl.size(), 0.7);
+  const SizingResult r = GateSizer(f.calc).size(budgets.t_max, 0.5, vts);
+  EXPECT_FALSE(r.all_budgets_met);
+  EXPECT_GT(r.gates_missed, 0);
+}
+
+TEST(GateSizer, TighterCycleTimeGivesWiderGates) {
+  Fixture f;
+  const std::vector<double> vts(f.nl.size(), 0.2);
+  const GateSizer sizer(f.calc);
+  const SizingResult loose =
+      sizer.size(f.budgeter.assign(20e-9).t_max, 1.2, vts);
+  const SizingResult tight =
+      sizer.size(f.budgeter.assign(5e-9).t_max, 1.2, vts);
+  double loose_area = 0.0, tight_area = 0.0;
+  for (GateId id : f.nl.combinational()) {
+    loose_area += loose.widths[id];
+    tight_area += tight.widths[id];
+  }
+  EXPECT_GT(tight_area, loose_area);
+}
+
+TEST(GateSizer, LowerVddGivesWiderGates) {
+  Fixture f;
+  const std::vector<double> vts(f.nl.size(), 0.15);
+  const timing::BudgetResult budgets = f.budgeter.assign(3.33e-9);
+  const GateSizer sizer(f.calc);
+  const SizingResult high = sizer.size(budgets.t_max, 3.0, vts);
+  const SizingResult low = sizer.size(budgets.t_max, 1.0, vts);
+  double high_area = 0.0, low_area = 0.0;
+  for (GateId id : f.nl.combinational()) {
+    high_area += high.widths[id];
+    low_area += low.widths[id];
+  }
+  EXPECT_GT(low_area, high_area);
+}
+
+TEST(GateSizer, DeterministicAcrossRuns) {
+  Fixture f;
+  const timing::BudgetResult budgets = f.budgeter.assign(3.33e-9);
+  const std::vector<double> vts(f.nl.size(), 0.2);
+  const SizingResult a = GateSizer(f.calc).size(budgets.t_max, 1.5, vts);
+  const SizingResult b = GateSizer(f.calc).size(budgets.t_max, 1.5, vts);
+  EXPECT_EQ(a.widths, b.widths);
+}
+
+// ------------------------------------------------------- width recovery
+
+TEST(GateSizerRecovery, NeverIncreasesAnyWidth) {
+  Fixture f;
+  const timing::BudgetResult budgets = f.budgeter.assign(3.33e-9);
+  const std::vector<double> vts(f.nl.size(), 0.2);
+  const GateSizer sizer(f.calc);
+  const SizingResult sized = sizer.size(budgets.t_max, 1.5, vts);
+  const double limit = 0.95 * 3.33e-9;
+  const timing::TimingReport report = timing::run_sta(
+      f.calc, sized.widths, 1.5, std::span<const double>(vts), limit);
+  const SizingResult rec =
+      sizer.recover(sized.widths, 1.5, vts, limit, report);
+  for (GateId id : f.nl.combinational()) {
+    EXPECT_LE(rec.widths[id], sized.widths[id] * (1.0 + 1e-12));
+    EXPECT_GE(rec.widths[id], f.tech.w_min);
+  }
+}
+
+TEST(GateSizerRecovery, RecoveredStateStillMeetsTiming) {
+  Fixture f;
+  const timing::BudgetResult budgets = f.budgeter.assign(3.33e-9);
+  const std::vector<double> vts(f.nl.size(), 0.15);
+  const GateSizer sizer(f.calc);
+  const SizingResult sized = sizer.size(budgets.t_max, 2.0, vts);
+  const double limit = 0.95 * 3.33e-9;
+  const timing::TimingReport report = timing::run_sta(
+      f.calc, sized.widths, 2.0, std::span<const double>(vts), limit);
+  ASSERT_LE(report.critical_delay, limit * (1 + 1e-9));
+  const SizingResult rec =
+      sizer.recover(sized.widths, 2.0, vts, limit, report);
+  const timing::TimingReport after = timing::run_sta(
+      f.calc, rec.widths, 2.0, std::span<const double>(vts), limit);
+  EXPECT_LE(after.critical_delay, limit * (1.0 + 1e-9));
+}
+
+TEST(GateSizerRecovery, ReclaimsAreaWhenSlackExists) {
+  // At a strong operating point the Procedure-1 budgets are highly
+  // conservative; recovery must reclaim a nonzero amount of width.
+  Fixture f;
+  const timing::BudgetResult budgets = f.budgeter.assign(3.33e-9);
+  const std::vector<double> vts(f.nl.size(), 0.15);
+  const GateSizer sizer(f.calc);
+  const SizingResult sized = sizer.size(budgets.t_max, 1.0, vts);
+  const double limit = 0.95 * 3.33e-9;
+  const timing::TimingReport report = timing::run_sta(
+      f.calc, sized.widths, 1.0, std::span<const double>(vts), limit);
+  if (report.critical_delay > limit) GTEST_SKIP();
+  const SizingResult rec =
+      sizer.recover(sized.widths, 1.0, vts, limit, report);
+  double before = 0.0, after = 0.0;
+  for (GateId id : f.nl.combinational()) {
+    before += sized.widths[id];
+    after += rec.widths[id];
+  }
+  EXPECT_LT(after, before);
+}
+
+// Budget-met + STA-pass property across seeds (the contract Procedure 2's
+// acceptance test relies on).
+class SizerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SizerProperty, BudgetsMetImpliesStaFeasible) {
+  Fixture f(GetParam());
+  const timing::BudgetResult budgets = f.budgeter.assign(5e-9);
+  const std::vector<double> vts(f.nl.size(), 0.25);
+  const SizingResult r = GateSizer(f.calc).size(budgets.t_max, 2.5, vts);
+  if (!r.all_budgets_met) GTEST_SKIP() << "operating point too weak";
+  const timing::TimingReport sta = timing::run_sta(
+      f.calc, r.widths, 2.5, std::span<const double>(vts), 5e-9);
+  EXPECT_LE(sta.critical_delay, 0.95 * 5e-9 * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SizerProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace minergy::opt

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/transient_sim.h"
+
+namespace minergy::spice {
+namespace {
+
+struct Fixture {
+  tech::Technology tech = tech::Technology::generic350();
+  tech::DeviceModel dev{tech};
+  TransientSim sim{dev};
+};
+
+TEST(TransientSim, StackCurrentShape) {
+  Fixture f;
+  StageConfig cfg;
+  cfg.width = 4.0;
+  cfg.fanin = 1;
+  // Zero at Vds = 0; saturates at large Vds; monotone in between.
+  EXPECT_DOUBLE_EQ(f.sim.stack_current(cfg, 1.0, 0.0, 0.2), 0.0);
+  double prev = 0.0;
+  for (double vds = 0.05; vds <= 1.0; vds += 0.05) {
+    const double i = f.sim.stack_current(cfg, 1.0, vds, 0.2);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+  // Saturated value approaches the model's drive current.
+  const double isat = 4.0 * f.dev.idrive_per_wunit(1.0, 0.2);
+  EXPECT_NEAR(f.sim.stack_current(cfg, 1.0, 1.0, 0.2), isat, 0.05 * isat);
+}
+
+TEST(TransientSim, StackCurrentDividesByFanin) {
+  Fixture f;
+  StageConfig inv;
+  inv.fanin = 1;
+  StageConfig nand3 = inv;
+  nand3.fanin = 3;
+  const double i1 = f.sim.stack_current(inv, 1.0, 1.0, 0.2);
+  const double i3 = f.sim.stack_current(nand3, 1.0, 1.0, 0.2);
+  EXPECT_NEAR(i1 / i3, 3.0, 1e-9);
+}
+
+TEST(TransientSim, OffStateLeakageOnly) {
+  Fixture f;
+  StageConfig cfg;
+  cfg.width = 2.0;
+  const double i = f.sim.stack_current(cfg, 0.0, 1.0, 0.3);
+  EXPECT_NEAR(i, 2.0 * f.dev.ioff_per_wunit(0.3), 0.01 * i + 1e-18);
+}
+
+TEST(TransientSim, WaveformDischargesMonotonically) {
+  Fixture f;
+  StageConfig cfg;
+  const Waveform w = f.sim.simulate(cfg, 1.2, 0.25);
+  ASSERT_GT(w.time.size(), 10u);
+  EXPECT_DOUBLE_EQ(w.vout.front(), 1.2);
+  for (std::size_t i = 1; i < w.vout.size(); ++i) {
+    EXPECT_LE(w.vout[i], w.vout[i - 1] + 1e-12);
+  }
+  EXPECT_LT(w.vout.back(), 0.01 * 1.2);  // fully discharged
+}
+
+TEST(TransientSim, DelayPositiveAndFinite) {
+  Fixture f;
+  StageConfig cfg;
+  const double d = f.sim.propagation_delay(cfg, 1.2, 0.25);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1e-6);
+}
+
+TEST(TransientSim, DelayScalesWithLoad) {
+  Fixture f;
+  StageConfig light;
+  light.load_cap = 5e-15;
+  StageConfig heavy = light;
+  heavy.load_cap = 20e-15;
+  const double dl = f.sim.propagation_delay(light, 1.2, 0.25);
+  const double dh = f.sim.propagation_delay(heavy, 1.2, 0.25);
+  EXPECT_NEAR(dh / dl, 4.0, 1.0);  // ~linear in C
+}
+
+TEST(TransientSim, DelayShrinksWithWidth) {
+  Fixture f;
+  StageConfig narrow;
+  narrow.width = 2.0;
+  StageConfig wide = narrow;
+  wide.width = 8.0;
+  EXPECT_GT(f.sim.propagation_delay(narrow, 1.2, 0.25),
+            f.sim.propagation_delay(wide, 1.2, 0.25));
+}
+
+TEST(TransientSim, SubthresholdStillSwitches) {
+  Fixture f;
+  StageConfig cfg;
+  cfg.input_rise_time = 1e-9;
+  const double sub = f.sim.propagation_delay(cfg, 0.25, 0.35);
+  const double super = f.sim.propagation_delay(cfg, 1.2, 0.35);
+  EXPECT_GT(sub, 0.0);
+  EXPECT_GT(sub, 10.0 * super);
+}
+
+TEST(TransientSim, ChainDelayAccumulates) {
+  Fixture f;
+  StageConfig cfg;
+  const double d1 = f.sim.chain_delay(cfg, 1, 1.2, 0.25);
+  const double d4 = f.sim.chain_delay(cfg, 4, 1.2, 0.25);
+  EXPECT_GT(d4, 3.0 * d1);
+  EXPECT_LT(d4, 8.0 * d1);  // slope effect bounded
+}
+
+// The "HSPICE validation" role: across an operating grid, the closed-form
+// switching delay Vdd*C / (2*I) must track the numerically integrated 50%
+// crossing within a factor band (the transient includes the full Vds
+// trajectory and input ramp that the closed form averages away).
+class ModelValidation
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(ModelValidation, ClosedFormTracksTransient) {
+  const auto [vdd, vts, width] = GetParam();
+  Fixture f;
+  StageConfig cfg;
+  cfg.width = width;
+  cfg.load_cap = 12e-15;
+  cfg.input_rise_time = 1e-12;  // near-step input isolates the RC physics
+  const double simulated = f.sim.propagation_delay(cfg, vdd, vts);
+  ASSERT_GT(simulated, 0.0);
+  const double drive = cfg.width * f.dev.idrive_per_wunit(vdd, vts);
+  const double closed_form = 0.5 * vdd * cfg.load_cap / drive;
+  const double ratio = simulated / closed_form;
+  EXPECT_GT(ratio, 0.4) << "vdd=" << vdd << " vts=" << vts;
+  EXPECT_LT(ratio, 2.5) << "vdd=" << vdd << " vts=" << vts;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelValidation,
+    ::testing::Combine(::testing::Values(0.6, 1.0, 1.8, 2.6, 3.3),
+                       ::testing::Values(0.15, 0.3, 0.5),
+                       ::testing::Values(2.0, 8.0)));
+
+}  // namespace
+}  // namespace minergy::spice

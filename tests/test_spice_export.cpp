@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "netlist/bench_io.h"
+#include "opt/circuit_state.h"
+#include "spice/spice_export.h"
+
+namespace minergy::spice {
+namespace {
+
+using netlist::Netlist;
+
+int count_lines_starting_with(const std::string& text, char prefix) {
+  std::istringstream in(text);
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() &&
+        std::toupper(static_cast<unsigned char>(line[0])) ==
+            std::toupper(static_cast<unsigned char>(prefix))) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Netlist simple() {
+  return netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+g1 = NAND(a, b)
+y = NOT(g1)
+)");
+}
+
+TEST(SpiceExport, TransistorCountsMatchTopology) {
+  Netlist nl = simple();
+  const tech::Technology tech = tech::Technology::generic350();
+  const auto state = opt::CircuitState::uniform(nl, 0.8, 0.15, 3.0);
+  const std::string deck = export_spice(nl, tech, state);
+  // NAND2 = 4 transistors, NOT = 2; plus nothing else.
+  EXPECT_EQ(count_lines_starting_with(deck, 'M'), 6);
+  // Supply + substrate + n-well + two input sources.
+  EXPECT_EQ(count_lines_starting_with(deck, 'V'), 5);
+  EXPECT_NE(deck.find(".end"), std::string::npos);
+  EXPECT_NE(deck.find(".model nfet"), std::string::npos);
+  EXPECT_NE(deck.find(".model pfet"), std::string::npos);
+}
+
+TEST(SpiceExport, WidthsAreScaledByBeta) {
+  Netlist nl = simple();
+  tech::Technology tech = tech::Technology::generic350();
+  tech.beta_ratio = 2.0;
+  auto state = opt::CircuitState::uniform(nl, 0.8, 0.15, 4.0);
+  const std::string deck = export_spice(nl, tech, state);
+  // NMOS width: 4 * 0.35um = 1.4um; PMOS: 2.8um.
+  EXPECT_NE(deck.find("W=1.4u"), std::string::npos);
+  EXPECT_NE(deck.find("W=2.8u"), std::string::npos);
+}
+
+TEST(SpiceExport, BodyBiasRailsPresent) {
+  Netlist nl = simple();
+  const tech::Technology tech = tech::Technology::generic350();
+  const auto state = opt::CircuitState::uniform(nl, 0.8, 0.18, 3.0);
+  const std::string deck = export_spice(nl, tech, state);
+  EXPECT_NE(deck.find("Vsub vsub 0 -"), std::string::npos)
+      << "reverse substrate bias expected";
+  EXPECT_NE(deck.find("Vnw vnw 0 "), std::string::npos);
+  // Natural (implant-free) threshold in the model card.
+  EXPECT_NE(deck.find("vto=0.08"), std::string::npos);
+}
+
+TEST(SpiceExport, RailsWithoutBodyBias) {
+  Netlist nl = simple();
+  const tech::Technology tech = tech::Technology::generic350();
+  const auto state = opt::CircuitState::uniform(nl, 0.8, 0.18, 3.0);
+  ExportOptions opts;
+  opts.include_body_bias_rails = false;
+  const std::string deck = export_spice(nl, tech, state, opts);
+  EXPECT_NE(deck.find("Vsub vsub 0 0"), std::string::npos);
+  EXPECT_NE(deck.find("vto=0.18"), std::string::npos);
+}
+
+TEST(SpiceExport, ParasiticsTogglable) {
+  Netlist nl = simple();
+  const tech::Technology tech = tech::Technology::generic350();
+  const auto state = opt::CircuitState::uniform(nl, 0.8, 0.18, 3.0);
+  ExportOptions with, without;
+  without.include_wire_parasitics = false;
+  const std::string a = export_spice(nl, tech, state, with);
+  const std::string b = export_spice(nl, tech, state, without);
+  EXPECT_GT(count_lines_starting_with(a, 'C'), 0);
+  EXPECT_EQ(count_lines_starting_with(b, 'C'), 0);
+}
+
+TEST(SpiceExport, XorDecomposesToNands) {
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = XOR(a, b)
+)");
+  const tech::Technology tech = tech::Technology::generic350();
+  const auto state = opt::CircuitState::uniform(nl, 1.0, 0.2, 2.0);
+  const std::string deck = export_spice(nl, tech, state);
+  // 4 NAND2 = 16 transistors.
+  EXPECT_EQ(count_lines_starting_with(deck, 'M'), 16);
+}
+
+TEST(SpiceExport, AndOrGetOutputInverters) {
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+y = AND(a, b, c)
+)");
+  const tech::Technology tech = tech::Technology::generic350();
+  const auto state = opt::CircuitState::uniform(nl, 1.0, 0.2, 2.0);
+  const std::string deck = export_spice(nl, tech, state);
+  // NAND3 (6) + inverter (2).
+  EXPECT_EQ(count_lines_starting_with(deck, 'M'), 8);
+}
+
+TEST(SpiceExport, DffHandledAsBoundary) {
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+OUTPUT(o)
+q = DFF(g)
+g = NAND(a, q)
+o = NOT(g)
+)");
+  const tech::Technology tech = tech::Technology::generic350();
+  const auto state = opt::CircuitState::uniform(nl, 1.0, 0.2, 2.0);
+  const std::string deck = export_spice(nl, tech, state);
+  // Q driven as a source, no transistors for the flop itself.
+  EXPECT_NE(deck.find("Vq q 0 0"), std::string::npos);
+  EXPECT_EQ(count_lines_starting_with(deck, 'M'), 6);  // NAND2 + NOT
+}
+
+TEST(SpiceExport, SanitizesNodeNames) {
+  Netlist nl("punct");
+  const auto a = nl.add_input("in[0]");
+  const auto y = nl.add_gate(netlist::GateType::kNot, "out.1", {a});
+  nl.mark_output(y);
+  nl.finalize();
+  const tech::Technology tech = tech::Technology::generic350();
+  const auto state = opt::CircuitState::uniform(nl, 1.0, 0.2, 2.0);
+  const std::string deck = export_spice(nl, tech, state);
+  EXPECT_EQ(deck.find("in[0]"), std::string::npos);
+  EXPECT_NE(deck.find("in_0_"), std::string::npos);
+  EXPECT_NE(deck.find("out_1"), std::string::npos);
+}
+
+TEST(SpiceExport, FileWriter) {
+  Netlist nl = simple();
+  const tech::Technology tech = tech::Technology::generic350();
+  const auto state = opt::CircuitState::uniform(nl, 0.8, 0.15, 3.0);
+  const std::string path = ::testing::TempDir() + "/export.sp";
+  write_spice_file(nl, tech, state, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find(".end"), std::string::npos);
+}
+
+TEST(SpiceExport, RequiresSizedState) {
+  Netlist nl = simple();
+  const tech::Technology tech = tech::Technology::generic350();
+  opt::CircuitState bad;  // empty
+  bad.vdd = 1.0;
+  EXPECT_THROW(export_spice(nl, tech, bad), std::logic_error);
+}
+
+}  // namespace
+}  // namespace minergy::spice

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/device_model.h"
+#include "tech/technology.h"
+
+namespace minergy::tech {
+namespace {
+
+TEST(Technology, DefaultsValidate) {
+  EXPECT_NO_THROW(Technology::generic350().validate());
+  EXPECT_NO_THROW(Technology::generic250().validate());
+  EXPECT_NO_THROW(Technology::generic500().validate());
+}
+
+TEST(Technology, ByNameRoundTrips) {
+  EXPECT_EQ(Technology::by_name("generic350").name, "generic350");
+  EXPECT_EQ(Technology::by_name("generic250").feature_size, 0.25e-6);
+  EXPECT_THROW(Technology::by_name("tsmc7"), std::invalid_argument);
+}
+
+TEST(Technology, ValidateRejectsBadParameters) {
+  Technology t = Technology::generic350();
+  t.alpha = 3.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = Technology::generic350();
+  t.vdd_min = -1.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = Technology::generic350();
+  t.rent_exponent = 1.2;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = Technology::generic350();
+  t.leakage_scale = 0.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Technology, ThermalVoltage) {
+  Technology t = Technology::generic350();
+  EXPECT_NEAR(t.thermal_vt(), 0.02585, 1e-4);
+  EXPECT_NEAR(t.nvt(), t.n_sub * t.thermal_vt(), 1e-15);
+}
+
+class DeviceModelTest : public ::testing::Test {
+ protected:
+  Technology tech_ = Technology::generic350();
+  DeviceModel dev_{tech_};
+};
+
+TEST_F(DeviceModelTest, SuperthresholdMatchesAlphaPowerLaw) {
+  const double vdd = 3.3, vts = 0.7;
+  const double expected =
+      tech_.pc * tech_.feature_size * std::pow(vdd - vts, tech_.alpha);
+  EXPECT_NEAR(dev_.idrive_per_wunit(vdd, vts), expected, expected * 1e-12);
+}
+
+TEST_F(DeviceModelTest, SubthresholdSlopeIsExponential) {
+  // One nvt of extra underdrive must scale current by exactly e.
+  const double vts = 0.5;
+  const double nvt = tech_.nvt();
+  const double i1 = dev_.idrive_per_wunit(0.30, vts);
+  const double i2 = dev_.idrive_per_wunit(0.30 + nvt, vts);
+  EXPECT_NEAR(i2 / i1, std::exp(1.0), 1e-6);
+}
+
+TEST_F(DeviceModelTest, TransregionalContinuityAtBlendPoint) {
+  const double vts = 0.4;
+  const double vov0 = dev_.blend_overdrive();
+  const double below = dev_.idrive_per_wunit(vts + vov0 - 1e-7, vts);
+  const double above = dev_.idrive_per_wunit(vts + vov0 + 1e-7, vts);
+  EXPECT_NEAR(below / above, 1.0, 1e-3);
+}
+
+TEST_F(DeviceModelTest, DriveMonotoneIncreasingInVdd) {
+  const double vts = 0.3;
+  double prev = 0.0;
+  for (double vdd = 0.1; vdd <= 3.3; vdd += 0.05) {
+    const double i = dev_.idrive_per_wunit(vdd, vts);
+    EXPECT_GT(i, prev) << "vdd=" << vdd;
+    prev = i;
+  }
+}
+
+TEST_F(DeviceModelTest, DriveMonotoneDecreasingInVts) {
+  const double vdd = 1.0;
+  double prev = 1e9;
+  for (double vts = 0.1; vts <= 0.7; vts += 0.02) {
+    const double i = dev_.idrive_per_wunit(vdd, vts);
+    EXPECT_LT(i, prev) << "vts=" << vts;
+    prev = i;
+  }
+}
+
+TEST_F(DeviceModelTest, IoffMonotoneDecreasingInVts) {
+  double prev = 1e9;
+  for (double vts = 0.1; vts <= 0.7; vts += 0.02) {
+    const double i = dev_.ioff_per_wunit(vts);
+    EXPECT_LT(i, prev) << "vts=" << vts;
+    EXPECT_GT(i, 0.0);
+    prev = i;
+  }
+}
+
+TEST_F(DeviceModelTest, IoffDecadePerSubthresholdSlope) {
+  // ln(10)*nvt of threshold raise = one decade of subthreshold leakage.
+  // (At high Vt the junction floor takes over, so test at low Vt.)
+  const double nvt = tech_.nvt();
+  const double i1 = dev_.ioff_per_wunit(0.15);
+  const double i2 = dev_.ioff_per_wunit(0.15 + std::log(10.0) * nvt);
+  EXPECT_NEAR(i1 / i2, 10.0, 0.5);
+}
+
+TEST_F(DeviceModelTest, JunctionLeakageFloorsIoff) {
+  // At very high Vt, leakage approaches the junction floor, not zero.
+  Technology t = tech_;
+  t.vts_max = 0.7;
+  const double floor = t.junction_leak_per_w *
+                       (1.0 + t.beta_ratio) * t.feature_size;
+  EXPECT_GT(dev_.ioff_per_wunit(5.0), 0.99 * floor);
+}
+
+TEST_F(DeviceModelTest, LeakageScaleMultipliesSubthreshold) {
+  Technology t2 = tech_;
+  t2.leakage_scale = 2.0 * tech_.leakage_scale;
+  t2.junction_leak_per_w = 0.0;
+  Technology t1 = tech_;
+  t1.junction_leak_per_w = 0.0;
+  DeviceModel d1(t1), d2(t2);
+  EXPECT_NEAR(d2.ioff_per_wunit(0.3) / d1.ioff_per_wunit(0.3), 2.0, 1e-9);
+}
+
+TEST_F(DeviceModelTest, CapacitancesArePositiveAndScaled) {
+  EXPECT_GT(dev_.cin_per_wunit(), 0.0);
+  EXPECT_GT(dev_.cpar_per_wunit(), 0.0);
+  EXPECT_GE(dev_.cmid_per_wunit(), 0.0);
+  // Input cap covers both N and P gates: (1 + beta) * cgate * F.
+  EXPECT_NEAR(dev_.cin_per_wunit(),
+              (1.0 + tech_.beta_ratio) * tech_.cgate_per_w *
+                  tech_.feature_size,
+              1e-25);
+}
+
+TEST_F(DeviceModelTest, SlopeCoefficientBounds) {
+  for (double vdd : {0.3, 1.0, 3.3}) {
+    for (double vts : {0.1, 0.4, 0.7}) {
+      const double k = dev_.slope_coefficient(vdd, vts);
+      EXPECT_GE(k, 0.0);
+      EXPECT_LE(k, 0.5);
+    }
+  }
+}
+
+TEST_F(DeviceModelTest, SlopeCoefficientIncreasesWithVtsOverVdd) {
+  const double k_low = dev_.slope_coefficient(3.3, 0.1);
+  const double k_high = dev_.slope_coefficient(0.5, 0.4);
+  EXPECT_LT(k_low, k_high);
+}
+
+TEST_F(DeviceModelTest, StackFactor) {
+  EXPECT_DOUBLE_EQ(DeviceModel::stack_factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(DeviceModel::stack_factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(DeviceModel::stack_factor(2), 2.0);
+  EXPECT_DOUBLE_EQ(DeviceModel::stack_factor(4), 4.0);
+}
+
+// Property sweep: monotonicity over a parameter grid (what Procedure 2's
+// binary searches rely on).
+class DeviceMonotonicity
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DeviceMonotonicity, DriveDecreasesWithVtsAtFixedVdd) {
+  const auto [vdd, vts] = GetParam();
+  Technology tech = Technology::generic350();
+  DeviceModel dev(tech);
+  const double i1 = dev.idrive_per_wunit(vdd, vts);
+  const double i2 = dev.idrive_per_wunit(vdd, vts + 0.01);
+  EXPECT_GT(i1, i2);
+}
+
+TEST_P(DeviceMonotonicity, DriveIncreasesWithVddAtFixedVts) {
+  const auto [vdd, vts] = GetParam();
+  Technology tech = Technology::generic350();
+  DeviceModel dev(tech);
+  const double i1 = dev.idrive_per_wunit(vdd, vts);
+  const double i2 = dev.idrive_per_wunit(vdd + 0.01, vts);
+  EXPECT_LT(i1, i2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DeviceMonotonicity,
+    ::testing::Combine(::testing::Values(0.15, 0.3, 0.6, 1.0, 2.0, 3.3),
+                       ::testing::Values(0.1, 0.2, 0.4, 0.7)));
+
+}  // namespace
+}  // namespace minergy::tech

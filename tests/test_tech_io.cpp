@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "tech/tech_io.h"
+#include "util/check.h"
+
+namespace minergy::tech {
+namespace {
+
+TEST(TechIo, DefaultsWhenEmpty) {
+  const Technology t = parse_technology_string("", "empty");
+  EXPECT_EQ(t.name, "empty");
+  EXPECT_DOUBLE_EQ(t.feature_size, Technology{}.feature_size);
+}
+
+TEST(TechIo, OverridesApply) {
+  const Technology t = parse_technology_string(R"(
+# tuned flavor
+leakage_scale = 12
+vts_max = 0.6
+alpha = 1.2
+)");
+  EXPECT_DOUBLE_EQ(t.leakage_scale, 12.0);
+  EXPECT_DOUBLE_EQ(t.vts_max, 0.6);
+  EXPECT_DOUBLE_EQ(t.alpha, 1.2);
+  // Untouched fields keep defaults.
+  EXPECT_DOUBLE_EQ(t.beta_ratio, Technology{}.beta_ratio);
+}
+
+TEST(TechIo, BasePresetSelectsStartingPoint) {
+  const Technology t = parse_technology_string(R"(
+base = generic250
+leakage_scale = 3
+)");
+  EXPECT_DOUBLE_EQ(t.feature_size, 0.25e-6);
+  EXPECT_DOUBLE_EQ(t.leakage_scale, 3.0);
+}
+
+TEST(TechIo, BaseMustComeFirst) {
+  EXPECT_THROW(parse_technology_string("alpha = 1.2\nbase = generic250\n"),
+               util::ParseError);
+}
+
+TEST(TechIo, UnknownKeyThrows) {
+  EXPECT_THROW(parse_technology_string("vdd_maximum = 3.3\n"),
+               util::ParseError);
+}
+
+TEST(TechIo, BadValueThrows) {
+  EXPECT_THROW(parse_technology_string("alpha = fast\n"), util::ParseError);
+  EXPECT_THROW(parse_technology_string("alpha = 1.2 volts\n"),
+               util::ParseError);
+}
+
+TEST(TechIo, MissingEqualsThrows) {
+  EXPECT_THROW(parse_technology_string("alpha 1.2\n"), util::ParseError);
+}
+
+TEST(TechIo, InvalidPhysicsRejectedByValidate) {
+  EXPECT_THROW(parse_technology_string("alpha = 9.0\n"),
+               std::invalid_argument);
+}
+
+TEST(TechIo, UnknownBaseThrows) {
+  EXPECT_THROW(parse_technology_string("base = tsmc7\n"), util::ParseError);
+}
+
+TEST(TechIo, ScientificNotationAccepted) {
+  const Technology t =
+      parse_technology_string("wire_cap_per_len = 2.5e-10\n");
+  EXPECT_DOUBLE_EQ(t.wire_cap_per_len, 2.5e-10);
+}
+
+TEST(TechIo, RoundTripIsExact) {
+  Technology original = Technology::generic250();
+  original.leakage_scale = 7.25;
+  original.rent_exponent = 0.63;
+  const std::string text = to_tech_string(original);
+  const Technology parsed = parse_technology_string(text);
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_DOUBLE_EQ(parsed.leakage_scale, 7.25);
+  EXPECT_DOUBLE_EQ(parsed.rent_exponent, 0.63);
+  EXPECT_DOUBLE_EQ(parsed.feature_size, original.feature_size);
+  EXPECT_DOUBLE_EQ(parsed.pc, original.pc);
+  EXPECT_DOUBLE_EQ(parsed.vdd_max, original.vdd_max);
+}
+
+TEST(TechIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/t.tech";
+  Technology t = Technology::generic350();
+  t.leakage_scale = 4.5;
+  write_technology_file(t, path);
+  const Technology parsed = parse_technology_file(path);
+  EXPECT_DOUBLE_EQ(parsed.leakage_scale, 4.5);
+}
+
+TEST(TechIo, MissingFileThrows) {
+  EXPECT_THROW(parse_technology_file("/nonexistent/x.tech"),
+               util::ParseError);
+}
+
+}  // namespace
+}  // namespace minergy::tech

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.h"
+#include "netlist/generator.h"
+#include "netlist/stats.h"
+#include "netlist/transform.h"
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace minergy::netlist {
+namespace {
+
+// Exhaustive (or randomized for wide circuits) equivalence check of the
+// combinational cores, including DFF next-state functions: drive identical
+// source values into both netlists and compare every sink.
+void expect_equivalent(const Netlist& a, const Netlist& b, int vectors = 0) {
+  ASSERT_EQ(a.primary_inputs().size(), b.primary_inputs().size());
+  ASSERT_EQ(a.dffs().size(), b.dffs().size());
+  sim::LogicSimulator sa(a), sb(b);
+  const std::size_t sources = a.sources().size();
+  util::Rng rng(123);
+  const bool exhaustive = sources <= 16 && vectors == 0;
+  const int count = exhaustive ? (1 << sources) : (vectors ? vectors : 500);
+  for (int v = 0; v < count; ++v) {
+    for (std::size_t i = 0; i < sources; ++i) {
+      const bool bit =
+          exhaustive ? ((v >> i) & 1) != 0 : rng.bernoulli(0.5);
+      const GateId ga = a.sources()[i];
+      const GateId gb = b.find(a.gate(ga).name);
+      ASSERT_NE(gb, kInvalidGate) << a.gate(ga).name;
+      if (a.gate(ga).type == GateType::kInput) {
+        sa.set_input(ga, bit);
+        sb.set_input(gb, bit);
+      } else {
+        sa.set_state(ga, bit);
+        sb.set_state(gb, bit);
+      }
+    }
+    sa.evaluate();
+    sb.evaluate();
+    // Compare primary outputs and DFF D-pins by name.
+    for (GateId id : a.primary_outputs()) {
+      const GateId other = b.find(a.gate(id).name);
+      ASSERT_NE(other, kInvalidGate);
+      EXPECT_EQ(sa.value(id), sb.value(other))
+          << "PO " << a.gate(id).name << " vector " << v;
+    }
+    for (GateId id : a.dffs()) {
+      if (a.gate(id).fanins.empty()) continue;
+      const GateId da = a.gate(id).fanins[0];
+      const GateId qb = b.find(a.gate(id).name);
+      ASSERT_NE(qb, kInvalidGate);
+      ASSERT_FALSE(b.gate(qb).fanins.empty());
+      EXPECT_EQ(sa.value(da), sb.value(b.gate(qb).fanins[0]))
+          << "DFF " << a.gate(id).name << " vector " << v;
+    }
+  }
+}
+
+TEST(Decompose, WideGatesBecomeTwoInput) {
+  Netlist nl = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+OUTPUT(y)
+OUTPUT(z)
+y = NAND(a, b, c, d, e)
+z = NOR(a, c, e)
+)");
+  Netlist two = decompose_to_two_input(nl);
+  for (GateId id : two.combinational()) {
+    EXPECT_LE(two.gate(id).fanin_count(), 2) << two.gate(id).name;
+  }
+  expect_equivalent(nl, two);
+}
+
+TEST(Decompose, InversionOnlyAtRoot) {
+  Netlist nl = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+y = NAND(a, b, c, d)
+)");
+  Netlist two = decompose_to_two_input(nl);
+  // Root keeps the name and the inverting type; inner nodes are AND.
+  const GateId y = two.find("y");
+  ASSERT_NE(y, kInvalidGate);
+  EXPECT_EQ(two.gate(y).type, GateType::kNand);
+  for (GateId id : two.combinational()) {
+    if (id != y) {
+      EXPECT_EQ(two.gate(id).type, GateType::kAnd);
+    }
+  }
+}
+
+TEST(Decompose, NarrowGatesPassThrough) {
+  Netlist nl = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+n = NOT(a)
+y = XOR(n, b)
+)");
+  Netlist two = decompose_to_two_input(nl);
+  EXPECT_EQ(two.num_combinational(), nl.num_combinational());
+  expect_equivalent(nl, two);
+}
+
+TEST(Decompose, BalancedDepth) {
+  // 8-input AND decomposes into a depth-3 balanced tree, not a chain.
+  Netlist nl("wide");
+  std::vector<GateId> ins;
+  for (int i = 0; i < 8; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const GateId y = nl.add_gate(GateType::kAnd, "y", ins);
+  nl.mark_output(y);
+  nl.finalize();
+  Netlist two = decompose_to_two_input(nl);
+  EXPECT_EQ(two.depth(), 3);
+  EXPECT_EQ(two.num_combinational(), 7u);  // 4 + 2 + 1
+}
+
+TEST(Decompose, XnorParityPreserved) {
+  Netlist nl = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+OUTPUT(y)
+y = XNOR(a, b, c, d, e)
+)");
+  Netlist two = decompose_to_two_input(nl);
+  expect_equivalent(nl, two);
+}
+
+TEST(Decompose, SequentialCircuitPreserved) {
+  Netlist nl = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(o)
+q = DFF(g)
+g = NOR(a, b, c, q)
+o = NOT(q)
+)");
+  Netlist two = decompose_to_two_input(nl);
+  EXPECT_EQ(two.dffs().size(), 1u);
+  expect_equivalent(nl, two);
+}
+
+TEST(Decompose, RandomCircuitsStayEquivalent) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    GeneratorSpec spec;
+    spec.num_inputs = 8;
+    spec.num_gates = 40;
+    spec.depth = 6;
+    spec.num_dffs = 3;
+    spec.max_fanin = 4;
+    spec.seed = seed;
+    Netlist nl = generate_random_logic(spec);
+    Netlist two = decompose_to_two_input(nl);
+    expect_equivalent(nl, two, 300);
+  }
+}
+
+TEST(BufferFanout, CapsEveryNet) {
+  GeneratorSpec spec;
+  spec.num_inputs = 6;
+  spec.num_gates = 80;
+  spec.depth = 8;
+  spec.seed = 9;
+  Netlist nl = generate_random_logic(spec);
+  const int cap = 3;
+  Netlist buffered = buffer_high_fanout(nl, cap);
+  for (const Gate& g : buffered.gates()) {
+    EXPECT_LE(g.fanouts.size(), static_cast<std::size_t>(cap)) << g.name;
+  }
+  expect_equivalent(nl, buffered, 300);
+}
+
+TEST(BufferFanout, NoChangeWhenUnderCap) {
+  Netlist nl = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+n = NOT(a)
+y = NOT(n)
+)");
+  Netlist buffered = buffer_high_fanout(nl, 4);
+  EXPECT_EQ(buffered.num_combinational(), nl.num_combinational());
+}
+
+TEST(BufferFanout, TreeForVeryHighFanout) {
+  // One driver with 20 sinks, cap 4: needs a two-level buffer tree.
+  Netlist nl("star");
+  const GateId a = nl.add_input("a");
+  const GateId d = nl.add_gate(GateType::kNot, "d", {a});
+  for (int i = 0; i < 20; ++i) {
+    const GateId s = nl.add_gate(GateType::kNot, "s" + std::to_string(i), {d});
+    nl.mark_output(s);
+  }
+  nl.finalize();
+  Netlist buffered = buffer_high_fanout(nl, 4);
+  for (const Gate& g : buffered.gates()) {
+    EXPECT_LE(g.fanouts.size(), 4u) << g.name;
+  }
+  expect_equivalent(nl, buffered);
+  EXPECT_GT(buffered.num_combinational(), nl.num_combinational());
+}
+
+TEST(BufferFanout, RejectsBadCap) {
+  Netlist nl = parse_bench_string("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
+  EXPECT_THROW(buffer_high_fanout(nl, 1), std::invalid_argument);
+}
+
+TEST(BufferFanout, DffSinksRewiredCorrectly) {
+  Netlist nl("regs");
+  const GateId a = nl.add_input("a");
+  const GateId d = nl.add_gate(GateType::kNot, "d", {a});
+  std::vector<GateId> qs;
+  for (int i = 0; i < 6; ++i) {
+    qs.push_back(nl.add_dff("q" + std::to_string(i), d));
+  }
+  const GateId o = nl.add_gate(GateType::kNand, "o", {qs[0], qs[1]});
+  nl.mark_output(o);
+  nl.finalize();
+  Netlist buffered = buffer_high_fanout(nl, 3);
+  for (const Gate& g : buffered.gates()) {
+    EXPECT_LE(g.fanouts.size(), 3u) << g.name;
+  }
+  // Every DFF still has exactly one D connection, functionally d.
+  EXPECT_EQ(buffered.dffs().size(), 6u);
+  expect_equivalent(nl, buffered);
+}
+
+}  // namespace
+}  // namespace minergy::netlist

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "netlist/verilog_io.h"
+#include "util/check.h"
+
+namespace minergy::netlist {
+namespace {
+
+constexpr const char* kHalfAdder = R"(
+// structural half adder
+module half_adder (a, b, sum, carry);
+  input a, b;
+  output sum, carry;
+  wire  n1;
+  xor  u1 (sum, a, b);
+  and  u2 (carry, a, b);
+  not  u3 (n1, carry);  /* unused inverter keeps things interesting */
+endmodule
+)";
+
+TEST(VerilogParser, ParsesHalfAdder) {
+  Netlist nl = parse_verilog_string(kHalfAdder);
+  EXPECT_EQ(nl.name(), "half_adder");
+  EXPECT_EQ(nl.primary_inputs().size(), 2u);
+  EXPECT_EQ(nl.primary_outputs().size(), 2u);
+  EXPECT_EQ(nl.num_combinational(), 3u);
+  EXPECT_EQ(nl.gate(nl.find("sum")).type, GateType::kXor);
+  EXPECT_EQ(nl.gate(nl.find("carry")).type, GateType::kAnd);
+}
+
+TEST(VerilogParser, InstanceNamesAreOptionalNoise) {
+  // The primitive keyword is what matters; "u1" etc. are skipped because
+  // the terminal list starts at '('.
+  const char* text = R"(
+module m (a, y);
+  input a; output y;
+  not (y, a);
+endmodule
+)";
+  Netlist nl = parse_verilog_string(text);
+  EXPECT_EQ(nl.num_combinational(), 1u);
+}
+
+TEST(VerilogParser, BlockCommentsSpanLines) {
+  const char* text = R"(
+module m (a, y);
+  input a; output y;
+  /* a comment
+     spanning lines with a fake gate: nand f(y, a, a); */
+  buf u (y, a);
+endmodule
+)";
+  Netlist nl = parse_verilog_string(text);
+  EXPECT_EQ(nl.num_combinational(), 1u);
+  EXPECT_EQ(nl.gate(nl.find("y")).type, GateType::kBuf);
+}
+
+TEST(VerilogParser, DffPrimitive) {
+  const char* text = R"(
+module seq (a, y);
+  input a; output y;
+  wire d;
+  dff r1 (q, d);
+  nand u1 (d, a, q);
+  not  u2 (y, q);
+endmodule
+)";
+  Netlist nl = parse_verilog_string(text);
+  EXPECT_EQ(nl.dffs().size(), 1u);
+  EXPECT_EQ(nl.num_combinational(), 2u);
+}
+
+TEST(VerilogParser, MultiLineStatements) {
+  const char* text = R"(
+module m (a, b,
+          y);
+  input a,
+        b;
+  output y;
+  nand u1 (y,
+           a,
+           b);
+endmodule
+)";
+  Netlist nl = parse_verilog_string(text);
+  EXPECT_EQ(nl.num_combinational(), 1u);
+  EXPECT_EQ(nl.gate(nl.find("y")).fanins.size(), 2u);
+}
+
+TEST(VerilogParser, UndrivenSignalThrows) {
+  const char* text = R"(
+module m (a, y);
+  input a; output y;
+  nand u1 (y, a, ghost);
+endmodule
+)";
+  EXPECT_THROW(parse_verilog_string(text), util::ParseError);
+}
+
+TEST(VerilogParser, UndrivenOutputThrows) {
+  const char* text = R"(
+module m (a, y);
+  input a; output y;
+  not u1 (z, a);
+endmodule
+)";
+  EXPECT_THROW(parse_verilog_string(text), util::ParseError);
+}
+
+TEST(VerilogParser, UnknownPrimitiveThrows) {
+  const char* text = R"(
+module m (a, y);
+  input a; output y;
+  mux2 u1 (y, a, a);
+endmodule
+)";
+  EXPECT_THROW(parse_verilog_string(text), util::ParseError);
+}
+
+TEST(VerilogParser, MissingEndmoduleThrows) {
+  const char* text = "module m (a); input a;";
+  EXPECT_THROW(parse_verilog_string(text), util::ParseError);
+}
+
+TEST(VerilogParser, StatementOutsideModuleThrows) {
+  const char* text = "input a;\nmodule m (a); endmodule";
+  EXPECT_THROW(parse_verilog_string(text), util::ParseError);
+}
+
+TEST(VerilogParser, GluedPortListAfterModuleName) {
+  const char* text = R"(
+module top(a, y);
+  input a; output y;
+  not u (y, a);
+endmodule
+)";
+  Netlist nl = parse_verilog_string(text);
+  EXPECT_EQ(nl.name(), "top");
+}
+
+TEST(VerilogFile, MissingFileThrows) {
+  EXPECT_THROW(parse_verilog_file("/nonexistent/x.v"), util::ParseError);
+}
+
+}  // namespace
+}  // namespace minergy::netlist

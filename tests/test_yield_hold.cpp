@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.h"
+#include "netlist/generator.h"
+#include "netlist/transform.h"
+#include "opt/joint_optimizer.h"
+#include "opt/yield.h"
+#include "timing/sta.h"
+
+namespace minergy {
+namespace {
+
+using netlist::GateId;
+using netlist::Netlist;
+
+Netlist make_circuit(std::uint64_t seed = 91) {
+  netlist::GeneratorSpec spec;
+  spec.num_inputs = 6;
+  spec.num_gates = 60;
+  spec.depth = 7;
+  spec.num_dffs = 4;
+  spec.seed = seed;
+  return netlist::generate_random_logic(spec);
+}
+
+activity::ActivityProfile profile() {
+  activity::ActivityProfile p;
+  p.input_density = 0.3;
+  return p;
+}
+
+// --------------------------------------------------------------- min STA
+
+struct TimingFixture {
+  TimingFixture()
+      : nl(make_circuit()),
+        tech(tech::Technology::generic350()),
+        dev(tech),
+        wires(tech, nl),
+        calc(nl, dev, wires) {}
+  Netlist nl;
+  tech::Technology tech;
+  tech::DeviceModel dev;
+  interconnect::WireModel wires;
+  timing::DelayCalculator calc;
+};
+
+TEST(MinSta, ContaminationDelayBelowPropagationDelay) {
+  TimingFixture f;
+  const std::vector<double> w(f.nl.size(), 4.0);
+  const std::vector<double> vts(f.nl.size(), 0.2);
+  const timing::TimingReport maxr =
+      timing::run_sta(f.calc, w, 1.2, std::span<const double>(vts), 1.0);
+  const timing::MinTimingReport minr =
+      timing::run_min_sta(f.calc, w, 1.2, vts);
+  for (GateId id : f.nl.combinational()) {
+    EXPECT_LE(minr.gate_delay[id], maxr.gate_delay[id] * (1.0 + 1e-12))
+        << f.nl.gate(id).name;
+    EXPECT_LE(minr.arrival[id], maxr.arrival[id] * (1.0 + 1e-12));
+  }
+  EXPECT_LE(minr.shortest_delay, maxr.critical_delay);
+  EXPECT_GT(minr.shortest_delay, 0.0);
+}
+
+TEST(MinSta, SingleChainMinEqualsPathSum) {
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+n1 = NOT(a)
+y = NOT(n1)
+)");
+  const tech::Technology tech = tech::Technology::generic350();
+  const tech::DeviceModel dev(tech);
+  const interconnect::WireModel wires(tech, nl);
+  const timing::DelayCalculator calc(nl, dev, wires);
+  const std::vector<double> w(nl.size(), 4.0);
+  const std::vector<double> vts(nl.size(), 0.2);
+  const timing::MinTimingReport r = timing::run_min_sta(calc, w, 1.2, vts);
+  const GateId n1 = nl.find("n1"), y = nl.find("y");
+  EXPECT_NEAR(r.shortest_delay, r.gate_delay[n1] + r.gate_delay[y], 1e-18);
+  ASSERT_EQ(r.shortest_path.size(), 2u);
+  EXPECT_EQ(r.shortest_path.front(), n1);
+  EXPECT_EQ(r.shortest_path.back(), y);
+}
+
+TEST(MinSta, ShortestPathPicksTheShortBranch) {
+  // Two parallel sink paths of depth 1 and 3; the hold-critical path is
+  // the depth-1 branch.
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+OUTPUT(fast)
+OUTPUT(slow)
+fast = NOT(a)
+s1 = NOT(a)
+s2 = NOT(s1)
+slow = NOT(s2)
+)");
+  const tech::Technology tech = tech::Technology::generic350();
+  const tech::DeviceModel dev(tech);
+  const interconnect::WireModel wires(tech, nl);
+  const timing::DelayCalculator calc(nl, dev, wires);
+  const std::vector<double> w(nl.size(), 4.0);
+  const std::vector<double> vts(nl.size(), 0.2);
+  const timing::MinTimingReport r = timing::run_min_sta(calc, w, 1.2, vts);
+  ASSERT_FALSE(r.shortest_path.empty());
+  EXPECT_EQ(r.shortest_path.back(), nl.find("fast"));
+}
+
+TEST(MinSta, HoldSafetyPredicate) {
+  TimingFixture f;
+  const std::vector<double> w(f.nl.size(), 4.0);
+  const std::vector<double> vts(f.nl.size(), 0.2);
+  const timing::MinTimingReport r = timing::run_min_sta(f.calc, w, 1.2, vts);
+  EXPECT_TRUE(timing::hold_safe(r, 0.5 * r.shortest_delay));
+  EXPECT_FALSE(timing::hold_safe(r, 2.0 * r.shortest_delay));
+}
+
+TEST(MinSta, HoldAnalysisOfOptimizedDesign) {
+  // Min-delay analysis at the joint optimum. The energy optimizer sizes
+  // every gate to its *maximum* delay budget, so single-gate register-to-
+  // register paths can be hold-critical against the (1 - b) * Tc skew the
+  // max-delay side reserved — exactly the situation a production flow
+  // fixes with hold buffers. The analysis must expose that consistently.
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const opt::CircuitEvaluator eval(nl, tech, profile(),
+                                   {.clock_frequency = 200e6});
+  const opt::OptimizationResult r = opt::JointOptimizer(eval).run();
+  ASSERT_TRUE(r.feasible);
+  const timing::MinTimingReport minr = timing::run_min_sta(
+      eval.delay_calculator(), r.state.widths, r.vdd, r.state.vts);
+  EXPECT_GT(minr.shortest_delay, 0.0);
+  ASSERT_FALSE(minr.shortest_path.empty());
+  // The predicate agrees with the number it summarizes.
+  const double margin = 0.05 * eval.cycle_time();
+  EXPECT_EQ(timing::hold_safe(minr, margin),
+            minr.shortest_delay >= margin);
+  // And buffering the short path (adding one min-size stage) raises the
+  // floor: a one-gate-longer shortest path can only be slower.
+  const timing::TimingReport maxr =
+      eval.sta(r.state, 0.95 * eval.cycle_time());
+  EXPECT_LE(minr.shortest_delay, maxr.critical_delay);
+}
+
+// ----------------------------------------------------------------- yield
+
+TEST(Yield, NoVariationGivesDeterministicPass) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const opt::CircuitEvaluator eval(nl, tech, profile(),
+                                   {.clock_frequency = 200e6});
+  const opt::OptimizationResult r = opt::JointOptimizer(eval).run();
+  ASSERT_TRUE(r.feasible);
+  opt::YieldOptions opts;
+  opts.samples = 10;
+  opts.sigma_gate = 0.0;
+  opts.sigma_die = 0.0;
+  const opt::YieldResult y = opt::YieldAnalyzer(eval, opts).analyze(r.state);
+  EXPECT_EQ(y.timing_pass, 10);
+  EXPECT_DOUBLE_EQ(y.timing_yield, 1.0);
+  EXPECT_NEAR(y.mean_delay, r.critical_delay, 1e-15);
+  EXPECT_NEAR(y.mean_energy, r.energy.total(), r.energy.total() * 1e-9);
+}
+
+TEST(Yield, VariationDegradesYieldMonotonically) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const opt::CircuitEvaluator eval(nl, tech, profile(),
+                                   {.clock_frequency = 200e6});
+  const opt::OptimizationResult r = opt::JointOptimizer(eval).run();
+  ASSERT_TRUE(r.feasible);
+  opt::YieldOptions small, big;
+  small.samples = big.samples = 120;
+  small.sigma_gate = 0.005;
+  small.sigma_die = 0.005;
+  big.sigma_gate = 0.04;
+  big.sigma_die = 0.05;
+  const opt::YieldResult ys = opt::YieldAnalyzer(eval, small).analyze(r.state);
+  const opt::YieldResult yb = opt::YieldAnalyzer(eval, big).analyze(r.state);
+  EXPECT_GE(ys.timing_yield, yb.timing_yield);
+  // Leakage distribution has a heavy high tail under bigger sigma.
+  EXPECT_GT(yb.p95_leakage, ys.p95_leakage);
+}
+
+TEST(Yield, LeakageTailIsAsymmetric) {
+  // Exponential Ioff(Vt): mean leakage under symmetric Vt noise exceeds
+  // the zero-noise leakage (Jensen).
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const opt::CircuitEvaluator eval(nl, tech, profile(),
+                                   {.clock_frequency = 200e6});
+  const opt::OptimizationResult r = opt::JointOptimizer(eval).run();
+  ASSERT_TRUE(r.feasible);
+  opt::YieldOptions opts;
+  opts.samples = 300;
+  opts.sigma_gate = 0.03;
+  opts.sigma_die = 0.0;
+  const opt::YieldResult y = opt::YieldAnalyzer(eval, opts).analyze(r.state);
+  EXPECT_GT(y.mean_leakage, r.energy.static_energy);
+}
+
+TEST(Yield, DeterministicGivenSeed) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const opt::CircuitEvaluator eval(nl, tech, profile(),
+                                   {.clock_frequency = 200e6});
+  const opt::CircuitState state = opt::CircuitState::uniform(nl, 1.0, 0.2, 4.0);
+  opt::YieldOptions opts;
+  opts.samples = 50;
+  const opt::YieldResult a = opt::YieldAnalyzer(eval, opts).analyze(state);
+  const opt::YieldResult b = opt::YieldAnalyzer(eval, opts).analyze(state);
+  EXPECT_EQ(a.timing_pass, b.timing_pass);
+  EXPECT_EQ(a.energy_samples, b.energy_samples);
+}
+
+TEST(Yield, SamplesSortedAndSized) {
+  Netlist nl = make_circuit();
+  const tech::Technology tech = tech::Technology::generic350();
+  const opt::CircuitEvaluator eval(nl, tech, profile(),
+                                   {.clock_frequency = 200e6});
+  const opt::CircuitState state = opt::CircuitState::uniform(nl, 1.0, 0.2, 4.0);
+  opt::YieldOptions opts;
+  opts.samples = 64;
+  const opt::YieldResult y = opt::YieldAnalyzer(eval, opts).analyze(state);
+  ASSERT_EQ(y.energy_samples.size(), 64u);
+  EXPECT_TRUE(std::is_sorted(y.energy_samples.begin(),
+                             y.energy_samples.end()));
+}
+
+// ------------------------------------------------------- dead-logic sweep
+
+TEST(SweepDeadLogic, RemovesUnobservedCone) {
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+dead1 = NOR(a, b)
+dead2 = NOT(dead1)
+)");
+  const Netlist swept = netlist::sweep_dead_logic(nl);
+  EXPECT_EQ(swept.num_combinational(), 1u);
+  EXPECT_NE(swept.find("y"), netlist::kInvalidGate);
+  EXPECT_EQ(swept.find("dead1"), netlist::kInvalidGate);
+}
+
+TEST(SweepDeadLogic, DeadRegisterLoopRemoved) {
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+q = DFF(d)
+d = NOT(q)
+)");
+  const Netlist swept = netlist::sweep_dead_logic(nl);
+  EXPECT_TRUE(swept.dffs().empty());
+  EXPECT_EQ(swept.num_combinational(), 1u);
+}
+
+TEST(SweepDeadLogic, LiveRegisterFeedbackKept) {
+  Netlist nl = netlist::parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = XOR(a, q)
+y = NOT(q)
+)");
+  const Netlist swept = netlist::sweep_dead_logic(nl);
+  EXPECT_EQ(swept.dffs().size(), 1u);
+  EXPECT_EQ(swept.num_combinational(), 2u);
+}
+
+TEST(SweepDeadLogic, CleanCircuitUnchanged) {
+  Netlist nl = make_circuit();  // generator guarantees everything observed
+  const Netlist swept = netlist::sweep_dead_logic(nl);
+  EXPECT_EQ(swept.num_combinational(), nl.num_combinational());
+  EXPECT_EQ(swept.dffs().size(), nl.dffs().size());
+}
+
+}  // namespace
+}  // namespace minergy

@@ -1,0 +1,30 @@
+// gen_surrogates: materialize the ISCAS-89 surrogate circuits as .bench
+// files so they can be inspected, diffed or fed to external tools.
+//
+//   $ gen_surrogates [--out=data/iscas]
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_suite/iscas.h"
+#include "netlist/bench_io.h"
+#include "netlist/stats.h"
+#include "util/cli.h"
+
+using namespace minergy;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string out_dir = cli.get("out", std::string("data/iscas"));
+  std::filesystem::create_directories(out_dir);
+
+  for (const auto& spec : bench_suite::paper_circuits()) {
+    const netlist::Netlist nl = bench_suite::make_circuit(spec);
+    const std::string file =
+        out_dir + "/" + nl.name() + (spec.surrogate ? "_surrogate" : "") +
+        ".bench";
+    netlist::write_bench_file(nl, file);
+    std::printf("%-28s %s\n", file.c_str(),
+                netlist::compute_stats(nl).to_string().c_str());
+  }
+  return 0;
+}

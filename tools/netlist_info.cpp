@@ -1,0 +1,87 @@
+// netlist_info: inspect a gate-level netlist.
+//
+//   $ netlist_info circuit.bench            # or .v (structural Verilog)
+//   $ netlist_info --builtin=s298*          # any built-in benchmark
+//   $ netlist_info --paths=5 circuit.bench  # top-K critical paths
+//
+// Prints structural statistics, the most critical paths (fanout-sum
+// criticality), and the estimated activity profile.
+#include <cstdio>
+
+#include "activity/activity.h"
+#include "bench_suite/iscas.h"
+#include "netlist/bench_io.h"
+#include "netlist/stats.h"
+#include "netlist/verilog_io.h"
+#include "timing/path_enum.h"
+#include "util/cli.h"
+#include "util/strings.h"
+
+using namespace minergy;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  netlist::Netlist nl;
+  if (cli.has("builtin")) {
+    nl = bench_suite::make_circuit(cli.get("builtin", std::string("c17")));
+  } else if (!cli.positional().empty()) {
+    const std::string& path = cli.positional()[0];
+    nl = util::to_lower(path).ends_with(".v")
+             ? netlist::parse_verilog_file(path)
+             : netlist::parse_bench_file(path);
+  } else {
+    std::fprintf(stderr,
+                 "usage: netlist_info [--builtin=NAME] [--paths=K] "
+                 "[--activity=D] [file.bench|file.v]\n");
+    return 2;
+  }
+
+  const netlist::NetlistStats stats = netlist::compute_stats(nl);
+  std::printf("%s\n  %s\n", nl.name().c_str(), stats.to_string().c_str());
+  std::printf("  gate mix:");
+  for (std::size_t t = 0; t < stats.type_counts.size(); ++t) {
+    if (stats.type_counts[t] == 0) continue;
+    std::printf(" %s=%zu",
+                std::string(netlist::to_string(
+                                static_cast<netlist::GateType>(t)))
+                    .c_str(),
+                stats.type_counts[t]);
+  }
+  std::printf("\n\n");
+
+  const int k = cli.get("paths", 3);
+  const timing::PathAnalyzer pa(nl);
+  std::printf("top %d critical paths (criticality = sum of fanouts):\n", k);
+  int rank = 1;
+  for (const timing::Path& p : pa.top_k(static_cast<std::size_t>(k))) {
+    std::printf("  #%d crit=%lld len=%zu :", rank++,
+                static_cast<long long>(p.criticality), p.gates.size());
+    for (netlist::GateId id : p.gates) {
+      std::printf(" %s", nl.gate(id).name.c_str());
+    }
+    std::printf("\n");
+  }
+
+  activity::ActivityProfile profile;
+  profile.input_density = cli.get("activity", 0.3);
+  const activity::ActivityResult act =
+      activity::estimate_activity(nl, profile);
+  double dsum = 0.0, dmax = 0.0;
+  netlist::GateId hottest = netlist::kInvalidGate;
+  for (netlist::GateId id : nl.combinational()) {
+    dsum += act.density[id];
+    if (act.density[id] > dmax) {
+      dmax = act.density[id];
+      hottest = id;
+    }
+  }
+  std::printf("\nactivity (input density %.2f): mean %.4f, hottest node %s "
+              "at %.4f transitions/cycle\n",
+              profile.input_density,
+              dsum / static_cast<double>(nl.num_combinational()),
+              hottest == netlist::kInvalidGate
+                  ? "-"
+                  : nl.gate(hottest).name.c_str(),
+              dmax);
+  return 0;
+}
