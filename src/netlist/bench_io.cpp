@@ -98,9 +98,16 @@ Netlist parse_bench(std::istream& in, const std::string& name) {
     stmts.push_back(std::move(st));
   }
 
-  // Pass 1: declare all signals.
+  // Pass 1: declare all signals. Structural errors (duplicate definitions)
+  // are reported as ParseError with the offending line, not as a bare
+  // NetlistError that loses the file position.
   Netlist nl(name);
   for (const Statement& st : stmts) {
+    if (st.kind != Statement::Kind::kOutput &&
+        nl.find(st.lhs) != kInvalidGate) {
+      throw util::ParseError("duplicate definition of signal '" + st.lhs + "'",
+                             name, st.line_no);
+    }
     switch (st.kind) {
       case Statement::Kind::kInput:
         nl.add_input(st.lhs);

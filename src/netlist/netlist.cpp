@@ -12,7 +12,7 @@ Netlist::Netlist(std::string name) : name_(std::move(name)) {}
 GateId Netlist::new_gate(GateType type, const std::string& name) {
   MINERGY_CHECK_MSG(!finalized_, "netlist already finalized");
   if (by_name_.count(name)) {
-    throw std::invalid_argument("duplicate gate name: " + name);
+    throw NetlistError("duplicate gate name: " + name);
   }
   Gate g;
   g.id = static_cast<GateId>(gates_.size());
@@ -32,7 +32,7 @@ GateId Netlist::add_input(const std::string& name) {
 GateId Netlist::add_gate(GateType type, const std::string& name,
                          std::vector<GateId> fanins) {
   if (!is_combinational(type)) {
-    throw std::invalid_argument("add_gate requires a logic gate type");
+    throw NetlistError("add_gate requires a logic gate type");
   }
   const GateId id = new_gate(type, name);
   gates_[id].fanins = std::move(fanins);
@@ -64,7 +64,7 @@ void Netlist::finalize() {
   for (const Gate& g : gates_) {
     for (GateId f : g.fanins) {
       if (f >= gates_.size()) {
-        throw std::invalid_argument("gate " + g.name +
+        throw NetlistError("gate " + g.name +
                                     " references undefined fanin id");
       }
     }
@@ -72,7 +72,7 @@ void Netlist::finalize() {
     const int lo = min_fanin(g.type);
     const int hi = max_fanin(g.type);
     if (n < lo || (hi > 0 && n > hi)) {
-      throw std::invalid_argument("gate " + g.name + " (" +
+      throw NetlistError("gate " + g.name + " (" +
                                   std::string(to_string(g.type)) + ") has " +
                                   std::to_string(n) + " fanins");
     }
@@ -121,7 +121,7 @@ void Netlist::finalize() {
   std::size_t num_logic = 0;
   for (const Gate& g : gates_) num_logic += is_combinational(g.type) ? 1u : 0u;
   if (topo_.size() != num_logic) {
-    throw std::invalid_argument("netlist " + name_ +
+    throw NetlistError("netlist " + name_ +
                                 " has a combinational cycle");
   }
 

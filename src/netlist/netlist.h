@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +17,13 @@
 #include "netlist/gate.h"
 
 namespace minergy::netlist {
+
+// Thrown on structural problems: duplicate definitions, dangling fanins,
+// bad arity, combinational cycles. Derives from std::invalid_argument so
+// pre-existing catch sites keep working.
+class NetlistError : public std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
 
 using GateId = std::uint32_t;
 inline constexpr GateId kInvalidGate = static_cast<GateId>(-1);
@@ -56,7 +64,7 @@ class Netlist {
   void mark_output(GateId id);
 
   // Validates arities, resolves fanouts, topologically orders the
-  // combinational core and computes levels. Throws std::invalid_argument on
+  // combinational core and computes levels. Throws NetlistError on
   // dangling references, bad arity, or a combinational cycle. Must be called
   // before any analysis accessor below.
   void finalize();

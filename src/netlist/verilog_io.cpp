@@ -1,5 +1,6 @@
 #include "netlist/verilog_io.h"
 
+#include <algorithm>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
@@ -61,14 +62,19 @@ std::vector<VerilogStatement> split_statements(const std::string& text) {
   std::string cur;
   int line = 1;
   int start_line = 1;
+  // start_line is pinned at the statement's first non-whitespace character
+  // (leading newlines accumulate in `cur`, so "is cur empty" is not it).
+  bool seen_content = false;
   for (char c : text) {
     if (c == ';') {
       stmts.push_back({cur, start_line});
       cur.clear();
+      seen_content = false;
       start_line = line;
     } else {
-      if (cur.empty() && !std::isspace(static_cast<unsigned char>(c))) {
+      if (!seen_content && !std::isspace(static_cast<unsigned char>(c))) {
         start_line = line;
+        seen_content = true;
       }
       if (c == '\n') ++line;
       cur += c;
@@ -156,6 +162,11 @@ Netlist parse_verilog(std::istream& in, const std::string& name) {
         const auto n = util::trim(piece);
         if (n.empty()) continue;
         if (keyword == "input") {
+          if (std::find(input_names.begin(), input_names.end(),
+                        std::string(n)) != input_names.end()) {
+            throw util::ParseError("duplicate input '" + std::string(n) + "'",
+                                   name, line_no);
+          }
           input_names.emplace_back(n);
         } else if (keyword == "output") {
           output_names.emplace_back(n);
@@ -183,6 +194,11 @@ Netlist parse_verilog(std::istream& in, const std::string& name) {
   Netlist nl(module_name);
   for (const auto& n : input_names) nl.add_input(n);
   for (const auto& inst : instances) {
+    if (nl.find(inst.terminals[0]) != kInvalidGate) {
+      throw util::ParseError(
+          "duplicate driver for signal '" + inst.terminals[0] + "'", name,
+          inst.line_no);
+    }
     if (inst.type == GateType::kDff) {
       nl.add_dff(inst.terminals[0]);
     } else {

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "util/check.h"
+#include "util/guard.h"
 #include "util/rng.h"
 
 namespace minergy::opt {
@@ -26,11 +28,11 @@ OptimizationResult AnnealingOptimizer::run(
   util::Rng rng(opts_.seed);
 
   const double limit = opts_.skew_b * eval_.cycle_time();
-  int evals = 0;
+  util::Watchdog dog(opts_.budget);
 
   auto cost_of = [&](const CircuitState& s, double* crit_out,
                      double* energy_out) {
-    ++evals;
+    dog.note_evaluation();
     const double crit = eval_.critical_delay(s);
     const double energy = eval_.energy(s).total();
     if (crit_out) *crit_out = crit;
@@ -51,12 +53,12 @@ OptimizationResult AnnealingOptimizer::run(
       cost_of(global_best, &global_best_crit, &global_best_energy);
 
   const int moves_per_pass = std::max(1, opts_.max_moves / opts_.passes);
-  for (int pass = 0; pass < opts_.passes; ++pass) {
+  for (int pass = 0; pass < opts_.passes && !dog.expired(); ++pass) {
     CircuitState cur = pass == 0 ? init : global_best;
     double cur_cost = cost_of(cur, nullptr, nullptr);
     double temperature = opts_.initial_temp_scale * std::fabs(cur_cost);
 
-    for (int move = 0; move < moves_per_pass; ++move) {
+    for (int move = 0; move < moves_per_pass && !dog.expired(); ++move) {
       CircuitState cand = cur;
       const double r = rng.uniform();
       if (r < 0.6) {
@@ -107,7 +109,13 @@ OptimizationResult AnnealingOptimizer::run(
   result.vts_primary =
       global_best.vts.empty() ? 0.0 : global_best.vts.front();
   result.vts_groups = {result.vts_primary};
-  result.circuit_evaluations = evals;
+  result.circuit_evaluations = static_cast<int>(dog.evaluations());
+  if (dog.expired()) {
+    result.truncated = true;
+    result.truncation_reason =
+        std::string(dog.expiry_reason()) + " exhausted after " +
+        std::to_string(dog.evaluations()) + " circuit evaluations";
+  }
   result.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -22,6 +22,9 @@ struct AnnealingOptions {
   double penalty_weight = 20.0;     // timing-violation penalty multiplier
   double skew_b = 0.95;
   std::uint64_t seed = 1234;
+  // Wall-clock / evaluation budget; exhausting it ends the anneal early and
+  // flags the result `truncated` (the global best so far is still returned).
+  util::WatchdogBudget budget{};
 };
 
 class AnnealingOptimizer {

@@ -3,9 +3,11 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "opt/sizer.h"
 #include "util/check.h"
+#include "util/guard.h"
 #include "util/search.h"
 
 namespace minergy::opt {
@@ -30,14 +32,15 @@ OptimizationResult BaselineOptimizer::run() const {
   const std::vector<double> vts_corner(nl.size(),
                                        eval_.delay_vts(fixed_vts_));
 
-  int evals = 0;
+  util::Watchdog dog(opts_.budget);
   OptimizationResult result;
+  result.tier = ResultTier::kBaseline;
   result.vts_primary = fixed_vts_;
   result.vts_groups = {fixed_vts_};
 
   const double limit = opts_.skew_b * eval_.cycle_time();
   auto probe = [&](double vdd) {
-    ++evals;
+    dog.note_evaluation();
     SizingResult sized =
         sizer.size(budgets.t_max, vdd, vts_corner, opts_.sizing_steps);
     CircuitState state;
@@ -65,15 +68,30 @@ OptimizationResult BaselineOptimizer::run() const {
     return std::tuple(std::move(state), crit, ok);
   };
 
-  // Feasibility boundary: delay is monotone decreasing in Vdd at fixed Vts,
-  // so the smallest feasible supply is found by bisection.
-  auto feasible_at = [&](double vdd) { return std::get<2>(probe(vdd)); };
-  if (!feasible_at(tech.vdd_max)) {
-    result.feasible = false;
-    result.circuit_evaluations = evals;
-    result.runtime_seconds =
+  auto stamp = [&](OptimizationResult* r) {
+    r->circuit_evaluations = static_cast<int>(dog.evaluations());
+    if (dog.expired()) {
+      r->truncated = true;
+      r->truncation_reason =
+          std::string(dog.expiry_reason()) + " exhausted after " +
+          std::to_string(dog.evaluations()) + " circuit evaluations";
+    }
+    r->runtime_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+  };
+
+  // Feasibility boundary: delay is monotone decreasing in Vdd at fixed Vts,
+  // so the smallest feasible supply is found by bisection. After watchdog
+  // expiry the predicate answers a conservative "infeasible", steering the
+  // bisection back toward the known-feasible vdd_max without new probes.
+  auto feasible_at = [&](double vdd) {
+    if (dog.expired()) return false;
+    return std::get<2>(probe(vdd));
+  };
+  if (!feasible_at(tech.vdd_max)) {
+    result.feasible = false;
+    stamp(&result);
     return result;
   }
   const double vdd_boundary = util::bisect_min_true(
@@ -81,11 +99,15 @@ OptimizationResult BaselineOptimizer::run() const {
 
   // Energy over [boundary, vdd_max] is near-monotone increasing (CV^2)
   // but the width relief just above the boundary can create a shallow
-  // interior minimum; a short golden-section handles both shapes.
+  // interior minimum; a short golden-section handles both shapes. An
+  // exhausted watchdog turns further probes into flat no-ops.
   double best_energy = std::numeric_limits<double>::infinity();
   CircuitState best_state;
   double best_crit = 0.0;
   auto energy_at = [&](double vdd) {
+    if (dog.expired() && best_energy < std::numeric_limits<double>::infinity()) {
+      return best_energy * 4.0 + 1.0;
+    }
     auto [state, crit, ok] = probe(vdd);
     if (!ok) return best_energy * 4.0 + 1.0;
     const double e = eval_.energy(state).total();
@@ -105,10 +127,7 @@ OptimizationResult BaselineOptimizer::run() const {
   result.critical_delay = best_crit;
   result.feasible = true;
   result.vdd = best_state.vdd;
-  result.circuit_evaluations = evals;
-  result.runtime_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  stamp(&result);
   return result;
 }
 

@@ -2,19 +2,73 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "opt/sizer.h"
 #include "util/check.h"
+#include "util/guard.h"
 
 namespace minergy::opt {
+namespace {
+
+// Every arrival/delay must be finite and non-negative. NaN cannot be relied
+// on to reach critical_delay (max-comparisons silently drop NaN operands),
+// so the whole report is scanned; the isfinite sweep is trivial next to the
+// per-gate transregional current evaluations STA just performed.
+void check_finite_report(const netlist::Netlist& nl,
+                         const timing::TimingReport& report) {
+  for (netlist::GateId id : nl.combinational()) {
+    const double d = report.gate_delay[id];
+    const double a = report.arrival[id];
+    if (!std::isfinite(d) || d < 0.0) {
+      throw util::NumericError(d, "STA delay of gate '" + nl.gate(id).name +
+                                      "'");
+    }
+    if (!std::isfinite(a) || a < 0.0) {
+      throw util::NumericError(
+          a, "STA arrival time at gate '" + nl.gate(id).name + "'");
+    }
+  }
+  if (!std::isfinite(report.critical_delay) || report.critical_delay < 0.0) {
+    throw util::NumericError(report.critical_delay, "STA critical delay");
+  }
+}
+
+// Rejects a corrupt technology before any derived model (device, wires,
+// delay, energy) is built from it.
+const tech::Technology& validated(const tech::Technology& tech) {
+  tech.validate();
+  return tech;
+}
+
+// Same idea for the settings: members like the EnergyModel consume the
+// clock frequency during construction, so a bad value must be rejected in
+// the init list, before any of them is built.
+const EvalSettings& validated(const EvalSettings& settings) {
+  if (!std::isfinite(settings.clock_frequency) ||
+      settings.clock_frequency <= 0.0) {
+    throw util::NumericError(settings.clock_frequency, "clock frequency");
+  }
+  if (!std::isfinite(settings.vts_tolerance) ||
+      settings.vts_tolerance < 0.0 || settings.vts_tolerance >= 1.0) {
+    throw util::NumericError(settings.vts_tolerance,
+                             "Vts process-variation tolerance");
+  }
+  if (!std::isfinite(settings.input_slew) || settings.input_slew < 0.0) {
+    throw util::NumericError(settings.input_slew, "primary-input slew");
+  }
+  return settings;
+}
+
+}  // namespace
 
 CircuitEvaluator::CircuitEvaluator(const netlist::Netlist& nl,
                                    const tech::Technology& tech,
                                    const activity::ActivityProfile& profile,
                                    const EvalSettings& settings)
     : nl_(nl),
-      tech_(tech),
-      settings_(settings),
+      tech_(validated(tech)),
+      settings_(validated(settings)),
       dev_(tech_),
       own_wires_(tech_, nl_),
       wires_(&own_wires_),
@@ -22,9 +76,7 @@ CircuitEvaluator::CircuitEvaluator(const netlist::Netlist& nl,
       delay_(nl_, dev_, *wires_),
       energy_(nl_, dev_, *wires_, act_, settings_.clock_frequency),
       budgeter_(nl_) {
-  MINERGY_CHECK(settings_.clock_frequency > 0.0);
-  MINERGY_CHECK(settings_.vts_tolerance >= 0.0 &&
-                settings_.vts_tolerance < 1.0);
+  validate_inputs();
 }
 
 CircuitEvaluator::CircuitEvaluator(const netlist::Netlist& nl,
@@ -33,8 +85,8 @@ CircuitEvaluator::CircuitEvaluator(const netlist::Netlist& nl,
                                    const EvalSettings& settings,
                                    const interconnect::WireLoads& wires)
     : nl_(nl),
-      tech_(tech),
-      settings_(settings),
+      tech_(validated(tech)),
+      settings_(validated(settings)),
       dev_(tech_),
       own_wires_(tech_, nl_),
       wires_(&wires),
@@ -42,9 +94,14 @@ CircuitEvaluator::CircuitEvaluator(const netlist::Netlist& nl,
       delay_(nl_, dev_, *wires_),
       energy_(nl_, dev_, *wires_, act_, settings_.clock_frequency),
       budgeter_(nl_) {
-  MINERGY_CHECK(settings_.clock_frequency > 0.0);
-  MINERGY_CHECK(settings_.vts_tolerance >= 0.0 &&
-                settings_.vts_tolerance < 1.0);
+  validate_inputs();
+}
+
+void CircuitEvaluator::validate_inputs() const {
+  // Settings were vetted by validated() in the init list; the netlist is
+  // the one remaining precondition.
+  MINERGY_CHECK_MSG(nl_.finalized(),
+                    "netlist must be finalized before evaluation");
 }
 
 timing::TimingReport CircuitEvaluator::sta(const CircuitState& state,
@@ -53,8 +110,11 @@ timing::TimingReport CircuitEvaluator::sta(const CircuitState& state,
   for (std::size_t i = 0; i < state.vts.size(); ++i) {
     vts_corner[i] = delay_vts(state.vts[i]);
   }
-  return timing::run_sta(delay_, state.widths, state.vdd,
-                         std::span<const double>(vts_corner), cycle_limit);
+  timing::TimingReport report =
+      timing::run_sta(delay_, state.widths, state.vdd,
+                      std::span<const double>(vts_corner), cycle_limit);
+  check_finite_report(nl_, report);
+  return report;
 }
 
 double CircuitEvaluator::critical_delay(const CircuitState& state) const {
@@ -97,6 +157,19 @@ power::EnergyBreakdown CircuitEvaluator::energy(
           id, state.widths, state.vdd, state.vts[id], tau_in);
     }
   }
+  // Boundary guard: a single corrupt per-gate term poisons the sum, so on a
+  // non-finite total re-walk the gates to name the culprit.
+  if (!std::isfinite(total.total())) {
+    for (netlist::GateId id : nl_.combinational()) {
+      const power::EnergyBreakdown e =
+          energy_.gate_energy(id, state.widths, state.vdd, state.vts[id]);
+      if (!std::isfinite(e.total())) {
+        throw util::NumericError(
+            e.total(), "energy of gate '" + nl_.gate(id).name + "'");
+      }
+    }
+    throw util::NumericError(total.total(), "total energy per cycle");
+  }
   return total;
 }
 
@@ -136,6 +209,41 @@ double CircuitEvaluator::minimum_cycle_time(double skew_b, double vts) const {
     }
   }
   return hi;
+}
+
+util::InfeasibleError diagnose_infeasibility(const CircuitEvaluator& eval,
+                                             double skew_b) {
+  const netlist::Netlist& nl = eval.netlist();
+  const tech::Technology& tech = eval.technology();
+  const double tc = eval.cycle_time();
+  const double limit = skew_b * tc;
+
+  // Max-drive probe: strongest corner the technology offers, budget-driven
+  // sizing against the requested cycle time.
+  const std::vector<double> vts_corner(nl.size(), eval.delay_vts(tech.vts_min));
+  const timing::BudgetResult budgets =
+      eval.budgeter().assign(tc, {.clock_skew_b = skew_b});
+  const GateSizer sizer(eval.delay_calculator());
+  const SizingResult sized = sizer.size(budgets.t_max, tech.vdd_max,
+                                        std::span<const double>(vts_corner));
+  const timing::TimingReport report =
+      timing::run_sta(eval.delay_calculator(), sized.widths, tech.vdd_max,
+                      std::span<const double>(vts_corner), tc);
+
+  const std::string endpoint =
+      report.critical_path.empty()
+          ? std::string("<none>")
+          : nl.gate(report.critical_path.back()).name;
+  std::ostringstream msg;
+  msg << "cycle-time constraint infeasible for '" << nl.name()
+      << "': requested T_c = " << tc * 1e9 << " ns (delay limit b*T_c = "
+      << limit * 1e9 << " ns), but the best achievable critical-path delay "
+      << "at maximum drive (Vdd = " << tech.vdd_max << " V, Vts = "
+      << tech.vts_min << " V) is " << report.critical_delay * 1e9
+      << " ns; limiting path ends at gate '" << endpoint
+      << "'. Relax the clock or restructure that cone of logic.";
+  return util::InfeasibleError(msg.str(), limit, report.critical_delay,
+                               endpoint);
 }
 
 }  // namespace minergy::opt

@@ -22,6 +22,8 @@
 #include "timing/delay_budget.h"
 #include "timing/delay_model.h"
 #include "timing/sta.h"
+#include "util/check.h"
+#include "util/guard.h"
 
 namespace minergy::opt {
 
@@ -39,6 +41,9 @@ struct EvalSettings {
 
 class CircuitEvaluator {
  public:
+  // Validates the technology (tech::TechnologyError on corrupt parameters)
+  // and the settings before any model is built; every STA / energy call is
+  // finite-checked at this boundary (util::NumericError with gate context).
   CircuitEvaluator(const netlist::Netlist& nl, const tech::Technology& tech,
                    const activity::ActivityProfile& profile,
                    const EvalSettings& settings);
@@ -95,6 +100,9 @@ class CircuitEvaluator {
   double minimum_cycle_time(double skew_b = 0.95, double vts = -1.0) const;
 
  private:
+  void validate_inputs() const;
+
+
   const netlist::Netlist& nl_;
   tech::Technology tech_;
   EvalSettings settings_;
@@ -106,5 +114,13 @@ class CircuitEvaluator {
   power::EnergyModel energy_;
   timing::DelayBudgeter budgeter_;
 };
+
+// Diagnoses an unreachable cycle-time constraint: probes the max-drive
+// configuration (vdd_max, strongest threshold, budget-driven sizing) and
+// packages the requested limit, the best achievable critical-path delay and
+// the limiting path's endpoint gate into a rich InfeasibleError for the
+// caller to throw.
+util::InfeasibleError diagnose_infeasibility(const CircuitEvaluator& eval,
+                                             double skew_b);
 
 }  // namespace minergy::opt

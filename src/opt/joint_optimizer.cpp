@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "opt/lagrangian_sizer.h"
 #include "opt/sizer.h"
 #include "opt/tilos_sizer.h"
 #include "util/check.h"
+#include "util/guard.h"
 #include "util/search.h"
 
 namespace minergy::opt {
@@ -29,7 +31,7 @@ JointOptimizer::JointOptimizer(const CircuitEvaluator& eval,
 
 JointOptimizer::Probe JointOptimizer::probe(
     double vdd, const std::vector<double>& vts,
-    const timing::BudgetResult& budgets, int* evals) const {
+    const timing::BudgetResult& budgets, util::Watchdog* dog) const {
   const netlist::Netlist& nl = eval_.netlist();
   Probe p;
   p.state.vdd = vdd;
@@ -70,27 +72,33 @@ JointOptimizer::Probe JointOptimizer::probe(
     }
   }
   p.energy = eval_.energy(p.state);
-  ++*evals;
+  dog->note_evaluation();
   return p;
 }
 
 JointOptimizer::Probe JointOptimizer::probe_uniform(
     double vdd, double vts, const timing::BudgetResult& budgets,
-    int* evals) const {
+    util::Watchdog* dog) const {
   return probe(vdd, std::vector<double>(eval_.netlist().size(), vts), budgets,
-               evals);
+               dog);
 }
 
 void JointOptimizer::refine(const timing::BudgetResult& budgets, Probe* best,
-                            int* evals) const {
-  if (!best->feasible) return;
+                            util::Watchdog* dog) const {
+  if (!best->feasible || dog->expired()) return;
   const tech::Technology& tech = eval_.technology();
   const double center_vdd = best->state.vdd;
 
   // Penalized energy at (vdd, vts): infeasible points are pushed uphill in
   // proportion to their violation so the golden-section stays oriented.
+  // Once the watchdog expires, further probes are skipped and a flat cost
+  // lets the bracketing searches run out without new evaluations.
   auto penalized = [&](double vdd, double vts, Probe* out) {
-    Probe p = probe_uniform(vdd, vts, budgets, evals);
+    if (dog->expired()) {
+      if (out) *out = *best;
+      return best->energy.total() * 4.0;
+    }
+    Probe p = probe_uniform(vdd, vts, budgets, dog);
     double cost = p.energy.total();
     if (!p.feasible) {
       const double limit = opts_.skew_b * eval_.cycle_time();
@@ -119,12 +127,12 @@ void JointOptimizer::refine(const timing::BudgetResult& budgets, Probe* best,
 
 void JointOptimizer::assign_threshold_groups(
     const timing::BudgetResult& budgets, Probe* best,
-    OptimizationResult* result, int* evals) const {
+    OptimizationResult* result, util::Watchdog* dog) const {
   const netlist::Netlist& nl = eval_.netlist();
   const tech::Technology& tech = eval_.technology();
   const int nv = opts_.num_thresholds;
   result->vts_groups = {best->state.vts.empty() ? 0.0 : best->state.vts[0]};
-  if (nv <= 1 || !best->feasible) return;
+  if (nv <= 1 || !best->feasible || dog->expired()) return;
 
   // Group gates by timing slack at the current optimum: group 0 (most
   // critical) keeps the base threshold; groups 1..nv-1 may be raised.
@@ -148,15 +156,15 @@ void JointOptimizer::assign_threshold_groups(
   // Raise each group's threshold from the slackest group inward: binary
   // search the highest value that stays feasible and does not increase
   // energy.
-  for (int gi = nv - 1; gi >= 1; --gi) {
+  for (int gi = nv - 1; gi >= 1 && !dog->expired(); --gi) {
     double lo = base_vts, hi = tech.vts_max;
-    for (int s = 0; s < opts_.steps; ++s) {
+    for (int s = 0; s < opts_.steps && !dog->expired(); ++s) {
       const double mid = 0.5 * (lo + hi);
       std::vector<double> vts = best->state.vts;
       for (netlist::GateId id : nl.combinational()) {
         if (group[id] == gi) vts[id] = mid;
       }
-      Probe p = probe(best->state.vdd, vts, budgets, evals);
+      Probe p = probe(best->state.vdd, vts, budgets, dog);
       if (p.feasible && p.energy.total() <= best->energy.total()) {
         *best = p;
         group_vts[static_cast<std::size_t>(gi)] = mid;
@@ -179,7 +187,7 @@ OptimizationResult JointOptimizer::run() const {
   const timing::BudgetResult budgets = eval_.budgeter().assign(
       eval_.cycle_time(), {.clock_skew_b = opts_.skew_b});
 
-  int evals = 0;
+  util::Watchdog dog(opts_.budget);
   Probe best;
   best.energy.static_energy = kInf;
   best.energy.dynamic_energy = 0.0;
@@ -188,14 +196,14 @@ OptimizationResult JointOptimizer::run() const {
   // --- Procedure 2: nested binary search ---------------------------------
   double prev_total = kInf;  // "total energy decreased" reference
   util::Range vdd_range{tech.vdd_min, tech.vdd_max};
-  for (int m = 0; m < opts_.steps; ++m) {
+  for (int m = 0; m < opts_.steps && !dog.expired(); ++m) {
     const double vdd = vdd_range.mid();
     bool improved_at_this_vdd = false;
 
     util::Range vts_range{tech.vts_min, tech.vts_max};
-    for (int m2 = 0; m2 < opts_.steps; ++m2) {
+    for (int m2 = 0; m2 < opts_.steps && !dog.expired(); ++m2) {
       const double vts = vts_range.mid();
-      Probe p = probe_uniform(vdd, vts, budgets, &evals);
+      Probe p = probe_uniform(vdd, vts, budgets, &dog);
       const bool good = p.feasible && p.energy.total() < prev_total;
       if (good) {
         prev_total = p.energy.total();
@@ -211,9 +219,9 @@ OptimizationResult JointOptimizer::run() const {
     vdd_range = improved_at_this_vdd ? vdd_range.lower() : vdd_range.higher();
   }
 
-  if (opts_.refine) refine(budgets, &best, &evals);
+  if (opts_.refine) refine(budgets, &best, &dog);
 
-  if (opts_.tilos_polish && best.feasible) {
+  if (opts_.tilos_polish && best.feasible && !dog.expired()) {
     // Global sensitivity re-sizing at the chosen (Vdd, Vts): start from
     // minimum widths and grow only what the critical path needs.
     std::vector<double> vts_corner(best.state.vts.size());
@@ -228,14 +236,14 @@ OptimizationResult JointOptimizer::run() const {
       candidate.state.widths = sized.widths;
       candidate.critical_delay = sized.critical_delay;
       candidate.energy = eval_.energy(candidate.state);
-      ++evals;
+      dog.note_evaluation();
       if (candidate.energy.total() < best.energy.total()) {
         best = std::move(candidate);
       }
     }
   }
 
-  if (opts_.lagrangian_polish && best.feasible) {
+  if (opts_.lagrangian_polish && best.feasible && !dog.expired()) {
     std::vector<double> vts_corner(best.state.vts.size());
     for (std::size_t i = 0; i < vts_corner.size(); ++i) {
       vts_corner[i] = eval_.delay_vts(best.state.vts[i]);
@@ -248,7 +256,7 @@ OptimizationResult JointOptimizer::run() const {
       candidate.state.widths = sized.widths;
       candidate.critical_delay = sized.critical_delay;
       candidate.energy = eval_.energy(candidate.state);
-      ++evals;
+      dog.note_evaluation();
       if (candidate.energy.total() < best.energy.total()) {
         best = std::move(candidate);
       }
@@ -256,7 +264,7 @@ OptimizationResult JointOptimizer::run() const {
   }
 
   OptimizationResult result;
-  assign_threshold_groups(budgets, &best, &result, &evals);
+  assign_threshold_groups(budgets, &best, &result, &dog);
 
   result.state = best.state;
   result.energy = best.energy;
@@ -267,7 +275,13 @@ OptimizationResult JointOptimizer::run() const {
   if (result.vts_groups.empty() && !best.state.vts.empty()) {
     result.vts_groups = {result.vts_primary};
   }
-  result.circuit_evaluations = evals;
+  result.circuit_evaluations = static_cast<int>(dog.evaluations());
+  if (dog.expired()) {
+    result.truncated = true;
+    result.truncation_reason =
+        std::string(dog.expiry_reason()) + " exhausted after " +
+        std::to_string(dog.evaluations()) + " circuit evaluations";
+  }
   result.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -23,6 +23,10 @@ class JointOptimizer {
  public:
   JointOptimizer(const CircuitEvaluator& eval, OptimizerOptions options = {});
 
+  // Runs Procedure 2 under the options' watchdog budget. When the budget is
+  // exhausted mid-search the best state seen so far is returned with
+  // `truncated` set (never an unbounded run); numeric corruption inside the
+  // models surfaces as util::NumericError from the evaluator boundary.
   OptimizationResult run() const;
 
  private:
@@ -35,16 +39,17 @@ class JointOptimizer {
 
   // Budget-driven sizing + STA + energy at a uniform (vdd, vts).
   Probe probe_uniform(double vdd, double vts,
-                      const timing::BudgetResult& budgets, int* evals) const;
+                      const timing::BudgetResult& budgets,
+                      util::Watchdog* dog) const;
   // Same with a per-gate threshold vector (multi-Vt mode).
   Probe probe(double vdd, const std::vector<double>& vts,
-              const timing::BudgetResult& budgets, int* evals) const;
+              const timing::BudgetResult& budgets, util::Watchdog* dog) const;
 
   void refine(const timing::BudgetResult& budgets, Probe* best,
-              int* evals) const;
+              util::Watchdog* dog) const;
   void assign_threshold_groups(const timing::BudgetResult& budgets,
                                Probe* best, OptimizationResult* result,
-                               int* evals) const;
+                               util::Watchdog* dog) const;
 
   const CircuitEvaluator& eval_;
   OptimizerOptions opts_;

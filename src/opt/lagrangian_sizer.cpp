@@ -20,7 +20,8 @@ LagrangianSizer::LagrangianSizer(const timing::DelayCalculator& calc,
 
 LagrangianResult LagrangianSizer::size(double vdd,
                                        std::span<const double> vts,
-                                       double cycle_limit) const {
+                                       double cycle_limit,
+                                       util::Watchdog* watchdog) const {
   const netlist::Netlist& nl = calc_.netlist();
   const tech::Technology& tech = calc_.device().technology();
   MINERGY_CHECK(vts.size() == nl.size());
@@ -49,12 +50,17 @@ LagrangianResult LagrangianSizer::size(double vdd,
   // feasible iterate by the end of a round, boost every multiplier (making
   // delay dominate the relaxed objective) and run another round.
   const int max_rounds = 4;
-  for (int round = 0; round < max_rounds; ++round) {
+  bool out_of_budget = false;
+  for (int round = 0; round < max_rounds && !out_of_budget; ++round) {
     if (round > 0) {
       if (best.feasible) break;
       for (double& m : mu) m = std::min(m * 10.0, 1e6 * mu0);
     }
   for (int iter = 0; iter < opts_.iterations; ++iter) {
+    if (watchdog && watchdog->note_evaluation()) {
+      out_of_budget = true;
+      break;
+    }
     // --- Inner: coordinate-wise minimization of E + sum mu*d -------------
     for (netlist::GateId id : nl.combinational()) {
       const netlist::Gate& g = nl.gate(id);
@@ -121,8 +127,9 @@ LagrangianResult LagrangianSizer::size(double vdd,
   }
   }
 
-  if (!best.feasible) return last;  // report the closest attempt
-  return best;
+  LagrangianResult& result = best.feasible ? best : last;
+  result.truncated = out_of_budget;
+  return result;  // best feasible iterate, else the closest attempt
 }
 
 }  // namespace minergy::opt

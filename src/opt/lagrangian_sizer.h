@@ -23,6 +23,7 @@
 
 #include "power/energy_model.h"
 #include "timing/delay_model.h"
+#include "util/guard.h"
 
 namespace minergy::opt {
 
@@ -39,6 +40,7 @@ struct LagrangianResult {
   double critical_delay = 0.0;
   double energy = 0.0;
   int iterations_used = 0;
+  bool truncated = false;  // a caller watchdog expired mid-optimization
 };
 
 class LagrangianSizer {
@@ -48,8 +50,12 @@ class LagrangianSizer {
                   LagrangianOptions options = {});
 
   // vts: delay-corner thresholds per gate id. cycle_limit: b * Tc.
+  // An optional caller-owned watchdog bounds the subgradient loop: on
+  // expiry the best iterate so far is returned with `truncated` set (each
+  // outer iteration counts as one evaluation).
   LagrangianResult size(double vdd, std::span<const double> vts,
-                        double cycle_limit) const;
+                        double cycle_limit,
+                        util::Watchdog* watchdog = nullptr) const;
 
  private:
   const timing::DelayCalculator& calc_;

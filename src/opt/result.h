@@ -2,12 +2,34 @@
 #pragma once
 
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "opt/circuit_state.h"
 #include "power/energy_model.h"
+#include "util/guard.h"
 
 namespace minergy::opt {
+
+// Which tier of the graceful-degradation chain produced a result (see
+// RobustOptimizer). Plain optimizers always report their own tier.
+enum class ResultTier {
+  kJoint = 0,       // full Procedure-2 joint optimization
+  kBaseline = 1,    // fixed-Vts conventional flow
+  kLastResort = 2,  // max-drive emergency configuration
+};
+
+inline const char* to_string(ResultTier tier) {
+  switch (tier) {
+    case ResultTier::kJoint:
+      return "joint";
+    case ResultTier::kBaseline:
+      return "baseline";
+    case ResultTier::kLastResort:
+      return "last-resort";
+  }
+  return "?";
+}
 
 struct OptimizerOptions {
   int steps = 10;          // M, binary-search iterations per nested loop
@@ -34,6 +56,11 @@ struct OptimizerOptions {
   // Same idea with the Lagrangian-relaxation sizer (the Sapatnekar-lineage
   // method the paper cites as [10]); usually the strongest width polish.
   bool lagrangian_polish = false;
+
+  // Wall-clock / evaluation-count budget for the whole run. Unlimited by
+  // default; when exhausted the optimizer stops probing and returns the
+  // best state seen so far with `truncated` set.
+  util::WatchdogBudget budget{};
 };
 
 struct OptimizationResult {
@@ -48,6 +75,17 @@ struct OptimizationResult {
 
   int circuit_evaluations = 0;  // full size+STA+energy passes
   double runtime_seconds = 0.0;
+
+  // The watchdog budget ran out before the search finished: `state` is the
+  // best point seen, not the converged optimum.
+  bool truncated = false;
+  std::string truncation_reason;  // empty unless truncated
+
+  // Provenance of the answer in the graceful-degradation chain, plus why
+  // earlier tiers failed (filled by RobustOptimizer; single-tier optimizers
+  // leave tier_notes empty and report their own tier).
+  ResultTier tier = ResultTier::kJoint;
+  std::vector<std::string> tier_notes;
 
   double total_energy() const { return energy.total(); }
 };

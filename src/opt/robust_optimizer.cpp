@@ -1,0 +1,121 @@
+#include "opt/robust_optimizer.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "opt/baseline_optimizer.h"
+#include "opt/joint_optimizer.h"
+#include "opt/sizer.h"
+#include "util/check.h"
+#include "util/guard.h"
+
+namespace minergy::opt {
+namespace {
+
+std::string describe_failure(const OptimizationResult& r) {
+  std::ostringstream os;
+  os << "infeasible result";
+  if (r.truncated) os << " (truncated: " << r.truncation_reason << ")";
+  os << " after " << r.circuit_evaluations << " evaluations";
+  return os.str();
+}
+
+}  // namespace
+
+RobustOptimizer::RobustOptimizer(const CircuitEvaluator& eval,
+                                 RobustOptions options)
+    : eval_(eval), opts_(std::move(options)) {}
+
+OptimizationResult RobustOptimizer::last_resort() const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const netlist::Netlist& nl = eval_.netlist();
+  const tech::Technology& tech = eval_.technology();
+  const double skew_b = opts_.joint.skew_b;
+  const double limit = skew_b * eval_.cycle_time();
+
+  // Maximum drive: highest supply, strongest threshold, widths sized to the
+  // Procedure-1 budgets. If this cannot meet timing, nothing in the
+  // technology's variable ranges can.
+  const timing::BudgetResult budgets = eval_.budgeter().assign(
+      eval_.cycle_time(), {.clock_skew_b = skew_b});
+  const std::vector<double> vts_corner(nl.size(),
+                                       eval_.delay_vts(tech.vts_min));
+  const GateSizer sizer(eval_.delay_calculator());
+  SizingResult sized =
+      sizer.size(budgets.t_max, tech.vdd_max,
+                 std::span<const double>(vts_corner), opts_.joint.sizing_steps);
+
+  OptimizationResult result;
+  result.tier = ResultTier::kLastResort;
+  result.state.vdd = tech.vdd_max;
+  result.state.vts.assign(nl.size(), tech.vts_min);
+  result.state.widths = std::move(sized.widths);
+  result.vdd = tech.vdd_max;
+  result.vts_primary = tech.vts_min;
+  result.vts_groups = {tech.vts_min};
+
+  const timing::TimingReport report = eval_.sta(result.state, limit);
+  result.critical_delay = report.critical_delay;
+  result.feasible = report.critical_delay <= limit * (1.0 + 1e-9);
+  result.circuit_evaluations = 1;
+  if (!result.feasible) {
+    throw diagnose_infeasibility(eval_, skew_b);
+  }
+  result.energy = eval_.energy(result.state);
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+OptimizationResult RobustOptimizer::run() const {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::string> notes;
+
+  auto finish = [&](OptimizationResult r) {
+    r.tier_notes = notes;
+    r.runtime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return r;
+  };
+
+  // --- Tier 0: full joint optimization -----------------------------------
+  try {
+    OptimizationResult r = JointOptimizer(eval_, opts_.joint).run();
+    if (r.feasible) {
+      r.tier = ResultTier::kJoint;
+      return finish(std::move(r));
+    }
+    notes.push_back("joint: " + describe_failure(r));
+  } catch (const util::NumericError& e) {
+    notes.push_back(std::string("joint: numeric error: ") + e.what());
+  } catch (const std::exception& e) {
+    notes.push_back(std::string("joint: ") + e.what());
+  }
+
+  // --- Tier 1: conventional fixed-Vts flow --------------------------------
+  try {
+    OptimizationResult r =
+        BaselineOptimizer(eval_, opts_.baseline, opts_.baseline_fixed_vts)
+            .run();
+    if (r.feasible) {
+      r.tier = ResultTier::kBaseline;
+      return finish(std::move(r));
+    }
+    notes.push_back("baseline: " + describe_failure(r));
+  } catch (const util::NumericError& e) {
+    notes.push_back(std::string("baseline: numeric error: ") + e.what());
+  } catch (const std::exception& e) {
+    notes.push_back(std::string("baseline: ") + e.what());
+  }
+
+  // --- Tier 2: max-drive emergency configuration --------------------------
+  if (!opts_.allow_last_resort) {
+    throw diagnose_infeasibility(eval_, opts_.joint.skew_b);
+  }
+  return finish(last_resort());
+}
+
+}  // namespace minergy::opt

@@ -1,0 +1,59 @@
+// Graceful-degradation wrapper around the optimization stack.
+//
+// A production flow cannot afford to crash (or hang, or return NaN) because
+// one netlist sits in an ill-conditioned corner of the cost surface. The
+// RobustOptimizer walks a fallback chain, each tier cheaper and more
+// conservative than the last, and records in the result which tier produced
+// the answer and why the earlier tiers failed:
+//
+//   tier 0  joint        Procedure-2 joint (Vdd, Vts, w) optimization,
+//                        bounded by the tier's watchdog budget
+//   tier 1  baseline     conventional fixed-Vts flow (nominal threshold),
+//                        a much smaller, better-conditioned search
+//   tier 2  last resort  maximum drive: vdd_max, strongest threshold,
+//                        budget-driven sizing — the "just make timing"
+//                        configuration, energy-optimal in nothing
+//
+// A tier is rejected when it throws (util::NumericError from the evaluator
+// boundary, or any std::exception) or returns an infeasible result; a
+// truncated-but-feasible result is accepted (the flag rides along). If even
+// maximum drive cannot meet timing, run() throws util::InfeasibleError
+// carrying the requested limit, the best achievable critical-path delay and
+// the limiting path's endpoint gate (see diagnose_infeasibility).
+#pragma once
+
+#include "opt/evaluator.h"
+#include "opt/result.h"
+
+namespace minergy::opt {
+
+struct RobustOptions {
+  // Tier-0 settings, including its watchdog budget.
+  OptimizerOptions joint{};
+  // Tier-1 settings; fixed_vts < 0 selects the technology's nominal_vts.
+  OptimizerOptions baseline{};
+  double baseline_fixed_vts = -1.0;
+  // When false, an infeasible tier 1 throws instead of falling through to
+  // the max-drive configuration.
+  bool allow_last_resort = true;
+};
+
+class RobustOptimizer {
+ public:
+  explicit RobustOptimizer(const CircuitEvaluator& eval,
+                           RobustOptions options = {});
+
+  // Never propagates model/numeric/budget failures from the inner tiers;
+  // the only exception it throws is util::InfeasibleError when no tier can
+  // meet the cycle-time constraint at all.
+  OptimizationResult run() const;
+
+ private:
+  // Tier 2: vdd_max / vts_min / budget-driven sizing. Feasible-or-throws.
+  OptimizationResult last_resort() const;
+
+  const CircuitEvaluator& eval_;
+  RobustOptions opts_;
+};
+
+}  // namespace minergy::opt

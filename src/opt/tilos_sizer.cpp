@@ -17,7 +17,8 @@ TilosSizer::TilosSizer(const timing::DelayCalculator& calc,
 }
 
 TilosResult TilosSizer::size(double vdd, std::span<const double> vts,
-                             double cycle_limit) const {
+                             double cycle_limit,
+                             util::Watchdog* watchdog) const {
   const netlist::Netlist& nl = calc_.netlist();
   const tech::Technology& tech = calc_.device().technology();
   MINERGY_CHECK(vts.size() == nl.size());
@@ -26,6 +27,10 @@ TilosResult TilosSizer::size(double vdd, std::span<const double> vts,
   r.widths.assign(nl.size(), tech.w_min);
 
   for (int iter = 0; iter < opts_.max_iterations; ++iter) {
+    if (watchdog && watchdog->note_evaluation()) {
+      r.truncated = true;
+      break;
+    }
     const timing::TimingReport report =
         timing::run_sta(calc_, r.widths, vdd, vts, cycle_limit);
     r.critical_delay = report.critical_delay;

@@ -13,6 +13,7 @@
 
 #include "power/energy_model.h"
 #include "timing/delay_model.h"
+#include "util/guard.h"
 
 namespace minergy::opt {
 
@@ -26,6 +27,7 @@ struct TilosResult {
   bool feasible = false;
   int iterations = 0;
   double critical_delay = 0.0;
+  bool truncated = false;  // a caller watchdog expired mid-sizing
 };
 
 class TilosSizer {
@@ -34,8 +36,11 @@ class TilosSizer {
              const power::EnergyModel& energy, TilosOptions options = {});
 
   // vts indexed by gate id (delay corner already applied by the caller).
-  TilosResult size(double vdd, std::span<const double> vts,
-                   double cycle_limit) const;
+  // An optional caller-owned watchdog bounds the greedy loop: on expiry the
+  // current widths are returned with `truncated` set (each STA pass counts
+  // as one evaluation).
+  TilosResult size(double vdd, std::span<const double> vts, double cycle_limit,
+                   util::Watchdog* watchdog = nullptr) const;
 
  private:
   const timing::DelayCalculator& calc_;

@@ -58,6 +58,22 @@ const std::map<std::string, Field>& fields() {
 
 }  // namespace
 
+const std::vector<std::string>& technology_field_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    names.reserve(fields().size());
+    for (const auto& [key, field] : fields()) names.push_back(key);
+    return names;
+  }();
+  return kNames;
+}
+
+double* technology_field(Technology& tech, const std::string& name) {
+  const auto it = fields().find(name);
+  if (it == fields().end()) return nullptr;
+  return &it->second.ref(tech);
+}
+
 Technology parse_technology(std::istream& in, const std::string& name) {
   Technology tech;  // default preset unless `base =` overrides
   tech.name = name;

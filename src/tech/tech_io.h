@@ -13,10 +13,18 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "tech/technology.h"
 
 namespace minergy::tech {
+
+// Names of every numeric Technology field the text format accepts, in
+// parser order. Shared by the serializer and the fault-injection harness.
+const std::vector<std::string>& technology_field_names();
+
+// Mutable reference to a field by name; returns nullptr for unknown names.
+double* technology_field(Technology& tech, const std::string& name);
 
 Technology parse_technology(std::istream& in,
                             const std::string& name = "tech");

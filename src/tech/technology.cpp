@@ -1,5 +1,6 @@
 #include "tech/technology.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "util/units.h"
@@ -11,15 +12,38 @@ double Technology::thermal_vt() const {
 }
 
 void Technology::validate() const {
-  auto require = [](bool ok, const char* what) {
-    if (!ok) throw std::invalid_argument(std::string("Technology: ") + what);
+  auto require = [this](bool ok, const char* what) {
+    if (!ok) {
+      throw TechnologyError("Technology '" + name + "': " + what);
+    }
   };
+  // Every numeric field must be finite: a single NaN or infinity here
+  // otherwise rides through the delay/energy models unchecked. (The range
+  // checks below reject NaN too — all comparisons with NaN are false — but
+  // infinities satisfy one-sided bounds, so the finite check is explicit.)
+  const double numeric_fields[] = {
+      feature_size,  channel_length,   alpha,
+      pc,            n_sub,            temperature,
+      junction_leak_per_w,             blend_overdrive_factor,
+      leakage_scale, beta_ratio,       cgate_per_w,
+      cpar_per_w,    cmid_per_w,       wire_cap_per_len,
+      wire_res_per_len,                flight_velocity,
+      gate_pitch,    rent_exponent,    rent_k,
+      vdd_min,       vdd_max,          vts_min,
+      vts_max,       w_min,            w_max,
+      clock_skew_b,  po_load_w,        nominal_vdd,
+      nominal_vts};
+  for (double v : numeric_fields) {
+    require(std::isfinite(v), "all parameters must be finite");
+  }
   require(feature_size > 0, "feature_size must be positive");
+  require(feature_size <= 1e-4, "feature_size must be below 100 um");
   require(channel_length > 0, "channel_length must be positive");
   require(alpha >= 1.0 && alpha <= 2.0, "alpha must be in [1, 2]");
   require(pc > 0, "pc must be positive");
   require(n_sub >= 1.0 && n_sub <= 3.0, "n_sub must be in [1, 3]");
-  require(temperature > 0, "temperature must be positive");
+  require(temperature > 0 && temperature <= 1000,
+          "temperature must be in (0, 1000] K");
   require(junction_leak_per_w >= 0, "junction leakage must be >= 0");
   require(leakage_scale > 0, "leakage_scale must be positive");
   require(blend_overdrive_factor > 0, "blend factor must be positive");
@@ -34,11 +58,15 @@ void Technology::validate() const {
           "Rent exponent must be in (0, 1)");
   require(rent_k > 1, "Rent k must exceed 1");
   require(vdd_min > 0 && vdd_min < vdd_max, "bad Vdd range");
+  require(vdd_max <= 20.0, "Vdd range exceeds 20 V (corrupt tech file?)");
   require(vts_min > 0 && vts_min < vts_max, "bad Vts range");
+  require(vts_max < vdd_max, "Vts range must lie below vdd_max");
   require(w_min >= 1.0 && w_min < w_max, "bad width range");
   require(clock_skew_b > 0 && clock_skew_b <= 1.0, "bad clock skew factor");
   require(po_load_w >= 0, "PO load must be >= 0");
   require(nominal_vdd > 0 && nominal_vts > 0, "bad nominal point");
+  require(nominal_vdd <= 20.0 && nominal_vts <= 20.0,
+          "nominal point exceeds 20 V (corrupt tech file?)");
 }
 
 Technology Technology::generic350() {

@@ -7,9 +7,16 @@
 // units; per-width quantities are per meter of device width.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 namespace minergy::tech {
+
+// Thrown by Technology::validate() on non-physical parameters. Derives from
+// std::invalid_argument so pre-existing catch sites keep working.
+class TechnologyError : public std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
 
 struct Technology {
   std::string name = "generic350";
@@ -68,7 +75,8 @@ struct Technology {
   // n * kT/q, the subthreshold exponential scale.
   double nvt() const { return n_sub * thermal_vt(); }
 
-  // Throws std::invalid_argument if any parameter is non-physical.
+  // Throws TechnologyError (a std::invalid_argument) if any parameter is
+  // non-finite or non-physical; every numeric field is checked.
   void validate() const;
 
   // Named presets.

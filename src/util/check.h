@@ -29,9 +29,33 @@ class ParseError : public std::runtime_error {
 
 // Thrown when an optimization problem has no feasible solution within the
 // technology's variable ranges (e.g. the requested cycle time cannot be met
-// even at maximum drive).
+// even at maximum drive). When the thrower can measure it, the error also
+// carries the requested delay limit, the best critical-path delay achievable
+// at maximum drive, and the endpoint gate of the limiting path, so users can
+// act on the infeasibility (relax T_c, restructure the limiting cone)
+// instead of guessing.
 class InfeasibleError : public std::runtime_error {
+ public:
   using std::runtime_error::runtime_error;
+
+  InfeasibleError(const std::string& what, double requested_limit,
+                  double best_achievable, std::string limiting_gate)
+      : std::runtime_error(what),
+        requested_limit_(requested_limit),
+        best_achievable_(best_achievable),
+        limiting_gate_(std::move(limiting_gate)) {}
+
+  // Requested delay limit (b * T_c, seconds); 0 when not measured.
+  double requested_limit() const { return requested_limit_; }
+  // Best achievable critical-path delay at maximum drive (seconds).
+  double best_achievable() const { return best_achievable_; }
+  // Endpoint gate of the limiting path; empty when not measured.
+  const std::string& limiting_gate() const { return limiting_gate_; }
+
+ private:
+  double requested_limit_ = 0.0;
+  double best_achievable_ = 0.0;
+  std::string limiting_gate_;
 };
 
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,

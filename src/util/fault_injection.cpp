@@ -1,0 +1,244 @@
+#include "util/fault_injection.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "netlist/bench_io.h"
+#include "netlist/gate.h"
+#include "netlist/verilog_io.h"
+#include "tech/tech_io.h"
+
+namespace minergy::fault {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double corrupted_value(double original, FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNaN:
+      return kNaN;
+    case FaultKind::kInfinity:
+      return kInf;
+    case FaultKind::kZero:
+      return 0.0;
+    case FaultKind::kNegative:
+      return original == 0.0 ? -1.0 : -original;
+  }
+  return kNaN;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNaN:
+      return "NaN";
+    case FaultKind::kInfinity:
+      return "inf";
+    case FaultKind::kZero:
+      return "zero";
+    case FaultKind::kNegative:
+      return "negative";
+  }
+  return "?";
+}
+
+void corrupt_tech_field(tech::Technology* tech, const std::string& field,
+                        FaultKind kind) {
+  double* slot = tech::technology_field(*tech, field);
+  if (slot == nullptr) {
+    throw std::out_of_range("unknown technology field: " + field);
+  }
+  *slot = corrupted_value(*slot, kind);
+}
+
+std::vector<TechFault> tech_fault_catalog() {
+  // One corrupted field per case, spanning every corruption kind and every
+  // parameter family (drive, capacitance, interconnect, ranges, system).
+  const struct {
+    const char* field;
+    FaultKind kind;
+  } kCases[] = {
+      {"pc", FaultKind::kNaN},
+      {"pc", FaultKind::kZero},
+      {"cgate_per_w", FaultKind::kZero},
+      {"cgate_per_w", FaultKind::kNaN},
+      {"cpar_per_w", FaultKind::kNegative},
+      {"feature_size", FaultKind::kNaN},
+      {"feature_size", FaultKind::kInfinity},
+      {"temperature", FaultKind::kZero},
+      {"wire_cap_per_len", FaultKind::kInfinity},
+      {"vdd_max", FaultKind::kZero},
+      {"vdd_max", FaultKind::kInfinity},
+      {"vts_min", FaultKind::kNegative},
+      {"vts_max", FaultKind::kNaN},
+      {"leakage_scale", FaultKind::kZero},
+      {"rent_exponent", FaultKind::kNegative},
+      {"w_max", FaultKind::kZero},
+      {"clock_skew_b", FaultKind::kInfinity},
+      {"n_sub", FaultKind::kNaN},
+  };
+  std::vector<TechFault> catalog;
+  for (const auto& c : kCases) {
+    TechFault f;
+    f.name = std::string(c.field) + "=" + to_string(c.kind);
+    f.tech = tech::Technology::generic350();
+    corrupt_tech_field(&f.tech, c.field, c.kind);
+    catalog.push_back(std::move(f));
+  }
+  return catalog;
+}
+
+std::vector<TechFault> stress_tech_catalog() {
+  std::vector<TechFault> catalog;
+  {
+    // Denormal drive strength: every delay divides by a vanishing current,
+    // arrival times overflow toward infinity.
+    TechFault f;
+    f.name = "pc=1e-300 (vanishing drive)";
+    f.tech = tech::Technology::generic350();
+    f.tech.pc = 1e-300;
+    catalog.push_back(std::move(f));
+  }
+  {
+    // Enormous wire parasitics: energies and delays blow up by ~1e12.
+    TechFault f;
+    f.name = "wire_cap_per_len=1e3 (monster parasitics)";
+    f.tech = tech::Technology::generic350();
+    f.tech.wire_cap_per_len = 1e3;
+    catalog.push_back(std::move(f));
+  }
+  {
+    // A sliver of a feasible voltage window: the nested searches get a
+    // near-degenerate interval and must still terminate.
+    TechFault f;
+    f.name = "degenerate voltage window";
+    f.tech = tech::Technology::generic350();
+    f.tech.vdd_min = 0.30;
+    f.tech.vdd_max = 0.30000001;
+    f.tech.vts_min = 0.29;
+    f.tech.vts_max = 0.2999999;
+    catalog.push_back(std::move(f));
+  }
+  {
+    // Huge junction leakage: static energy dominates by orders of
+    // magnitude; the optimizer must not return NaN ratios.
+    TechFault f;
+    f.name = "junction_leak_per_w=1e6";
+    f.tech = tech::Technology::generic350();
+    f.tech.junction_leak_per_w = 1e6;
+    catalog.push_back(std::move(f));
+  }
+  return catalog;
+}
+
+std::vector<ParserFault> parser_fault_catalog() {
+  return {
+      // --- .bench ----------------------------------------------------------
+      {"bench: truncated final line", TextFormat::kBench,
+       "INPUT(a)\nOUTPUT(y)\ny = NAND(a"},
+      {"bench: truncated INPUT", TextFormat::kBench, "INPUT(a"},
+      {"bench: duplicate gate definition", TextFormat::kBench,
+       "INPUT(a)\ny = NOT(a)\ny = NOT(a)\nOUTPUT(y)\n"},
+      {"bench: duplicate INPUT declaration", TextFormat::kBench,
+       "INPUT(a)\nINPUT(a)\ny = NOT(a)\nOUTPUT(y)\n"},
+      {"bench: undeclared fanin", TextFormat::kBench,
+       "INPUT(a)\ny = NAND(a, ghost)\nOUTPUT(y)\n"},
+      {"bench: undeclared OUTPUT", TextFormat::kBench,
+       "INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)\n"},
+      {"bench: unknown gate type", TextFormat::kBench,
+       "INPUT(a)\ny = MAJ3(a, a, a)\nOUTPUT(y)\n"},
+      {"bench: missing signal name", TextFormat::kBench,
+       "INPUT(a)\n = NOT(a)\n"},
+      {"bench: gate with no fanins", TextFormat::kBench,
+       "INPUT(a)\ny = NAND()\nOUTPUT(y)\n"},
+      // --- Verilog ---------------------------------------------------------
+      {"verilog: truncated final statement", TextFormat::kVerilog,
+       "module t(a, y);\ninput a;\noutput y;\nnot u1 (y, a"},
+      {"verilog: missing endmodule", TextFormat::kVerilog,
+       "module t(a, y);\ninput a;\noutput y;\nnot u1 (y, a);\n"},
+      {"verilog: duplicate driver", TextFormat::kVerilog,
+       "module t(a, y);\ninput a;\noutput y;\nnot u1 (y, a);\n"
+       "not u2 (y, a);\nendmodule\n"},
+      {"verilog: duplicate input", TextFormat::kVerilog,
+       "module t(a, y);\ninput a;\ninput a;\noutput y;\nnot u1 (y, a);\n"
+       "endmodule\n"},
+      {"verilog: undriven signal", TextFormat::kVerilog,
+       "module t(a, y);\ninput a;\noutput y;\nnand u1 (y, a, ghost);\n"
+       "endmodule\n"},
+      {"verilog: undriven output", TextFormat::kVerilog,
+       "module t(a, y);\ninput a;\noutput y;\nendmodule\n"},
+      {"verilog: unknown primitive", TextFormat::kVerilog,
+       "module t(a, y);\ninput a;\noutput y;\nmux2 u1 (y, a, a);\n"
+       "endmodule\n"},
+      {"verilog: statement outside module", TextFormat::kVerilog,
+       "input a;\nmodule t(a);\nendmodule\n"},
+      {"verilog: empty terminal", TextFormat::kVerilog,
+       "module t(a, y);\ninput a;\noutput y;\nnot u1 (y, );\nendmodule\n"},
+      // --- technology files ------------------------------------------------
+      {"tech: unknown parameter", TextFormat::kTech, "frobnication = 3\n"},
+      {"tech: bad numeric value", TextFormat::kTech, "pc = fast\n"},
+      {"tech: missing equals", TextFormat::kTech, "pc 175\n"},
+      {"tech: late base directive", TextFormat::kTech,
+       "pc = 175\nbase = generic250\n"},
+      {"tech: corrupt value range", TextFormat::kTech, "vdd_max = -3\n"},
+  };
+}
+
+void parse_fault_text(const ParserFault& fault) {
+  switch (fault.format) {
+    case TextFormat::kBench:
+      netlist::parse_bench_string(fault.text, fault.name);
+      return;
+    case TextFormat::kVerilog:
+      netlist::parse_verilog_string(fault.text, fault.name);
+      return;
+    case TextFormat::kTech:
+      tech::parse_technology_string(fault.text, fault.name);
+      return;
+  }
+}
+
+std::vector<NetlistFault> netlist_fault_catalog() {
+  return {
+      {"combinational cycle", "a -> b -> a loop in the logic core"},
+      {"self loop", "gate feeding its own fanin list"},
+      {"dangling fanin id", "fanin references a gate id that was never made"},
+      {"bad arity", "single-input gate type with two fanins"},
+      {"duplicate name", "two gates registered under one name"},
+  };
+}
+
+void run_netlist_fault(const std::string& name) {
+  using netlist::GateType;
+  netlist::Netlist nl(name);
+  if (name == "combinational cycle") {
+    const auto in = nl.add_input("x");
+    const auto a = nl.add_gate(GateType::kAnd, "a");
+    const auto b = nl.add_gate(GateType::kAnd, "b");
+    nl.set_fanins(a, {in, b});
+    nl.set_fanins(b, {in, a});
+    nl.mark_output(b);
+  } else if (name == "self loop") {
+    const auto in = nl.add_input("x");
+    const auto a = nl.add_gate(GateType::kAnd, "a");
+    nl.set_fanins(a, {in, a});
+    nl.mark_output(a);
+  } else if (name == "dangling fanin id") {
+    nl.add_input("x");
+    nl.add_gate(GateType::kNot, "a", {netlist::GateId{57}});
+  } else if (name == "bad arity") {
+    const auto in = nl.add_input("x");
+    const auto a = nl.add_gate(GateType::kNot, "a");
+    nl.set_fanins(a, {in, in});
+  } else if (name == "duplicate name") {
+    nl.add_input("x");
+    nl.add_gate(GateType::kNot, "x");  // throws here, before finalize
+  } else {
+    throw std::out_of_range("unknown netlist fault case: " + name);
+  }
+  nl.finalize();
+}
+
+}  // namespace minergy::fault

@@ -1,0 +1,75 @@
+// Deterministic fault-injection harness.
+//
+// Catalogs of corrupted inputs — broken technology parameters, garbled
+// `.bench`/Verilog sources, structurally degenerate netlists, and
+// validate-passing-but-numerically-extreme "stress" technologies — used by
+// tests/test_fault_injection.cpp to assert the robustness contract: every
+// injected fault must surface as a *typed* exception (ParseError,
+// TechnologyError, NetlistError, NumericError, InfeasibleError) or as an
+// explicitly flagged fallback/truncated result. Never a NaN energy, a hang,
+// or a crash.
+//
+// Everything here is deterministic (no RNG, no clocks) so a failing fault
+// case reproduces byte-for-byte.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "tech/technology.h"
+
+namespace minergy::fault {
+
+// How a numeric parameter gets corrupted.
+enum class FaultKind { kNaN, kInfinity, kZero, kNegative };
+
+const char* to_string(FaultKind kind);
+
+// Overwrites one named Technology field (see tech::technology_field_names())
+// in place. Throws std::out_of_range on an unknown field name.
+void corrupt_tech_field(tech::Technology* tech, const std::string& field,
+                        FaultKind kind);
+
+// --- Catalog: corrupted technologies ---------------------------------------
+// Each entry must be rejected by Technology::validate() (and therefore by
+// CircuitEvaluator construction) with a tech::TechnologyError.
+struct TechFault {
+  std::string name;        // e.g. "pc=NaN"
+  tech::Technology tech;   // generic350 with one field corrupted
+};
+std::vector<TechFault> tech_fault_catalog();
+
+// --- Catalog: validate-passing numeric stress cases ------------------------
+// Technologies that pass validate() but sit at numeric extremes (denormal
+// drive currents, enormous parasitics): optimization over them must end in
+// a typed exception or a flagged fallback result, never silent NaN.
+std::vector<TechFault> stress_tech_catalog();
+
+// --- Catalog: garbled parser inputs ----------------------------------------
+// Each text must make the corresponding parser throw util::ParseError (or
+// tech::TechnologyError for values that parse cleanly but fail validation).
+enum class TextFormat { kBench, kVerilog, kTech };
+struct ParserFault {
+  std::string name;
+  TextFormat format;
+  std::string text;
+};
+std::vector<ParserFault> parser_fault_catalog();
+
+// Runs the right parser for the fault's format (throws on garbled input).
+void parse_fault_text(const ParserFault& fault);
+
+// --- Catalog: structurally degenerate netlists -----------------------------
+// Building + finalizing each case must throw netlist::NetlistError.
+struct NetlistFault {
+  std::string name;
+  std::string description;
+};
+std::vector<NetlistFault> netlist_fault_catalog();
+
+// Builds and finalizes the named degenerate netlist (throws NetlistError).
+// Throws std::out_of_range on an unknown case name.
+void run_netlist_fault(const std::string& name);
+
+}  // namespace minergy::fault

@@ -1,0 +1,70 @@
+#include "util/guard.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace minergy::util {
+namespace {
+
+std::string describe(double value, const std::string& context) {
+  std::ostringstream os;
+  os << "non-physical value ";
+  if (std::isnan(value)) {
+    os << "NaN";
+  } else {
+    os << value;
+  }
+  os << " for " << context;
+  return os.str();
+}
+
+}  // namespace
+
+NumericError::NumericError(double value, const std::string& context)
+    : std::runtime_error(describe(value, context)),
+      value_(value),
+      context_(context) {}
+
+double finite_or_throw(double value, const std::string& context) {
+  if (!std::isfinite(value)) throw NumericError(value, context);
+  return value;
+}
+
+double finite_nonneg_or_throw(double value, const std::string& context) {
+  if (!std::isfinite(value) || value < 0.0) throw NumericError(value, context);
+  return value;
+}
+
+Watchdog::Watchdog(const WatchdogBudget& budget)
+    : budget_(budget), start_(std::chrono::steady_clock::now()) {}
+
+void Watchdog::restart() {
+  start_ = std::chrono::steady_clock::now();
+  evaluations_ = 0;
+}
+
+bool Watchdog::note_evaluation(std::int64_t n) {
+  evaluations_ += n;
+  return expired();
+}
+
+bool Watchdog::expired() const { return expiry_reason() != nullptr; }
+
+const char* Watchdog::expiry_reason() const {
+  if (budget_.max_evaluations > 0 && evaluations_ >= budget_.max_evaluations) {
+    return "evaluation budget";
+  }
+  if (budget_.wall_seconds != std::numeric_limits<double>::infinity() &&
+      elapsed_seconds() >= budget_.wall_seconds) {
+    return "wall-clock deadline";
+  }
+  return nullptr;
+}
+
+double Watchdog::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace minergy::util

@@ -110,9 +110,29 @@ TEST(BenchParser, ErrorCarriesLineNumber) {
   }
 }
 
-TEST(BenchParser, DuplicateDefinitionThrows) {
+TEST(BenchParser, DuplicateDefinitionThrowsParseErrorWithLine) {
   const char* text = "INPUT(a)\ny = NOT(a)\ny = NOT(a)\n";
-  EXPECT_THROW(parse_bench_string(text), std::invalid_argument);
+  try {
+    parse_bench_string(text, "dup.bench");
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.line_no(), 3);
+    EXPECT_EQ(e.file(), "dup.bench");
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(BenchParser, DuplicateInputDeclarationThrows) {
+  const char* text = "INPUT(a)\nINPUT(a)\ny = NOT(a)\nOUTPUT(y)\n";
+  EXPECT_THROW(parse_bench_string(text), util::ParseError);
+}
+
+TEST(BenchParser, TruncatedFinalLineThrows) {
+  // A file chopped mid-statement (no trailing newline, unbalanced paren)
+  // must be a parse error, not a silently dropped gate.
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(y)\ny = NAND(a"),
+               util::ParseError);
+  EXPECT_THROW(parse_bench_string("INPUT(a"), util::ParseError);
 }
 
 TEST(BenchWriter, RoundTripPreservesStructure) {

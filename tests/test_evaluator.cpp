@@ -35,10 +35,10 @@ TEST(CircuitEvaluator, RejectsBadSettings) {
   const activity::ActivityProfile profile;
   EXPECT_THROW(
       CircuitEvaluator(nl, tech, profile, {.clock_frequency = -1.0}),
-      std::logic_error);
+      util::NumericError);
   EXPECT_THROW(CircuitEvaluator(nl, tech, profile,
                                 {.clock_frequency = 1e8, .vts_tolerance = 1.5}),
-               std::logic_error);
+               util::NumericError);
 }
 
 TEST(CircuitEvaluator, CornerScalingIsSymmetric) {

@@ -1,0 +1,160 @@
+// Fault-injection suite (labelled `fault` in CTest): every catalogued
+// corruption — broken tech parameters, garbled inputs, degenerate netlists,
+// numeric stress corners — must surface as a typed exception or a flagged
+// fallback result. A silent NaN, hang or crash anywhere here is a bug.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "netlist/generator.h"
+#include "opt/evaluator.h"
+#include "opt/robust_optimizer.h"
+#include "tech/tech_io.h"
+#include "util/check.h"
+#include "util/fault_injection.h"
+#include "util/guard.h"
+
+namespace minergy {
+namespace {
+
+activity::ActivityProfile profile() {
+  activity::ActivityProfile p;
+  p.input_density = 0.2;
+  return p;
+}
+
+netlist::Netlist small_circuit() {
+  netlist::GeneratorSpec spec;
+  spec.num_inputs = 4;
+  spec.num_outputs = 4;
+  spec.num_dffs = 3;
+  spec.num_gates = 30;
+  spec.depth = 5;
+  spec.seed = 91;
+  return netlist::generate_random_logic(spec);
+}
+
+// --------------------------------------------------- corrupted technologies
+
+TEST(FaultInjection, CatalogCoversAtLeastFifteenDistinctFaults) {
+  const auto techs = fault::tech_fault_catalog();
+  const auto parses = fault::parser_fault_catalog();
+  const auto nets = fault::netlist_fault_catalog();
+  EXPECT_GE(techs.size() + parses.size() + nets.size(), 15u);
+}
+
+TEST(FaultInjection, CorruptedTechRejectedByValidate) {
+  for (const fault::TechFault& f : fault::tech_fault_catalog()) {
+    SCOPED_TRACE(f.name);
+    EXPECT_THROW(f.tech.validate(), tech::TechnologyError);
+  }
+}
+
+TEST(FaultInjection, CorruptedTechRejectedAtEvaluatorBoundary) {
+  const netlist::Netlist nl = small_circuit();
+  for (const fault::TechFault& f : fault::tech_fault_catalog()) {
+    SCOPED_TRACE(f.name);
+    EXPECT_THROW(opt::CircuitEvaluator(nl, f.tech, profile(),
+                                       {.clock_frequency = 100e6}),
+                 tech::TechnologyError);
+  }
+}
+
+TEST(FaultInjection, CorruptedTechSurvivesSerializationRoundTripAsError) {
+  // Writing a corrupted tech and reading it back must not resurrect it as a
+  // "valid" technology: the parser validates on load.
+  for (const fault::TechFault& f : fault::tech_fault_catalog()) {
+    SCOPED_TRACE(f.name);
+    const std::string text = tech::to_tech_string(f.tech);
+    EXPECT_THROW(tech::parse_technology_string(text, f.name), std::exception);
+  }
+}
+
+TEST(FaultInjection, CorruptTechFieldRejectsUnknownField) {
+  tech::Technology t = tech::Technology::generic350();
+  EXPECT_THROW(fault::corrupt_tech_field(&t, "no_such_field",
+                                         fault::FaultKind::kNaN),
+               std::out_of_range);
+}
+
+TEST(FaultInjection, EveryRegisteredFieldCanBeCorrupted) {
+  for (const std::string& field : tech::technology_field_names()) {
+    tech::Technology t = tech::Technology::generic350();
+    fault::corrupt_tech_field(&t, field, fault::FaultKind::kNaN);
+    EXPECT_THROW(t.validate(), tech::TechnologyError) << field;
+  }
+}
+
+// -------------------------------------------------------- garbled parsers
+
+TEST(FaultInjection, GarbledInputsThrowTypedParseErrors) {
+  for (const fault::ParserFault& f : fault::parser_fault_catalog()) {
+    SCOPED_TRACE(f.name);
+    try {
+      fault::parse_fault_text(f);
+      FAIL() << "fault '" << f.name << "' was parsed without error";
+    } catch (const util::ParseError&) {
+      // Expected for malformed text.
+    } catch (const tech::TechnologyError&) {
+      // Expected for tech values that parse cleanly but fail validation.
+    }
+  }
+}
+
+// --------------------------------------------------- degenerate netlists
+
+TEST(FaultInjection, DegenerateNetlistsThrowNetlistError) {
+  for (const fault::NetlistFault& f : fault::netlist_fault_catalog()) {
+    SCOPED_TRACE(f.name + ": " + f.description);
+    EXPECT_THROW(fault::run_netlist_fault(f.name), netlist::NetlistError);
+  }
+}
+
+TEST(FaultInjection, RunNetlistFaultRejectsUnknownCase) {
+  EXPECT_THROW(fault::run_netlist_fault("no such case"), std::out_of_range);
+}
+
+// ------------------------------------------------- numeric stress corners
+
+TEST(FaultInjection, StressTechsPassValidation) {
+  for (const fault::TechFault& f : fault::stress_tech_catalog()) {
+    SCOPED_TRACE(f.name);
+    EXPECT_NO_THROW(f.tech.validate());
+  }
+}
+
+// The robustness contract end-to-end: optimizing over a validate-passing but
+// numerically extreme technology must finish (the watchdog guarantees that)
+// and either throw a typed error or return an explicitly flagged result with
+// finite numbers. Silent NaN is the one forbidden outcome.
+TEST(FaultInjection, StressTechsOptimizeToTypedOutcome) {
+  const netlist::Netlist nl = small_circuit();
+  for (const fault::TechFault& f : fault::stress_tech_catalog()) {
+    SCOPED_TRACE(f.name);
+    opt::RobustOptions opts;
+    opts.joint.budget.max_evaluations = 400;
+    opts.baseline.budget.max_evaluations = 400;
+    try {
+      const opt::CircuitEvaluator eval(nl, f.tech, profile(),
+                                       {.clock_frequency = 100e6});
+      const opt::OptimizationResult r =
+          opt::RobustOptimizer(eval, opts).run();
+      EXPECT_TRUE(r.feasible);
+      EXPECT_TRUE(std::isfinite(r.energy.total()));
+      EXPECT_TRUE(std::isfinite(r.critical_delay));
+      EXPECT_GE(r.critical_delay, 0.0);
+      if (r.tier != opt::ResultTier::kJoint) {
+        EXPECT_FALSE(r.tier_notes.empty());
+      }
+    } catch (const util::NumericError&) {
+      // Typed: the guards caught the blow-up at the evaluator boundary.
+    } catch (const util::InfeasibleError& e) {
+      // Typed: no configuration meets timing; diagnostics must be present.
+      EXPECT_FALSE(e.limiting_gate().empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace minergy

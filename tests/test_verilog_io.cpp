@@ -122,6 +122,32 @@ TEST(VerilogParser, MissingEndmoduleThrows) {
   EXPECT_THROW(parse_verilog_string(text), util::ParseError);
 }
 
+TEST(VerilogParser, DuplicateDriverThrowsParseErrorWithLine) {
+  const char* text =
+      "module m (a, y);\ninput a;\noutput y;\nnot u1 (y, a);\n"
+      "not u2 (y, a);\nendmodule\n";
+  try {
+    parse_verilog_string(text, "dup.v");
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.line_no(), 5);
+    EXPECT_NE(std::string(e.what()).find("duplicate driver"),
+              std::string::npos);
+  }
+}
+
+TEST(VerilogParser, DuplicateInputThrows) {
+  const char* text =
+      "module m (a, y);\ninput a;\ninput a;\noutput y;\nnot u1 (y, a);\n"
+      "endmodule\n";
+  EXPECT_THROW(parse_verilog_string(text), util::ParseError);
+}
+
+TEST(VerilogParser, TruncatedFinalStatementThrows) {
+  const char* text = "module m (a, y);\ninput a;\noutput y;\nnot u1 (y, a";
+  EXPECT_THROW(parse_verilog_string(text), util::ParseError);
+}
+
 TEST(VerilogParser, StatementOutsideModuleThrows) {
   const char* text = "input a;\nmodule m (a); endmodule";
   EXPECT_THROW(parse_verilog_string(text), util::ParseError);

@@ -12,7 +12,7 @@
 
 using namespace minergy;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
   const std::string out_dir = cli.get("out", std::string("data/iscas"));
   std::filesystem::create_directories(out_dir);
@@ -27,4 +27,7 @@ int main(int argc, char** argv) {
                 netlist::compute_stats(nl).to_string().c_str());
   }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -19,7 +19,9 @@
 
 using namespace minergy;
 
-int main(int argc, char** argv) {
+// Typed errors from the parsers (ParseError with file:line context) exit
+// cleanly instead of std::terminate-ing.
+int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
   netlist::Netlist nl;
   if (cli.has("builtin")) {
@@ -84,4 +86,7 @@ int main(int argc, char** argv) {
                   : nl.gate(hottest).name.c_str(),
               dmax);
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }
