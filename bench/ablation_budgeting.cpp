@@ -17,6 +17,7 @@
 #include "opt/lagrangian_sizer.h"
 #include "opt/sizer.h"
 #include "opt/tilos_sizer.h"
+#include "obs/session.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -24,6 +25,7 @@ using namespace minergy;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const obs::Session session(cli, "ablation_budgeting");
   bench_suite::ExperimentConfig cfg;
   cfg.clock_frequency = cli.get("fc", 300e6);
 

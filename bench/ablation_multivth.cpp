@@ -13,6 +13,7 @@
 #include "bench_suite/experiment.h"
 #include "opt/evaluator.h"
 #include "opt/joint_optimizer.h"
+#include "obs/session.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -20,6 +21,7 @@ using namespace minergy;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const obs::Session session(cli, "ablation_multivth");
   bench_suite::ExperimentConfig cfg;
   cfg.clock_frequency = cli.get("fc", 300e6);
 

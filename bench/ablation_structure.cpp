@@ -15,6 +15,7 @@
 #include "netlist/transform.h"
 #include "opt/evaluator.h"
 #include "opt/joint_optimizer.h"
+#include "obs/session.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -38,6 +39,7 @@ double optimize(const netlist::Netlist& nl,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const obs::Session session(cli, "ablation_structure");
   bench_suite::ExperimentConfig cfg;
   cfg.clock_frequency = cli.get("fc", 300e6);
 

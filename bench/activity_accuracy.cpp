@@ -16,6 +16,7 @@
 #include "activity/exact.h"
 #include "bench_suite/iscas.h"
 #include "sim/logic_sim.h"
+#include "obs/session.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -24,6 +25,7 @@ using namespace minergy;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const obs::Session session(cli, "activity_accuracy");
   const double density = cli.get("activity", 0.1);
   const int cycles = cli.get("cycles", 40000);
 

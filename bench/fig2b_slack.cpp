@@ -12,6 +12,7 @@
 
 #include "bench_suite/experiment.h"
 #include "opt/slack_sweep.h"
+#include "obs/session.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -19,6 +20,7 @@ using namespace minergy;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const obs::Session session(cli, "fig2b_slack");
   const std::string circuit = cli.get("circuit", std::string("s298*"));
   const double requested_fc = cli.get("fc", 300e6);
 

@@ -14,6 +14,7 @@
 #include "bench_suite/experiment.h"
 #include "opt/evaluator.h"
 #include "opt/sizer.h"
+#include "obs/session.h"
 #include "util/cli.h"
 #include "util/search.h"
 #include "util/table.h"
@@ -22,6 +23,7 @@ using namespace minergy;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const obs::Session session(cli, "physics_balance");
   const std::string circuit = cli.get("circuit", std::string("s298*"));
 
   const netlist::Netlist nl = bench_suite::make_circuit(circuit);

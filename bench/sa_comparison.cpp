@@ -17,6 +17,7 @@
 #include "opt/annealing_optimizer.h"
 #include "opt/evaluator.h"
 #include "opt/joint_optimizer.h"
+#include "obs/session.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -24,6 +25,7 @@ using namespace minergy;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const obs::Session session(cli, "sa_comparison");
   bench_suite::ExperimentConfig cfg;
   cfg.clock_frequency = cli.get("fc", 300e6);
   const double moves_scale = cli.get("moves-scale", 1.0);

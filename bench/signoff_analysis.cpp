@@ -15,6 +15,7 @@
 #include "opt/joint_optimizer.h"
 #include "opt/yield.h"
 #include "timing/sta.h"
+#include "obs/session.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -22,6 +23,7 @@ using namespace minergy;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const obs::Session session(cli, "signoff_analysis");
   bench_suite::ExperimentConfig cfg;
   cfg.clock_frequency = cli.get("fc", 300e6);
   const double sigma_gate = cli.get("sigma-gate", 0.010);

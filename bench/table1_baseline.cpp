@@ -7,11 +7,14 @@
 // rows are the reference the joint optimizer's savings (Table 2) are quoted
 // against.
 //
-// Flags: --fc=<Hz> (default 300e6), --csv
+// Flags: --fc=<Hz> (default 300e6), --csv, --circuit=<name> (one circuit
+// only; the obs smoke test runs c17 this way), plus the obs::Session flags
+// (--trace=FILE, --metrics/--verbose, --perf-record).
 #include <cstdio>
 #include <iostream>
 
 #include "bench_suite/experiment.h"
+#include "obs/session.h"
 #include "util/cli.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -20,6 +23,7 @@ using namespace minergy;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const obs::Session session(cli, "table1_baseline");
   bench_suite::ExperimentConfig cfg;
   cfg.clock_frequency = cli.get("fc", 300e6);
 
@@ -32,7 +36,11 @@ int main(int argc, char** argv) {
   util::Table table({"Circuit", "Gates", "Depth", "Activity", "Vdd(V)",
                      "Static(J)", "Dynamic(J)", "Total(J)", "CritDelay(ns)",
                      "Tc(ns)"});
+  const std::string only = cli.get("circuit", std::string());
+  bool matched = only.empty();
   for (const auto& spec : bench_suite::paper_circuits()) {
+    if (!only.empty() && spec.name != only) continue;
+    matched = true;
     for (const auto& e : bench_suite::run_circuit(spec, cfg)) {
       table.begin_row()
           .add(e.circuit + (e.tc_scaled ? " (Tc scaled)" : ""))
@@ -46,6 +54,11 @@ int main(int argc, char** argv) {
           .add(e.baseline.critical_delay * 1e9, 3)
           .add(e.cycle_time * 1e9, 3);
     }
+  }
+  if (!matched) {
+    std::fprintf(stderr, "error: --circuit=%s matches no paper circuit\n",
+                 only.c_str());
+    return 2;
   }
   std::cout << (cli.get("csv", false) ? table.to_csv() : table.to_text());
   return 0;

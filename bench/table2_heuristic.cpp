@@ -9,11 +9,13 @@
 //   * savings increase with input activity,
 //   * runtimes of seconds per circuit.
 //
-// Flags: --fc=<Hz> (default 300e6), --csv
+// Flags: --fc=<Hz> (default 300e6), --csv, --circuit=<name>, plus the
+// obs::Session flags (--trace=FILE, --metrics/--verbose, --perf-record).
 #include <cstdio>
 #include <iostream>
 
 #include "bench_suite/experiment.h"
+#include "obs/session.h"
 #include "util/cli.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -22,6 +24,7 @@ using namespace minergy;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const obs::Session session(cli, "table2_heuristic");
   bench_suite::ExperimentConfig cfg;
   cfg.clock_frequency = cli.get("fc", 300e6);
 
@@ -32,7 +35,11 @@ int main(int argc, char** argv) {
                      "Dynamic(J)", "Total(J)", "CritDelay(ns)", "Savings",
                      "Runtime(s)"});
   double min_savings = 1e30, max_savings = 0.0;
+  const std::string only = cli.get("circuit", std::string());
+  bool matched = only.empty();
   for (const auto& spec : bench_suite::paper_circuits()) {
+    if (!only.empty() && spec.name != only) continue;
+    matched = true;
     for (const auto& e : bench_suite::run_circuit(spec, cfg)) {
       table.begin_row()
           .add(e.circuit)
@@ -50,6 +57,11 @@ int main(int argc, char** argv) {
         max_savings = std::max(max_savings, e.savings);
       }
     }
+  }
+  if (!matched) {
+    std::fprintf(stderr, "error: --circuit=%s matches no paper circuit\n",
+                 only.c_str());
+    return 2;
   }
   std::cout << (cli.get("csv", false) ? table.to_csv() : table.to_text());
   std::printf("\nSavings over the Table-1 baseline: %.1fx .. %.1fx "

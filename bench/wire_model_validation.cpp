@@ -17,6 +17,7 @@
 #include "opt/evaluator.h"
 #include "opt/joint_optimizer.h"
 #include "place/placement.h"
+#include "obs/session.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -25,6 +26,7 @@ using namespace minergy;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const obs::Session session(cli, "wire_model_validation");
   bench_suite::ExperimentConfig cfg;
   cfg.clock_frequency = cli.get("fc", 300e6);
 

@@ -1,0 +1,143 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/table.h"
+
+namespace minergy::obs {
+
+void Histogram::record(double v) {
+  if (!enabled()) return;
+  int b = 0;
+  if (std::isfinite(v) && v > 0.0) {
+    // ilogb(v) is floor(log2(v)); the bucket upper bound is 2^(b-kOriginExp),
+    // so a value in (2^e, 2^(e+1)] belongs to bucket e+1+kOriginExp. Exact
+    // powers of two sit on their bucket's upper bound.
+    const int e = std::ilogb(v);
+    const bool exact_pow2 = std::ldexp(1.0, e) == v;
+    b = e + kOriginExp + (exact_pow2 ? 0 : 1);
+    if (b < 0) b = 0;
+    if (b >= kBuckets) b = kBuckets - 1;
+  } else if (!std::isfinite(v)) {
+    b = kBuckets - 1;
+  }
+  buckets_[static_cast<std::size_t>(b)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::count() const {
+  std::int64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+  return n;
+}
+
+double Histogram::bucket_upper_bound(int b) {
+  return std::ldexp(1.0, b - kOriginExp);
+}
+
+double Histogram::sum() const {
+  double s = 0.0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::int64_t n = buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+    if (n == 0) continue;
+    // Bucket midpoint: 0.75 * upper bound (geometric-ish center of (u/2, u]).
+    s += static_cast<double>(n) * 0.75 * bucket_upper_bound(b);
+  }
+  return s;
+}
+
+double Histogram::percentile(double p) const {
+  const std::int64_t total = count();
+  if (total == 0) return 0.0;
+  const double target = p * static_cast<double>(total);
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+    if (static_cast<double>(seen) >= target) return bucket_upper_bound(b);
+  }
+  return bucket_upper_bound(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.try_emplace(std::string(name)).first->second;
+}
+
+std::map<std::string, std::int64_t> Registry::counter_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c.value();
+  return out;
+}
+
+std::map<std::string, double> Registry::gauge_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : gauges_) out[name] = g.value();
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : counters_) kv.second.reset();
+  for (auto& kv : gauges_) kv.second.reset();
+  for (auto& kv : histograms_) kv.second.reset();
+}
+
+std::string Registry::to_table() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  util::Table table({"metric", "kind", "value", "p50", "p95"});
+  for (const auto& [name, c] : counters_) {
+    if (c.value() == 0) continue;
+    table.begin_row().add(name).add("counter").add(
+        std::to_string(c.value())).add("-").add("-");
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (g.value() == 0.0) continue;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", g.value());
+    table.begin_row().add(name).add("gauge").add(buf).add("-").add("-");
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (h.count() == 0) continue;
+    char p50[32], p95[32];
+    std::snprintf(p50, sizeof p50, "%.3g", h.percentile(0.50));
+    std::snprintf(p95, sizeof p95, "%.3g", h.percentile(0.95));
+    table.begin_row()
+        .add(name)
+        .add("histogram")
+        .add(std::to_string(h.count()))
+        .add(p50)
+        .add(p95);
+  }
+  return table.to_text();
+}
+
+}  // namespace minergy::obs

@@ -1,0 +1,113 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "util/clock.h"
+#include "util/json.h"
+
+namespace minergy::obs {
+namespace {
+
+std::uint64_t current_tid() {
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* t = new Tracer();  // leaked: spans may outlive static dtors
+  return *t;
+}
+
+void Tracer::start() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  instants_.clear();
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { active_.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  active_.store(false, std::memory_order_relaxed);
+  events_.clear();
+  instants_.clear();
+}
+
+void Tracer::record(std::string name, std::string category, double ts_us,
+                    double dur_us) {
+  if (!active()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TraceEvent{std::move(name), std::move(category), ts_us,
+                               dur_us, current_tid()});
+}
+
+void Tracer::instant(std::string name, std::string category) {
+  if (!active()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  instants_.push_back(TraceEvent{std::move(name), std::move(category),
+                                 util::monotonic_micros(), 0.0,
+                                 current_tid()});
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size() + instants_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string Tracer::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  util::JsonWriter w(1);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  auto emit = [&w](const TraceEvent& e, const char* phase, bool with_dur) {
+    w.begin_object();
+    w.kv("name", e.name).kv("cat", e.category).kv("ph", phase);
+    w.kv("ts", e.ts_us);
+    if (with_dur) w.kv("dur", e.dur_us);
+    // tid is a hash; fold it into a small positive integer for the viewer.
+    w.kv("pid", std::int64_t{1})
+        .kv("tid", static_cast<std::int64_t>(e.tid % 1000003));
+    if (!with_dur) w.kv("s", "t");  // instant scope: thread
+    w.end_object();
+  };
+  for (const TraceEvent& e : events_) emit(e, "X", true);
+  for (const TraceEvent& e : instants_) emit(e, "i", false);
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json() << '\n';
+  return out.good();
+}
+
+Span::Span(const char* name, const char* category)
+    : name_(name),
+      category_(category),
+      start_us_(0.0),
+      active_(Tracer::instance().active()) {
+  if (active_) start_us_ = util::monotonic_micros();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double end_us = util::monotonic_micros();
+  Tracer::instance().record(name_, category_, start_us_, end_us - start_us_);
+}
+
+}  // namespace minergy::obs

@@ -1,0 +1,85 @@
+// Scoped tracing in Chrome trace format.
+//
+// obs::Span is an RAII scope marker: construction timestamps the start,
+// destruction records one "complete" (ph:"X") event into the process-global
+// Tracer buffer. The resulting JSON loads directly in chrome://tracing and
+// Perfetto (ui.perfetto.dev), giving a flame graph of the optimizer phases:
+//
+//   {
+//     obs::Span span("joint.sweep");
+//     ...nested Spans become nested slices...
+//   }
+//
+// The tracer is off by default; an inactive Span costs one relaxed atomic
+// load. Events are buffered in memory (a run traces thousands of phases,
+// not millions of gate evaluations — per-gate work is counted by
+// obs::Counter instead) and flushed with write_file()/to_json().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace minergy::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;   // start, microseconds since the process epoch
+  double dur_us = 0.0;  // duration, microseconds
+  std::uint64_t tid = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  // Clears the buffer and starts capturing; stop() freezes the buffer
+  // (write_file/to_json still see it); clear() stops AND discards it.
+  void start();
+  void stop();
+  void clear();
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  void record(std::string name, std::string category, double ts_us,
+              double dur_us);
+  // Instant (ph:"i") marker, e.g. "watchdog expired".
+  void instant(std::string name, std::string category = "mark");
+
+  std::size_t event_count() const;
+  std::vector<TraceEvent> events() const;
+
+  // Chrome trace JSON: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  std::string to_json() const;
+  // Returns false (with the buffer intact) when the file cannot be written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> active_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> instants_;
+};
+
+// RAII phase marker. The name/category must outlive the span (string
+// literals in practice); the strings are copied only at destruction, and
+// only when the tracer is active — an inactive span does no work at all.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "opt");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  double start_us_;
+  bool active_;
+};
+
+}  // namespace minergy::obs

@@ -6,6 +6,8 @@
 #include <limits>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/guard.h"
 #include "util/rng.h"
@@ -22,23 +24,60 @@ AnnealingOptimizer::AnnealingOptimizer(const CircuitEvaluator& eval,
 
 OptimizationResult AnnealingOptimizer::run(
     const CircuitState& warm_start) const {
+  const obs::Span run_span("anneal.run");
+  const obs::CounterDelta counter_delta;
+  obs::counter("opt.anneal.runs").add();
+  static obs::Counter& c_moves = obs::counter("opt.anneal.moves");
+  static obs::Counter& c_accepts = obs::counter("opt.anneal.accepts");
+
   const auto t0 = std::chrono::steady_clock::now();
   const tech::Technology& tech = eval_.technology();
   const netlist::Netlist& nl = eval_.netlist();
   util::Rng rng(opts_.seed);
 
+  OptimizationResult result;
+  obs::RunReport& rep = result.report;
+  rep.optimizer = "annealing";
+  rep.circuit = nl.name();
+
+  // Trajectory: the initial state plus every global-best improvement. The
+  // per-move stream would swamp the report, so rejected/lateral moves only
+  // show up in the opt.anneal.moves counter.
+  auto record_point = [&](const CircuitState& s, double energy, double crit,
+                          bool feasible, bool accepted) {
+    obs::TrajectoryPoint tp;
+    tp.phase = "anneal";
+    tp.vdd = s.vdd;
+    tp.vts = s.vts.empty() ? 0.0 : s.vts.front();
+    tp.energy = energy;
+    tp.critical_delay = crit;
+    tp.feasible = feasible;
+    tp.accepted = accepted;
+    rep.add_point(std::move(tp));
+  };
+
   const double limit = opts_.skew_b * eval_.cycle_time();
   util::Watchdog dog(opts_.budget);
 
+  // A random walk can wander into non-physical corners (threshold at or
+  // above the supply) where the evaluator's finite-checks throw; such a
+  // move is an infinite-cost reject, not a crash of the whole anneal.
   auto cost_of = [&](const CircuitState& s, double* crit_out,
                      double* energy_out) {
     dog.note_evaluation();
-    const double crit = eval_.critical_delay(s);
-    const double energy = eval_.energy(s).total();
-    if (crit_out) *crit_out = crit;
-    if (energy_out) *energy_out = energy;
-    const double violation = std::max(0.0, crit / limit - 1.0);
-    return energy * (1.0 + opts_.penalty_weight * violation);
+    try {
+      const double crit = eval_.critical_delay(s);
+      const double energy = eval_.energy(s).total();
+      if (crit_out) *crit_out = crit;
+      if (energy_out) *energy_out = energy;
+      const double violation = std::max(0.0, crit / limit - 1.0);
+      return energy * (1.0 + opts_.penalty_weight * violation);
+    } catch (const util::NumericError&) {
+      obs::counter("opt.anneal.numeric_rejects").add();
+      if (crit_out) *crit_out = std::numeric_limits<double>::infinity();
+      if (energy_out) *energy_out = std::numeric_limits<double>::infinity();
+      return std::numeric_limits<double>::infinity();
+    }
   };
 
   CircuitState init = warm_start;
@@ -51,12 +90,23 @@ OptimizationResult AnnealingOptimizer::run(
   double global_best_crit = 0.0, global_best_energy = 0.0;
   double global_best_cost =
       cost_of(global_best, &global_best_crit, &global_best_energy);
+  // The warm start counts as accepted only when it meets timing: for a
+  // feasible point cost == energy, so the accepted-energy sequence stays
+  // non-increasing across later global-best updates.
+  record_point(global_best, global_best_energy, global_best_crit,
+               global_best_crit <= limit * (1.0 + 1e-9),
+               global_best_crit <= limit * (1.0 + 1e-9));
 
   const int moves_per_pass = std::max(1, opts_.max_moves / opts_.passes);
   for (int pass = 0; pass < opts_.passes && !dog.expired(); ++pass) {
+    const obs::Span pass_span("anneal.pass");
     CircuitState cur = pass == 0 ? init : global_best;
     double cur_cost = cost_of(cur, nullptr, nullptr);
     double temperature = opts_.initial_temp_scale * std::fabs(cur_cost);
+    // An infinite starting cost (numeric-rejected state) would otherwise
+    // set an infinite temperature and turn the anneal into a random walk;
+    // zero temperature makes it greedy until a physical state is found.
+    if (!std::isfinite(temperature)) temperature = 0.0;
 
     for (int move = 0; move < moves_per_pass && !dog.expired(); ++move) {
       CircuitState cand = cur;
@@ -80,11 +130,13 @@ OptimizationResult AnnealingOptimizer::run(
         }
       }
 
+      c_moves.add();
       double crit = 0.0, energy = 0.0;
       const double cand_cost = cost_of(cand, &crit, &energy);
       const double delta_cost = cand_cost - cur_cost;
       if (delta_cost <= 0.0 ||
           rng.bernoulli(std::exp(-delta_cost / std::max(temperature, 1e-30)))) {
+        c_accepts.add();
         cur = std::move(cand);
         cur_cost = cand_cost;
         if (crit <= limit * (1.0 + 1e-9) && cand_cost < global_best_cost) {
@@ -92,13 +144,13 @@ OptimizationResult AnnealingOptimizer::run(
           global_best_cost = cand_cost;
           global_best_crit = crit;
           global_best_energy = energy;
+          record_point(global_best, energy, crit, true, true);
         }
       }
       temperature *= opts_.cooling;
     }
   }
 
-  OptimizationResult result;
   result.state = global_best;
   result.critical_delay = global_best_crit > 0.0
                               ? global_best_crit
@@ -115,10 +167,17 @@ OptimizationResult AnnealingOptimizer::run(
     result.truncation_reason =
         std::string(dog.expiry_reason()) + " exhausted after " +
         std::to_string(dog.evaluations()) + " circuit evaluations";
+    obs::counter("opt.watchdog.expiries").add();
+    obs::Tracer::instance().instant("watchdog.expired", "anneal");
   }
   result.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (result.feasible) {
+    obs::gauge("opt.anneal.best_energy_joules").set(result.energy.total());
+  }
+  counter_delta.finish(&rep);
+  finalize_run_report(&result);
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/sizer.h"
 #include "util/check.h"
 #include "util/guard.h"
@@ -23,24 +25,42 @@ BaselineOptimizer::BaselineOptimizer(const CircuitEvaluator& eval,
 }
 
 OptimizationResult BaselineOptimizer::run() const {
+  const obs::Span run_span("baseline.run");
+  const obs::CounterDelta counter_delta;
+  obs::counter("opt.baseline.runs").add();
+  static obs::Counter& c_probes = obs::counter("opt.baseline.probes");
+
   const auto t0 = std::chrono::steady_clock::now();
   const tech::Technology& tech = eval_.technology();
   const netlist::Netlist& nl = eval_.netlist();
-  const timing::BudgetResult budgets = eval_.budgeter().assign(
-      eval_.cycle_time(), {.clock_skew_b = opts_.skew_b});
+
+  OptimizationResult result;
+  result.tier = ResultTier::kBaseline;
+  result.vts_primary = fixed_vts_;
+  result.vts_groups = {fixed_vts_};
+  obs::RunReport& rep = result.report;
+  rep.optimizer = "baseline";
+  rep.circuit = nl.name();
+
+  timing::BudgetResult budgets;
+  {
+    const obs::Span span("baseline.budgeting");
+    budgets = eval_.budgeter().assign(eval_.cycle_time(),
+                                      {.clock_skew_b = opts_.skew_b});
+  }
   const GateSizer sizer(eval_.delay_calculator());
   const std::vector<double> vts_corner(nl.size(),
                                        eval_.delay_vts(fixed_vts_));
 
   util::Watchdog dog(opts_.budget);
-  OptimizationResult result;
-  result.tier = ResultTier::kBaseline;
-  result.vts_primary = fixed_vts_;
-  result.vts_groups = {fixed_vts_};
-
   const double limit = opts_.skew_b * eval_.cycle_time();
+
+  // Trajectory phase label for the probes below; flipped between the
+  // feasibility bisection and the energy polish.
+  const char* phase = "vdd-bisect";
   auto probe = [&](double vdd) {
     dog.note_evaluation();
+    c_probes.add();
     SizingResult sized =
         sizer.size(budgets.t_max, vdd, vts_corner, opts_.sizing_steps);
     CircuitState state;
@@ -65,6 +85,14 @@ OptimizationResult BaselineOptimizer::run() const {
         report = check;
       }
     }
+    obs::TrajectoryPoint tp;
+    tp.phase = phase;
+    tp.vdd = vdd;
+    tp.vts = fixed_vts_;
+    tp.energy = 0.0;  // bisection probes skip the energy evaluation
+    tp.critical_delay = crit;
+    tp.feasible = ok;
+    rep.add_point(std::move(tp));
     return std::tuple(std::move(state), crit, ok);
   };
 
@@ -75,10 +103,14 @@ OptimizationResult BaselineOptimizer::run() const {
       r->truncation_reason =
           std::string(dog.expiry_reason()) + " exhausted after " +
           std::to_string(dog.evaluations()) + " circuit evaluations";
+      obs::counter("opt.watchdog.expiries").add();
+      obs::Tracer::instance().instant("watchdog.expired", "baseline");
     }
     r->runtime_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    counter_delta.finish(&r->report);
+    finalize_run_report(r);
   };
 
   // Feasibility boundary: delay is monotone decreasing in Vdd at fixed Vts,
@@ -89,18 +121,24 @@ OptimizationResult BaselineOptimizer::run() const {
     if (dog.expired()) return false;
     return std::get<2>(probe(vdd));
   };
-  if (!feasible_at(tech.vdd_max)) {
-    result.feasible = false;
-    stamp(&result);
-    return result;
+  double vdd_boundary = 0.0;
+  {
+    const obs::Span span("baseline.vdd_bisect");
+    if (!feasible_at(tech.vdd_max)) {
+      result.feasible = false;
+      stamp(&result);
+      return result;
+    }
+    vdd_boundary = util::bisect_min_true(tech.vdd_min, tech.vdd_max,
+                                         opts_.steps + 4, feasible_at);
   }
-  const double vdd_boundary = util::bisect_min_true(
-      tech.vdd_min, tech.vdd_max, opts_.steps + 4, feasible_at);
 
   // Energy over [boundary, vdd_max] is near-monotone increasing (CV^2)
   // but the width relief just above the boundary can create a shallow
   // interior minimum; a short golden-section handles both shapes. An
   // exhausted watchdog turns further probes into flat no-ops.
+  const obs::Span energy_span("baseline.vdd_energy");
+  phase = "vdd-energy";
   double best_energy = std::numeric_limits<double>::infinity();
   CircuitState best_state;
   double best_crit = 0.0;
@@ -111,7 +149,10 @@ OptimizationResult BaselineOptimizer::run() const {
     auto [state, crit, ok] = probe(vdd);
     if (!ok) return best_energy * 4.0 + 1.0;
     const double e = eval_.energy(state).total();
+    // Back-fill the probe's trajectory point with the measured energy.
+    if (!rep.trajectory.empty()) rep.trajectory.back().energy = e;
     if (e < best_energy) {
+      if (!rep.trajectory.empty()) rep.trajectory.back().accepted = true;
       best_energy = e;
       best_state = std::move(state);
       best_crit = crit;
@@ -127,6 +168,9 @@ OptimizationResult BaselineOptimizer::run() const {
   result.critical_delay = best_crit;
   result.feasible = true;
   result.vdd = best_state.vdd;
+  if (result.feasible) {
+    obs::gauge("opt.baseline.best_energy_joules").set(result.energy.total());
+  }
   stamp(&result);
   return result;
 }

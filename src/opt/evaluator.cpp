@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "opt/sizer.h"
 #include "util/check.h"
 #include "util/guard.h"
@@ -106,6 +107,8 @@ void CircuitEvaluator::validate_inputs() const {
 
 timing::TimingReport CircuitEvaluator::sta(const CircuitState& state,
                                            double cycle_limit) const {
+  static obs::Counter& c_calls = obs::counter("opt.eval.sta_calls");
+  c_calls.add();
   std::vector<double> vts_corner(state.vts.size());
   for (std::size_t i = 0; i < state.vts.size(); ++i) {
     vts_corner[i] = delay_vts(state.vts[i]);
@@ -123,6 +126,10 @@ double CircuitEvaluator::critical_delay(const CircuitState& state) const {
 
 power::EnergyBreakdown CircuitEvaluator::energy(
     const CircuitState& state) const {
+  static obs::Counter& c_calls = obs::counter("opt.eval.energy_calls");
+  static obs::Histogram& h_micros = obs::histogram("opt.eval.energy_micros");
+  c_calls.add();
+  const obs::ScopedTimer timer(h_micros);
   power::EnergyBreakdown total;
   for (netlist::GateId id : nl_.combinational()) {
     // Dynamic energy at nominal threshold (capacitances are Vt-independent

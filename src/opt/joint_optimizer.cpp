@@ -5,7 +5,10 @@
 #include <cmath>
 #include <limits>
 #include <string>
+#include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/lagrangian_sizer.h"
 #include "opt/sizer.h"
 #include "opt/tilos_sizer.h"
@@ -17,6 +20,11 @@ namespace minergy::opt {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void mark_accepted(obs::RunReport* report, int traj) {
+  if (report == nullptr || traj < 0) return;
+  report->trajectory[static_cast<std::size_t>(traj)].accepted = true;
+}
 
 }  // namespace
 
@@ -31,7 +39,12 @@ JointOptimizer::JointOptimizer(const CircuitEvaluator& eval,
 
 JointOptimizer::Probe JointOptimizer::probe(
     double vdd, const std::vector<double>& vts,
-    const timing::BudgetResult& budgets, util::Watchdog* dog) const {
+    const timing::BudgetResult& budgets, const ProbeCtx& ctx) const {
+  static obs::Counter& c_probes = obs::counter("opt.joint.probes");
+  static obs::Histogram& h_micros = obs::histogram("opt.joint.probe_micros");
+  c_probes.add();
+  const obs::ScopedTimer timer(h_micros);
+
   const netlist::Netlist& nl = eval_.netlist();
   Probe p;
   p.state.vdd = vdd;
@@ -72,20 +85,33 @@ JointOptimizer::Probe JointOptimizer::probe(
     }
   }
   p.energy = eval_.energy(p.state);
-  dog->note_evaluation();
+  ctx.dog->note_evaluation();
+
+  if (ctx.report != nullptr) {
+    obs::TrajectoryPoint tp;
+    tp.phase = ctx.phase;
+    tp.vdd = vdd;
+    tp.vts = vts.empty() ? 0.0 : vts[0];
+    tp.energy = p.energy.total();
+    tp.critical_delay = p.critical_delay;
+    tp.feasible = p.feasible;
+    p.traj = static_cast<int>(ctx.report->trajectory.size());
+    ctx.report->add_point(std::move(tp));
+  }
   return p;
 }
 
 JointOptimizer::Probe JointOptimizer::probe_uniform(
     double vdd, double vts, const timing::BudgetResult& budgets,
-    util::Watchdog* dog) const {
+    const ProbeCtx& ctx) const {
   return probe(vdd, std::vector<double>(eval_.netlist().size(), vts), budgets,
-               dog);
+               ctx);
 }
 
 void JointOptimizer::refine(const timing::BudgetResult& budgets, Probe* best,
-                            util::Watchdog* dog) const {
-  if (!best->feasible || dog->expired()) return;
+                            ProbeCtx ctx) const {
+  if (!best->feasible || ctx.dog->expired()) return;
+  ctx.phase = "refine";
   const tech::Technology& tech = eval_.technology();
   const double center_vdd = best->state.vdd;
 
@@ -94,17 +120,20 @@ void JointOptimizer::refine(const timing::BudgetResult& budgets, Probe* best,
   // Once the watchdog expires, further probes are skipped and a flat cost
   // lets the bracketing searches run out without new evaluations.
   auto penalized = [&](double vdd, double vts, Probe* out) {
-    if (dog->expired()) {
+    if (ctx.dog->expired()) {
       if (out) *out = *best;
       return best->energy.total() * 4.0;
     }
-    Probe p = probe_uniform(vdd, vts, budgets, dog);
+    Probe p = probe_uniform(vdd, vts, budgets, ctx);
     double cost = p.energy.total();
     if (!p.feasible) {
       const double limit = opts_.skew_b * eval_.cycle_time();
       cost = best->energy.total() * (2.0 + 10.0 * (p.critical_delay / limit));
     }
-    if (p.feasible && p.energy.total() < best->energy.total()) *best = p;
+    if (p.feasible && p.energy.total() < best->energy.total()) {
+      mark_accepted(ctx.report, p.traj);
+      *best = p;
+    }
     if (out) *out = p;
     return cost;
   };
@@ -127,12 +156,13 @@ void JointOptimizer::refine(const timing::BudgetResult& budgets, Probe* best,
 
 void JointOptimizer::assign_threshold_groups(
     const timing::BudgetResult& budgets, Probe* best,
-    OptimizationResult* result, util::Watchdog* dog) const {
+    OptimizationResult* result, ProbeCtx ctx) const {
   const netlist::Netlist& nl = eval_.netlist();
   const tech::Technology& tech = eval_.technology();
   const int nv = opts_.num_thresholds;
+  ctx.phase = "multi-vt";
   result->vts_groups = {best->state.vts.empty() ? 0.0 : best->state.vts[0]};
-  if (nv <= 1 || !best->feasible || dog->expired()) return;
+  if (nv <= 1 || !best->feasible || ctx.dog->expired()) return;
 
   // Group gates by timing slack at the current optimum: group 0 (most
   // critical) keeps the base threshold; groups 1..nv-1 may be raised.
@@ -156,16 +186,17 @@ void JointOptimizer::assign_threshold_groups(
   // Raise each group's threshold from the slackest group inward: binary
   // search the highest value that stays feasible and does not increase
   // energy.
-  for (int gi = nv - 1; gi >= 1 && !dog->expired(); --gi) {
+  for (int gi = nv - 1; gi >= 1 && !ctx.dog->expired(); --gi) {
     double lo = base_vts, hi = tech.vts_max;
-    for (int s = 0; s < opts_.steps && !dog->expired(); ++s) {
+    for (int s = 0; s < opts_.steps && !ctx.dog->expired(); ++s) {
       const double mid = 0.5 * (lo + hi);
       std::vector<double> vts = best->state.vts;
       for (netlist::GateId id : nl.combinational()) {
         if (group[id] == gi) vts[id] = mid;
       }
-      Probe p = probe(best->state.vdd, vts, budgets, dog);
+      Probe p = probe(best->state.vdd, vts, budgets, ctx);
       if (p.feasible && p.energy.total() <= best->energy.total()) {
+        mark_accepted(ctx.report, p.traj);
         *best = p;
         group_vts[static_cast<std::size_t>(gi)] = mid;
         lo = mid;
@@ -182,48 +213,72 @@ void JointOptimizer::assign_threshold_groups(
 }
 
 OptimizationResult JointOptimizer::run() const {
+  const obs::Span run_span("joint.run");
+  const obs::CounterDelta counter_delta;
+  obs::counter("opt.joint.runs").add();
+
   const auto t0 = std::chrono::steady_clock::now();
   const tech::Technology& tech = eval_.technology();
-  const timing::BudgetResult budgets = eval_.budgeter().assign(
-      eval_.cycle_time(), {.clock_skew_b = opts_.skew_b});
+
+  OptimizationResult result;
+  obs::RunReport& report = result.report;
+  report.optimizer = "joint";
+  report.circuit = eval_.netlist().name();
+
+  timing::BudgetResult budgets;
+  {
+    const obs::Span span("joint.budgeting");
+    budgets = eval_.budgeter().assign(eval_.cycle_time(),
+                                      {.clock_skew_b = opts_.skew_b});
+  }
 
   util::Watchdog dog(opts_.budget);
+  const ProbeCtx ctx{&dog, &report, "sweep"};
   Probe best;
   best.energy.static_energy = kInf;
   best.energy.dynamic_energy = 0.0;
   best.feasible = false;
 
   // --- Procedure 2: nested binary search ---------------------------------
-  double prev_total = kInf;  // "total energy decreased" reference
-  util::Range vdd_range{tech.vdd_min, tech.vdd_max};
-  for (int m = 0; m < opts_.steps && !dog.expired(); ++m) {
-    const double vdd = vdd_range.mid();
-    bool improved_at_this_vdd = false;
+  {
+    const obs::Span span("joint.sweep");
+    double prev_total = kInf;  // "total energy decreased" reference
+    util::Range vdd_range{tech.vdd_min, tech.vdd_max};
+    for (int m = 0; m < opts_.steps && !dog.expired(); ++m) {
+      const double vdd = vdd_range.mid();
+      bool improved_at_this_vdd = false;
 
-    util::Range vts_range{tech.vts_min, tech.vts_max};
-    for (int m2 = 0; m2 < opts_.steps && !dog.expired(); ++m2) {
-      const double vts = vts_range.mid();
-      Probe p = probe_uniform(vdd, vts, budgets, &dog);
-      const bool good = p.feasible && p.energy.total() < prev_total;
-      if (good) {
-        prev_total = p.energy.total();
-        improved_at_this_vdd = true;
-        if (!best.feasible || p.energy.total() < best.energy.total()) {
-          best = std::move(p);
+      util::Range vts_range{tech.vts_min, tech.vts_max};
+      for (int m2 = 0; m2 < opts_.steps && !dog.expired(); ++m2) {
+        const double vts = vts_range.mid();
+        Probe p = probe_uniform(vdd, vts, budgets, ctx);
+        const bool good = p.feasible && p.energy.total() < prev_total;
+        if (good) {
+          prev_total = p.energy.total();
+          improved_at_this_vdd = true;
+          if (!best.feasible || p.energy.total() < best.energy.total()) {
+            mark_accepted(ctx.report, p.traj);
+            best = std::move(p);
+          }
+          vts_range = vts_range.higher();  // cut leakage while timing holds
+        } else {
+          vts_range = vts_range.lower();
         }
-        vts_range = vts_range.higher();  // cut leakage while timing holds
-      } else {
-        vts_range = vts_range.lower();
       }
+      vdd_range = improved_at_this_vdd ? vdd_range.lower()
+                                       : vdd_range.higher();
     }
-    vdd_range = improved_at_this_vdd ? vdd_range.lower() : vdd_range.higher();
   }
 
-  if (opts_.refine) refine(budgets, &best, &dog);
+  if (opts_.refine) {
+    const obs::Span span("joint.refine");
+    refine(budgets, &best, ctx);
+  }
 
   if (opts_.tilos_polish && best.feasible && !dog.expired()) {
     // Global sensitivity re-sizing at the chosen (Vdd, Vts): start from
     // minimum widths and grow only what the critical path needs.
+    const obs::Span span("joint.tilos_polish");
     std::vector<double> vts_corner(best.state.vts.size());
     for (std::size_t i = 0; i < vts_corner.size(); ++i) {
       vts_corner[i] = eval_.delay_vts(best.state.vts[i]);
@@ -238,12 +293,22 @@ OptimizationResult JointOptimizer::run() const {
       candidate.energy = eval_.energy(candidate.state);
       dog.note_evaluation();
       if (candidate.energy.total() < best.energy.total()) {
+        obs::TrajectoryPoint tp;
+        tp.phase = "tilos-polish";
+        tp.vdd = candidate.state.vdd;
+        tp.vts = candidate.state.vts.empty() ? 0.0 : candidate.state.vts[0];
+        tp.energy = candidate.energy.total();
+        tp.critical_delay = candidate.critical_delay;
+        tp.feasible = true;
+        tp.accepted = true;
+        report.add_point(std::move(tp));
         best = std::move(candidate);
       }
     }
   }
 
   if (opts_.lagrangian_polish && best.feasible && !dog.expired()) {
+    const obs::Span span("joint.lagrangian_polish");
     std::vector<double> vts_corner(best.state.vts.size());
     for (std::size_t i = 0; i < vts_corner.size(); ++i) {
       vts_corner[i] = eval_.delay_vts(best.state.vts[i]);
@@ -258,13 +323,24 @@ OptimizationResult JointOptimizer::run() const {
       candidate.energy = eval_.energy(candidate.state);
       dog.note_evaluation();
       if (candidate.energy.total() < best.energy.total()) {
+        obs::TrajectoryPoint tp;
+        tp.phase = "lagrangian-polish";
+        tp.vdd = candidate.state.vdd;
+        tp.vts = candidate.state.vts.empty() ? 0.0 : candidate.state.vts[0];
+        tp.energy = candidate.energy.total();
+        tp.critical_delay = candidate.critical_delay;
+        tp.feasible = true;
+        tp.accepted = true;
+        report.add_point(std::move(tp));
         best = std::move(candidate);
       }
     }
   }
 
-  OptimizationResult result;
-  assign_threshold_groups(budgets, &best, &result, &dog);
+  {
+    const obs::Span span("joint.multi_vt");
+    assign_threshold_groups(budgets, &best, &result, ctx);
+  }
 
   result.state = best.state;
   result.energy = best.energy;
@@ -281,10 +357,17 @@ OptimizationResult JointOptimizer::run() const {
     result.truncation_reason =
         std::string(dog.expiry_reason()) + " exhausted after " +
         std::to_string(dog.evaluations()) + " circuit evaluations";
+    obs::counter("opt.watchdog.expiries").add();
+    obs::Tracer::instance().instant("watchdog.expired", "joint");
   }
   result.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (result.feasible) {
+    obs::gauge("opt.joint.best_energy_joules").set(result.energy.total());
+  }
+  counter_delta.finish(&report);
+  finalize_run_report(&result);
   return result;
 }
 

@@ -35,21 +35,33 @@ class JointOptimizer {
     power::EnergyBreakdown energy;
     double critical_delay = 0.0;
     bool feasible = false;
+    // Index of this probe's entry in the run's trajectory (-1 when the
+    // recorder was absent); accept sites flip its `accepted` flag.
+    int traj = -1;
+  };
+
+  // Watchdog + telemetry context threaded through every probe. `phase`
+  // labels the trajectory points and must outlive the probe calls (string
+  // literals at the call sites).
+  struct ProbeCtx {
+    util::Watchdog* dog = nullptr;
+    obs::RunReport* report = nullptr;
+    const char* phase = "sweep";
   };
 
   // Budget-driven sizing + STA + energy at a uniform (vdd, vts).
   Probe probe_uniform(double vdd, double vts,
                       const timing::BudgetResult& budgets,
-                      util::Watchdog* dog) const;
+                      const ProbeCtx& ctx) const;
   // Same with a per-gate threshold vector (multi-Vt mode).
   Probe probe(double vdd, const std::vector<double>& vts,
-              const timing::BudgetResult& budgets, util::Watchdog* dog) const;
+              const timing::BudgetResult& budgets, const ProbeCtx& ctx) const;
 
   void refine(const timing::BudgetResult& budgets, Probe* best,
-              util::Watchdog* dog) const;
+              ProbeCtx ctx) const;
   void assign_threshold_groups(const timing::BudgetResult& budgets,
                                Probe* best, OptimizationResult* result,
-                               util::Watchdog* dog) const;
+                               ProbeCtx ctx) const;
 
   const CircuitEvaluator& eval_;
   OptimizerOptions opts_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "timing/sta.h"
 #include "util/check.h"
 #include "util/search.h"
@@ -22,6 +23,8 @@ LagrangianResult LagrangianSizer::size(double vdd,
                                        std::span<const double> vts,
                                        double cycle_limit,
                                        util::Watchdog* watchdog) const {
+  obs::counter("opt.lagrangian.size_calls").add();
+  static obs::Counter& c_iters = obs::counter("opt.lagrangian.iterations");
   const netlist::Netlist& nl = calc_.netlist();
   const tech::Technology& tech = calc_.device().technology();
   MINERGY_CHECK(vts.size() == nl.size());
@@ -61,6 +64,7 @@ LagrangianResult LagrangianSizer::size(double vdd,
       out_of_budget = true;
       break;
     }
+    c_iters.add();
     // --- Inner: coordinate-wise minimization of E + sum mu*d -------------
     for (netlist::GateId id : nl.combinational()) {
       const netlist::Gate& g = nl.gate(id);

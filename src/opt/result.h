@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.h"
 #include "opt/circuit_state.h"
 #include "power/energy_model.h"
 #include "util/guard.h"
@@ -87,7 +88,31 @@ struct OptimizationResult {
   ResultTier tier = ResultTier::kJoint;
   std::vector<std::string> tier_notes;
 
+  // Run telemetry: search trajectory, per-tier provenance, counter deltas.
+  // Always populated (trajectory recording is cheap next to the probes it
+  // describes); serialize with report.to_json(). See docs/OBSERVABILITY.md.
+  obs::RunReport report;
+
   double total_energy() const { return energy.total(); }
 };
+
+// Copies the result's final scalars into its RunReport so a serialized
+// report is self-contained. Every optimizer calls this just before
+// returning; callers that post-process a result should re-call it.
+inline void finalize_run_report(OptimizationResult* r) {
+  obs::RunReport& rep = r->report;
+  rep.feasible = r->feasible;
+  rep.vdd = r->vdd;
+  rep.vts_primary = r->vts_primary;
+  rep.energy_total = r->energy.total();
+  rep.static_energy = r->energy.static_energy;
+  rep.dynamic_energy = r->energy.dynamic_energy;
+  rep.critical_delay = r->critical_delay;
+  rep.runtime_seconds = r->runtime_seconds;
+  rep.circuit_evaluations = r->circuit_evaluations;
+  rep.tier = to_string(r->tier);
+  rep.truncated = r->truncated;
+  rep.truncation_reason = r->truncation_reason;
+}
 
 }  // namespace minergy::opt

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/baseline_optimizer.h"
 #include "opt/joint_optimizer.h"
 #include "opt/sizer.h"
@@ -21,6 +23,11 @@ std::string describe_failure(const OptimizationResult& r) {
   return os.str();
 }
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 RobustOptimizer::RobustOptimizer(const CircuitEvaluator& eval,
@@ -28,6 +35,8 @@ RobustOptimizer::RobustOptimizer(const CircuitEvaluator& eval,
     : eval_(eval), opts_(std::move(options)) {}
 
 OptimizationResult RobustOptimizer::last_resort() const {
+  const obs::Span span("robust.tier.last_resort");
+  obs::counter("opt.robust.tier_attempts").add();
   const auto t0 = std::chrono::steady_clock::now();
   const netlist::Netlist& nl = eval_.netlist();
   const tech::Technology& tech = eval_.technology();
@@ -48,6 +57,8 @@ OptimizationResult RobustOptimizer::last_resort() const {
 
   OptimizationResult result;
   result.tier = ResultTier::kLastResort;
+  result.report.optimizer = "last-resort";
+  result.report.circuit = nl.name();
   result.state.vdd = tech.vdd_max;
   result.state.vts.assign(nl.size(), tech.vts_min);
   result.state.widths = std::move(sized.widths);
@@ -63,59 +74,115 @@ OptimizationResult RobustOptimizer::last_resort() const {
     throw diagnose_infeasibility(eval_, skew_b);
   }
   result.energy = eval_.energy(result.state);
-  result.runtime_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  result.runtime_seconds = seconds_since(t0);
+
+  obs::TrajectoryPoint tp;
+  tp.phase = "last-resort";
+  tp.vdd = result.vdd;
+  tp.vts = result.vts_primary;
+  tp.energy = result.energy.total();
+  tp.critical_delay = result.critical_delay;
+  tp.feasible = true;
+  tp.accepted = true;
+  result.report.add_point(std::move(tp));
+  finalize_run_report(&result);
   return result;
 }
 
 OptimizationResult RobustOptimizer::run() const {
+  const obs::Span run_span("robust.run");
+  obs::counter("opt.robust.runs").add();
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::string> notes;
+  // Per-tier provenance for the run report: one record per tier attempted,
+  // wall-clock included, failure_reason empty for the tier that answered.
+  std::vector<obs::TierRecord> tiers;
 
   auto finish = [&](OptimizationResult r) {
     r.tier_notes = notes;
-    r.runtime_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    r.runtime_seconds = seconds_since(t0);
+    obs::counter("opt.robust.tier_selected").add();
+    r.report.optimizer = "robust";
+    r.report.tiers = std::move(tiers);
+    finalize_run_report(&r);
     return r;
+  };
+  auto record_failure = [&](const char* tier, double started,
+                            std::string reason) {
+    obs::counter(std::string("opt.robust.tier_failures.") + tier).add();
+    obs::Tracer::instance().instant("tier.failed", tier);
+    obs::TierRecord rec;
+    rec.tier = tier;
+    rec.wall_seconds = seconds_since(t0) - started;
+    rec.failure_reason = std::move(reason);
+    tiers.push_back(std::move(rec));
+  };
+  auto record_success = [&](const char* tier, double started) {
+    obs::TierRecord rec;
+    rec.tier = tier;
+    rec.wall_seconds = seconds_since(t0) - started;
+    rec.selected = true;
+    tiers.push_back(std::move(rec));
   };
 
   // --- Tier 0: full joint optimization -----------------------------------
-  try {
-    OptimizationResult r = JointOptimizer(eval_, opts_.joint).run();
-    if (r.feasible) {
-      r.tier = ResultTier::kJoint;
-      return finish(std::move(r));
+  {
+    const obs::Span span("robust.tier.joint");
+    obs::counter("opt.robust.tier_attempts").add();
+    const double started = seconds_since(t0);
+    try {
+      OptimizationResult r = JointOptimizer(eval_, opts_.joint).run();
+      if (r.feasible) {
+        r.tier = ResultTier::kJoint;
+        record_success("joint", started);
+        return finish(std::move(r));
+      }
+      notes.push_back("joint: " + describe_failure(r));
+      record_failure("joint", started, describe_failure(r));
+    } catch (const util::NumericError& e) {
+      notes.push_back(std::string("joint: numeric error: ") + e.what());
+      record_failure("joint", started,
+                     std::string("numeric error: ") + e.what());
+    } catch (const std::exception& e) {
+      notes.push_back(std::string("joint: ") + e.what());
+      record_failure("joint", started, e.what());
     }
-    notes.push_back("joint: " + describe_failure(r));
-  } catch (const util::NumericError& e) {
-    notes.push_back(std::string("joint: numeric error: ") + e.what());
-  } catch (const std::exception& e) {
-    notes.push_back(std::string("joint: ") + e.what());
   }
 
   // --- Tier 1: conventional fixed-Vts flow --------------------------------
-  try {
-    OptimizationResult r =
-        BaselineOptimizer(eval_, opts_.baseline, opts_.baseline_fixed_vts)
-            .run();
-    if (r.feasible) {
-      r.tier = ResultTier::kBaseline;
-      return finish(std::move(r));
+  {
+    const obs::Span span("robust.tier.baseline");
+    obs::counter("opt.robust.tier_attempts").add();
+    const double started = seconds_since(t0);
+    try {
+      OptimizationResult r =
+          BaselineOptimizer(eval_, opts_.baseline, opts_.baseline_fixed_vts)
+              .run();
+      if (r.feasible) {
+        r.tier = ResultTier::kBaseline;
+        record_success("baseline", started);
+        return finish(std::move(r));
+      }
+      notes.push_back("baseline: " + describe_failure(r));
+      record_failure("baseline", started, describe_failure(r));
+    } catch (const util::NumericError& e) {
+      notes.push_back(std::string("baseline: numeric error: ") + e.what());
+      record_failure("baseline", started,
+                     std::string("numeric error: ") + e.what());
+    } catch (const std::exception& e) {
+      notes.push_back(std::string("baseline: ") + e.what());
+      record_failure("baseline", started, e.what());
     }
-    notes.push_back("baseline: " + describe_failure(r));
-  } catch (const util::NumericError& e) {
-    notes.push_back(std::string("baseline: numeric error: ") + e.what());
-  } catch (const std::exception& e) {
-    notes.push_back(std::string("baseline: ") + e.what());
   }
 
   // --- Tier 2: max-drive emergency configuration --------------------------
   if (!opts_.allow_last_resort) {
     throw diagnose_infeasibility(eval_, opts_.joint.skew_b);
   }
-  return finish(last_resort());
+  const double started = seconds_since(t0);
+  OptimizationResult r = last_resort();
+  record_success("last-resort", started);
+  return finish(std::move(r));
 }
 
 }  // namespace minergy::opt

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "timing/sta.h"
 #include "util/check.h"
 
@@ -17,6 +18,11 @@ SizingResult GateSizer::size(std::span<const double> t_max, double vdd,
   MINERGY_CHECK(t_max.size() == nl.size());
   MINERGY_CHECK(vts.size() == nl.size());
   MINERGY_CHECK(steps >= 1);
+
+  static obs::Counter& c_calls = obs::counter("opt.sizer.size_calls");
+  static obs::Counter& c_gates = obs::counter("opt.sizer.width_searches");
+  c_calls.add();
+  c_gates.add(static_cast<std::int64_t>(nl.num_combinational()));
 
   SizingResult r;
   r.widths.assign(nl.size(), tech.w_min);
@@ -77,6 +83,9 @@ SizingResult GateSizer::recover(std::span<const double> widths, double vdd,
   const tech::Technology& tech = calc_.device().technology();
   MINERGY_CHECK(widths.size() == nl.size());
   MINERGY_CHECK(cycle_limit > 0.0);
+
+  static obs::Counter& c_calls = obs::counter("opt.sizer.recover_calls");
+  c_calls.add();
 
   // Relaxed per-gate budgets from the slack redistribution rule. Gates with
   // non-positive slack keep exactly their current delay.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "timing/sta.h"
 #include "util/check.h"
 
@@ -19,6 +20,8 @@ TilosSizer::TilosSizer(const timing::DelayCalculator& calc,
 TilosResult TilosSizer::size(double vdd, std::span<const double> vts,
                              double cycle_limit,
                              util::Watchdog* watchdog) const {
+  obs::counter("opt.tilos.size_calls").add();
+  static obs::Counter& c_iters = obs::counter("opt.tilos.iterations");
   const netlist::Netlist& nl = calc_.netlist();
   const tech::Technology& tech = calc_.device().technology();
   MINERGY_CHECK(vts.size() == nl.size());
@@ -27,6 +30,7 @@ TilosResult TilosSizer::size(double vdd, std::span<const double> vts,
   r.widths.assign(nl.size(), tech.w_min);
 
   for (int iter = 0; iter < opts_.max_iterations; ++iter) {
+    c_iters.add();
     if (watchdog && watchdog->note_evaluation()) {
       r.truncated = true;
       break;

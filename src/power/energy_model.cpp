@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace minergy::power {
@@ -24,6 +25,9 @@ EnergyBreakdown EnergyModel::gate_energy(netlist::GateId id,
   const netlist::Gate& g = nl_.gate(id);
   MINERGY_CHECK(netlist::is_combinational(g.type));
   const double w = widths[id];
+
+  static obs::Counter& c_evals = obs::counter("power.energy.gate_evals");
+  c_evals.add();
 
   EnergyBreakdown e;
   // E_s = Vdd * w * Ioff / f_c (leakage flows for the full cycle).
@@ -52,6 +56,9 @@ double EnergyModel::short_circuit_energy(netlist::GateId id,
                                          double input_transition) const {
   const netlist::Gate& g = nl_.gate(id);
   MINERGY_CHECK(netlist::is_combinational(g.type));
+  static obs::Counter& c_evals =
+      obs::counter("power.energy.short_circuit_evals");
+  c_evals.add();
   const double window = vdd - 2.0 * vts;
   if (window <= 0.0 || input_transition <= 0.0) return 0.0;
   const double i_mid = widths[id] * dev_.idrive_per_wunit(0.5 * vdd, vts) /

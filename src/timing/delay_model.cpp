@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace minergy::timing {
@@ -47,6 +48,11 @@ DelayComponents DelayCalculator::gate_delay_components(
   const double w = widths[id];
   const int fin = g.fanin_count();
 
+  // The single hottest call in the stack (every STA gate visit and every
+  // sizer bisection step lands here); the counter is one relaxed add.
+  static obs::Counter& c_evals = obs::counter("timing.delay.gate_evals");
+  c_evals.add();
+
   DelayComponents c;
   c.slope = dev_.slope_coefficient(vdd, vts) * max_fanin_delay;
 
@@ -78,6 +84,9 @@ double DelayCalculator::gate_delay_min(netlist::GateId id,
   MINERGY_CHECK(netlist::is_combinational(g.type));
   const double w = widths[id];
   const int fin = g.fanin_count();
+
+  static obs::Counter& c_evals = obs::counter("timing.delay.min_gate_evals");
+  c_evals.add();
 
   const double slope = dev_.slope_coefficient(vdd, vts) * min_fanin_delay;
   // Parallel-network transition: no stack division.

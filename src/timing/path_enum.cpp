@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace minergy::timing {
@@ -12,6 +13,7 @@ using netlist::kInvalidGate;
 
 PathAnalyzer::PathAnalyzer(const netlist::Netlist& nl) : nl_(nl) {
   MINERGY_CHECK(nl.finalized());
+  obs::counter("timing.paths.analyzer_builds").add();
   prefix_.assign(nl.size(), 0);
   suffix_.assign(nl.size(), 0);
   prefix_arg_.assign(nl.size(), kInvalidGate);
@@ -106,6 +108,8 @@ bool PathAnalyzer::is_path_end(GateId id) const {
 }
 
 std::vector<Path> PathAnalyzer::top_k(std::size_t k) const {
+  static obs::Counter& c_paths = obs::counter("timing.paths.enumerated");
+  c_paths.add(static_cast<std::int64_t>(k));
   // Best-first search over partial paths. The priority of a partial path
   // ending at gate g is (criticality so far) + (best completion from g),
   // which is admissible and exact, so paths pop in true decreasing order.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace minergy::timing {
@@ -23,6 +24,11 @@ TimingReport run_sta(const DelayCalculator& calc,
   MINERGY_CHECK(widths.size() == nl.size());
   MINERGY_CHECK(vdd.size() == nl.size());
   MINERGY_CHECK(vts.size() == nl.size());
+
+  static obs::Counter& c_runs = obs::counter("timing.sta.runs");
+  static obs::Histogram& h_micros = obs::histogram("timing.sta.micros");
+  c_runs.add();
+  const obs::ScopedTimer timer(h_micros);
 
   TimingReport r;
   r.gate_delay.assign(nl.size(), 0.0);
@@ -105,6 +111,9 @@ MinTimingReport run_min_sta(const DelayCalculator& calc,
   const netlist::Netlist& nl = calc.netlist();
   MINERGY_CHECK(widths.size() == nl.size());
   MINERGY_CHECK(vts.size() == nl.size());
+
+  static obs::Counter& c_runs = obs::counter("timing.sta.min_runs");
+  c_runs.add();
 
   MinTimingReport r;
   r.gate_delay.assign(nl.size(), 0.0);

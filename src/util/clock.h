@@ -1,0 +1,24 @@
+// Monotonic clock shim shared by the observability layer.
+//
+// All timestamps in traces and perf records are microseconds since a
+// process-stable epoch (the first call in the process), so events from
+// different modules line up on one axis and the numbers stay small enough
+// for exact double arithmetic over any realistic run length.
+#pragma once
+
+#include <chrono>
+
+namespace minergy::util {
+
+// Microseconds since the process-stable epoch. Monotonic (steady_clock).
+inline double monotonic_micros() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+inline double monotonic_seconds() { return monotonic_micros() * 1e-6; }
+
+}  // namespace minergy::util

@@ -6,7 +6,9 @@
 #include "netlist/bench_io.h"
 #include "netlist/gate.h"
 #include "netlist/verilog_io.h"
+#include "obs/metrics.h"
 #include "tech/tech_io.h"
+#include "util/check.h"
 
 namespace minergy::fault {
 namespace {
@@ -239,6 +241,67 @@ void run_netlist_fault(const std::string& name) {
     throw std::out_of_range("unknown netlist fault case: " + name);
   }
   nl.finalize();
+}
+
+CatalogTally run_fault_catalogs() {
+  CatalogTally tally;
+  // Tally one catalog entry: bump the counter pair and remember the names
+  // of contract breaches so callers can print actionable diagnostics.
+  auto score = [&tally](const char* catalog, const std::string& name,
+                        bool passed, int* pass, int* fail) {
+    const std::string prefix = std::string("fault.") + catalog;
+    if (passed) {
+      obs::counter(prefix + ".pass").add();
+      ++*pass;
+    } else {
+      obs::counter(prefix + ".fail").add();
+      ++*fail;
+      tally.failures.push_back(std::string(catalog) + ": " + name);
+    }
+  };
+
+  for (const TechFault& f : tech_fault_catalog()) {
+    bool rejected = false;
+    try {
+      f.tech.validate();
+    } catch (const tech::TechnologyError&) {
+      rejected = true;
+    }
+    score("tech", f.name, rejected, &tally.tech_pass, &tally.tech_fail);
+  }
+  for (const ParserFault& f : parser_fault_catalog()) {
+    bool rejected = false;
+    try {
+      parse_fault_text(f);
+    } catch (const util::ParseError&) {
+      rejected = true;
+    } catch (const tech::TechnologyError&) {
+      rejected = true;  // parsed cleanly but failed validation: contracted
+    }
+    score("parser", f.name, rejected, &tally.parser_pass, &tally.parser_fail);
+  }
+  for (const NetlistFault& f : netlist_fault_catalog()) {
+    bool rejected = false;
+    try {
+      run_netlist_fault(f.name);
+    } catch (const netlist::NetlistError&) {
+      rejected = true;
+    }
+    score("netlist", f.name, rejected, &tally.netlist_pass,
+          &tally.netlist_fail);
+  }
+  for (const TechFault& f : stress_tech_catalog()) {
+    // Stress cases are *supposed* to pass validation — they probe the
+    // numeric guards further downstream (see tests/test_fault_injection).
+    bool accepted = true;
+    try {
+      f.tech.validate();
+    } catch (const tech::TechnologyError&) {
+      accepted = false;
+    }
+    score("stress", f.name, accepted, &tally.stress_pass, &tally.stress_fail);
+  }
+  return tally;
 }
 
 }  // namespace minergy::fault

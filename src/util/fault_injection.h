@@ -72,4 +72,28 @@ std::vector<NetlistFault> netlist_fault_catalog();
 // Throws std::out_of_range on an unknown case name.
 void run_netlist_fault(const std::string& name);
 
+// --- Catalogue sweep with observability tally ------------------------------
+// Runs every catalogued fault against its contract and tallies the outcome
+// into the obs counter family `fault.<catalog>.{pass,fail}` (tech, parser,
+// netlist, stress). "Pass" means the contract held: the corrupt input raised
+// its typed exception, or — for stress cases — the validate-passing extreme
+// was accepted by Technology::validate(). The optimization-level behavior of
+// stress technologies stays in tests/test_fault_injection.cpp; this sweep is
+// the cheap, deterministic front line suitable for tools and CI telemetry.
+struct CatalogTally {
+  int tech_pass = 0, tech_fail = 0;
+  int parser_pass = 0, parser_fail = 0;
+  int netlist_pass = 0, netlist_fail = 0;
+  int stress_pass = 0, stress_fail = 0;
+  std::vector<std::string> failures;  // names of faults whose contract broke
+
+  int total_pass() const {
+    return tech_pass + parser_pass + netlist_pass + stress_pass;
+  }
+  int total_fail() const {
+    return tech_fail + parser_fail + netlist_fail + stress_fail;
+  }
+};
+CatalogTally run_fault_catalogs();
+
 }  // namespace minergy::fault

@@ -1,0 +1,115 @@
+// Minimal JSON emitter and parser.
+//
+// The observability layer serializes traces, metric snapshots and run
+// reports as JSON; this keeps the repo dependency-free. JsonWriter is a
+// streaming emitter that manages commas/indentation and escapes strings;
+// JsonValue is a small recursive-descent parser used by round-trip readers
+// and the trace/report validation tooling. Neither aims to be a general
+// JSON library: numbers are doubles (plus an exact int64 emit path), and
+// inputs larger than memory are out of scope.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minergy::util {
+
+// Streaming JSON emitter. Structural calls must balance; keys are only
+// legal directly inside an object. Violations are contract errors
+// (MINERGY_CHECK), not exceptions, since the call sequence is fixed at
+// compile time by the caller.
+class JsonWriter {
+ public:
+  // indent = 0 emits compact one-line JSON; indent > 0 pretty-prints.
+  explicit JsonWriter(int indent = 0);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double d);  // non-finite values emit null
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(int i) { return value(static_cast<std::int64_t>(i)); }
+  JsonWriter& value(std::size_t i);
+  JsonWriter& null();
+
+  // Convenience: key + scalar value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  // The finished document. Valid once every begin_* has been closed.
+  const std::string& str() const;
+
+ private:
+  enum class Frame { kObject, kArray };
+  void comma_and_newline();
+  void newline_indent();
+
+  int indent_;
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+  bool after_key_ = false;
+};
+
+// Escapes `s` as a JSON string literal including the surrounding quotes.
+std::string json_escape(std::string_view s);
+
+// Parsed JSON document node.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses one JSON document (throws util::ParseError with offset context
+  // on malformed input; trailing non-whitespace is an error).
+  static JsonValue parse(std::string_view text,
+                         const std::string& source_name = "<json>");
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; wrong-type access is a contract error.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;  // number truncated toward zero
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;                 // array
+  const std::map<std::string, JsonValue>& members() const;     // object
+
+  // Object lookup. at() is a contract error on a missing key; get_* return
+  // the fallback when the key is absent (but still reject wrong types).
+  bool has(const std::string& k) const;
+  const JsonValue& at(const std::string& k) const;
+  double get_number(const std::string& k, double fallback) const;
+  bool get_bool(const std::string& k, bool fallback) const;
+  std::string get_string(const std::string& k, std::string fallback) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue> members_;
+
+  friend class JsonParser;
+};
+
+}  // namespace minergy::util

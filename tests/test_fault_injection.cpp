@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "netlist/generator.h"
@@ -14,6 +15,7 @@
 #include "util/check.h"
 #include "util/fault_injection.h"
 #include "util/guard.h"
+#include "util/json.h"
 
 namespace minergy {
 namespace {
@@ -154,6 +156,27 @@ TEST(FaultInjection, StressTechsOptimizeToTypedOutcome) {
       EXPECT_FALSE(e.limiting_gate().empty());
     }
   }
+}
+
+TEST(FaultInjection, CatalogTallyEmitsMachineReadableSummary) {
+  const fault::CatalogTally tally = fault::run_fault_catalogs();
+  ASSERT_EQ(tally.total_fail(), 0) << "first breach: "
+                                   << (tally.failures.empty()
+                                           ? "<none>"
+                                           : tally.failures.front());
+  // One compact JSON line on stdout so a `ctest -L fault` log carries the
+  // tally in greppable, parseable form (counters mirror it when enabled;
+  // see docs/OBSERVABILITY.md).
+  util::JsonWriter w;
+  w.begin_object()
+      .kv("schema", "minergy.fault_tally.v1")
+      .kv("tech_pass", tally.tech_pass)
+      .kv("parser_pass", tally.parser_pass)
+      .kv("netlist_pass", tally.netlist_pass)
+      .kv("stress_pass", tally.stress_pass)
+      .kv("fail", tally.total_fail())
+      .end_object();
+  std::printf("FAULT_TALLY %s\n", w.str().c_str());
 }
 
 }  // namespace

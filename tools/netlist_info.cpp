@@ -13,6 +13,7 @@
 #include "netlist/bench_io.h"
 #include "netlist/stats.h"
 #include "netlist/verilog_io.h"
+#include "obs/session.h"
 #include "timing/path_enum.h"
 #include "util/cli.h"
 #include "util/strings.h"
@@ -23,6 +24,7 @@ using namespace minergy;
 // cleanly instead of std::terminate-ing.
 int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
+  const obs::Session session(cli, "netlist_info");
   netlist::Netlist nl;
   if (cli.has("builtin")) {
     nl = bench_suite::make_circuit(cli.get("builtin", std::string("c17")));
@@ -34,7 +36,7 @@ int main(int argc, char** argv) try {
   } else {
     std::fprintf(stderr,
                  "usage: netlist_info [--builtin=NAME] [--paths=K] "
-                 "[--activity=D] [file.bench|file.v]\n");
+                 "[--activity=D] [--verbose] [file.bench|file.v]\n");
     return 2;
   }
 

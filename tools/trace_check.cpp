@@ -1,0 +1,170 @@
+// trace_check: validate observability outputs.
+//
+//   $ trace_check trace.json                  # Chrome-trace well-formedness
+//   $ trace_check trace.json --min-spans=1    # and reject an empty capture
+//   $ trace_check trace.json --report=run.json
+//
+// Trace checks: the file parses, has a traceEvents array, every event
+// carries name/ph/ts (complete "X" events also dur >= 0), and within each
+// (pid, tid) lane the complete events nest properly — a span either fully
+// contains or is fully disjoint from every other span in its lane, the
+// invariant Perfetto's flame view relies on.
+//
+// Report checks (--report=FILE): the file round-trips through
+// obs::RunReport::from_json (schema minergy.run_report.v1) and the energies
+// of accepted trajectory points form a non-increasing sequence — the
+// optimizers' "accepted = improved the best feasible energy" contract.
+//
+// Exit 0 when everything holds; 1 with a diagnostic on the first violation.
+// Used by the `obs_smoke` CTest fixture (see tests/CMakeLists.txt).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/report.h"
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/json.h"
+
+using namespace minergy;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::ParseError("cannot open file", path, 0);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct SpanRow {
+  std::string name;
+  double ts = 0.0;
+  double dur = 0.0;
+  std::int64_t lane = 0;  // pid * 2^20 + tid (both are small here)
+};
+
+int check_trace(const std::string& path, std::size_t min_spans) {
+  const util::JsonValue root = util::JsonValue::parse(slurp(path), path);
+  if (!root.has("traceEvents")) {
+    std::fprintf(stderr, "%s: missing traceEvents array\n", path.c_str());
+    return 1;
+  }
+  std::vector<SpanRow> spans;
+  std::size_t total = 0;
+  for (const util::JsonValue& e : root.at("traceEvents").items()) {
+    ++total;
+    for (const char* field : {"name", "ph", "ts"}) {
+      if (!e.has(field)) {
+        std::fprintf(stderr, "%s: event %zu missing \"%s\"\n", path.c_str(),
+                     total - 1, field);
+        return 1;
+      }
+    }
+    if (e.at("ph").as_string() != "X") continue;
+    SpanRow s;
+    s.name = e.at("name").as_string();
+    s.ts = e.at("ts").as_number();
+    s.dur = e.get_number("dur", -1.0);
+    if (s.dur < 0.0) {
+      std::fprintf(stderr, "%s: complete event '%s' has no dur\n",
+                   path.c_str(), s.name.c_str());
+      return 1;
+    }
+    s.lane = static_cast<std::int64_t>(e.get_number("pid", 0.0)) *
+                 (std::int64_t{1} << 20) +
+             static_cast<std::int64_t>(e.get_number("tid", 0.0));
+    spans.push_back(std::move(s));
+  }
+
+  // Nesting check per lane: in (ts asc, dur desc) order a parent precedes
+  // its children, so a stack of open spans catches any partial overlap.
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanRow& a, const SpanRow& b) {
+                     if (a.lane != b.lane) return a.lane < b.lane;
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.dur > b.dur;
+                   });
+  std::vector<const SpanRow*> stack;
+  std::int64_t lane = -1;
+  for (const SpanRow& s : spans) {
+    if (s.lane != lane) {
+      stack.clear();
+      lane = s.lane;
+    }
+    while (!stack.empty() &&
+           s.ts >= stack.back()->ts + stack.back()->dur) {
+      stack.pop_back();
+    }
+    if (!stack.empty() &&
+        s.ts + s.dur > stack.back()->ts + stack.back()->dur + 1e-3) {
+      std::fprintf(stderr,
+                   "%s: span '%s' [%.3f, %.3f] overlaps but does not nest "
+                   "inside '%s' [%.3f, %.3f]\n",
+                   path.c_str(), s.name.c_str(), s.ts, s.ts + s.dur,
+                   stack.back()->name.c_str(), stack.back()->ts,
+                   stack.back()->ts + stack.back()->dur);
+      return 1;
+    }
+    stack.push_back(&s);
+  }
+  if (spans.size() < min_spans) {
+    // A structurally valid but empty capture usually means the traced
+    // program never entered the instrumented phases — fail loudly instead
+    // of letting a smoke test pass vacuously.
+    std::fprintf(stderr, "%s: only %zu complete spans (expected >= %zu)\n",
+                 path.c_str(), spans.size(), min_spans);
+    return 1;
+  }
+  std::printf("%s: OK (%zu events, %zu complete spans nest cleanly)\n",
+              path.c_str(), total, spans.size());
+  return 0;
+}
+
+int check_report(const std::string& path) {
+  const obs::RunReport report = obs::RunReport::from_json(slurp(path), path);
+  const std::vector<double> accepted = report.accepted_energies();
+  for (std::size_t i = 1; i < accepted.size(); ++i) {
+    if (accepted[i] > accepted[i - 1] * (1.0 + 1e-12)) {
+      std::fprintf(stderr,
+                   "%s: accepted energies not non-increasing at index %zu "
+                   "(%.17g > %.17g)\n",
+                   path.c_str(), i, accepted[i], accepted[i - 1]);
+      return 1;
+    }
+  }
+  std::printf(
+      "%s: OK (optimizer %s on %s, %zu trajectory points, %zu accepted, "
+      "%zu tier records)\n",
+      path.c_str(), report.optimizer.c_str(), report.circuit.c_str(),
+      report.trajectory.size(), accepted.size(), report.tiers.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  if (cli.positional().empty() && !cli.has("report")) {
+    std::fprintf(stderr,
+                 "usage: trace_check [trace.json] [--min-spans=N] "
+                 "[--report=FILE]\n");
+    return 2;
+  }
+  int rc = 0;
+  if (!cli.positional().empty()) {
+    rc = check_trace(cli.positional()[0],
+                     static_cast<std::size_t>(cli.get("min-spans", 0)));
+  }
+  if (rc == 0 && cli.has("report")) {
+    rc = check_report(cli.get("report", std::string()));
+  }
+  return rc;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}
