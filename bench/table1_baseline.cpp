@@ -8,8 +8,10 @@
 // against.
 //
 // Flags: --fc=<Hz> (default 300e6), --csv, --circuit=<name> (one circuit
-// only; the obs smoke test runs c17 this way), plus the obs::Session flags
-// (--trace=FILE, --metrics/--verbose, --perf-record).
+// only; the obs smoke test runs c17 this way), --certify (independently
+// re-verify every row with opt::Certifier; any uncertified row exits 1),
+// plus the obs::Session flags (--trace=FILE, --metrics/--verbose,
+// --perf-record).
 #include <cstdio>
 #include <iostream>
 
@@ -37,7 +39,9 @@ int main(int argc, char** argv) {
                      "Static(J)", "Dynamic(J)", "Total(J)", "CritDelay(ns)",
                      "Tc(ns)"});
   const std::string only = cli.get("circuit", std::string());
+  const bool certify = cli.get("certify", false);
   bool matched = only.empty();
+  int uncertified = 0;
   for (const auto& spec : bench_suite::paper_circuits()) {
     if (!only.empty() && spec.name != only) continue;
     matched = true;
@@ -53,6 +57,15 @@ int main(int argc, char** argv) {
           .add_sci(e.baseline.energy.total())
           .add(e.baseline.critical_delay * 1e9, 3)
           .add(e.cycle_time * 1e9, 3);
+      if (certify) {
+        const opt::Certificate cert =
+            bench_suite::certify_experiment(e, cfg, /*joint=*/false);
+        if (!cert.certified) {
+          ++uncertified;
+          std::fprintf(stderr, "%s (a=%.2f): %s\n", e.circuit.c_str(),
+                       e.input_activity, cert.summary().c_str());
+        }
+      }
     }
   }
   if (!matched) {
@@ -61,5 +74,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::cout << (cli.get("csv", false) ? table.to_csv() : table.to_text());
-  return 0;
+  if (certify) {
+    std::printf("\ncertification: %s\n",
+                uncertified == 0
+                    ? "every row independently certified"
+                    : (std::to_string(uncertified) + " row(s) UNCERTIFIED")
+                          .c_str());
+  }
+  return uncertified == 0 ? 0 : 1;
 }

@@ -9,8 +9,10 @@
 //   * savings increase with input activity,
 //   * runtimes of seconds per circuit.
 //
-// Flags: --fc=<Hz> (default 300e6), --csv, --circuit=<name>, plus the
-// obs::Session flags (--trace=FILE, --metrics/--verbose, --perf-record).
+// Flags: --fc=<Hz> (default 300e6), --csv, --circuit=<name>, --certify
+// (independently re-verify every joint row with opt::Certifier; any
+// uncertified row exits 1), plus the obs::Session flags (--trace=FILE,
+// --metrics/--verbose, --perf-record).
 #include <cstdio>
 #include <iostream>
 
@@ -36,11 +38,22 @@ int main(int argc, char** argv) {
                      "Runtime(s)"});
   double min_savings = 1e30, max_savings = 0.0;
   const std::string only = cli.get("circuit", std::string());
+  const bool certify = cli.get("certify", false);
   bool matched = only.empty();
+  int uncertified = 0;
   for (const auto& spec : bench_suite::paper_circuits()) {
     if (!only.empty() && spec.name != only) continue;
     matched = true;
     for (const auto& e : bench_suite::run_circuit(spec, cfg)) {
+      if (certify) {
+        const opt::Certificate cert =
+            bench_suite::certify_experiment(e, cfg, /*joint=*/true);
+        if (!cert.certified) {
+          ++uncertified;
+          std::fprintf(stderr, "%s (a=%.2f): %s\n", e.circuit.c_str(),
+                       e.input_activity, cert.summary().c_str());
+        }
+      }
       table.begin_row()
           .add(e.circuit)
           .add(e.input_activity, 2)
@@ -67,5 +80,12 @@ int main(int argc, char** argv) {
   std::printf("\nSavings over the Table-1 baseline: %.1fx .. %.1fx "
               "(paper: >10x, typically ~25x)\n",
               min_savings, max_savings);
-  return 0;
+  if (certify) {
+    std::printf("certification: %s\n",
+                uncertified == 0
+                    ? "every row independently certified"
+                    : (std::to_string(uncertified) + " row(s) UNCERTIFIED")
+                          .c_str());
+  }
+  return uncertified == 0 ? 0 : 1;
 }

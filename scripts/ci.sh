@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# CI gate: builds the tree twice (Release, then ASan-instrumented), runs the
+# robustness (-L fault) and observability (-L obs) test labels under each,
+# and finishes with a certified minergy_batch run over real circuits —
+# every completed result must be independently certified (exit 1 otherwise).
+#
+#   $ scripts/ci.sh            # from the repo root
+#   $ CI_JOBS=4 scripts/ci.sh  # cap build parallelism
+#
+# Build trees go to build-ci-release/ and build-ci-asan/ so a developer's
+# ordinary build/ directory is left alone.
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="${CI_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+run_labelled_tests() {
+  build_dir="$1"
+  step "$build_dir: ctest -L fault"
+  ctest --test-dir "$build_dir" -L fault --output-on-failure -j "$JOBS"
+  step "$build_dir: ctest -L obs"
+  ctest --test-dir "$build_dir" -L obs --output-on-failure -j "$JOBS"
+}
+
+step "configure + build (Release)"
+cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-ci-release -j "$JOBS"
+run_labelled_tests build-ci-release
+
+step "configure + build (AddressSanitizer)"
+cmake -B build-ci-asan -S . -DMINERGY_SANITIZE=address
+cmake --build build-ci-asan -j "$JOBS"
+run_labelled_tests build-ci-asan
+
+# Certified batch run: each circuit optimizes in its own subprocess and the
+# parent re-derives every verdict with opt::Certifier. minergy_batch exits
+# non-zero if any completed result is infeasible or uncertified, and
+# --verify-report re-checks the written report the way CI consumers would.
+step "certified batch run (s27, s298*)"
+report=build-ci-release/ci_batch_report.json
+build-ci-release/tools/minergy_batch \
+  --circuits=s27,s298* --optimizers=robust \
+  --timeout=120 --retries=1 --report="$report"
+build-ci-release/tools/minergy_batch \
+  --verify-report="$report" --min-circuits=2
+
+step "OK: both builds green, fault+obs labels pass, batch results certified"

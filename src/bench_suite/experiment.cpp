@@ -61,6 +61,18 @@ std::vector<CircuitExperiment> run_circuit(const CircuitSpec& spec,
   return out;
 }
 
+opt::Certificate certify_experiment(const CircuitExperiment& e,
+                                    const ExperimentConfig& cfg, bool joint) {
+  const netlist::Netlist nl = make_circuit(e.circuit);
+  activity::ActivityProfile profile;
+  profile.input_density = e.input_activity;
+  const opt::CircuitEvaluator eval(nl, cfg.tech, profile,
+                                   {.clock_frequency = 1.0 / e.cycle_time});
+  opt::CertifyOptions copts;
+  copts.skew_b = cfg.opts.skew_b;
+  return opt::Certifier(eval, copts).certify(joint ? e.joint : e.baseline);
+}
+
 std::vector<CircuitExperiment> run_suite(const ExperimentConfig& cfg) {
   std::vector<CircuitExperiment> all;
   for (const CircuitSpec& spec : paper_circuits()) {

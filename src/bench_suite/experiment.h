@@ -12,6 +12,7 @@
 
 #include "activity/activity.h"
 #include "bench_suite/iscas.h"
+#include "opt/certifier.h"
 #include "opt/result.h"
 #include "tech/technology.h"
 
@@ -48,5 +49,11 @@ std::vector<CircuitExperiment> run_circuit(const CircuitSpec& spec,
 
 // The full suite (all paper circuits x activities).
 std::vector<CircuitExperiment> run_suite(const ExperimentConfig& cfg);
+
+// Independent certification of one experiment row (the bench `--certify`
+// flags): rebuilds the evaluator the row was optimized under and re-derives
+// the joint (or baseline) result's verdict with opt::Certifier.
+opt::Certificate certify_experiment(const CircuitExperiment& e,
+                                    const ExperimentConfig& cfg, bool joint);
 
 }  // namespace minergy::bench_suite

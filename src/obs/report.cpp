@@ -53,6 +53,10 @@ std::string RunReport::to_json(int indent) const {
     w.begin_object();
     w.kv("tier", t.tier).kv("wall_seconds", t.wall_seconds);
     w.kv("selected", t.selected).kv("failure_reason", t.failure_reason);
+    if (!t.certificate_status.empty()) {
+      w.kv("certificate_status", t.certificate_status);
+      w.kv("certificate_detail", t.certificate_detail);
+    }
     w.end_object();
   }
   w.end_array();
@@ -115,6 +119,8 @@ RunReport RunReport::from_json(const std::string& text,
       t.wall_seconds = jt.get_number("wall_seconds", 0.0);
       t.selected = jt.get_bool("selected", false);
       t.failure_reason = jt.get_string("failure_reason", "");
+      t.certificate_status = jt.get_string("certificate_status", "");
+      t.certificate_detail = jt.get_string("certificate_detail", "");
       r.tiers.push_back(std::move(t));
     }
   }

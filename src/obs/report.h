@@ -35,6 +35,12 @@ struct TierRecord {
   double wall_seconds = 0.0;
   bool selected = false;     // this tier produced the final answer
   std::string failure_reason;  // empty when selected
+
+  // Outcome of the independent result certification (opt::Certifier) for
+  // this tier: "" when certification was not run, "pass", or "fail". On
+  // "fail", certificate_detail names the violated invariant and culprit.
+  std::string certificate_status;
+  std::string certificate_detail;
 };
 
 struct RunReport {

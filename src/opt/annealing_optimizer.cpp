@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "opt/checkpoint.h"
 #include "util/check.h"
 #include "util/guard.h"
 #include "util/rng.h"
@@ -86,29 +87,96 @@ OptimizationResult AnnealingOptimizer::run(
                                  0.5 * (tech.vts_min + tech.vts_max), 4.0);
   }
 
-  CircuitState global_best = init;
+  // --- Resume / fresh start ------------------------------------------------
+  CircuitState global_best;
   double global_best_crit = 0.0, global_best_energy = 0.0;
-  double global_best_cost =
-      cost_of(global_best, &global_best_crit, &global_best_energy);
-  // The warm start counts as accepted only when it meets timing: for a
-  // feasible point cost == energy, so the accepted-energy sequence stays
-  // non-increasing across later global-best updates.
-  record_point(global_best, global_best_energy, global_best_crit,
-               global_best_crit <= limit * (1.0 + 1e-9),
-               global_best_crit <= limit * (1.0 + 1e-9));
+  double global_best_cost = 0.0;
+  int start_pass = 0, start_move = 0;
+  bool resumed = false;
+  std::int64_t resumed_evals = 0;
+  CircuitState resume_cur;
+  double resume_cur_cost = 0.0, resume_temperature = 0.0;
+  if (!opts_.resume_path.empty()) {
+    AnnealCheckpoint ck = AnnealCheckpoint::load(opts_.resume_path);
+    MINERGY_CHECK_MSG(ck.circuit == nl.name(),
+                      "anneal resume: checkpoint is for circuit '" +
+                          ck.circuit + "', not '" + nl.name() + "'");
+    resumed = true;
+    start_pass = ck.pass;
+    start_move = ck.move;
+    resume_cur = std::move(ck.current);
+    resume_cur_cost = ck.current_cost;
+    resume_temperature = ck.temperature;
+    global_best = std::move(ck.global_best);
+    global_best_cost = ck.global_best_cost;
+    global_best_crit = ck.global_best_crit;
+    global_best_energy = ck.global_best_energy;
+    resumed_evals = ck.evaluations;
+    rng.restore(ck.rng);
+    // The trajectory so far rides in the checkpoint; continue appending.
+    rep = std::move(ck.report);
+    rep.optimizer = "annealing";
+    rep.circuit = nl.name();
+    obs::counter("opt.anneal.resumes").add();
+  } else {
+    global_best = init;
+    global_best_cost =
+        cost_of(global_best, &global_best_crit, &global_best_energy);
+    // The warm start counts as accepted only when it meets timing: for a
+    // feasible point cost == energy, so the accepted-energy sequence stays
+    // non-increasing across later global-best updates.
+    record_point(global_best, global_best_energy, global_best_crit,
+                 global_best_crit <= limit * (1.0 + 1e-9),
+                 global_best_crit <= limit * (1.0 + 1e-9));
+  }
+
+  std::int64_t moves_done = 0;  // checkpoint cadence counter (this run only)
+  auto write_checkpoint = [&](int pass, int next_move, const CircuitState& cur,
+                              double cur_cost, double temperature) {
+    AnnealCheckpoint ck;
+    ck.circuit = nl.name();
+    ck.pass = pass;
+    ck.move = next_move;
+    ck.temperature = temperature;
+    ck.current = cur;
+    ck.current_cost = cur_cost;
+    ck.global_best = global_best;
+    ck.global_best_cost = global_best_cost;
+    ck.global_best_crit = global_best_crit;
+    ck.global_best_energy = global_best_energy;
+    ck.evaluations = resumed_evals + dog.evaluations();
+    ck.rng = rng.state();
+    ck.report = rep;
+    ck.save(opts_.checkpoint_path);
+    obs::counter("opt.anneal.checkpoints").add();
+  };
 
   const int moves_per_pass = std::max(1, opts_.max_moves / opts_.passes);
-  for (int pass = 0; pass < opts_.passes && !dog.expired(); ++pass) {
+  for (int pass = start_pass; pass < opts_.passes && !dog.expired(); ++pass) {
     const obs::Span pass_span("anneal.pass");
-    CircuitState cur = pass == 0 ? init : global_best;
-    double cur_cost = cost_of(cur, nullptr, nullptr);
-    double temperature = opts_.initial_temp_scale * std::fabs(cur_cost);
-    // An infinite starting cost (numeric-rejected state) would otherwise
-    // set an infinite temperature and turn the anneal into a random walk;
-    // zero temperature makes it greedy until a physical state is found.
-    if (!std::isfinite(temperature)) temperature = 0.0;
+    CircuitState cur;
+    double cur_cost = 0.0, temperature = 0.0;
+    int first_move = 0;
+    if (resumed && pass == start_pass) {
+      // Mid-pass restore: the exact position, cost and temperature of the
+      // interrupted run (pass-boundary checkpoints store the same values
+      // the fresh-pass branch below would derive).
+      cur = resume_cur;
+      cur_cost = resume_cur_cost;
+      temperature = resume_temperature;
+      first_move = start_move;
+    } else {
+      cur = pass == 0 ? init : global_best;
+      cur_cost = cost_of(cur, nullptr, nullptr);
+      temperature = opts_.initial_temp_scale * std::fabs(cur_cost);
+      // An infinite starting cost (numeric-rejected state) would otherwise
+      // set an infinite temperature and turn the anneal into a random walk;
+      // zero temperature makes it greedy until a physical state is found.
+      if (!std::isfinite(temperature)) temperature = 0.0;
+    }
 
-    for (int move = 0; move < moves_per_pass && !dog.expired(); ++move) {
+    for (int move = first_move; move < moves_per_pass && !dog.expired();
+         ++move) {
       CircuitState cand = cur;
       const double r = rng.uniform();
       if (r < 0.6) {
@@ -148,6 +216,20 @@ OptimizationResult AnnealingOptimizer::run(
         }
       }
       temperature *= opts_.cooling;
+      ++moves_done;
+      if (!opts_.checkpoint_path.empty() && opts_.checkpoint_every_moves > 0 &&
+          moves_done % opts_.checkpoint_every_moves == 0) {
+        write_checkpoint(pass, move + 1, cur, cur_cost, temperature);
+      }
+    }
+    if (!opts_.checkpoint_path.empty() && !dog.expired()) {
+      // Pass boundary: store exactly what the next pass would derive, so a
+      // resume here reproduces the uninterrupted run bit-for-bit. A pass
+      // cut short by the watchdog is not a boundary — the cadence snapshot
+      // inside the loop already holds the last completed move.
+      double next_temp = opts_.initial_temp_scale * std::fabs(global_best_cost);
+      if (!std::isfinite(next_temp)) next_temp = 0.0;
+      write_checkpoint(pass + 1, 0, global_best, global_best_cost, next_temp);
     }
   }
 
@@ -161,7 +243,8 @@ OptimizationResult AnnealingOptimizer::run(
   result.vts_primary =
       global_best.vts.empty() ? 0.0 : global_best.vts.front();
   result.vts_groups = {result.vts_primary};
-  result.circuit_evaluations = static_cast<int>(dog.evaluations());
+  result.circuit_evaluations =
+      static_cast<int>(resumed_evals + dog.evaluations());
   if (dog.expired()) {
     result.truncated = true;
     result.truncation_reason =

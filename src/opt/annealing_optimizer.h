@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "opt/evaluator.h"
 #include "opt/result.h"
@@ -25,6 +26,16 @@ struct AnnealingOptions {
   // Wall-clock / evaluation budget; exhausting it ends the anneal early and
   // flags the result `truncated` (the global best so far is still returned).
   util::WatchdogBudget budget{};
+
+  // Crash-safe snapshots (schema minergy.anneal_checkpoint.v1, written with
+  // an atomic write-rename): when `checkpoint_path` is set, a snapshot lands
+  // every `checkpoint_every_moves` proposed moves and at every pass
+  // boundary. `resume_path` restores one and continues the run bit-exactly
+  // (the RNG stream state rides in the snapshot); the caller must pass the
+  // same netlist and options as the interrupted run.
+  std::string checkpoint_path;
+  std::string resume_path;
+  int checkpoint_every_moves = 500;
 };
 
 class AnnealingOptimizer {

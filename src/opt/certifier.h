@@ -1,0 +1,83 @@
+// Independent result certification (timing-signoff style).
+//
+// Every number an optimizer reports is re-derived here before it is
+// trusted: a fresh STA pass at the delay corner re-checks the cycle-time
+// constraint, the Appendix-A.1 energy accounting is re-summed gate by gate
+// and compared against both the evaluator's total and the reported
+// breakdown, and the result's physicality invariants (variables inside the
+// technology ranges, finite arrivals everywhere, a monotone accepted-energy
+// trajectory in the RunReport) are checked one by one. The point is
+// separation of concerns: the optimizer that *produced* a result never gets
+// to be the only code that *validated* it, so a silent regression in an
+// optimizer's bookkeeping — a stale cached energy, a width clamp that
+// drifted out of range, a feasibility flag set on the wrong STA — is caught
+// before it ships a wrong Table-1/Table-2 number.
+//
+// The RobustOptimizer treats an uncertified tier result as a tier failure
+// and advances its degradation chain, so a buggy fast path can never
+// outrank a correct slow one (docs/ROBUSTNESS.md, "Certification &
+// recovery").
+#pragma once
+
+#include <string>
+
+#include "opt/evaluator.h"
+#include "opt/result.h"
+
+namespace minergy::opt {
+
+struct CertifyOptions {
+  // The constraint the result claims to meet: T_crit <= skew_b * T_c.
+  double skew_b = 0.95;
+  // Relative slack on the re-checked timing constraint (the optimizers
+  // accept at 1e-9; certification allows the same epsilon).
+  double timing_epsilon = 1e-9;
+  // Relative tolerance between reported and re-derived scalars (energy
+  // components, critical delay). The re-derivation runs the same models on
+  // the same state, so only floating-point noise is forgiven.
+  double report_rel_tolerance = 1e-6;
+  // Absolute slack on variable-range checks (absorbs binary-search
+  // midpoints landing exactly on a bound).
+  double range_slack = 1e-9;
+  // Check that the RunReport's accepted energies are non-increasing.
+  bool check_trajectory = true;
+};
+
+// The typed verdict. `certified == false` names exactly one violated
+// invariant (the first found, in checking order) and, when attributable,
+// the culprit gate.
+struct Certificate {
+  bool certified = false;
+  std::string violated_invariant;  // e.g. "timing-constraint"; empty on pass
+  std::string culprit_gate;        // gate name when the violation has one
+  std::string detail;              // human-readable explanation
+
+  // Independent re-derivation (filled whenever the state was evaluable).
+  double recomputed_critical_delay = 0.0;
+  double recomputed_energy_total = 0.0;
+  double recomputed_static_energy = 0.0;
+  double recomputed_dynamic_energy = 0.0;
+  double timing_limit = 0.0;  // skew_b * T_c used for the check
+
+  // One-line status, e.g. "certified" or "UNCERTIFIED [energy-accounting]:
+  // ...".
+  std::string summary() const;
+  // Schema minergy.certificate.v1 (embedded in batch reports).
+  std::string to_json(int indent = 0) const;
+};
+
+class Certifier {
+ public:
+  explicit Certifier(const CircuitEvaluator& eval, CertifyOptions options = {});
+
+  // Re-verifies `result` against the evaluator. Never throws for a bad
+  // result — violations, including states the models reject outright, are
+  // reported in the Certificate.
+  Certificate certify(const OptimizationResult& result) const;
+
+ private:
+  const CircuitEvaluator& eval_;
+  CertifyOptions opts_;
+};
+
+}  // namespace minergy::opt

@@ -9,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "opt/checkpoint.h"
 #include "opt/lagrangian_sizer.h"
 #include "opt/sizer.h"
 #include "opt/tilos_sizer.h"
@@ -239,12 +240,58 @@ OptimizationResult JointOptimizer::run() const {
   best.energy.dynamic_energy = 0.0;
   best.feasible = false;
 
+  // --- Resume a checkpointed sweep ----------------------------------------
+  int start_step = 0;
+  std::int64_t resumed_evals = 0;
+  double resume_prev_total = kInf;
+  util::Range resume_vdd_range{tech.vdd_min, tech.vdd_max};
+  if (!opts_.resume_path.empty()) {
+    JointCheckpoint ck = JointCheckpoint::load(opts_.resume_path);
+    MINERGY_CHECK_MSG(ck.circuit == eval_.netlist().name(),
+                      "joint resume: checkpoint is for circuit '" +
+                          ck.circuit + "', not '" + eval_.netlist().name() +
+                          "'");
+    start_step = ck.next_step;
+    resume_vdd_range = {ck.vdd_lo, ck.vdd_hi};
+    resume_prev_total = ck.prev_total;
+    if (ck.has_best) {
+      best.state = std::move(ck.best_state);
+      best.energy = ck.best_energy;
+      best.critical_delay = ck.best_critical_delay;
+      best.feasible = ck.best_feasible;
+    }
+    resumed_evals = ck.evaluations;
+    report = std::move(ck.report);
+    report.optimizer = "joint";
+    report.circuit = eval_.netlist().name();
+    obs::counter("opt.joint.resumes").add();
+  }
+
   // --- Procedure 2: nested binary search ---------------------------------
   {
     const obs::Span span("joint.sweep");
-    double prev_total = kInf;  // "total energy decreased" reference
-    util::Range vdd_range{tech.vdd_min, tech.vdd_max};
-    for (int m = 0; m < opts_.steps && !dog.expired(); ++m) {
+    double prev_total = resume_prev_total;  // "total energy decreased" ref
+    util::Range vdd_range = resume_vdd_range;
+    auto write_checkpoint = [&](int next_step) {
+      JointCheckpoint ck;
+      ck.circuit = eval_.netlist().name();
+      ck.next_step = next_step;
+      ck.vdd_lo = vdd_range.lo;
+      ck.vdd_hi = vdd_range.hi;
+      ck.prev_total = prev_total;
+      ck.has_best = best.feasible;
+      if (ck.has_best) {
+        ck.best_state = best.state;
+        ck.best_energy = best.energy;
+        ck.best_critical_delay = best.critical_delay;
+        ck.best_feasible = best.feasible;
+      }
+      ck.evaluations = resumed_evals + dog.evaluations();
+      ck.report = report;
+      ck.save(opts_.checkpoint_path);
+      obs::counter("opt.joint.checkpoints").add();
+    };
+    for (int m = start_step; m < opts_.steps && !dog.expired(); ++m) {
       const double vdd = vdd_range.mid();
       bool improved_at_this_vdd = false;
 
@@ -267,6 +314,11 @@ OptimizationResult JointOptimizer::run() const {
       }
       vdd_range = improved_at_this_vdd ? vdd_range.lower()
                                        : vdd_range.higher();
+      // Snapshot completed steps only: a step cut short by the watchdog
+      // must be replayed in full on resume, not recorded as done.
+      if (!opts_.checkpoint_path.empty() && !dog.expired()) {
+        write_checkpoint(m + 1);
+      }
     }
   }
 
@@ -351,7 +403,8 @@ OptimizationResult JointOptimizer::run() const {
   if (result.vts_groups.empty() && !best.state.vts.empty()) {
     result.vts_groups = {result.vts_primary};
   }
-  result.circuit_evaluations = static_cast<int>(dog.evaluations());
+  result.circuit_evaluations =
+      static_cast<int>(resumed_evals + dog.evaluations());
   if (dog.expired()) {
     result.truncated = true;
     result.truncation_reason =

@@ -62,6 +62,14 @@ struct OptimizerOptions {
   // default; when exhausted the optimizer stops probing and returns the
   // best state seen so far with `truncated` set.
   util::WatchdogBudget budget{};
+
+  // Crash-safe snapshots for the JointOptimizer's nested sweep (schema
+  // minergy.joint_checkpoint.v1; see opt/checkpoint.h): `checkpoint_path`
+  // writes an atomic snapshot after every completed outer Vdd step;
+  // `resume_path` restores one and continues deterministically. Other
+  // optimizers sharing these options ignore both fields.
+  std::string checkpoint_path;
+  std::string resume_path;
 };
 
 struct OptimizationResult {

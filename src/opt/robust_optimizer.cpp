@@ -108,21 +108,50 @@ OptimizationResult RobustOptimizer::run() const {
     return r;
   };
   auto record_failure = [&](const char* tier, double started,
-                            std::string reason) {
+                            std::string reason,
+                            const Certificate* cert = nullptr) {
     obs::counter(std::string("opt.robust.tier_failures.") + tier).add();
     obs::Tracer::instance().instant("tier.failed", tier);
     obs::TierRecord rec;
     rec.tier = tier;
     rec.wall_seconds = seconds_since(t0) - started;
     rec.failure_reason = std::move(reason);
+    if (cert != nullptr) {
+      rec.certificate_status = cert->certified ? "pass" : "fail";
+      rec.certificate_detail = cert->summary();
+    }
     tiers.push_back(std::move(rec));
   };
-  auto record_success = [&](const char* tier, double started) {
+  auto record_success = [&](const char* tier, double started,
+                            const Certificate* cert = nullptr) {
     obs::TierRecord rec;
     rec.tier = tier;
     rec.wall_seconds = seconds_since(t0) - started;
     rec.selected = true;
+    if (cert != nullptr) {
+      rec.certificate_status = cert->certified ? "pass" : "fail";
+      rec.certificate_detail = cert->summary();
+    }
     tiers.push_back(std::move(rec));
+  };
+
+  // Applies the test seam, then independently re-verifies a feasible tier
+  // result. Returns true when the result may be returned to the caller;
+  // `cert_out` carries the certificate either way (certified == true when
+  // certification is disabled, with an empty detail so the TierRecord shows
+  // no certificate was issued).
+  auto try_certify = [&](OptimizationResult& r, const char* tier,
+                         double skew_b, Certificate* cert_out) {
+    if (opts_.tier_result_hook) opts_.tier_result_hook(r, tier);
+    if (!opts_.certify) {
+      cert_out->certified = true;
+      return true;
+    }
+    const obs::Span span("robust.certify");
+    CertifyOptions co = opts_.cert;
+    co.skew_b = skew_b;
+    *cert_out = Certifier(eval_, co).certify(r);
+    return cert_out->certified;
   };
 
   // --- Tier 0: full joint optimization -----------------------------------
@@ -134,11 +163,17 @@ OptimizationResult RobustOptimizer::run() const {
       OptimizationResult r = JointOptimizer(eval_, opts_.joint).run();
       if (r.feasible) {
         r.tier = ResultTier::kJoint;
-        record_success("joint", started);
-        return finish(std::move(r));
+        Certificate cert;
+        if (try_certify(r, "joint", opts_.joint.skew_b, &cert)) {
+          record_success("joint", started, opts_.certify ? &cert : nullptr);
+          return finish(std::move(r));
+        }
+        notes.push_back("joint: " + cert.summary());
+        record_failure("joint", started, cert.summary(), &cert);
+      } else {
+        notes.push_back("joint: " + describe_failure(r));
+        record_failure("joint", started, describe_failure(r));
       }
-      notes.push_back("joint: " + describe_failure(r));
-      record_failure("joint", started, describe_failure(r));
     } catch (const util::NumericError& e) {
       notes.push_back(std::string("joint: numeric error: ") + e.what());
       record_failure("joint", started,
@@ -160,11 +195,17 @@ OptimizationResult RobustOptimizer::run() const {
               .run();
       if (r.feasible) {
         r.tier = ResultTier::kBaseline;
-        record_success("baseline", started);
-        return finish(std::move(r));
+        Certificate cert;
+        if (try_certify(r, "baseline", opts_.baseline.skew_b, &cert)) {
+          record_success("baseline", started, opts_.certify ? &cert : nullptr);
+          return finish(std::move(r));
+        }
+        notes.push_back("baseline: " + cert.summary());
+        record_failure("baseline", started, cert.summary(), &cert);
+      } else {
+        notes.push_back("baseline: " + describe_failure(r));
+        record_failure("baseline", started, describe_failure(r));
       }
-      notes.push_back("baseline: " + describe_failure(r));
-      record_failure("baseline", started, describe_failure(r));
     } catch (const util::NumericError& e) {
       notes.push_back(std::string("baseline: numeric error: ") + e.what());
       record_failure("baseline", started,
@@ -181,7 +222,18 @@ OptimizationResult RobustOptimizer::run() const {
   }
   const double started = seconds_since(t0);
   OptimizationResult r = last_resort();
-  record_success("last-resort", started);
+  r.tier = ResultTier::kLastResort;
+  Certificate cert;
+  if (try_certify(r, "last-resort", opts_.joint.skew_b, &cert)) {
+    record_success("last-resort", started, opts_.certify ? &cert : nullptr);
+  } else {
+    // Nothing left to degrade to: return the max-drive answer anyway, with
+    // the failed certificate on record so downstream consumers (batch
+    // runner, CI) can refuse it.
+    obs::counter("opt.robust.uncertified_returns").add();
+    notes.push_back("last-resort: " + cert.summary());
+    record_success("last-resort", started, &cert);
+  }
   return finish(std::move(r));
 }
 

@@ -22,6 +22,9 @@
 // the limiting path's endpoint gate (see diagnose_infeasibility).
 #pragma once
 
+#include <functional>
+
+#include "opt/certifier.h"
 #include "opt/evaluator.h"
 #include "opt/result.h"
 
@@ -36,6 +39,21 @@ struct RobustOptions {
   // When false, an infeasible tier 1 throws instead of falling through to
   // the max-drive configuration.
   bool allow_last_resort = true;
+
+  // Independent certification (opt/certifier.h) of every feasible tier
+  // result before it is returned: an uncertified answer counts as a tier
+  // failure and the chain advances, so a buggy fast tier can never outrank
+  // a correct slower one. The per-tier skew_b overrides cert.skew_b. An
+  // uncertified *last-resort* result is still returned (there is nothing
+  // left to degrade to) with the failed certificate on record.
+  bool certify = true;
+  CertifyOptions cert{};
+
+  // Test seam: applied to each tier's feasible result just before
+  // certification. Fault-injection tests corrupt results here to prove the
+  // certifier catches them (see fault::result_fault_catalog). Null in
+  // production.
+  std::function<void(OptimizationResult&, const char* tier)> tier_result_hook;
 };
 
 class RobustOptimizer {

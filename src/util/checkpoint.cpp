@@ -1,0 +1,64 @@
+#include "util/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace minergy::util {
+
+void atomic_write_file(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw ParseError("cannot open for writing", tmp, 0);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) throw ParseError("write failed", tmp, 0);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw ParseError("rename to final path failed", path, 0);
+  }
+}
+
+std::string read_file_or_throw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open file", path, 0);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void Checkpoint::save(const std::string& path, const std::string& schema,
+                      const std::string& payload_json) {
+  // The envelope is assembled textually so the payload (already serialized
+  // by its owner) is embedded verbatim rather than re-parsed.
+  std::string doc;
+  doc.reserve(payload_json.size() + schema.size() + 32);
+  doc += "{\"schema\":";
+  doc += json_escape(schema);
+  doc += ",\"payload\":";
+  doc += payload_json;
+  doc += "}";
+  atomic_write_file(path, doc);
+}
+
+JsonValue Checkpoint::load(const std::string& path,
+                           const std::string& expected_schema) {
+  const JsonValue root = JsonValue::parse(read_file_or_throw(path), path);
+  if (!root.is_object() || !root.has("schema") || !root.has("payload")) {
+    throw ParseError("not a checkpoint envelope (schema/payload missing)",
+                     path, 0);
+  }
+  const std::string& schema = root.at("schema").as_string();
+  if (schema != expected_schema) {
+    throw ParseError("checkpoint schema '" + schema + "' does not match '" +
+                         expected_schema + "'",
+                     path, 0);
+  }
+  return root.at("payload");
+}
+
+}  // namespace minergy::util

@@ -243,6 +243,61 @@ void run_netlist_fault(const std::string& name) {
   nl.finalize();
 }
 
+std::vector<ResultFault> result_fault_catalog() {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  std::vector<ResultFault> cat;
+  cat.push_back({"nan-dynamic-energy", "energy-report-mismatch",
+                 [](opt::OptimizationResult* r) {
+                   r->energy.dynamic_energy = kNaN;
+                 }});
+  cat.push_back({"scaled-total-energy", "energy-report-mismatch",
+                 [](opt::OptimizationResult* r) {
+                   // A 1% bookkeeping drift — small enough to look
+                   // plausible in a results table.
+                   r->energy.dynamic_energy *= 1.01;
+                   r->energy.static_energy *= 1.01;
+                 }});
+  cat.push_back({"underreported-delay", "timing-report-mismatch",
+                 [](opt::OptimizationResult* r) {
+                   r->critical_delay *= 0.5;
+                 }});
+  cat.push_back({"out-of-range-width", "width-range",
+                 [](opt::OptimizationResult* r) {
+                   if (!r->state.widths.empty()) {
+                     r->state.widths.back() = 1.0e4;  // far above w_max
+                   }
+                 }});
+  cat.push_back({"vdd-above-technology", "vdd-range",
+                 [](opt::OptimizationResult* r) {
+                   r->state.vdd = 9.0;
+                   r->vdd = 9.0;
+                 }});
+  cat.push_back({"operating-point-drift", "operating-point-mismatch",
+                 [](opt::OptimizationResult* r) {
+                   r->vdd = r->state.vdd + 0.25;
+                 }});
+  cat.push_back({"truncated-state-arrays", "state-shape",
+                 [](opt::OptimizationResult* r) {
+                   if (!r->state.widths.empty()) r->state.widths.pop_back();
+                 }});
+  cat.push_back({"non-monotone-trajectory", "trajectory-monotone",
+                 [](opt::OptimizationResult* r) {
+                   obs::TrajectoryPoint tp;
+                   tp.phase = "corrupt";
+                   tp.energy = r->energy.total() * 10.0;
+                   tp.feasible = true;
+                   tp.accepted = true;
+                   r->report.add_point(std::move(tp));
+                   obs::TrajectoryPoint tail;
+                   tail.phase = "corrupt";
+                   tail.energy = r->energy.total();
+                   tail.feasible = true;
+                   tail.accepted = true;
+                   r->report.add_point(std::move(tail));
+                 }});
+  return cat;
+}
+
 CatalogTally run_fault_catalogs() {
   CatalogTally tally;
   // Tally one catalog entry: bump the counter pair and remember the names

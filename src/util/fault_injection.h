@@ -13,10 +13,12 @@
 // case reproduces byte-for-byte.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "opt/result.h"
 #include "tech/technology.h"
 
 namespace minergy::fault {
@@ -71,6 +73,20 @@ std::vector<NetlistFault> netlist_fault_catalog();
 // Builds and finalizes the named degenerate netlist (throws NetlistError).
 // Throws std::out_of_range on an unknown case name.
 void run_netlist_fault(const std::string& name);
+
+// --- Catalog: corrupted optimization results -------------------------------
+// Named in-place corruptions of a *feasible* OptimizationResult, each
+// modelling a realistic optimizer bookkeeping bug (a stale cached energy, a
+// width clamp that drifted out of range, a feasibility flag set on the
+// wrong STA, ...). The contract: opt::Certifier must refuse every one,
+// naming `expected_invariant` as the violation. Deterministic — the
+// corruptions are fixed transformations, no RNG.
+struct ResultFault {
+  std::string name;                // e.g. "nan-dynamic-energy"
+  std::string expected_invariant;  // certifier invariant that must fire
+  std::function<void(opt::OptimizationResult*)> corrupt;
+};
+std::vector<ResultFault> result_fault_catalog();
 
 // --- Catalogue sweep with observability tally ------------------------------
 // Runs every catalogued fault against its contract and tallies the outcome

@@ -448,4 +448,34 @@ std::string JsonValue::get_string(const std::string& k,
   return has(k) ? at(k).as_string() : fallback;
 }
 
+void emit(JsonWriter& w, const JsonValue& v) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      w.null();
+      return;
+    case JsonValue::Type::kBool:
+      w.value(v.as_bool());
+      return;
+    case JsonValue::Type::kNumber:
+      w.value(v.as_number());
+      return;
+    case JsonValue::Type::kString:
+      w.value(v.as_string());
+      return;
+    case JsonValue::Type::kArray:
+      w.begin_array();
+      for (const JsonValue& item : v.items()) emit(w, item);
+      w.end_array();
+      return;
+    case JsonValue::Type::kObject:
+      w.begin_object();
+      for (const auto& [k, member] : v.members()) {
+        w.key(k);
+        emit(w, member);
+      }
+      w.end_object();
+      return;
+  }
+}
+
 }  // namespace minergy::util

@@ -112,4 +112,10 @@ class JsonValue {
   friend class JsonParser;
 };
 
+// Re-emits a parsed value through a writer (as the current value position:
+// either directly after key() or as an array element). Lets tooling embed a
+// parsed sub-document — e.g. a worker's result JSON inside a batch report —
+// without hand-splicing text.
+void emit(JsonWriter& w, const JsonValue& v);
+
 }  // namespace minergy::util

@@ -86,6 +86,20 @@ double Rng::normal(double mean, double stddev) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+RngState Rng::state() const {
+  RngState s;
+  for (int i = 0; i < 4; ++i) s.words[static_cast<std::size_t>(i)] = state_[i];
+  s.have_spare_normal = have_spare_normal_;
+  s.spare_normal = spare_normal_;
+  return s;
+}
+
+void Rng::restore(const RngState& s) {
+  for (int i = 0; i < 4; ++i) state_[i] = s.words[static_cast<std::size_t>(i)];
+  have_spare_normal_ = s.have_spare_normal;
+  spare_normal_ = s.spare_normal;
+}
+
 std::uint64_t hash_mix(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;

@@ -5,10 +5,21 @@
 // seeded Rng so that every experiment is bit-reproducible.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 namespace minergy::util {
+
+// Complete generator state, exposed so checkpoint/resume flows can freeze a
+// stream mid-run and continue it bit-exactly (see util/checkpoint.h). The
+// spare normal from the Marsaglia polar method is part of the state: without
+// it a restored stream would diverge on the first normal() draw.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  bool have_spare_normal = false;
+  double spare_normal = 0.0;
+};
 
 // xoshiro256++ by Blackman & Vigna: fast, high quality, tiny state.
 class Rng {
@@ -36,6 +47,10 @@ class Rng {
 
   // A decorrelated child generator (for per-object streams).
   Rng split();
+
+  // Snapshot / restore the full stream position (bit-exact continuation).
+  RngState state() const;
+  void restore(const RngState& s);
 
   // Fisher–Yates shuffle.
   template <typename T>

@@ -1,0 +1,226 @@
+// Independent result certification: a genuine result certifies, every
+// catalogued result corruption is refused with the right invariant named,
+// and the RobustOptimizer treats an uncertified tier as a tier failure and
+// degrades — with the failed certificate on the tier's provenance record.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "netlist/generator.h"
+#include "opt/baseline_optimizer.h"
+#include "opt/certifier.h"
+#include "opt/evaluator.h"
+#include "opt/joint_optimizer.h"
+#include "opt/robust_optimizer.h"
+#include "util/fault_injection.h"
+
+namespace minergy::opt {
+namespace {
+
+using netlist::Netlist;
+
+Netlist make_circuit(std::uint64_t seed = 2981, int gates = 80, int depth = 8) {
+  netlist::GeneratorSpec spec;
+  spec.num_inputs = 6;
+  spec.num_outputs = 6;
+  spec.num_dffs = 6;
+  spec.num_gates = gates;
+  spec.depth = depth;
+  spec.seed = seed;
+  return netlist::generate_random_logic(spec);
+}
+
+struct Harness {
+  explicit Harness(double fc = 250e6, double tolerance = 0.0)
+      : nl(make_circuit()),
+        tech(tech::Technology::generic350()),
+        eval(nl, tech, profile(),
+             {.clock_frequency = fc, .vts_tolerance = tolerance}) {}
+
+  static activity::ActivityProfile profile() {
+    activity::ActivityProfile p;
+    p.input_density = 0.2;
+    return p;
+  }
+
+  Netlist nl;
+  tech::Technology tech;
+  CircuitEvaluator eval;
+};
+
+// ----------------------------------------------------------- genuine passes
+
+TEST(Certifier, GenuineJointResultCertifies) {
+  Harness s;
+  const OptimizationResult r = JointOptimizer(s.eval).run();
+  ASSERT_TRUE(r.feasible);
+  const Certificate cert = Certifier(s.eval).certify(r);
+  EXPECT_TRUE(cert.certified) << cert.summary();
+  EXPECT_TRUE(cert.violated_invariant.empty());
+  EXPECT_NEAR(cert.recomputed_energy_total, r.energy.total(),
+              1e-9 * r.energy.total());
+  EXPECT_NEAR(cert.recomputed_critical_delay, r.critical_delay,
+              1e-9 * r.critical_delay);
+}
+
+TEST(Certifier, GenuineBaselineResultCertifies) {
+  Harness s;
+  const OptimizationResult r = BaselineOptimizer(s.eval).run();
+  ASSERT_TRUE(r.feasible);
+  const Certificate cert = Certifier(s.eval).certify(r);
+  EXPECT_TRUE(cert.certified) << cert.summary();
+}
+
+TEST(Certifier, GenuineResultWithVtsToleranceCertifies) {
+  // The leakage-corner convention (static energy at the lowered Vts) must
+  // be mirrored by the certifier's independent per-gate re-summation.
+  Harness s(250e6, 0.1);
+  const OptimizationResult r = JointOptimizer(s.eval).run();
+  ASSERT_TRUE(r.feasible);
+  const Certificate cert = Certifier(s.eval).certify(r);
+  EXPECT_TRUE(cert.certified) << cert.summary();
+}
+
+TEST(Certifier, InfeasibleResultRefused) {
+  Harness s;
+  OptimizationResult r = JointOptimizer(s.eval).run();
+  r.feasible = false;
+  const Certificate cert = Certifier(s.eval).certify(r);
+  EXPECT_FALSE(cert.certified);
+  EXPECT_EQ(cert.violated_invariant, "result-feasible");
+}
+
+TEST(Certifier, CertificateJsonCarriesSchema) {
+  Harness s;
+  const OptimizationResult r = BaselineOptimizer(s.eval).run();
+  const Certificate cert = Certifier(s.eval).certify(r);
+  const std::string json = cert.to_json(2);
+  EXPECT_NE(json.find("minergy.certificate.v1"), std::string::npos);
+  EXPECT_NE(json.find("\"certified\": true"), std::string::npos);
+}
+
+// ------------------------------------------------ the corruption catalogue
+
+TEST(Certifier, EveryCataloguedCorruptionIsCaughtWithItsInvariant) {
+  Harness s;
+  const OptimizationResult genuine = JointOptimizer(s.eval).run();
+  ASSERT_TRUE(genuine.feasible);
+  ASSERT_TRUE(Certifier(s.eval).certify(genuine).certified);
+
+  for (const fault::ResultFault& f : fault::result_fault_catalog()) {
+    OptimizationResult corrupted = genuine;
+    f.corrupt(&corrupted);
+    const Certificate cert = Certifier(s.eval).certify(corrupted);
+    EXPECT_FALSE(cert.certified) << f.name << " slipped through";
+    EXPECT_EQ(cert.violated_invariant, f.expected_invariant)
+        << f.name << ": " << cert.summary();
+  }
+}
+
+TEST(Certifier, FeasibilityFlagOnWrongStaCaught) {
+  // The classic bookkeeping bug the certifier exists for: a result flagged
+  // feasible whose state does not actually meet timing. Provoke it by
+  // doubling the constraint the optimizer ran against.
+  Harness relaxed(125e6);
+  OptimizationResult r = JointOptimizer(relaxed.eval).run();
+  ASSERT_TRUE(r.feasible);
+  Harness tight(250e6);
+  // Same netlist topology/sizes; the tight evaluator re-checks at 250 MHz.
+  CertifyOptions copts;
+  const Certificate cert = Certifier(tight.eval, copts).certify(r);
+  EXPECT_FALSE(cert.certified);
+  EXPECT_EQ(cert.violated_invariant, "timing-constraint");
+  EXPECT_GT(cert.recomputed_critical_delay, cert.timing_limit);
+}
+
+TEST(Certifier, CulpritGateNamedForRangeViolation) {
+  Harness s;
+  OptimizationResult r = JointOptimizer(s.eval).run();
+  ASSERT_TRUE(r.feasible);
+  const netlist::GateId victim = s.nl.combinational().front();
+  r.state.widths[victim] = s.tech.w_max * 50.0;
+  const Certificate cert = Certifier(s.eval).certify(r);
+  ASSERT_FALSE(cert.certified);
+  EXPECT_EQ(cert.violated_invariant, "width-range");
+  EXPECT_EQ(cert.culprit_gate, s.nl.gate(victim).name);
+}
+
+// -------------------------------------- robust chain: degradation on fault
+
+TEST(RobustOptimizer, CorruptedJointTierDegradesToCertifiedBaseline) {
+  Harness s;
+  RobustOptions opts;
+  // Inject an energy-accounting corruption into the joint tier's result
+  // only — the bug class where the optimizer's bookkeeping drifts from the
+  // physics while the state itself stays valid.
+  opts.tier_result_hook = [](OptimizationResult& r, const char* tier) {
+    if (std::string(tier) == "joint") {
+      r.energy.dynamic_energy *= 1.01;
+      r.energy.static_energy *= 1.01;
+    }
+  };
+  const OptimizationResult r = RobustOptimizer(s.eval, opts).run();
+
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.tier, ResultTier::kBaseline);
+  // The provenance must show: joint attempted, failed certification with a
+  // failed certificate on record; baseline attempted, certified, selected.
+  ASSERT_EQ(r.report.tiers.size(), 2u);
+  EXPECT_EQ(r.report.tiers[0].tier, "joint");
+  EXPECT_FALSE(r.report.tiers[0].selected);
+  EXPECT_EQ(r.report.tiers[0].certificate_status, "fail");
+  EXPECT_NE(r.report.tiers[0].certificate_detail.find("energy-report"),
+            std::string::npos)
+      << r.report.tiers[0].certificate_detail;
+  EXPECT_EQ(r.report.tiers[1].tier, "baseline");
+  EXPECT_TRUE(r.report.tiers[1].selected);
+  EXPECT_EQ(r.report.tiers[1].certificate_status, "pass");
+  // And the human-readable notes carry the story too.
+  ASSERT_FALSE(r.tier_notes.empty());
+  EXPECT_NE(r.tier_notes[0].find("UNCERTIFIED"), std::string::npos);
+}
+
+TEST(RobustOptimizer, HealthyRunCertifiesJointTier) {
+  Harness s;
+  const OptimizationResult r = RobustOptimizer(s.eval).run();
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.tier, ResultTier::kJoint);
+  ASSERT_EQ(r.report.tiers.size(), 1u);
+  EXPECT_EQ(r.report.tiers[0].certificate_status, "pass");
+}
+
+TEST(RobustOptimizer, CertificationDisabledSkipsGating) {
+  Harness s;
+  RobustOptions opts;
+  opts.certify = false;
+  opts.tier_result_hook = [](OptimizationResult& r, const char* tier) {
+    if (std::string(tier) == "joint") r.energy.dynamic_energy *= 1.01;
+  };
+  const OptimizationResult r = RobustOptimizer(s.eval, opts).run();
+  // Without certification the corrupted joint result sails through — the
+  // gating, not luck, is what catches it.
+  EXPECT_EQ(r.tier, ResultTier::kJoint);
+  ASSERT_EQ(r.report.tiers.size(), 1u);
+  EXPECT_TRUE(r.report.tiers[0].certificate_status.empty());
+}
+
+TEST(RobustOptimizer, AllTiersCorruptedFallsToLastResortWithRecord) {
+  Harness s;
+  RobustOptions opts;
+  opts.tier_result_hook = [](OptimizationResult& r, const char*) {
+    r.energy.dynamic_energy *= 1.01;  // corrupt every tier
+  };
+  const OptimizationResult r = RobustOptimizer(s.eval, opts).run();
+  // Nothing below last resort: the answer is returned, but its failed
+  // certificate is on record for downstream consumers to refuse.
+  EXPECT_EQ(r.tier, ResultTier::kLastResort);
+  ASSERT_EQ(r.report.tiers.size(), 3u);
+  EXPECT_EQ(r.report.tiers[2].tier, "last-resort");
+  EXPECT_TRUE(r.report.tiers[2].selected);
+  EXPECT_EQ(r.report.tiers[2].certificate_status, "fail");
+}
+
+}  // namespace
+}  // namespace minergy::opt

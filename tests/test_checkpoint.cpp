@@ -1,0 +1,288 @@
+// Crash-safe checkpoint/resume: snapshot round-trips, and the guarantee the
+// feature exists for — a run killed mid-flight and resumed from its last
+// snapshot lands on the same answer as the uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <string>
+
+#include "netlist/generator.h"
+#include "obs/report.h"
+#include "opt/annealing_optimizer.h"
+#include "opt/checkpoint.h"
+#include "opt/evaluator.h"
+#include "opt/joint_optimizer.h"
+#include "util/checkpoint.h"
+#include "util/guard.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace minergy::opt {
+namespace {
+
+using netlist::Netlist;
+
+Netlist make_circuit(std::uint64_t seed = 2981, int gates = 80, int depth = 8) {
+  netlist::GeneratorSpec spec;
+  spec.num_inputs = 6;
+  spec.num_outputs = 6;
+  spec.num_dffs = 6;
+  spec.num_gates = gates;
+  spec.depth = depth;
+  spec.seed = seed;
+  return netlist::generate_random_logic(spec);
+}
+
+struct Harness {
+  explicit Harness(double fc = 250e6)
+      : nl(make_circuit()),
+        tech(tech::Technology::generic350()),
+        eval(nl, tech, profile(), {.clock_frequency = fc}) {}
+
+  static activity::ActivityProfile profile() {
+    activity::ActivityProfile p;
+    p.input_density = 0.2;
+    return p;
+  }
+
+  Netlist nl;
+  tech::Technology tech;
+  CircuitEvaluator eval;
+};
+
+// Unique-per-test scratch file, removed on destruction.
+struct ScratchFile {
+  explicit ScratchFile(const std::string& stem)
+      : path((std::filesystem::temp_directory_path() /
+              ("minergy_test_" + stem + ".json"))
+                 .string()) {
+    std::remove(path.c_str());
+  }
+  ~ScratchFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+// ------------------------------------------------------- util::Checkpoint
+
+TEST(UtilCheckpoint, AtomicWriteThenLoadRoundTrips) {
+  ScratchFile f("util_ck");
+  util::Checkpoint::save(f.path, "minergy.test.v1", R"({"x": 1.5})");
+  const util::JsonValue payload =
+      util::Checkpoint::load(f.path, "minergy.test.v1");
+  EXPECT_DOUBLE_EQ(payload.at("x").as_number(), 1.5);
+}
+
+TEST(UtilCheckpoint, SchemaMismatchThrows) {
+  ScratchFile f("util_ck_schema");
+  util::Checkpoint::save(f.path, "minergy.test.v1", "{}");
+  EXPECT_THROW(util::Checkpoint::load(f.path, "minergy.other.v1"),
+               util::ParseError);
+}
+
+TEST(UtilCheckpoint, MissingFileThrows) {
+  EXPECT_THROW(
+      util::Checkpoint::load("/nonexistent/minergy_nope.json", "s"),
+      util::ParseError);
+}
+
+// ----------------------------------------------------- snapshot round-trip
+
+TEST(AnnealCheckpointRoundTrip, PreservesAllFieldsIncludingNonFinite) {
+  AnnealCheckpoint ck;
+  ck.circuit = "s27";
+  ck.pass = 1;
+  ck.move = 42;
+  ck.temperature = 3.25e-12;
+  ck.current.vdd = 1.8125;
+  ck.current.vts = {0.45, 0.5};
+  ck.current.widths = {1.0, 7.5};
+  ck.current_cost = std::numeric_limits<double>::infinity();
+  ck.global_best = ck.current;
+  ck.global_best_cost = 4.0e-11;
+  ck.global_best_crit = 3.0e-9;
+  ck.global_best_energy = 4.0e-11;
+  ck.evaluations = 1234;
+  util::Rng rng(99);
+  for (int i = 0; i < 17; ++i) rng.normal(0.0, 1.0);  // leaves a spare normal
+  ck.rng = rng.state();
+
+  obs::TrajectoryPoint tp;
+  tp.phase = "anneal";
+  tp.energy = 5.0e-11;
+  tp.accepted = true;
+  tp.feasible = true;
+  ck.report.optimizer = "annealing";
+  ck.report.add_point(std::move(tp));
+
+  ScratchFile f("anneal_ck");
+  ck.save(f.path);
+  const AnnealCheckpoint back = AnnealCheckpoint::load(f.path);
+
+  EXPECT_EQ(back.circuit, "s27");
+  EXPECT_EQ(back.pass, 1);
+  EXPECT_EQ(back.move, 42);
+  EXPECT_DOUBLE_EQ(back.temperature, ck.temperature);
+  EXPECT_DOUBLE_EQ(back.current.vdd, ck.current.vdd);
+  EXPECT_EQ(back.current.vts, ck.current.vts);
+  EXPECT_EQ(back.current.widths, ck.current.widths);
+  EXPECT_TRUE(std::isinf(back.current_cost));
+  EXPECT_DOUBLE_EQ(back.global_best_cost, ck.global_best_cost);
+  EXPECT_EQ(back.evaluations, 1234);
+  EXPECT_EQ(back.rng.words, ck.rng.words);
+  EXPECT_EQ(back.rng.have_spare_normal, ck.rng.have_spare_normal);
+  EXPECT_DOUBLE_EQ(back.rng.spare_normal, ck.rng.spare_normal);
+  ASSERT_EQ(back.report.trajectory.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.report.trajectory[0].energy, 5.0e-11);
+
+  // The restored RNG continues the exact stream of the original.
+  util::Rng restored(1);
+  restored.restore(back.rng);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(restored.next_u64(), rng.next_u64());
+  }
+}
+
+TEST(JointCheckpointRoundTrip, PreservesSweepPosition) {
+  JointCheckpoint ck;
+  ck.circuit = "gen80";
+  ck.next_step = 4;
+  ck.vdd_lo = 0.9;
+  ck.vdd_hi = 1.65;
+  ck.prev_total = 7.25e-11;
+  ck.has_best = true;
+  ck.best_state.vdd = 1.275;
+  ck.best_state.vts = {0.55};
+  ck.best_state.widths = {2.0};
+  ck.best_energy.static_energy = 1.0e-13;
+  ck.best_energy.dynamic_energy = 7.0e-11;
+  ck.best_critical_delay = 3.5e-9;
+  ck.best_feasible = true;
+  ck.evaluations = 77;
+
+  ScratchFile f("joint_ck");
+  ck.save(f.path);
+  const JointCheckpoint back = JointCheckpoint::load(f.path);
+
+  EXPECT_EQ(back.next_step, 4);
+  EXPECT_DOUBLE_EQ(back.vdd_lo, 0.9);
+  EXPECT_DOUBLE_EQ(back.vdd_hi, 1.65);
+  EXPECT_DOUBLE_EQ(back.prev_total, ck.prev_total);
+  ASSERT_TRUE(back.has_best);
+  EXPECT_DOUBLE_EQ(back.best_state.vdd, 1.275);
+  EXPECT_DOUBLE_EQ(back.best_energy.dynamic_energy, 7.0e-11);
+  EXPECT_TRUE(back.best_feasible);
+  EXPECT_EQ(back.evaluations, 77);
+}
+
+TEST(AnnealCheckpointLoad, WrongCircuitRejectedByOptimizer) {
+  Harness s;
+  AnnealCheckpoint ck;
+  ck.circuit = "some-other-circuit";
+  ck.current = CircuitState::uniform(s.nl, 3.3, 0.4, 4.0);
+  ck.global_best = ck.current;
+  ScratchFile f("anneal_wrong_circuit");
+  ck.save(f.path);
+
+  AnnealingOptions opts;
+  opts.resume_path = f.path;
+  EXPECT_THROW(AnnealingOptimizer(s.eval, opts).run(), std::logic_error);
+}
+
+// ------------------------------------------------- kill + resume == no kill
+
+// Simulates a crash with the evaluation-budget watchdog: the first run is
+// killed mid-anneal after snapshots have landed; a second run resumes from
+// the snapshot file. Its final answer must match the uninterrupted run's
+// exactly (same RNG stream, same accepted sequence).
+TEST(AnnealResume, InterruptedRunReproducesUninterruptedResult) {
+  Harness s;
+  AnnealingOptions base;
+  base.max_moves = 900;
+  base.passes = 3;
+  base.seed = 4242;
+
+  const OptimizationResult uninterrupted =
+      AnnealingOptimizer(s.eval, base).run();
+
+  ScratchFile f("anneal_resume");
+  AnnealingOptions interrupted = base;
+  interrupted.checkpoint_path = f.path;
+  interrupted.checkpoint_every_moves = 50;
+  interrupted.budget.max_evaluations = 313;  // "crash" mid-pass
+  const OptimizationResult partial =
+      AnnealingOptimizer(s.eval, interrupted).run();
+  ASSERT_TRUE(partial.truncated);
+  ASSERT_TRUE(std::filesystem::exists(f.path));
+
+  AnnealingOptions resumed = base;
+  resumed.resume_path = f.path;
+  const OptimizationResult r = AnnealingOptimizer(s.eval, resumed).run();
+
+  EXPECT_EQ(r.feasible, uninterrupted.feasible);
+  EXPECT_DOUBLE_EQ(r.energy.total(), uninterrupted.energy.total());
+  EXPECT_DOUBLE_EQ(r.critical_delay, uninterrupted.critical_delay);
+  EXPECT_DOUBLE_EQ(r.state.vdd, uninterrupted.state.vdd);
+  EXPECT_EQ(r.state.widths, uninterrupted.state.widths);
+  EXPECT_EQ(r.state.vts, uninterrupted.state.vts);
+  // The stitched trajectory keeps its invariant: accepted energies
+  // non-increasing across the interruption point.
+  double prev = std::numeric_limits<double>::infinity();
+  for (const obs::TrajectoryPoint& tp : r.report.trajectory) {
+    if (!tp.accepted) continue;
+    EXPECT_LE(tp.energy, prev * (1.0 + 1e-12));
+    prev = tp.energy;
+  }
+}
+
+TEST(JointResume, InterruptedSweepReproducesUninterruptedResult) {
+  Harness s;
+  OptimizerOptions base;
+
+  const OptimizationResult uninterrupted =
+      JointOptimizer(s.eval, base).run();
+
+  ScratchFile f("joint_resume");
+  OptimizerOptions interrupted = base;
+  interrupted.checkpoint_path = f.path;
+  interrupted.budget.max_evaluations = 25;  // dies inside the Vdd sweep
+  const OptimizationResult partial =
+      JointOptimizer(s.eval, interrupted).run();
+  ASSERT_TRUE(partial.truncated);
+  ASSERT_TRUE(std::filesystem::exists(f.path));
+
+  OptimizerOptions resumed = base;
+  resumed.resume_path = f.path;
+  const OptimizationResult r = JointOptimizer(s.eval, resumed).run();
+
+  ASSERT_EQ(r.feasible, uninterrupted.feasible);
+  EXPECT_DOUBLE_EQ(r.energy.total(), uninterrupted.energy.total());
+  EXPECT_DOUBLE_EQ(r.critical_delay, uninterrupted.critical_delay);
+  EXPECT_DOUBLE_EQ(r.state.vdd, uninterrupted.state.vdd);
+  EXPECT_EQ(r.state.widths, uninterrupted.state.widths);
+  EXPECT_EQ(r.state.vts, uninterrupted.state.vts);
+}
+
+TEST(JointResume, EvaluationCountAccumulatesAcrossResume) {
+  Harness s;
+  ScratchFile f("joint_evals");
+  OptimizerOptions interrupted;
+  interrupted.checkpoint_path = f.path;
+  interrupted.budget.max_evaluations = 25;
+  const OptimizationResult partial =
+      JointOptimizer(s.eval, interrupted).run();
+
+  OptimizerOptions resumed;
+  resumed.resume_path = f.path;
+  const OptimizationResult r = JointOptimizer(s.eval, resumed).run();
+  // Resume replays at most the interrupted outer step; the total must keep
+  // the pre-crash work on the books.
+  EXPECT_GT(r.circuit_evaluations, partial.circuit_evaluations / 2);
+  const OptimizationResult fresh = JointOptimizer(s.eval, {}).run();
+  EXPECT_GE(r.circuit_evaluations, fresh.circuit_evaluations);
+}
+
+}  // namespace
+}  // namespace minergy::opt

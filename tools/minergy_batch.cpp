@@ -1,0 +1,506 @@
+// minergy_batch: crash-safe batch driver for the optimizer portfolio.
+//
+// Runs each circuit of a suite in its own subprocess (a crash, hang or
+// NaN-storm in one netlist cannot take the batch down), certifies every
+// result independently (opt/certifier.h), retries failed attempts with
+// perturbed seeds under exponential backoff, and quarantines circuits that
+// exhaust their retries. The machine-readable report (schema
+// minergy.batch_report.v1) records every attempt, the per-circuit
+// certificates, and the quarantine list.
+//
+//   $ minergy_batch --circuits=s27,s298*,s344* --report=batch.json
+//   $ minergy_batch --circuits=s27 --optimizers=robust,anneal --timeout=60
+//   $ minergy_batch --verify-report=batch.json --expect-quarantined=s420*
+//
+// Flags (batch mode):
+//   --circuits=A,B,...    suite to run (default s27,s298*,s344*)
+//   --optimizers=K,...    portfolio per circuit: robust | joint | baseline |
+//                         anneal (default robust)
+//   --fc=HZ --activity=D  experiment knobs (defaults 300e6, 0.3)
+//   --seed=S              base seed; retries perturb it (default 1)
+//   --retries=N           extra attempts after the first (default 2)
+//   --timeout=SECONDS     per-attempt wall clock (default 300)
+//   --backoff=SECONDS     base backoff; attempt k sleeps backoff * 2^(k-1)
+//                         (default 0.5)
+//   --report=FILE         batch report JSON (default minergy_batch.json)
+//   --inject-hang=NAME    test hook: the worker for NAME sleeps forever,
+//                         exercising timeout -> retry -> quarantine
+//
+// Verification mode (for CI): --verify-report=FILE validates the schema and
+// that every non-quarantined circuit is feasible AND certified;
+// --expect-quarantined=NAME additionally requires NAME on the quarantine
+// list; --min-circuits=N requires at least N circuit entries.
+//
+// Exit codes: 0 success (quarantines alone do not fail the batch),
+// 1 a completed result is infeasible/uncertified or verification failed,
+// 2 bad arguments / unreadable input.
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "activity/activity.h"
+#include "bench_suite/experiment.h"
+#include "bench_suite/iscas.h"
+#include "obs/metrics.h"
+#include "obs/session.h"
+#include "obs/trace.h"
+#include "opt/annealing_optimizer.h"
+#include "opt/baseline_optimizer.h"
+#include "opt/certifier.h"
+#include "opt/evaluator.h"
+#include "opt/joint_optimizer.h"
+#include "opt/robust_optimizer.h"
+#include "util/checkpoint.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+using namespace minergy;
+
+namespace {
+
+constexpr const char* kReportSchema = "minergy.batch_report.v1";
+constexpr const char* kWorkerSchema = "minergy.batch_worker.v1";
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+void sleep_seconds(double s) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+// ----------------------------------------------------------------- worker
+
+// Child process: optimize one circuit, certify, write the result file.
+// Exit 0 when the result file was written (feasibility and certification
+// ride in the file; the parent judges them), nonzero on any error.
+int run_worker(const util::Cli& cli) {
+  const std::string circuit = cli.get("circuit", std::string());
+  const std::string out_path = cli.get("out", std::string());
+  const std::string kind = cli.get("optimizer", std::string("robust"));
+  if (circuit.empty() || out_path.empty()) {
+    std::fprintf(stderr, "worker: --circuit and --out are required\n");
+    return 2;
+  }
+  if (cli.get("inject-hang", std::string()) == circuit) {
+    // Test hook: simulate a wedged optimization so the parent's timeout,
+    // retry and quarantine paths can be exercised quickly and reliably.
+    sleep_seconds(3600.0);
+    return 1;
+  }
+
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get("seed", 1.0));
+  netlist::Netlist nl = bench_suite::make_circuit(circuit);
+  bench_suite::ExperimentConfig cfg;
+  cfg.clock_frequency = cli.get("fc", 300e6);
+  bool tc_scaled = false;
+  const double tc = bench_suite::choose_cycle_time(nl, cfg, &tc_scaled);
+
+  opt::EvalSettings settings;
+  settings.clock_frequency = 1.0 / tc;
+  activity::ActivityProfile profile;
+  profile.input_density = cli.get("activity", 0.3);
+  const opt::CircuitEvaluator eval(nl, cfg.tech, profile, settings);
+
+  opt::OptimizationResult result;
+  double skew_b = 0.95;
+  if (kind == "robust") {
+    opt::RobustOptions ropts;
+    result = opt::RobustOptimizer(eval, ropts).run();
+    skew_b = ropts.joint.skew_b;
+  } else if (kind == "joint") {
+    opt::OptimizerOptions opts;
+    result = opt::JointOptimizer(eval, opts).run();
+    skew_b = opts.skew_b;
+  } else if (kind == "baseline") {
+    opt::OptimizerOptions opts;
+    result = opt::BaselineOptimizer(eval, opts).run();
+    skew_b = opts.skew_b;
+  } else if (kind == "anneal") {
+    const opt::OptimizationResult warm =
+        opt::BaselineOptimizer(eval, {}).run();
+    opt::AnnealingOptions aopts;
+    aopts.seed = seed;
+    result = opt::AnnealingOptimizer(eval, aopts)
+                 .run(warm.feasible ? warm.state : opt::CircuitState{});
+    skew_b = aopts.skew_b;
+  } else {
+    std::fprintf(stderr, "worker: unknown --optimizer=%s\n", kind.c_str());
+    return 2;
+  }
+
+  // Independent certification; the RobustOptimizer certifies internally but
+  // the batch report wants the certificate for every portfolio member.
+  opt::CertifyOptions copts;
+  copts.skew_b = skew_b;
+  const opt::Certificate cert = opt::Certifier(eval, copts).certify(result);
+
+  util::JsonWriter w(2);
+  w.begin_object();
+  w.kv("schema", kWorkerSchema);
+  w.kv("circuit", circuit);
+  w.kv("optimizer", kind);
+  w.kv("seed", static_cast<double>(seed));
+  w.kv("feasible", result.feasible);
+  w.kv("certified", cert.certified);
+  w.kv("tier", opt::to_string(result.tier));
+  w.kv("truncated", result.truncated);
+  w.kv("vdd", result.vdd);
+  w.kv("vts_primary", result.vts_primary);
+  w.kv("energy_total", result.energy.total());
+  w.kv("static_energy", result.energy.static_energy);
+  w.kv("dynamic_energy", result.energy.dynamic_energy);
+  w.kv("critical_delay", result.critical_delay);
+  w.kv("cycle_time", tc);
+  w.kv("tc_scaled", tc_scaled);
+  w.kv("circuit_evaluations", result.circuit_evaluations);
+  w.kv("runtime_seconds", result.runtime_seconds);
+  w.key("certificate");
+  util::emit(w, util::JsonValue::parse(cert.to_json(0), "<certificate>"));
+  w.end_object();
+  // Atomic drop: the parent never sees a half-written result file, even if
+  // this worker is SIGKILLed mid-write.
+  util::atomic_write_file(out_path, w.str() + "\n");
+  return 0;
+}
+
+// ------------------------------------------------------------------ parent
+
+struct Attempt {
+  std::uint64_t seed = 0;
+  std::string outcome;  // "ok" | "timeout" | "crash" | "error"
+  int exit_code = 0;
+  double wall_seconds = 0.0;
+  double backoff_seconds = 0.0;  // slept before this attempt
+};
+
+struct CircuitRun {
+  std::string circuit;
+  std::string optimizer;
+  std::string status;  // "ok" | "quarantined"
+  std::vector<Attempt> attempts;
+  std::string result_json;  // worker payload when status == "ok"
+};
+
+// Launches one worker and babysits it against the wall-clock timeout.
+Attempt run_attempt(const std::string& self, const util::Cli& cli,
+                    const std::string& circuit, const std::string& optimizer,
+                    std::uint64_t seed, double timeout_s,
+                    const std::string& out_path) {
+  Attempt a;
+  a.seed = seed;
+  std::remove(out_path.c_str());
+
+  std::vector<std::string> args = {
+      self,
+      "--worker",
+      "--circuit=" + circuit,
+      "--optimizer=" + optimizer,
+      "--seed=" + std::to_string(seed),
+      "--out=" + out_path,
+      "--fc=" + std::to_string(cli.get("fc", 300e6)),
+      "--activity=" + std::to_string(cli.get("activity", 0.3)),
+  };
+  const std::string hang = cli.get("inject-hang", std::string());
+  if (!hang.empty()) args.push_back("--inject-hang=" + hang);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& s : args) argv.push_back(s.data());
+  argv.push_back(nullptr);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const pid_t pid = fork();
+  if (pid < 0) {
+    a.outcome = "error";
+    a.exit_code = -1;
+    return a;
+  }
+  if (pid == 0) {
+    execv(self.c_str(), argv.data());
+    std::fprintf(stderr, "exec failed: %s\n", std::strerror(errno));
+    _exit(127);
+  }
+
+  int status = 0;
+  for (;;) {
+    const pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == pid) break;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (elapsed > timeout_s) {
+      kill(pid, SIGKILL);
+      waitpid(pid, &status, 0);  // reap
+      a.outcome = "timeout";
+      a.exit_code = -SIGKILL;
+      a.wall_seconds = elapsed;
+      obs::counter("batch.timeouts").add();
+      return a;
+    }
+    sleep_seconds(0.01);
+  }
+  a.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (WIFSIGNALED(status)) {
+    a.outcome = "crash";
+    a.exit_code = -WTERMSIG(status);
+    obs::counter("batch.crashes").add();
+  } else if (WEXITSTATUS(status) != 0) {
+    a.outcome = "error";
+    a.exit_code = WEXITSTATUS(status);
+  } else {
+    a.outcome = "ok";
+    a.exit_code = 0;
+  }
+  return a;
+}
+
+void emit_report(const std::string& path,
+                 const std::vector<CircuitRun>& runs, double total_wall) {
+  util::JsonWriter w(2);
+  w.begin_object();
+  w.kv("schema", kReportSchema);
+  w.kv("total_wall_seconds", total_wall);
+  w.key("circuits").begin_array();
+  for (const CircuitRun& run : runs) {
+    w.begin_object();
+    w.kv("circuit", run.circuit);
+    w.kv("optimizer", run.optimizer);
+    w.kv("status", run.status);
+    w.key("attempts").begin_array();
+    for (const Attempt& a : run.attempts) {
+      w.begin_object();
+      w.kv("seed", static_cast<double>(a.seed));
+      w.kv("outcome", a.outcome);
+      w.kv("exit_code", a.exit_code);
+      w.kv("wall_seconds", a.wall_seconds);
+      w.kv("backoff_seconds", a.backoff_seconds);
+      w.end_object();
+    }
+    w.end_array();
+    if (!run.result_json.empty()) {
+      w.key("result");
+      util::emit(w, util::JsonValue::parse(run.result_json, "<worker>"));
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("quarantined").begin_array();
+  for (const CircuitRun& run : runs) {
+    if (run.status == "quarantined") w.value(run.circuit);
+  }
+  w.end_array();
+  w.end_object();
+  util::atomic_write_file(path, w.str() + "\n");
+}
+
+int run_batch(const std::string& self, const util::Cli& cli) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<std::string> circuits =
+      split_list(cli.get("circuits", std::string("s27,s298*,s344*")));
+  const std::vector<std::string> optimizers =
+      split_list(cli.get("optimizers", std::string("robust")));
+  if (circuits.empty() || optimizers.empty()) {
+    std::fprintf(stderr, "error: empty --circuits or --optimizers\n");
+    return 2;
+  }
+  const std::uint64_t base_seed =
+      static_cast<std::uint64_t>(cli.get("seed", 1.0));
+  const int retries = cli.get("retries", 2);
+  const double timeout_s = cli.get("timeout", 300.0);
+  const double backoff_s = cli.get("backoff", 0.5);
+  const std::string report_path =
+      cli.get("report", std::string("minergy_batch.json"));
+  const std::string scratch = report_path + ".worker.tmp";
+
+  std::vector<CircuitRun> runs;
+  bool any_bad_result = false;
+  for (const std::string& circuit : circuits) {
+    for (const std::string& optimizer : optimizers) {
+      const obs::Span span("batch.circuit");
+      obs::Tracer::instance().instant("batch.start", circuit);
+      CircuitRun run;
+      run.circuit = circuit;
+      run.optimizer = optimizer;
+      // Attempt seeds are decorrelated per (circuit, attempt): a retry is a
+      // genuinely different stochastic run, not the same failure replayed.
+      std::uint64_t name_hash = 1469598103934665603ULL;
+      for (const char c : circuit) {
+        name_hash = (name_hash ^ static_cast<std::uint64_t>(c)) *
+                    1099511628211ULL;
+      }
+      for (int attempt = 0; attempt <= retries; ++attempt) {
+        obs::counter("batch.attempts").add();
+        std::uint64_t seed = base_seed;
+        double backoff = 0.0;
+        if (attempt > 0) {
+          seed = util::hash_mix(base_seed ^ name_hash ^
+                                static_cast<std::uint64_t>(attempt));
+          backoff = backoff_s * static_cast<double>(1 << (attempt - 1));
+          obs::counter("batch.retries").add();
+          std::fprintf(stderr,
+                       "batch: retrying %s/%s (attempt %d, seed %llu) after "
+                       "%.2f s backoff\n",
+                       circuit.c_str(), optimizer.c_str(), attempt + 1,
+                       static_cast<unsigned long long>(seed), backoff);
+          sleep_seconds(backoff);
+        }
+        Attempt a = run_attempt(self, cli, circuit, optimizer, seed,
+                                timeout_s, scratch);
+        a.backoff_seconds = backoff;
+        const bool ok = a.outcome == "ok";
+        run.attempts.push_back(a);
+        if (ok) {
+          run.status = "ok";
+          run.result_json = util::read_file_or_throw(scratch);
+          break;
+        }
+      }
+      if (run.status.empty()) {
+        run.status = "quarantined";
+        obs::counter("batch.quarantines").add();
+        obs::Tracer::instance().instant("batch.quarantined", circuit);
+        std::fprintf(stderr, "batch: QUARANTINED %s/%s after %zu attempts\n",
+                     circuit.c_str(), optimizer.c_str(),
+                     run.attempts.size());
+      } else {
+        const util::JsonValue res =
+            util::JsonValue::parse(run.result_json, "<worker>");
+        const bool feasible = res.get_bool("feasible", false);
+        const bool certified = res.get_bool("certified", false);
+        if (!feasible || !certified) any_bad_result = true;
+        std::printf("%-8s %-9s %-6s E %.4g J/cycle  tier %-11s %s\n",
+                    circuit.c_str(), optimizer.c_str(),
+                    feasible ? "ok" : "INFEAS",
+                    res.get_number("energy_total", 0.0),
+                    res.get_string("tier", "?").c_str(),
+                    certified ? "certified" : "UNCERTIFIED");
+      }
+      runs.push_back(std::move(run));
+    }
+  }
+  std::remove(scratch.c_str());
+
+  const double total_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  emit_report(report_path, runs, total_wall);
+  std::size_t quarantined = 0;
+  for (const CircuitRun& r : runs) {
+    if (r.status == "quarantined") ++quarantined;
+  }
+  std::printf("batch: %zu run(s), %zu quarantined, report %s\n", runs.size(),
+              quarantined, report_path.c_str());
+  // Quarantine is a contained failure (reported, not fatal); a completed
+  // but infeasible/uncertified result is a wrong answer and fails the batch.
+  return any_bad_result ? 1 : 0;
+}
+
+// ------------------------------------------------------------ verification
+
+int verify_report(const util::Cli& cli) {
+  const std::string path = cli.get("verify-report", std::string());
+  std::string text;
+  try {
+    text = util::read_file_or_throw(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  try {
+    const util::JsonValue root = util::JsonValue::parse(text, path);
+    if (root.get_string("schema", "") != kReportSchema) {
+      std::fprintf(stderr, "verify: bad schema '%s'\n",
+                   root.get_string("schema", "").c_str());
+      return 1;
+    }
+    const auto& circuits = root.at("circuits").items();
+    const int min_circuits = cli.get("min-circuits", 1);
+    if (circuits.size() < static_cast<std::size_t>(min_circuits)) {
+      std::fprintf(stderr, "verify: only %zu circuit entries (need %d)\n",
+                   circuits.size(), min_circuits);
+      return 1;
+    }
+    for (const util::JsonValue& c : circuits) {
+      const std::string status = c.get_string("status", "");
+      if (status == "quarantined") continue;
+      if (status != "ok" || !c.has("result")) {
+        std::fprintf(stderr, "verify: %s has status '%s' and no result\n",
+                     c.get_string("circuit", "?").c_str(), status.c_str());
+        return 1;
+      }
+      const util::JsonValue& res = c.at("result");
+      if (!res.get_bool("feasible", false) ||
+          !res.get_bool("certified", false)) {
+        std::fprintf(stderr, "verify: %s is infeasible or uncertified: %s\n",
+                     c.get_string("circuit", "?").c_str(),
+                     res.at("certificate").get_string("detail", "").c_str());
+        return 1;
+      }
+    }
+    const std::string expect = cli.get("expect-quarantined", std::string());
+    if (!expect.empty()) {
+      bool found = false;
+      for (const util::JsonValue& q : root.at("quarantined").items()) {
+        if (q.as_string() == expect) found = true;
+      }
+      if (!found) {
+        std::fprintf(stderr, "verify: expected '%s' on the quarantine list\n",
+                     expect.c_str());
+        return 1;
+      }
+    }
+    std::printf("verify: %s OK (%zu circuit entries)\n", path.c_str(),
+                circuits.size());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "verify: malformed report: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  if (cli.has("worker")) return run_worker(cli);
+  if (cli.has("verify-report")) return verify_report(cli);
+  obs::Session session(cli, "minergy_batch");
+  obs::set_enabled(true);
+  // Workers re-exec this binary; resolve the real path so the batch works
+  // regardless of how (and from where) it was invoked.
+  char self_buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", self_buf, sizeof self_buf - 1);
+  std::string self = argv[0];
+  if (n > 0) {
+    self_buf[n] = '\0';
+    self = self_buf;
+  }
+  return run_batch(self, cli);
+} catch (const std::invalid_argument& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

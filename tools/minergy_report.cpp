@@ -18,8 +18,16 @@
 //   --thresholds=N        n_v threshold groups for the joint flow
 //   --max-evals=N         watchdog: circuit-evaluation budget
 //   --max-seconds=S       watchdog: wall-clock budget
+//   --seed=S              annealing seed (default 1234)
+//   --checkpoint=FILE     crash-safe snapshots (joint sweep / anneal moves)
+//   --resume=FILE         restore a snapshot and continue deterministically
+//   --certify             independently re-verify the result (Certifier);
+//                         an uncertified result exits 1
 //   --report=FILE         write the RunReport JSON
 //   --trace=FILE, --metrics, --verbose, --perf-record[=F]   (obs::Session)
+//
+// Exit codes: 0 feasible (and certified when asked), 1 infeasible or
+// uncertified or an execution error, 2 bad arguments / unreadable input.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -33,6 +41,7 @@
 #include "obs/session.h"
 #include "opt/annealing_optimizer.h"
 #include "opt/baseline_optimizer.h"
+#include "opt/certifier.h"
 #include "opt/evaluator.h"
 #include "opt/joint_optimizer.h"
 #include "opt/robust_optimizer.h"
@@ -63,6 +72,12 @@ int main(int argc, char** argv) try {
   netlist::Netlist nl;
   if (!cli.positional().empty()) {
     const std::string& path = cli.positional()[0];
+    if (!std::ifstream(path)) {
+      // Unreadable path = caller mistake (exit 2); a file that opens but
+      // fails to parse is a validation failure (ParseError, exit 1).
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      return 2;
+    }
     nl = util::to_lower(path).ends_with(".v")
              ? netlist::parse_verilog_file(path)
              : netlist::parse_bench_file(path);
@@ -84,9 +99,12 @@ int main(int argc, char** argv) try {
   opt::OptimizerOptions opts;
   opts.num_thresholds = cli.get("thresholds", 1);
   opts.budget = budget_from(cli);
+  opts.checkpoint_path = cli.get("checkpoint", std::string());
+  opts.resume_path = cli.get("resume", std::string());
 
   const std::string kind = cli.get("optimizer", std::string("joint"));
   opt::OptimizationResult result;
+  double skew_b = opts.skew_b;
   if (kind == "joint") {
     result = opt::JointOptimizer(eval, opts).run();
   } else if (kind == "baseline") {
@@ -99,6 +117,10 @@ int main(int argc, char** argv) try {
   } else if (kind == "anneal") {
     opt::AnnealingOptions aopts;
     aopts.budget = opts.budget;
+    aopts.seed = static_cast<std::uint64_t>(cli.get("seed", 1234.0));
+    aopts.checkpoint_path = opts.checkpoint_path;
+    aopts.resume_path = opts.resume_path;
+    skew_b = aopts.skew_b;
     // Warm-start from the baseline solution (the annealer's recommended
     // seeding): a cold start at an arbitrary mid-range corner can sit in a
     // non-physical region where the finite-checks reject the first STA.
@@ -134,16 +156,28 @@ int main(int argc, char** argv) try {
     std::printf("  tier note: %s\n", note.c_str());
   }
 
+  bool certified = true;
+  if (cli.has("certify")) {
+    opt::CertifyOptions copts;
+    copts.skew_b = skew_b;
+    const opt::Certificate cert = opt::Certifier(eval, copts).certify(result);
+    certified = cert.certified;
+    std::printf("  certificate: %s\n", cert.summary().c_str());
+  }
+
   if (!report_path.empty()) {
     std::ofstream out(report_path);
     if (!out) {
       std::fprintf(stderr, "error: cannot write %s\n", report_path.c_str());
-      return 1;
+      return 2;
     }
     out << result.report.to_json() << '\n';
     std::fprintf(stderr, "run report written to %s\n", report_path.c_str());
   }
-  return result.feasible ? 0 : 1;
+  return result.feasible && certified ? 0 : 1;
+} catch (const std::invalid_argument& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

@@ -15,8 +15,10 @@
 // of accepted trajectory points form a non-increasing sequence — the
 // optimizers' "accepted = improved the best feasible energy" contract.
 //
-// Exit 0 when everything holds; 1 with a diagnostic on the first violation.
-// Used by the `obs_smoke` CTest fixture (see tests/CMakeLists.txt).
+// Exit codes are distinct by failure class so CI can tell them apart:
+// 0 everything holds, 1 a validation failed (malformed trace, broken
+// nesting, non-monotone report), 2 bad arguments or an unreadable input
+// file. Used by the `obs_smoke` CTest fixture (see tests/CMakeLists.txt).
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -35,7 +37,9 @@ namespace {
 
 std::string slurp(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw util::ParseError("cannot open file", path, 0);
+  // An unreadable path is a caller mistake (exit 2), not a validation
+  // verdict about the file's content (exit 1) — keep the classes distinct.
+  if (!in) throw std::invalid_argument("cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
@@ -164,6 +168,9 @@ int main(int argc, char** argv) try {
     rc = check_report(cli.get("report", std::string()));
   }
   return rc;
+} catch (const std::invalid_argument& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;
