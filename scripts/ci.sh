@@ -1,14 +1,16 @@
 #!/usr/bin/env sh
-# CI gate: builds the tree twice (Release, then ASan-instrumented), runs the
-# robustness (-L fault) and observability (-L obs) test labels under each,
-# and finishes with a certified minergy_batch run over real circuits —
-# every completed result must be independently certified (exit 1 otherwise).
+# CI gate: builds the tree three times (Release, ASan, TSan), runs the
+# robustness (-L fault), observability (-L obs) and service (-L serve)
+# test labels, and finishes with a certified minergy_batch run over real
+# circuits — every completed result must be independently certified
+# (exit 1 otherwise). The serve label includes the chaos harness, which
+# SIGKILLs the daemon/worker binaries at randomized protocol points.
 #
 #   $ scripts/ci.sh            # from the repo root
 #   $ CI_JOBS=4 scripts/ci.sh  # cap build parallelism
 #
-# Build trees go to build-ci-release/ and build-ci-asan/ so a developer's
-# ordinary build/ directory is left alone.
+# Build trees go to build-ci-release/, build-ci-asan/ and build-ci-tsan/ so
+# a developer's ordinary build/ directory is left alone.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,21 +20,30 @@ step() { printf '\n== %s ==\n' "$*"; }
 
 run_labelled_tests() {
   build_dir="$1"
-  step "$build_dir: ctest -L fault"
-  ctest --test-dir "$build_dir" -L fault --output-on-failure -j "$JOBS"
-  step "$build_dir: ctest -L obs"
-  ctest --test-dir "$build_dir" -L obs --output-on-failure -j "$JOBS"
+  shift
+  for label in "$@"; do
+    step "$build_dir: ctest -L $label"
+    ctest --test-dir "$build_dir" -L "$label" --output-on-failure -j "$JOBS"
+  done
 }
 
 step "configure + build (Release)"
 cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-ci-release -j "$JOBS"
-run_labelled_tests build-ci-release
+run_labelled_tests build-ci-release fault obs serve
 
 step "configure + build (AddressSanitizer)"
 cmake -B build-ci-asan -S . -DMINERGY_SANITIZE=address
 cmake --build build-ci-asan -j "$JOBS"
-run_labelled_tests build-ci-asan
+run_labelled_tests build-ci-asan fault obs serve
+
+# ThreadSanitizer pass: the serve daemon forks workers and the obs layer is
+# the one place the codebase shares atomics across threads — run both labels
+# under TSan to catch real races rather than relying on review.
+step "configure + build (ThreadSanitizer)"
+cmake -B build-ci-tsan -S . -DMINERGY_SANITIZE=thread
+cmake --build build-ci-tsan -j "$JOBS"
+run_labelled_tests build-ci-tsan serve obs
 
 # Certified batch run: each circuit optimizes in its own subprocess and the
 # parent re-derives every verdict with opt::Certifier. minergy_batch exits
@@ -46,4 +57,4 @@ build-ci-release/tools/minergy_batch \
 build-ci-release/tools/minergy_batch \
   --verify-report="$report" --min-circuits=2
 
-step "OK: both builds green, fault+obs labels pass, batch results certified"
+step "OK: all builds green, fault+obs+serve labels pass, batch results certified"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <string>
 
@@ -97,28 +98,45 @@ OptimizationResult AnnealingOptimizer::run(
   CircuitState resume_cur;
   double resume_cur_cost = 0.0, resume_temperature = 0.0;
   if (!opts_.resume_path.empty()) {
-    AnnealCheckpoint ck = AnnealCheckpoint::load(opts_.resume_path);
-    MINERGY_CHECK_MSG(ck.circuit == nl.name(),
-                      "anneal resume: checkpoint is for circuit '" +
-                          ck.circuit + "', not '" + nl.name() + "'");
-    resumed = true;
-    start_pass = ck.pass;
-    start_move = ck.move;
-    resume_cur = std::move(ck.current);
-    resume_cur_cost = ck.current_cost;
-    resume_temperature = ck.temperature;
-    global_best = std::move(ck.global_best);
-    global_best_cost = ck.global_best_cost;
-    global_best_crit = ck.global_best_crit;
-    global_best_energy = ck.global_best_energy;
-    resumed_evals = ck.evaluations;
-    rng.restore(ck.rng);
-    // The trajectory so far rides in the checkpoint; continue appending.
-    rep = std::move(ck.report);
-    rep.optimizer = "annealing";
-    rep.circuit = nl.name();
-    obs::counter("opt.anneal.resumes").add();
-  } else {
+    AnnealCheckpoint ck;
+    bool loaded = true;
+    try {
+      ck = AnnealCheckpoint::load(opts_.resume_path);
+    } catch (const util::ParseError& e) {
+      // A truncated/garbled/wrong-schema snapshot must not take the run
+      // down with it: reject it, count the rejection, start fresh. (A
+      // checkpoint for the wrong circuit is a caller bug, not corruption,
+      // and still fails the MINERGY_CHECK below.)
+      loaded = false;
+      obs::counter("opt.checkpoint.resume_rejected").add();
+      std::fprintf(stderr,
+                   "anneal: resume snapshot rejected (%s); starting fresh\n",
+                   e.what());
+    }
+    if (loaded) {
+      MINERGY_CHECK_MSG(ck.circuit == nl.name(),
+                        "anneal resume: checkpoint is for circuit '" +
+                            ck.circuit + "', not '" + nl.name() + "'");
+      resumed = true;
+      start_pass = ck.pass;
+      start_move = ck.move;
+      resume_cur = std::move(ck.current);
+      resume_cur_cost = ck.current_cost;
+      resume_temperature = ck.temperature;
+      global_best = std::move(ck.global_best);
+      global_best_cost = ck.global_best_cost;
+      global_best_crit = ck.global_best_crit;
+      global_best_energy = ck.global_best_energy;
+      resumed_evals = ck.evaluations;
+      rng.restore(ck.rng);
+      // The trajectory so far rides in the checkpoint; continue appending.
+      rep = std::move(ck.report);
+      rep.optimizer = "annealing";
+      rep.circuit = nl.name();
+      obs::counter("opt.anneal.resumes").add();
+    }
+  }
+  if (!resumed) {
     global_best = init;
     global_best_cost =
         cost_of(global_best, &global_best_crit, &global_best_energy);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <string>
 #include <utility>
@@ -246,25 +247,40 @@ OptimizationResult JointOptimizer::run() const {
   double resume_prev_total = kInf;
   util::Range resume_vdd_range{tech.vdd_min, tech.vdd_max};
   if (!opts_.resume_path.empty()) {
-    JointCheckpoint ck = JointCheckpoint::load(opts_.resume_path);
-    MINERGY_CHECK_MSG(ck.circuit == eval_.netlist().name(),
-                      "joint resume: checkpoint is for circuit '" +
-                          ck.circuit + "', not '" + eval_.netlist().name() +
-                          "'");
-    start_step = ck.next_step;
-    resume_vdd_range = {ck.vdd_lo, ck.vdd_hi};
-    resume_prev_total = ck.prev_total;
-    if (ck.has_best) {
-      best.state = std::move(ck.best_state);
-      best.energy = ck.best_energy;
-      best.critical_delay = ck.best_critical_delay;
-      best.feasible = ck.best_feasible;
+    JointCheckpoint ck;
+    bool loaded = true;
+    try {
+      ck = JointCheckpoint::load(opts_.resume_path);
+    } catch (const util::ParseError& e) {
+      // Corrupt snapshot (truncated, garbled, wrong schema): reject it and
+      // run fresh instead of dying; direct Checkpoint loads still throw the
+      // typed ParseError for callers that want it.
+      loaded = false;
+      obs::counter("opt.checkpoint.resume_rejected").add();
+      std::fprintf(stderr,
+                   "joint: resume snapshot rejected (%s); starting fresh\n",
+                   e.what());
     }
-    resumed_evals = ck.evaluations;
-    report = std::move(ck.report);
-    report.optimizer = "joint";
-    report.circuit = eval_.netlist().name();
-    obs::counter("opt.joint.resumes").add();
+    if (loaded) {
+      MINERGY_CHECK_MSG(ck.circuit == eval_.netlist().name(),
+                        "joint resume: checkpoint is for circuit '" +
+                            ck.circuit + "', not '" + eval_.netlist().name() +
+                            "'");
+      start_step = ck.next_step;
+      resume_vdd_range = {ck.vdd_lo, ck.vdd_hi};
+      resume_prev_total = ck.prev_total;
+      if (ck.has_best) {
+        best.state = std::move(ck.best_state);
+        best.energy = ck.best_energy;
+        best.critical_delay = ck.best_critical_delay;
+        best.feasible = ck.best_feasible;
+      }
+      resumed_evals = ck.evaluations;
+      report = std::move(ck.report);
+      report.optimizer = "joint";
+      report.circuit = eval_.netlist().name();
+      obs::counter("opt.joint.resumes").add();
+    }
   }
 
   // --- Procedure 2: nested binary search ---------------------------------

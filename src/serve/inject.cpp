@@ -1,0 +1,38 @@
+#include "serve/inject.h"
+
+#include <csignal>
+#include <cstdlib>
+
+namespace minergy::serve {
+
+namespace {
+std::string g_spec;       // as configured, for worker propagation
+std::string g_point;      // parsed point name
+int g_remaining = 0;      // visits left before the kill fires
+}  // namespace
+
+void configure_kill_switch(const std::string& spec) {
+  g_spec = spec;
+  g_point.clear();
+  g_remaining = 0;
+  if (spec.empty()) return;
+  const std::size_t at = spec.rfind('@');
+  if (at == std::string::npos) {
+    g_point = spec;
+    g_remaining = 1;
+  } else {
+    g_point = spec.substr(0, at);
+    g_remaining = std::atoi(spec.c_str() + at + 1);
+    if (g_remaining <= 0) g_remaining = 1;
+  }
+}
+
+const std::string& kill_switch_spec() { return g_spec; }
+
+void kill_point(const char* point) {
+  if (g_point.empty() || g_point != point) return;
+  if (--g_remaining > 0) return;
+  std::raise(SIGKILL);
+}
+
+}  // namespace minergy::serve

@@ -1,0 +1,263 @@
+#include "serve/queue.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/checkpoint.h"
+#include "util/json.h"
+
+namespace minergy::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Sorted *.json stems of one state directory.
+std::vector<std::string> list_ids(const std::string& dir) {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+    if (!e.is_regular_file()) continue;
+    const fs::path p = e.path();
+    if (p.extension() != ".json") continue;  // skips in-flight .tmp files
+    ids.push_back(p.stem().string());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+QueueFullError::QueueFullError(std::size_t depth, std::size_t limit,
+                               double retry_after_seconds)
+    : std::runtime_error("queue full: " + std::to_string(depth) + "/" +
+                         std::to_string(limit) +
+                         " pending jobs; retry after " +
+                         std::to_string(retry_after_seconds) + " s"),
+      depth_(depth),
+      limit_(limit),
+      retry_after_(retry_after_seconds) {}
+
+SpoolQueue::SpoolQueue(std::string root, SpoolOptions opts)
+    : root_(std::move(root)), opts_(opts) {
+  for (const char* state : {"pending", "running", "done", "failed",
+                            "quarantined", "results", "checkpoints"}) {
+    fs::create_directories(fs::path(root_) / state);
+  }
+}
+
+std::string SpoolQueue::dir(const std::string& state) const {
+  return (fs::path(root_) / state).string();
+}
+
+std::string SpoolQueue::job_path(const std::string& state,
+                                 const std::string& id) const {
+  return (fs::path(root_) / state / (id + ".json")).string();
+}
+
+std::string SpoolQueue::result_path(const std::string& id) const {
+  return job_path("results", id);
+}
+
+std::string SpoolQueue::checkpoint_path(const std::string& id) const {
+  return job_path("checkpoints", id);
+}
+
+std::string SpoolQueue::submit(Job job) {
+  const std::size_t depth = list_ids(dir("pending")).size();
+  if (depth >= opts_.max_pending) {
+    obs::counter("serve.queue.full_rejections").add();
+    // Hint: how long until the backlog has plausibly drained below the
+    // bound, assuming jobs keep completing at the expected service rate.
+    const double retry_after =
+        opts_.expected_job_seconds *
+        static_cast<double>(depth - opts_.max_pending + 1);
+    throw QueueFullError(depth, opts_.max_pending, retry_after);
+  }
+  if (job.id.empty()) job.id = make_job_id();
+  if (job.submitted_unix == 0.0) job.submitted_unix = unix_now();
+  util::atomic_write_file(job_path("pending", job.id), job.to_json());
+  obs::counter("serve.queue.submitted").add();
+  return job.id;
+}
+
+std::optional<Job> SpoolQueue::claim(double now_unix) {
+  for (const std::string& id : list_ids(dir("pending"))) {
+    const std::string pending = job_path("pending", id);
+    Job job;
+    try {
+      job = Job::from_json(util::read_file_or_throw(pending), pending);
+    } catch (const util::ParseError& e) {
+      // A garbled job file must not wedge the queue head: synthesize a
+      // typed quarantine record for it and move on.
+      obs::counter("serve.queue.corrupt_jobs").add();
+      Job corrupt;
+      corrupt.id = id;
+      corrupt.failure_type = "corrupt-job";
+      corrupt.failure_detail = e.what();
+      if (!fs::exists(job_path("quarantined", id))) {
+        util::atomic_write_file(job_path("quarantined", id),
+                                corrupt.to_json());
+      }
+      std::remove(pending.c_str());
+      obs::counter("serve.jobs.quarantined").add();
+      continue;
+    }
+    if (job.not_before_unix > now_unix) continue;  // backing off
+    // The claim itself: exactly one claimant can win this rename.
+    if (std::rename(pending.c_str(), job_path("running", id).c_str()) != 0) {
+      continue;  // raced by another claimant, or vanished
+    }
+    obs::counter("serve.queue.claimed").add();
+    return job;
+  }
+  return std::nullopt;
+}
+
+void SpoolQueue::update_running(const Job& job) {
+  util::atomic_write_file(job_path("running", job.id), job.to_json());
+}
+
+void SpoolQueue::remove_scratch(const std::string& id,
+                                bool keep_checkpoint) const {
+  std::remove(result_path(id).c_str());
+  if (!keep_checkpoint) std::remove(checkpoint_path(id).c_str());
+}
+
+void SpoolQueue::write_terminal(Job job, const std::string& state,
+                                const std::string& result_json) {
+  // Order matters for crash-safety: terminal record first, then the
+  // running/ entry, then scratch files. A crash between any two steps
+  // leaves a state recovery re-finalizes idempotently (the result envelope
+  // is still on disk until the very last step).
+  util::atomic_write_file(job_path(state, job.id), job.to_json(result_json));
+  std::remove(job_path("running", job.id).c_str());
+  remove_scratch(job.id, /*keep_checkpoint=*/false);
+}
+
+void SpoolQueue::finalize_done(const Job& job,
+                               const std::string& result_json) {
+  if (fs::exists(job_path("done", job.id))) {
+    // First write wins: a duplicate finalization (late retry landing after
+    // a success, or recovery replaying a finished attempt) is dropped.
+    obs::counter("serve.queue.duplicate_results").add();
+    std::remove(job_path("running", job.id).c_str());
+    remove_scratch(job.id, /*keep_checkpoint=*/false);
+    return;
+  }
+  write_terminal(job, "done", result_json);
+  obs::counter("serve.jobs.done").add();
+}
+
+void SpoolQueue::finalize_failed(Job job, const std::string& type,
+                                 const std::string& detail,
+                                 const std::string& result_json) {
+  job.failure_type = type;
+  job.failure_detail = detail;
+  write_terminal(std::move(job), "failed", result_json);
+  obs::counter("serve.jobs.failed").add();
+}
+
+void SpoolQueue::finalize_quarantined(Job job, const std::string& reason) {
+  job.failure_type = "quarantined";
+  job.failure_detail = reason;
+  write_terminal(std::move(job), "quarantined", std::string());
+  obs::counter("serve.jobs.quarantined").add();
+}
+
+void SpoolQueue::requeue(Job job, const std::string& outcome,
+                         double not_before_unix, bool keep_checkpoint) {
+  if (!job.attempts.empty() && job.attempts.back().outcome == "running") {
+    job.attempts.back().outcome = outcome;
+  }
+  job.not_before_unix = not_before_unix;
+  if (!keep_checkpoint) std::remove(checkpoint_path(job.id).c_str());
+  std::remove(result_path(job.id).c_str());
+  // Journal in place, then one atomic rename back to pending/ — there is
+  // never an instant where the job exists in two state directories.
+  update_running(job);
+  if (std::rename(job_path("running", job.id).c_str(),
+                  job_path("pending", job.id).c_str()) != 0) {
+    throw util::ParseError("requeue rename failed",
+                           job_path("running", job.id), 0);
+  }
+  obs::counter("serve.jobs.requeued").add();
+}
+
+std::vector<Job> SpoolQueue::running_jobs() const {
+  std::vector<Job> jobs;
+  for (const std::string& id : list_ids(dir("running"))) {
+    const std::string path = job_path("running", id);
+    try {
+      jobs.push_back(Job::from_json(util::read_file_or_throw(path), path));
+    } catch (const util::ParseError&) {
+      // update_running writes atomically, so a torn running/ record should
+      // be impossible; if one appears anyway, surface it as corrupt rather
+      // than crashing recovery.
+      obs::counter("serve.queue.corrupt_jobs").add();
+      Job corrupt;
+      corrupt.id = id;
+      jobs.push_back(std::move(corrupt));
+    }
+  }
+  return jobs;
+}
+
+void SpoolQueue::collect_garbage() {
+  for (const char* scratch : {"results", "checkpoints"}) {
+    for (const std::string& id : list_ids(dir(scratch))) {
+      if (fs::exists(job_path("pending", id)) ||
+          fs::exists(job_path("running", id))) {
+        continue;
+      }
+      std::remove(job_path(scratch, id).c_str());
+      obs::counter("serve.queue.garbage_collected").add();
+    }
+  }
+}
+
+QueueCounts SpoolQueue::counts() const {
+  QueueCounts c;
+  c.pending = list_ids(dir("pending")).size();
+  c.running = list_ids(dir("running")).size();
+  c.done = list_ids(dir("done")).size();
+  c.failed = list_ids(dir("failed")).size();
+  c.quarantined = list_ids(dir("quarantined")).size();
+  return c;
+}
+
+std::vector<std::string> SpoolQueue::ids_in(const std::string& state) const {
+  return list_ids(dir(state));
+}
+
+void SpoolQueue::write_health(const HealthInfo& info) const {
+  const QueueCounts c = counts();
+  util::JsonWriter w(2);
+  w.begin_object();
+  w.kv("schema", "minergy.health.v1");
+  w.kv("state", info.state);
+  w.kv("pid", static_cast<std::int64_t>(::getpid()));
+  w.kv("updated_unix", unix_now());
+  w.kv("workers_active", info.workers_active);
+  w.key("queue").begin_object();
+  w.kv("pending", c.pending);
+  w.kv("running", c.running);
+  w.kv("done", c.done);
+  w.kv("failed", c.failed);
+  w.kv("quarantined", c.quarantined);
+  w.end_object();
+  w.key("breaker_open").begin_array();
+  for (const std::string& circuit : info.breaker_open) w.value(circuit);
+  w.end_array();
+  w.end_object();
+  util::atomic_write_file((fs::path(root_) / "health.json").string(),
+                          w.str() + "\n");
+}
+
+}  // namespace minergy::serve

@@ -1,0 +1,345 @@
+#include "serve/supervisor.h"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/inject.h"
+#include "serve/worker.h"
+#include "util/check.h"
+#include "util/checkpoint.h"
+#include "util/clock.h"
+
+namespace minergy::serve {
+
+namespace {
+
+// Drain flag set from the signal handler; everything else happens in the
+// control loop (async-signal-safety).
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void on_drain_signal(int) { g_drain_requested = 1; }
+
+void install_drain_handlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = on_drain_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+void sleep_seconds(double s) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SpoolQueue& queue, SupervisorOptions opts)
+    : queue_(queue), opts_(std::move(opts)), breaker_(opts_.breaker) {
+  MINERGY_CHECK_MSG(!opts_.worker_binary.empty(),
+                    "SupervisorOptions.worker_binary is required");
+  if (opts_.workers < 1) opts_.workers = 1;
+}
+
+void Supervisor::refresh_health(const std::string& state) {
+  HealthInfo info;
+  info.state = state;
+  info.workers_active = static_cast<int>(slots_.size());
+  info.breaker_open = breaker_.open_circuits(unix_now());
+  queue_.write_health(info);
+  last_health_monotonic_ = util::monotonic_seconds();
+}
+
+// Daemon-restart recovery: every running/ entry is an attempt some previous
+// daemon never dispositioned. A committed result envelope means the work
+// finished — finalize it, never re-execute. Anything else is requeued with
+// its checkpoint intact so the optimizer resumes bit-exactly.
+void Supervisor::recover() {
+  const obs::Span span("serve.recover");
+  for (Job& job : queue_.running_jobs()) {
+    if (job.circuit.empty()) {  // torn record (should be impossible)
+      queue_.finalize_quarantined(std::move(job), "corrupt running record");
+      continue;
+    }
+    if (std::filesystem::exists(queue_.result_path(job.id))) {
+      obs::counter("serve.recover.finalized").add();
+      dispose_envelope(std::move(job));
+      continue;
+    }
+    if (job.interruptions() >= opts_.max_interruptions) {
+      obs::counter("serve.recover.quarantined").add();
+      queue_.finalize_quarantined(
+          std::move(job),
+          "interrupted " + std::to_string(opts_.max_interruptions) +
+              " times without completing");
+      continue;
+    }
+    obs::counter("serve.recover.requeued").add();
+    queue_.requeue(std::move(job), "interrupted", /*not_before_unix=*/0.0,
+                   /*keep_checkpoint=*/true);
+  }
+  queue_.collect_garbage();
+}
+
+// A worker left a result envelope: judge it and finalize. The breaker sees
+// every envelope as a supervision success — a typed optimization failure is
+// a verdict, not a worker death.
+void Supervisor::dispose_envelope(Job job) {
+  const std::string path = queue_.result_path(job.id);
+  std::string envelope;
+  util::JsonValue env;
+  try {
+    envelope = util::read_file_or_throw(path);
+    env = util::JsonValue::parse(envelope, path);
+  } catch (const std::exception&) {
+    // Atomic drops should never tear; treat the impossible as a death so
+    // the job is retried rather than lost.
+    handle_death(std::move(job), "error", 0, 0.0, unix_now());
+    return;
+  }
+  if (!job.attempts.empty() && job.attempts.back().outcome == "running") {
+    job.attempts.back().outcome = "ok";
+  }
+  breaker_.record_success(job.circuit);
+  kill_point("daemon.pre-finalize");
+  if (!env.get_bool("ok", false)) {
+    queue_.finalize_failed(std::move(job), env.get_string("error_type", "error"),
+                           env.get_string("detail", ""), envelope);
+    return;
+  }
+  const bool feasible = env.get_bool("feasible", false);
+  const bool certified = env.get_bool("certified", false);
+  if (feasible && certified) {
+    if (env.get_bool("truncated", false)) {
+      obs::counter("serve.jobs.truncated").add();
+    }
+    queue_.finalize_done(job, envelope);
+    return;
+  }
+  std::string detail;
+  if (env.has("certificate")) {
+    detail = env.at("certificate").get_string("detail", "");
+  }
+  queue_.finalize_failed(std::move(job),
+                         feasible ? "uncertified" : "infeasible", detail,
+                         envelope);
+}
+
+// A worker died without committing a result: journal the outcome, feed the
+// breaker, then retry with a perturbed seed under exponential backoff or
+// quarantine when the budget is spent. Crash retries drop the checkpoint —
+// a retry is a genuinely different stochastic run, not a replay.
+void Supervisor::handle_death(Job job, const std::string& outcome,
+                              int exit_code, double wall_seconds,
+                              double now_unix) {
+  if (!job.attempts.empty() && job.attempts.back().outcome == "running") {
+    job.attempts.back().outcome = outcome;
+    job.attempts.back().exit_code = exit_code;
+    job.attempts.back().wall_seconds = wall_seconds;
+  }
+  breaker_.record_death(job.circuit, now_unix);
+  obs::counter(outcome == "timeout" ? "serve.worker.timeouts"
+               : outcome == "crash" ? "serve.worker.crashes"
+                                    : "serve.worker.errors")
+      .add();
+  const int failed = job.failed_attempts();
+  if (failed > opts_.max_retries) {
+    obs::Tracer::instance().instant("serve.quarantine", "serve");
+    queue_.finalize_quarantined(
+        std::move(job), "retries exhausted after " + std::to_string(failed) +
+                            " failed attempts (last: " + outcome + ")");
+    return;
+  }
+  obs::counter("serve.jobs.retries").add();
+  const double backoff =
+      opts_.backoff_seconds * static_cast<double>(1 << (failed - 1));
+  job.next_backoff_seconds = backoff;
+  kill_point("daemon.pre-requeue");
+  queue_.requeue(std::move(job), outcome, now_unix + backoff,
+                 /*keep_checkpoint=*/false);
+}
+
+pid_t Supervisor::spawn_worker(const Job& job, std::uint64_t seed) {
+  std::vector<std::string> args = {
+      opts_.worker_binary,
+      "--worker",
+      "--spool=" + queue_.root(),
+      "--job-id=" + job.id,
+      "--attempt-seed=" + std::to_string(seed),
+  };
+  if (!kill_switch_spec().empty()) {
+    args.push_back("--inject-kill=" + kill_switch_spec());
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& s : args) argv.push_back(s.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+#ifdef __linux__
+    // A dying daemon must take its workers with it: an orphan worker that
+    // keeps computing while the restarted daemon re-runs the same job would
+    // break exactly-once execution.
+    prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (getppid() == 1) _exit(127);  // parent already gone before prctl
+#endif
+    execv(opts_.worker_binary.c_str(), argv.data());
+    std::fprintf(stderr, "exec %s failed: %s\n", opts_.worker_binary.c_str(),
+                 std::strerror(errno));
+    _exit(127);
+  }
+  return pid;
+}
+
+void Supervisor::spawn_ready(double now_unix) {
+  while (static_cast<int>(slots_.size()) < opts_.workers) {
+    std::optional<Job> claimed = queue_.claim(now_unix);
+    if (!claimed) return;
+    Job job = std::move(*claimed);
+    kill_point("daemon.post-claim");
+    if (breaker_.should_short_circuit(job.circuit, now_unix)) {
+      obs::Tracer::instance().instant("serve.breaker.short_circuit", "serve");
+      queue_.finalize_quarantined(
+          std::move(job), "circuit breaker open (crash-looping circuit)");
+      continue;
+    }
+    const std::uint64_t seed = attempt_seed(job, job.failed_attempts());
+    JobAttempt attempt;
+    attempt.seed = seed;
+    attempt.backoff_seconds = job.next_backoff_seconds;
+    job.next_backoff_seconds = 0.0;
+    job.attempts.push_back(attempt);
+    // Journaled claim: the attempt is on disk before the worker exists, so
+    // no execution can ever be invisible to recovery.
+    queue_.update_running(job);
+    kill_point("daemon.pre-spawn");
+    const pid_t pid = spawn_worker(job, seed);
+    if (pid < 0) {
+      handle_death(std::move(job), "error", -1, 0.0, now_unix);
+      continue;
+    }
+    obs::counter("serve.worker.spawned").add();
+    Slot slot;
+    slot.pid = pid;
+    slot.job = std::move(job);
+    slot.started_monotonic = util::monotonic_seconds();
+    slot.kill_after_seconds = opts_.timeout_seconds;
+    slots_.push_back(std::move(slot));
+    kill_point("daemon.post-spawn");
+  }
+}
+
+void Supervisor::reap() {
+  for (std::size_t i = 0; i < slots_.size();) {
+    Slot& slot = slots_[i];
+    int status = 0;
+    const pid_t r = waitpid(slot.pid, &status, WNOHANG);
+    if (r == 0) {
+      const double elapsed =
+          util::monotonic_seconds() - slot.started_monotonic;
+      if (elapsed <= slot.kill_after_seconds) {
+        ++i;
+        continue;
+      }
+      kill(slot.pid, SIGKILL);
+      waitpid(slot.pid, &status, 0);  // reap the corpse
+      Job job = std::move(slot.job);
+      slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
+      kill_point("daemon.post-reap");
+      handle_death(std::move(job), "timeout", -SIGKILL, elapsed, unix_now());
+      continue;
+    }
+    const double wall = util::monotonic_seconds() - slot.started_monotonic;
+    Job job = std::move(slot.job);
+    slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
+    kill_point("daemon.post-reap");
+    // The envelope, not the exit code, is the source of truth: if the
+    // worker committed a result before dying, the work is done.
+    if (std::filesystem::exists(queue_.result_path(job.id))) {
+      if (!job.attempts.empty()) job.attempts.back().wall_seconds = wall;
+      obs::counter("serve.worker.ok").add();
+      dispose_envelope(std::move(job));
+      continue;
+    }
+    if (WIFSIGNALED(status)) {
+      handle_death(std::move(job), "crash", -WTERMSIG(status), wall,
+                   unix_now());
+    } else {
+      handle_death(std::move(job), "error", WEXITSTATUS(status), wall,
+                   unix_now());
+    }
+  }
+}
+
+// SIGTERM drain: intake is already stopped; give workers a grace window to
+// commit naturally, then SIGKILL survivors and requeue their jobs with the
+// checkpoint files preserved — the restarted daemon resumes them from the
+// last PR-3 snapshot, bit-exactly.
+void Supervisor::drain() {
+  const obs::Span span("serve.drain");
+  obs::counter("serve.drain.requests").add();
+  const double t0 = util::monotonic_seconds();
+  while (!slots_.empty() &&
+         util::monotonic_seconds() - t0 < opts_.drain_grace_seconds) {
+    reap();
+    refresh_health("draining");
+    if (!slots_.empty()) sleep_seconds(opts_.poll_seconds);
+  }
+  for (Slot& slot : slots_) {
+    kill(slot.pid, SIGKILL);
+    int status = 0;
+    waitpid(slot.pid, &status, 0);
+    obs::counter("serve.drain.killed_workers").add();
+    Job job = std::move(slot.job);
+    if (std::filesystem::exists(queue_.result_path(job.id))) {
+      dispose_envelope(std::move(job));  // finished during the grace window
+    } else {
+      queue_.requeue(std::move(job), "interrupted", /*not_before_unix=*/0.0,
+                     /*keep_checkpoint=*/true);
+    }
+  }
+  slots_.clear();
+}
+
+int Supervisor::run() {
+  g_drain_requested = 0;
+  install_drain_handlers();
+  refresh_health("starting");
+  recover();
+  refresh_health("serving");
+  for (;;) {
+    reap();
+    if (g_drain_requested) break;
+    spawn_ready(unix_now());
+    if (g_drain_requested) break;
+    const QueueCounts c = queue_.counts();
+    if (opts_.once && slots_.empty() && c.pending == 0) break;
+    if (util::monotonic_seconds() - last_health_monotonic_ >=
+        opts_.health_interval_seconds) {
+      refresh_health("serving");
+    }
+    sleep_seconds(opts_.poll_seconds);
+  }
+  if (g_drain_requested) drain();
+  refresh_health("stopped");
+  return 0;
+}
+
+}  // namespace minergy::serve

@@ -1,0 +1,89 @@
+// Supervised worker pool over the spool queue (the daemon side).
+//
+// One single-threaded control loop owns the whole protocol: claim eligible
+// jobs, fork+exec one isolated worker per job (minergy_served --worker),
+// babysit each against a wall-clock SIGKILL timeout, journal every attempt
+// into the job file, and disposition the outcome:
+//
+//   result envelope present  -> done/ (feasible + certified) or failed/
+//                               (typed failure, infeasible, uncertified)
+//   crash / timeout / error  -> perturbed-seed retry with exponential
+//                               backoff, then quarantined/ when the retry
+//                               budget is spent; every death also feeds the
+//                               per-circuit breaker (serve/breaker.h)
+//
+// Workers set PDEATHSIG so a dying daemon takes its children with it —
+// combined with the queue's claim/finalize protocol that is what makes
+// execution exactly-once: after any SIGKILL there is either a committed
+// result envelope (recovery finalizes it without re-running) or no trace of
+// the attempt (recovery requeues it).
+//
+// SIGTERM/SIGINT start a graceful drain: intake stops, workers get a grace
+// period to finish, survivors are SIGKILLed and their jobs requeued with
+// their PR-3 checkpoint files preserved, so the restarted daemon resumes
+// each in-flight annealing/joint run bit-exactly from its last snapshot.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/breaker.h"
+#include "serve/queue.h"
+
+namespace minergy::serve {
+
+struct SupervisorOptions {
+  // Absolute path of the binary to exec for workers (minergy_served).
+  std::string worker_binary;
+  int workers = 2;                  // concurrent worker subprocesses
+  double poll_seconds = 0.02;       // control-loop cadence
+  double timeout_seconds = 300.0;   // per-attempt wall clock before SIGKILL
+  int max_retries = 2;              // extra attempts after the first
+  double backoff_seconds = 0.5;     // retry k sleeps backoff * 2^(k-1)
+  // Interruptions (daemon drains/deaths) do not consume the retry budget,
+  // but a job interrupted this many times is quarantined as unserviceable.
+  int max_interruptions = 25;
+  double drain_grace_seconds = 2.0;  // let workers finish before SIGKILL
+  double health_interval_seconds = 0.25;
+  bool once = false;  // exit when pending/ and the pool are both empty
+  BreakerOptions breaker{};
+};
+
+class Supervisor {
+ public:
+  Supervisor(SpoolQueue& queue, SupervisorOptions opts);
+
+  // Installs SIGTERM/SIGINT drain handlers, recovers running/ orphans, then
+  // serves until drained (signal) or — with options.once — until the queue
+  // is empty. Returns the process exit code (0 = clean stop or drain).
+  int run();
+
+ private:
+  struct Slot {
+    pid_t pid = -1;
+    Job job;
+    double started_monotonic = 0.0;
+    double kill_after_seconds = 0.0;
+  };
+
+  void recover();
+  void reap();
+  void spawn_ready(double now_unix);
+  void drain();
+  void refresh_health(const std::string& state);
+
+  void dispose_envelope(Job job);
+  void handle_death(Job job, const std::string& outcome, int exit_code,
+                    double wall_seconds, double now_unix);
+  pid_t spawn_worker(const Job& job, std::uint64_t seed);
+
+  SpoolQueue& queue_;
+  SupervisorOptions opts_;
+  CircuitBreaker breaker_;
+  std::vector<Slot> slots_;
+  double last_health_monotonic_ = -1.0;
+};
+
+}  // namespace minergy::serve

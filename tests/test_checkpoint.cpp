@@ -6,10 +6,12 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <string>
 
 #include "netlist/generator.h"
+#include "obs/metrics.h"
 #include "obs/report.h"
 #include "opt/annealing_optimizer.h"
 #include "opt/checkpoint.h"
@@ -263,6 +265,90 @@ TEST(JointResume, InterruptedSweepReproducesUninterruptedResult) {
   EXPECT_DOUBLE_EQ(r.state.vdd, uninterrupted.state.vdd);
   EXPECT_EQ(r.state.widths, uninterrupted.state.widths);
   EXPECT_EQ(r.state.vts, uninterrupted.state.vts);
+}
+
+// --------------------------------------- corrupt-snapshot resume hardening
+
+// A damaged --resume file must be a typed ParseError on a direct load, and
+// an optimizer asked to resume from one must count the rejection
+// (opt.checkpoint.resume_rejected) and fall back to a clean fresh start
+// that reproduces a never-resumed run exactly.
+TEST(ResumeRejection, AnnealFallsBackToFreshRunOnCorruptSnapshot) {
+  Harness s;
+  AnnealingOptions base;
+  base.max_moves = 300;
+  base.passes = 2;
+  base.seed = 777;
+  const OptimizationResult fresh = AnnealingOptimizer(s.eval, base).run();
+
+  // A real snapshot to truncate: run once with checkpointing enabled.
+  ScratchFile real("resume_rej_real");
+  AnnealingOptions snap = base;
+  snap.checkpoint_path = real.path;
+  snap.checkpoint_every_moves = 50;
+  AnnealingOptimizer(s.eval, snap).run();
+  const std::string intact = util::read_file_or_throw(real.path);
+  ASSERT_GT(intact.size(), 64u);
+
+  obs::set_enabled(true);
+  obs::Counter& rejected = obs::counter("opt.checkpoint.resume_rejected");
+
+  ScratchFile bad("resume_rej_bad");
+  int case_no = 0;
+  for (const std::string& text :
+       {intact.substr(0, intact.size() / 2),    // truncated mid-document
+        std::string("!!! not json at all"),     // garbage
+        std::string()}) {                       // empty file
+    SCOPED_TRACE("corruption case " + std::to_string(case_no++));
+    {
+      std::ofstream out(bad.path, std::ios::trunc);
+      out << text;
+    }
+    EXPECT_THROW(AnnealCheckpoint::load(bad.path), util::ParseError);
+    const std::int64_t before = rejected.value();
+    AnnealingOptions opts = base;
+    opts.resume_path = bad.path;
+    const OptimizationResult r = AnnealingOptimizer(s.eval, opts).run();
+    EXPECT_EQ(rejected.value(), before + 1);
+    EXPECT_EQ(r.feasible, fresh.feasible);
+    EXPECT_DOUBLE_EQ(r.energy.total(), fresh.energy.total());
+    EXPECT_DOUBLE_EQ(r.state.vdd, fresh.state.vdd);
+    EXPECT_EQ(r.state.widths, fresh.state.widths);
+    EXPECT_EQ(r.state.vts, fresh.state.vts);
+  }
+
+  // Wrong schema (someone else's checkpoint file): same rejection path.
+  util::Checkpoint::save(bad.path, "minergy.other_checkpoint.v1", "{}");
+  EXPECT_THROW(AnnealCheckpoint::load(bad.path), util::ParseError);
+  const std::int64_t before = rejected.value();
+  AnnealingOptions opts = base;
+  opts.resume_path = bad.path;
+  const OptimizationResult r = AnnealingOptimizer(s.eval, opts).run();
+  EXPECT_EQ(rejected.value(), before + 1);
+  EXPECT_DOUBLE_EQ(r.energy.total(), fresh.energy.total());
+}
+
+TEST(ResumeRejection, JointFallsBackToFreshRunOnCorruptSnapshot) {
+  Harness s;
+  const OptimizationResult fresh = JointOptimizer(s.eval, {}).run();
+
+  obs::set_enabled(true);
+  obs::Counter& rejected = obs::counter("opt.checkpoint.resume_rejected");
+
+  ScratchFile bad("resume_rej_joint");
+  {
+    std::ofstream out(bad.path, std::ios::trunc);
+    out << "{\"schema\": \"minergy.joint_checkpoint.v1\", \"payload\": ";
+  }
+  EXPECT_THROW(JointCheckpoint::load(bad.path), util::ParseError);
+  const std::int64_t before = rejected.value();
+  OptimizerOptions opts;
+  opts.resume_path = bad.path;
+  const OptimizationResult r = JointOptimizer(s.eval, opts).run();
+  EXPECT_EQ(rejected.value(), before + 1);
+  EXPECT_EQ(r.feasible, fresh.feasible);
+  EXPECT_DOUBLE_EQ(r.energy.total(), fresh.energy.total());
+  EXPECT_EQ(r.state.widths, fresh.state.widths);
 }
 
 TEST(JointResume, EvaluationCountAccumulatesAcrossResume) {

@@ -1,0 +1,504 @@
+// Spool-queue state machine, job serialization, breaker, and supervisor
+// recovery semantics for the optimization service (src/serve/).
+//
+// Everything here is in-process and deterministic; the subprocess chaos
+// harness (test_serve_chaos.cpp) covers daemon/worker kills at randomized
+// protocol points. Both run under `ctest -L serve`.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/breaker.h"
+#include "serve/job.h"
+#include "serve/queue.h"
+#include "serve/supervisor.h"
+#include "util/check.h"
+#include "util/checkpoint.h"
+#include "util/json.h"
+
+namespace minergy::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Unique-per-test spool directory, removed on destruction.
+struct ScratchSpool {
+  explicit ScratchSpool(const std::string& stem)
+      : root((fs::temp_directory_path() / ("minergy_serve_" + stem)).string()) {
+    fs::remove_all(root);
+  }
+  ~ScratchSpool() { fs::remove_all(root); }
+  std::string root;
+};
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+}
+
+// A synthesized worker result envelope, bypassing real optimization so the
+// supervisor-side disposition logic can be tested in microseconds.
+std::string fake_envelope(const std::string& id, bool ok, bool feasible,
+                          bool certified) {
+  util::JsonWriter w(2);
+  w.begin_object();
+  w.kv("schema", kJobResultSchema);
+  w.kv("id", id);
+  w.kv("ok", ok);
+  if (ok) {
+    w.kv("feasible", feasible);
+    w.kv("certified", certified);
+    w.kv("truncated", false);
+    w.kv("energy_total", 1.25e-12);
+  } else {
+    w.kv("error_type", "numeric-error");
+    w.kv("detail", "synthetic failure");
+  }
+  w.end_object();
+  return w.str();
+}
+
+// ------------------------------------------------------------------- jobs
+
+TEST(ServeJob, JsonRoundTripPreservesEveryField) {
+  Job job;
+  job.id = "j42";
+  job.circuit = "s298*";
+  job.optimizer = "anneal";
+  job.seed = 77;
+  job.clock_frequency = 123.5e6;
+  job.activity = 0.4;
+  job.deadline_seconds = 12.5;
+  job.max_evaluations = 9000;
+  job.anneal_moves = 321;
+  job.inject = "hang";
+  job.submitted_unix = 1.5e9;
+  job.not_before_unix = 1.5e9 + 3.25;
+  job.next_backoff_seconds = 3.25;
+  JobAttempt a;
+  a.seed = 99;
+  a.outcome = "crash";
+  a.exit_code = -9;
+  a.wall_seconds = 0.75;
+  a.backoff_seconds = 0.5;
+  job.attempts.push_back(a);
+
+  const Job back = Job::from_json(job.to_json(), "<test>");
+  EXPECT_EQ(back.id, job.id);
+  EXPECT_EQ(back.circuit, job.circuit);
+  EXPECT_EQ(back.optimizer, job.optimizer);
+  EXPECT_EQ(back.seed, job.seed);
+  EXPECT_DOUBLE_EQ(back.clock_frequency, job.clock_frequency);
+  EXPECT_DOUBLE_EQ(back.activity, job.activity);
+  EXPECT_DOUBLE_EQ(back.deadline_seconds, job.deadline_seconds);
+  EXPECT_EQ(back.max_evaluations, job.max_evaluations);
+  EXPECT_EQ(back.anneal_moves, job.anneal_moves);
+  EXPECT_EQ(back.inject, job.inject);
+  EXPECT_DOUBLE_EQ(back.submitted_unix, job.submitted_unix);
+  EXPECT_DOUBLE_EQ(back.not_before_unix, job.not_before_unix);
+  EXPECT_DOUBLE_EQ(back.next_backoff_seconds, job.next_backoff_seconds);
+  ASSERT_EQ(back.attempts.size(), 1u);
+  EXPECT_EQ(back.attempts[0].seed, a.seed);
+  EXPECT_EQ(back.attempts[0].outcome, a.outcome);
+  EXPECT_EQ(back.attempts[0].exit_code, a.exit_code);
+  EXPECT_DOUBLE_EQ(back.attempts[0].wall_seconds, a.wall_seconds);
+  EXPECT_DOUBLE_EQ(back.attempts[0].backoff_seconds, a.backoff_seconds);
+}
+
+TEST(ServeJob, FromJsonRejectsWrongOrMissingSchema) {
+  EXPECT_THROW(Job::from_json(R"({"id": "x"})", "<t>"), util::ParseError);
+  EXPECT_THROW(
+      Job::from_json(R"({"schema": "minergy.batch_report.v1", "id": "x"})",
+                     "<t>"),
+      util::ParseError);
+  EXPECT_THROW(Job::from_json("{garbage", "<t>"), util::ParseError);
+}
+
+TEST(ServeJob, AttemptCountersSplitFailuresFromInterruptions) {
+  Job job;
+  for (const char* o : {"interrupted", "crash", "timeout", "interrupted",
+                        "error", "running"}) {
+    JobAttempt a;
+    a.outcome = o;
+    job.attempts.push_back(a);
+  }
+  EXPECT_EQ(job.failed_attempts(), 3);
+  EXPECT_EQ(job.interruptions(), 2);
+  EXPECT_EQ(job.started_attempts(), 6);
+}
+
+TEST(ServeJob, AttemptSeedScheduleIsDeterministicAndPerturbed) {
+  Job job;
+  job.circuit = "s27";
+  job.seed = 11;
+  EXPECT_EQ(attempt_seed(job, 0), 11u);
+  const std::uint64_t r1 = attempt_seed(job, 1);
+  const std::uint64_t r2 = attempt_seed(job, 2);
+  EXPECT_NE(r1, 11u);
+  EXPECT_NE(r2, 11u);
+  EXPECT_NE(r1, r2);
+  EXPECT_EQ(attempt_seed(job, 1), r1);  // deterministic
+  Job other = job;
+  other.circuit = "s298*";
+  EXPECT_NE(attempt_seed(other, 1), r1);  // circuit-dependent
+}
+
+TEST(ServeJob, IdsAreUniqueAndSortInSubmissionOrder) {
+  std::string prev;
+  for (int i = 0; i < 50; ++i) {
+    const std::string id = make_job_id();
+    EXPECT_LT(prev, id);
+    prev = id;
+  }
+}
+
+// ------------------------------------------------------------------ queue
+
+TEST(SpoolQueue, SubmitThenClaimRoundTrips) {
+  ScratchSpool spool("round_trip");
+  SpoolQueue q(spool.root);
+  Job job;
+  job.circuit = "s27";
+  job.optimizer = "baseline";
+  const std::string id = q.submit(job);
+  EXPECT_FALSE(id.empty());
+  EXPECT_TRUE(fs::exists(q.job_path("pending", id)));
+
+  const std::optional<Job> claimed = q.claim(unix_now());
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(claimed->id, id);
+  EXPECT_EQ(claimed->circuit, "s27");
+  EXPECT_FALSE(fs::exists(q.job_path("pending", id)));
+  EXPECT_TRUE(fs::exists(q.job_path("running", id)));
+}
+
+TEST(SpoolQueue, AdmissionControlThrowsTypedQueueFull) {
+  ScratchSpool spool("admission");
+  SpoolOptions opts;
+  opts.max_pending = 2;
+  opts.expected_job_seconds = 4.0;
+  SpoolQueue q(spool.root, opts);
+  q.submit(Job{});
+  q.submit(Job{});
+  try {
+    q.submit(Job{});
+    FAIL() << "expected QueueFullError";
+  } catch (const QueueFullError& e) {
+    EXPECT_EQ(e.depth(), 2u);
+    EXPECT_EQ(e.limit(), 2u);
+    EXPECT_DOUBLE_EQ(e.retry_after_seconds(), 4.0);
+    EXPECT_NE(std::string(e.what()).find("retry after"), std::string::npos);
+  }
+  EXPECT_EQ(q.counts().pending, 2u);
+}
+
+TEST(SpoolQueue, ClaimSkipsJobsStillBackingOff) {
+  ScratchSpool spool("backoff");
+  SpoolQueue q(spool.root);
+  Job job;
+  job.not_before_unix = 1000.0;
+  const std::string id = q.submit(job);
+  EXPECT_FALSE(q.claim(999.0).has_value());
+  const std::optional<Job> claimed = q.claim(1000.5);
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(claimed->id, id);
+}
+
+TEST(SpoolQueue, DoubleClaimHasExactlyOneWinner) {
+  ScratchSpool spool("double_claim");
+  SpoolQueue a(spool.root);
+  SpoolQueue b(spool.root);  // a second claimant over the same spool
+  a.submit(Job{});
+  const std::optional<Job> first = a.claim(unix_now());
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(b.claim(unix_now()).has_value());
+  EXPECT_EQ(a.counts().running, 1u);
+
+  // Two claimants draining a deeper queue never hand out the same job.
+  for (int i = 0; i < 4; ++i) a.submit(Job{});
+  std::set<std::string> seen;
+  for (int i = 0; i < 4; ++i) {
+    SpoolQueue& claimant = (i % 2 == 0) ? a : b;
+    const std::optional<Job> got = claimant.claim(unix_now());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(seen.insert(got->id).second) << "job claimed twice";
+  }
+  EXPECT_EQ(a.counts().pending, 0u);
+  EXPECT_EQ(a.counts().running, 5u);
+}
+
+TEST(SpoolQueue, DoneIsFirstWriteWinsForLateRetries) {
+  obs::set_enabled(true);
+  ScratchSpool spool("done_idem");
+  SpoolQueue q(spool.root);
+  const std::string id = q.submit(Job{});
+  Job job = *q.claim(unix_now());
+  q.finalize_done(job, fake_envelope(id, true, true, true));
+  const std::string winner =
+      util::read_file_or_throw(q.job_path("done", id));
+
+  // A late duplicate attempt (recovery replay) lands while done/ already
+  // holds the result: counted, dropped, running/ and scratch cleared.
+  write_file(q.job_path("running", id), job.to_json());
+  write_file(q.result_path(id), fake_envelope(id, true, true, true));
+  write_file(q.checkpoint_path(id), "{}");
+  const std::int64_t dupes_before =
+      obs::counter("serve.queue.duplicate_results").value();
+  q.finalize_done(job, fake_envelope(id, true, true, true));
+  EXPECT_EQ(obs::counter("serve.queue.duplicate_results").value(),
+            dupes_before + 1);
+  EXPECT_EQ(util::read_file_or_throw(q.job_path("done", id)), winner);
+  EXPECT_FALSE(fs::exists(q.job_path("running", id)));
+  EXPECT_FALSE(fs::exists(q.result_path(id)));
+  EXPECT_FALSE(fs::exists(q.checkpoint_path(id)));
+  EXPECT_EQ(q.counts().done, 1u);
+}
+
+TEST(SpoolQueue, CorruptPendingJobIsQuarantinedNotWedged) {
+  ScratchSpool spool("corrupt");
+  SpoolQueue q(spool.root);
+  // The garbled file sorts first — it must not block the healthy job.
+  write_file(q.job_path("pending", "a-corrupt"), "{not json");
+  Job good;
+  const std::string good_id = q.submit(good);
+  const std::optional<Job> claimed = q.claim(unix_now());
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(claimed->id, good_id);
+  EXPECT_FALSE(fs::exists(q.job_path("pending", "a-corrupt")));
+  ASSERT_TRUE(fs::exists(q.job_path("quarantined", "a-corrupt")));
+  const util::JsonValue rec = util::JsonValue::parse(
+      util::read_file_or_throw(q.job_path("quarantined", "a-corrupt")));
+  EXPECT_EQ(rec.at("failure").get_string("type", ""), "corrupt-job");
+}
+
+TEST(SpoolQueue, RequeueJournalsOutcomeAndControlsCheckpointLifetime) {
+  ScratchSpool spool("requeue");
+  SpoolQueue q(spool.root);
+  const std::string id = q.submit(Job{});
+  Job job = *q.claim(unix_now());
+  JobAttempt attempt;
+  attempt.outcome = "running";
+  job.attempts.push_back(attempt);
+  write_file(q.checkpoint_path(id), "{}");
+  write_file(q.result_path(id), "{}");
+
+  q.requeue(job, "interrupted", /*not_before_unix=*/0.0,
+            /*keep_checkpoint=*/true);
+  EXPECT_TRUE(fs::exists(q.checkpoint_path(id)));  // bit-exact resume input
+  EXPECT_FALSE(fs::exists(q.result_path(id)));
+  EXPECT_FALSE(fs::exists(q.job_path("running", id)));
+  Job back = *q.claim(unix_now());
+  ASSERT_EQ(back.attempts.size(), 1u);
+  EXPECT_EQ(back.attempts.back().outcome, "interrupted");
+
+  // A crash retry drops the checkpoint: perturbed seed, fresh run.
+  q.requeue(back, "crash", unix_now() + 30.0, /*keep_checkpoint=*/false);
+  EXPECT_FALSE(fs::exists(q.checkpoint_path(id)));
+  EXPECT_FALSE(q.claim(unix_now()).has_value());  // backing off
+}
+
+TEST(SpoolQueue, CollectGarbageSparesLiveJobsScratch) {
+  ScratchSpool spool("gc");
+  SpoolQueue q(spool.root);
+  const std::string live = q.submit(Job{});
+  write_file(q.checkpoint_path(live), "{}");
+  write_file(q.result_path("dead"), "{}");
+  write_file(q.checkpoint_path("dead"), "{}");
+  q.collect_garbage();
+  EXPECT_TRUE(fs::exists(q.checkpoint_path(live)));
+  EXPECT_FALSE(fs::exists(q.result_path("dead")));
+  EXPECT_FALSE(fs::exists(q.checkpoint_path("dead")));
+}
+
+TEST(SpoolQueue, HealthFileIsValidAndReflectsQueueState) {
+  ScratchSpool spool("health");
+  SpoolQueue q(spool.root);
+  q.submit(Job{});
+  HealthInfo info;
+  info.state = "serving";
+  info.workers_active = 3;
+  info.breaker_open = {"s298*"};
+  q.write_health(info);
+  const std::string path = (fs::path(spool.root) / "health.json").string();
+  const util::JsonValue h =
+      util::JsonValue::parse(util::read_file_or_throw(path), path);
+  EXPECT_EQ(h.get_string("schema", ""), "minergy.health.v1");
+  EXPECT_EQ(h.get_string("state", ""), "serving");
+  EXPECT_DOUBLE_EQ(h.get_number("workers_active", -1), 3.0);
+  EXPECT_DOUBLE_EQ(h.at("queue").get_number("pending", -1), 1.0);
+  ASSERT_EQ(h.at("breaker_open").items().size(), 1u);
+  EXPECT_EQ(h.at("breaker_open").items()[0].as_string(), "s298*");
+}
+
+// ---------------------------------------------------------------- breaker
+
+TEST(CircuitBreaker, TripsAfterThresholdThenHalfOpensOneProbe) {
+  BreakerOptions opts;
+  opts.threshold = 3;
+  opts.cooldown_seconds = 10.0;
+  CircuitBreaker breaker(opts);
+  double now = 100.0;
+  breaker.record_death("s27", now);
+  breaker.record_death("s27", now);
+  EXPECT_FALSE(breaker.should_short_circuit("s27", now));  // still closed
+  breaker.record_death("s27", now);                        // third: trips
+  EXPECT_TRUE(breaker.should_short_circuit("s27", now));
+  EXPECT_TRUE(breaker.should_short_circuit("other", now) == false);
+  EXPECT_EQ(breaker.open_circuits(now).size(), 1u);
+
+  now += 10.5;  // cooldown elapsed: exactly one probe gets through
+  EXPECT_FALSE(breaker.should_short_circuit("s27", now));
+  EXPECT_TRUE(breaker.should_short_circuit("s27", now));
+
+  breaker.record_death("s27", now);  // probe died: re-tripped, fresh cooldown
+  EXPECT_TRUE(breaker.should_short_circuit("s27", now + 5.0));
+  now += 10.5;
+  EXPECT_FALSE(breaker.should_short_circuit("s27", now));  // next probe
+  breaker.record_success("s27");                           // probe succeeded
+  EXPECT_FALSE(breaker.should_short_circuit("s27", now));
+  EXPECT_TRUE(breaker.open_circuits(now).empty());
+}
+
+TEST(CircuitBreaker, SuccessResetsTheDeathStreak) {
+  BreakerOptions opts;
+  opts.threshold = 2;
+  CircuitBreaker breaker(opts);
+  breaker.record_death("s27", 1.0);
+  breaker.record_success("s27");
+  breaker.record_death("s27", 2.0);
+  EXPECT_FALSE(breaker.should_short_circuit("s27", 2.0));
+}
+
+// ------------------------------------------------- supervisor + recovery
+
+SupervisorOptions fast_supervisor_options() {
+  SupervisorOptions opts;
+  opts.worker_binary = "/bin/true";  // exits without an envelope ("error")
+  opts.workers = 1;
+  opts.poll_seconds = 0.001;
+  opts.backoff_seconds = 0.0;
+  opts.once = true;
+  return opts;
+}
+
+TEST(Supervisor, RecoveryFinalizesCommittedEnvelopeWithoutReExecution) {
+  ScratchSpool spool("recover_env");
+  SpoolQueue q(spool.root);
+  const std::string id = q.submit(Job{});
+  Job job = *q.claim(unix_now());
+  JobAttempt attempt;
+  job.attempts.push_back(attempt);
+  q.update_running(job);
+  // The previous daemon died after the worker committed but before the
+  // bookkeeping: the envelope on disk is the commit point.
+  write_file(q.result_path(id), fake_envelope(id, true, true, true));
+
+  Supervisor supervisor(q, fast_supervisor_options());
+  EXPECT_EQ(supervisor.run(), 0);
+  EXPECT_TRUE(fs::exists(q.job_path("done", id)));
+  EXPECT_FALSE(fs::exists(q.job_path("running", id)));
+  EXPECT_FALSE(fs::exists(q.result_path(id)));
+  const util::JsonValue rec = util::JsonValue::parse(
+      util::read_file_or_throw(q.job_path("done", id)));
+  EXPECT_TRUE(rec.at("result").get_bool("certified", false));
+  ASSERT_FALSE(rec.at("attempts").items().empty());
+  EXPECT_EQ(rec.at("attempts").items().back().get_string("outcome", ""),
+            "ok");
+}
+
+TEST(Supervisor, RecoveryRequeuesOrphanThenRetryBudgetQuarantines) {
+  ScratchSpool spool("recover_orphan");
+  SpoolQueue q(spool.root);
+  const std::string id = q.submit(Job{});
+  Job job = *q.claim(unix_now());
+  JobAttempt attempt;
+  job.attempts.push_back(attempt);
+  q.update_running(job);  // orphan: in running/, no envelope, no worker
+
+  SupervisorOptions opts = fast_supervisor_options();
+  opts.max_retries = 0;  // first real failure exhausts the budget
+  Supervisor supervisor(q, opts);
+  EXPECT_EQ(supervisor.run(), 0);
+
+  // The orphaned attempt was journaled as interrupted (not a failure), the
+  // requeued job ran once under /bin/true (exit without envelope = error),
+  // and the spent retry budget quarantined it.
+  ASSERT_TRUE(fs::exists(q.job_path("quarantined", id)));
+  const util::JsonValue rec = util::JsonValue::parse(
+      util::read_file_or_throw(q.job_path("quarantined", id)));
+  const auto& attempts = rec.at("attempts").items();
+  ASSERT_EQ(attempts.size(), 2u);
+  EXPECT_EQ(attempts[0].get_string("outcome", ""), "interrupted");
+  EXPECT_EQ(attempts[1].get_string("outcome", ""), "error");
+  EXPECT_NE(rec.at("failure").get_string("detail", "").find("retries"),
+            std::string::npos);
+}
+
+TEST(Supervisor, RecoveryQuarantinesEndlesslyInterruptedJobs) {
+  ScratchSpool spool("recover_loop");
+  SpoolQueue q(spool.root);
+  const std::string id = q.submit(Job{});
+  Job job = *q.claim(unix_now());
+  for (int i = 0; i < 3; ++i) {
+    JobAttempt attempt;
+    attempt.outcome = "interrupted";
+    job.attempts.push_back(attempt);
+  }
+  q.update_running(job);
+
+  SupervisorOptions opts = fast_supervisor_options();
+  opts.max_interruptions = 3;
+  Supervisor supervisor(q, opts);
+  EXPECT_EQ(supervisor.run(), 0);
+  ASSERT_TRUE(fs::exists(q.job_path("quarantined", id)));
+  const util::JsonValue rec = util::JsonValue::parse(
+      util::read_file_or_throw(q.job_path("quarantined", id)));
+  EXPECT_NE(rec.at("failure").get_string("detail", "").find("interrupted"),
+            std::string::npos);
+}
+
+TEST(Supervisor, TypedWorkerFailureLandsInFailedWithEnvelope) {
+  ScratchSpool spool("typed_fail");
+  SpoolQueue q(spool.root);
+  const std::string id = q.submit(Job{});
+  Job job = *q.claim(unix_now());
+  JobAttempt attempt;
+  job.attempts.push_back(attempt);
+  q.update_running(job);
+  write_file(q.result_path(id), fake_envelope(id, false, false, false));
+
+  Supervisor supervisor(q, fast_supervisor_options());
+  EXPECT_EQ(supervisor.run(), 0);
+  ASSERT_TRUE(fs::exists(q.job_path("failed", id)));
+  const util::JsonValue rec = util::JsonValue::parse(
+      util::read_file_or_throw(q.job_path("failed", id)));
+  EXPECT_EQ(rec.at("failure").get_string("type", ""), "numeric-error");
+  EXPECT_EQ(rec.at("result").get_string("error_type", ""), "numeric-error");
+}
+
+TEST(Supervisor, UncertifiedEnvelopeIsARejectedResultNotARetry) {
+  ScratchSpool spool("uncert");
+  SpoolQueue q(spool.root);
+  const std::string id = q.submit(Job{});
+  Job job = *q.claim(unix_now());
+  JobAttempt attempt;
+  job.attempts.push_back(attempt);
+  q.update_running(job);
+  write_file(q.result_path(id),
+             fake_envelope(id, true, /*feasible=*/true, /*certified=*/false));
+
+  Supervisor supervisor(q, fast_supervisor_options());
+  EXPECT_EQ(supervisor.run(), 0);
+  ASSERT_TRUE(fs::exists(q.job_path("failed", id)));
+  const util::JsonValue rec = util::JsonValue::parse(
+      util::read_file_or_throw(q.job_path("failed", id)));
+  EXPECT_EQ(rec.at("failure").get_string("type", ""), "uncertified");
+}
+
+}  // namespace
+}  // namespace minergy::serve

@@ -4,6 +4,7 @@
 //   $ gen_surrogates [--out=data/iscas]
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 
 #include "bench_suite/iscas.h"
 #include "netlist/bench_io.h"
@@ -12,8 +13,19 @@
 
 using namespace minergy;
 
+namespace {
+constexpr const char* kUsage =
+    "usage: gen_surrogates [--out=DIR]\n"
+    "  writes every paper circuit (surrogates included) as a .bench file\n"
+    "  exit codes: 0 ok, 1 validation failure, 2 usage error\n";
+}  // namespace
+
 int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
   const std::string out_dir = cli.get("out", std::string("data/iscas"));
   std::filesystem::create_directories(out_dir);
 
@@ -27,6 +39,9 @@ int main(int argc, char** argv) try {
                 netlist::compute_stats(nl).to_string().c_str());
   }
   return 0;
+} catch (const std::invalid_argument& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

@@ -29,11 +29,17 @@
 // Verification mode (for CI): --verify-report=FILE validates the schema and
 // that every non-quarantined circuit is feasible AND certified;
 // --expect-quarantined=NAME additionally requires NAME on the quarantine
-// list; --min-circuits=N requires at least N circuit entries.
+// list; --min-circuits=N requires at least N circuit entries;
+// --allow-interrupted accepts a report flushed by an interrupted batch.
+//
+// SIGTERM/SIGINT interrupt the batch gracefully: the in-flight worker is
+// killed and reaped, the report is still flushed (valid schema, top-level
+// "interrupted": true, the cut-short circuit marked status "interrupted"),
+// and the process exits with the distinct code 3.
 //
 // Exit codes: 0 success (quarantines alone do not fail the batch),
 // 1 a completed result is infeasible/uncertified or verification failed,
-// 2 bad arguments / unreadable input.
+// 2 bad arguments / unreadable input, 3 interrupted by SIGTERM/SIGINT.
 #include <sys/types.h>
 #include <sys/wait.h>
 
@@ -72,6 +78,32 @@ namespace {
 
 constexpr const char* kReportSchema = "minergy.batch_report.v1";
 constexpr const char* kWorkerSchema = "minergy.batch_worker.v1";
+
+constexpr const char* kUsage =
+    "usage: minergy_batch [--circuits=A,B,...] [--optimizers=K,...]\n"
+    "                     [--seed=S] [--retries=N] [--timeout=S]\n"
+    "                     [--backoff=S] [--fc=HZ] [--activity=D]\n"
+    "                     [--report=FILE] [--inject-hang=NAME]\n"
+    "       minergy_batch --verify-report=FILE [--min-circuits=N]\n"
+    "                     [--expect-quarantined=NAME] [--allow-interrupted]\n"
+    "  exit codes: 0 ok, 1 validation failure, 2 usage error,\n"
+    "              3 interrupted (SIGTERM/SIGINT; partial report flushed)\n";
+
+// Set from the SIGTERM/SIGINT handler; polled by the babysitting loop and
+// between attempts so the batch stops at the next safe point, kills and
+// reaps the in-flight worker, and still flushes a valid (partial) report.
+volatile std::sig_atomic_t g_interrupt_requested = 0;
+
+void on_interrupt_signal(int) { g_interrupt_requested = 1; }
+
+void install_interrupt_handlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = on_interrupt_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
 
 std::vector<std::string> split_list(const std::string& csv) {
   std::vector<std::string> out;
@@ -247,6 +279,16 @@ Attempt run_attempt(const std::string& self, const util::Cli& cli,
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    if (g_interrupt_requested) {
+      // Graceful interruption: never leave an orphaned worker computing.
+      kill(pid, SIGKILL);
+      waitpid(pid, &status, 0);  // reap
+      a.outcome = "interrupted";
+      a.exit_code = -SIGTERM;
+      a.wall_seconds = elapsed;
+      obs::counter("batch.interrupted").add();
+      return a;
+    }
     if (elapsed > timeout_s) {
       kill(pid, SIGKILL);
       waitpid(pid, &status, 0);  // reap
@@ -276,11 +318,13 @@ Attempt run_attempt(const std::string& self, const util::Cli& cli,
 }
 
 void emit_report(const std::string& path,
-                 const std::vector<CircuitRun>& runs, double total_wall) {
+                 const std::vector<CircuitRun>& runs, double total_wall,
+                 bool interrupted) {
   util::JsonWriter w(2);
   w.begin_object();
   w.kv("schema", kReportSchema);
   w.kv("total_wall_seconds", total_wall);
+  w.kv("interrupted", interrupted);
   w.key("circuits").begin_array();
   for (const CircuitRun& run : runs) {
     w.begin_object();
@@ -333,10 +377,13 @@ int run_batch(const std::string& self, const util::Cli& cli) {
       cli.get("report", std::string("minergy_batch.json"));
   const std::string scratch = report_path + ".worker.tmp";
 
+  install_interrupt_handlers();
   std::vector<CircuitRun> runs;
   bool any_bad_result = false;
   for (const std::string& circuit : circuits) {
+    if (g_interrupt_requested) break;
     for (const std::string& optimizer : optimizers) {
+      if (g_interrupt_requested) break;
       const obs::Span span("batch.circuit");
       obs::Tracer::instance().instant("batch.start", circuit);
       CircuitRun run;
@@ -344,12 +391,14 @@ int run_batch(const std::string& self, const util::Cli& cli) {
       run.optimizer = optimizer;
       // Attempt seeds are decorrelated per (circuit, attempt): a retry is a
       // genuinely different stochastic run, not the same failure replayed.
+      constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
       std::uint64_t name_hash = 1469598103934665603ULL;
       for (const char c : circuit) {
-        name_hash = (name_hash ^ static_cast<std::uint64_t>(c)) *
-                    1099511628211ULL;
+        name_hash =
+            (name_hash ^ static_cast<unsigned char>(c)) * kFnvPrime;
       }
       for (int attempt = 0; attempt <= retries; ++attempt) {
+        if (g_interrupt_requested) break;
         obs::counter("batch.attempts").add();
         std::uint64_t seed = base_seed;
         double backoff = 0.0;
@@ -370,13 +419,19 @@ int run_batch(const std::string& self, const util::Cli& cli) {
         a.backoff_seconds = backoff;
         const bool ok = a.outcome == "ok";
         run.attempts.push_back(a);
+        if (a.outcome == "interrupted") break;
         if (ok) {
           run.status = "ok";
           run.result_json = util::read_file_or_throw(scratch);
           break;
         }
       }
-      if (run.status.empty()) {
+      if (run.status.empty() && g_interrupt_requested) {
+        // Cut short by SIGTERM/SIGINT, not a failure of the circuit itself.
+        run.status = "interrupted";
+        std::fprintf(stderr, "batch: interrupted during %s/%s\n",
+                     circuit.c_str(), optimizer.c_str());
+      } else if (run.status.empty()) {
         run.status = "quarantined";
         obs::counter("batch.quarantines").add();
         obs::Tracer::instance().instant("batch.quarantined", circuit);
@@ -404,16 +459,19 @@ int run_batch(const std::string& self, const util::Cli& cli) {
   const double total_wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  emit_report(report_path, runs, total_wall);
+  const bool interrupted = g_interrupt_requested != 0;
+  emit_report(report_path, runs, total_wall, interrupted);
   std::size_t quarantined = 0;
   for (const CircuitRun& r : runs) {
     if (r.status == "quarantined") ++quarantined;
   }
-  std::printf("batch: %zu run(s), %zu quarantined, report %s\n", runs.size(),
-              quarantined, report_path.c_str());
+  std::printf("batch: %zu run(s), %zu quarantined%s, report %s\n",
+              runs.size(), quarantined, interrupted ? ", INTERRUPTED" : "",
+              report_path.c_str());
   // Quarantine is a contained failure (reported, not fatal); a completed
   // but infeasible/uncertified result is a wrong answer and fails the batch.
-  return any_bad_result ? 1 : 0;
+  if (any_bad_result) return 1;
+  return interrupted ? 3 : 0;
 }
 
 // ------------------------------------------------------------ verification
@@ -441,9 +499,16 @@ int verify_report(const util::Cli& cli) {
                    circuits.size(), min_circuits);
       return 1;
     }
+    if (root.get_bool("interrupted", false) &&
+        !cli.has("allow-interrupted")) {
+      std::fprintf(stderr,
+                   "verify: report is from an interrupted batch "
+                   "(pass --allow-interrupted to accept)\n");
+      return 1;
+    }
     for (const util::JsonValue& c : circuits) {
       const std::string status = c.get_string("status", "");
-      if (status == "quarantined") continue;
+      if (status == "quarantined" || status == "interrupted") continue;
       if (status != "ok" || !c.has("result")) {
         std::fprintf(stderr, "verify: %s has status '%s' and no result\n",
                      c.get_string("circuit", "?").c_str(), status.c_str());
@@ -483,6 +548,10 @@ int verify_report(const util::Cli& cli) {
 
 int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
   if (cli.has("worker")) return run_worker(cli);
   if (cli.has("verify-report")) return verify_report(cli);
   obs::Session session(cli, "minergy_batch");

@@ -7,6 +7,7 @@
 // Prints structural statistics, the most critical paths (fanout-sum
 // criticality), and the estimated activity profile.
 #include <cstdio>
+#include <stdexcept>
 
 #include "activity/activity.h"
 #include "bench_suite/iscas.h"
@@ -20,10 +21,21 @@
 
 using namespace minergy;
 
+namespace {
+constexpr const char* kUsage =
+    "usage: netlist_info [--builtin=NAME] [--paths=K] [--activity=D]\n"
+    "                    [--verbose] [file.bench|file.v]\n"
+    "  exit codes: 0 ok, 1 validation failure, 2 usage error\n";
+}  // namespace
+
 // Typed errors from the parsers (ParseError with file:line context) exit
 // cleanly instead of std::terminate-ing.
 int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
   const obs::Session session(cli, "netlist_info");
   netlist::Netlist nl;
   if (cli.has("builtin")) {
@@ -34,9 +46,7 @@ int main(int argc, char** argv) try {
              ? netlist::parse_verilog_file(path)
              : netlist::parse_bench_file(path);
   } else {
-    std::fprintf(stderr,
-                 "usage: netlist_info [--builtin=NAME] [--paths=K] "
-                 "[--activity=D] [--verbose] [file.bench|file.v]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
 
@@ -88,6 +98,9 @@ int main(int argc, char** argv) try {
                   : nl.gate(hottest).name.c_str(),
               dmax);
   return 0;
+} catch (const std::invalid_argument& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;
