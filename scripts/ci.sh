@@ -1,13 +1,19 @@
 #!/usr/bin/env sh
 # CI gate: builds the tree three times (Release, ASan, TSan), runs the
-# robustness (-L fault), observability (-L obs) and service (-L serve)
-# test labels, and finishes with a certified minergy_batch run over real
-# circuits — every completed result must be independently certified
-# (exit 1 otherwise). The serve label includes the chaos harness, which
-# SIGKILLs the daemon/worker binaries at randomized protocol points.
+# robustness (-L fault), observability (-L obs), service (-L serve) and
+# durable-I/O (-L diskfault) test labels, and finishes with a certified
+# minergy_batch run over real circuits — every completed result must be
+# independently certified (exit 1 otherwise). The serve label includes the
+# chaos harness, which SIGKILLs the daemon/worker binaries at randomized
+# protocol points; the diskfault label does the same with storage faults
+# (scheduled ENOSPC/EIO, torn writes, short reads). A final leg serves a
+# real spool under a *randomized* storage-fault schedule (reproduce with
+# CI_FAULT_SEED=<seed>) and audits the spool afterwards, then verifies a
+# run report's artifact-envelope footer end to end.
 #
-#   $ scripts/ci.sh            # from the repo root
-#   $ CI_JOBS=4 scripts/ci.sh  # cap build parallelism
+#   $ scripts/ci.sh                  # from the repo root
+#   $ CI_JOBS=4 scripts/ci.sh        # cap build parallelism
+#   $ CI_FAULT_SEED=7 scripts/ci.sh  # pin the storage-fault schedule
 #
 # Build trees go to build-ci-release/, build-ci-asan/ and build-ci-tsan/ so
 # a developer's ordinary build/ directory is left alone.
@@ -30,12 +36,12 @@ run_labelled_tests() {
 step "configure + build (Release)"
 cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-ci-release -j "$JOBS"
-run_labelled_tests build-ci-release fault obs serve
+run_labelled_tests build-ci-release fault obs serve diskfault
 
 step "configure + build (AddressSanitizer)"
 cmake -B build-ci-asan -S . -DMINERGY_SANITIZE=address
 cmake --build build-ci-asan -j "$JOBS"
-run_labelled_tests build-ci-asan fault obs serve
+run_labelled_tests build-ci-asan fault obs serve diskfault
 
 # ThreadSanitizer pass: the serve daemon forks workers and the obs layer is
 # the one place the codebase shares atomics across threads — run both labels
@@ -57,4 +63,48 @@ build-ci-release/tools/minergy_batch \
 build-ci-release/tools/minergy_batch \
   --verify-report="$report" --min-circuits=2
 
-step "OK: all builds green, fault+obs+serve labels pass, batch results certified"
+# Randomized storage-fault serve leg: a fresh spool, three submissions, one
+# daemon pass under a seed-derived write/fsync/rename fault schedule, then a
+# clean drain and the service's own audit. The schedule may quarantine jobs
+# (typed failures) but must never lose, duplicate or wedge one — exactly the
+# oracle the deterministic diskfault sweep proves per-spec. The seed is
+# echoed so any failure reproduces with CI_FAULT_SEED=<seed>.
+step "storage-fault chaos (randomized schedule)"
+fault_seed="${CI_FAULT_SEED:-$(date +%s)}"
+fault_spec=$(awk -v seed="$fault_seed" 'BEGIN {
+  srand(seed)
+  split("write fsync rename", ops, " ")
+  split("enospc eio", effects, " ")
+  n = 2 + int(rand() * 2)
+  spec = ""
+  for (i = 1; i <= n; i++) {
+    d = ops[1 + int(rand() * 3)] "@" (1 + int(rand() * 6)) ":" \
+        effects[1 + int(rand() * 2)]
+    spec = spec (i > 1 ? "," : "") d
+  }
+  print spec
+}')
+echo "CI_FAULT_SEED=$fault_seed --inject-io=$fault_spec"
+served=build-ci-release/tools/minergy_served
+fault_spool=build-ci-release/ci_fault_spool
+rm -rf "$fault_spool"
+"$served" --spool="$fault_spool" --submit --circuit=c17 --seed=1
+"$served" --spool="$fault_spool" --submit --circuit=s27 --seed=2
+"$served" --spool="$fault_spool" --submit --circuit=c17 --seed=3
+# Phase 1 may degrade/retry/quarantine under the schedule; phase 2 is the
+# clean drain; the audit then enforces the exactly-once partition.
+"$served" --spool="$fault_spool" --once --workers=2 --poll=0.005 \
+  --timeout=60 --retries=1 --backoff=0.1 --inject-io="$fault_spec" || true
+"$served" --spool="$fault_spool" --once --workers=2 --poll=0.005 --timeout=60
+"$served" --spool="$fault_spool" --status --verify --expect-jobs=3
+
+# Envelope verification end to end: a run report written through the
+# durable path must carry a valid CRC footer, and trace_check must insist
+# on it under --verify-envelope.
+step "run-report envelope verification"
+run_report=build-ci-release/ci_run_report.json
+build-ci-release/tools/minergy_report --builtin=s27 --optimizer=baseline \
+  --certify --report="$run_report"
+build-ci-release/tools/trace_check --report="$run_report" --verify-envelope
+
+step "OK: all builds green, fault+obs+serve+diskfault labels pass, batch results certified"

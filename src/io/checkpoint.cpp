@@ -1,0 +1,122 @@
+#include "io/checkpoint.h"
+
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <system_error>
+
+#include "io/durable.h"
+#include "io/envelope.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace minergy::io {
+
+namespace {
+
+// The schema id a checkpoint carries both inside the JSON envelope and in
+// the artifact footer, so either layer can reject a mismatched file.
+util::JsonValue parse_checkpoint(const std::string& text,
+                                 const std::string& path,
+                                 const std::string& expected_schema) {
+  const util::JsonValue root = util::JsonValue::parse(text, path);
+  if (!root.is_object() || !root.has("schema") || !root.has("payload")) {
+    throw util::ParseError("not a checkpoint envelope (schema/payload missing)",
+                           path, 0);
+  }
+  const std::string& schema = root.at("schema").as_string();
+  if (schema != expected_schema) {
+    throw util::ParseError("checkpoint schema '" + schema +
+                               "' does not match '" + expected_schema + "'",
+                           path, 0);
+  }
+  return root.at("payload");
+}
+
+}  // namespace
+
+std::string Checkpoint::generation_path(const std::string& path,
+                                        int generation) {
+  if (generation == 0) return path;
+  return path + "." + std::to_string(generation);
+}
+
+void Checkpoint::save(const std::string& path, const std::string& schema,
+                      const std::string& payload_json) {
+  // Rotate older generations newest-last so path.1 always holds the
+  // previous snapshot. Best-effort and deliberately outside FaultFs: a
+  // failed rotation (missing source, injected storage fault) must never
+  // block the new snapshot — generations are a recovery bonus, not a
+  // durability requirement. The newest generation is *copied* into .1
+  // rather than renamed, so there is no instant at which `path` itself is
+  // absent: a SIGKILL mid-rotation can at worst leave .1 torn (which the
+  // generation-by-generation loader rejects) while the previous snapshot
+  // stays readable under its primary name until the atomic write_artifact
+  // below replaces it.
+  for (int g = kGenerations - 1; g >= 2; --g) {
+    std::rename(generation_path(path, g - 1).c_str(),
+                generation_path(path, g).c_str());
+  }
+  if (kGenerations >= 2) {
+    std::error_code ec;
+    std::filesystem::copy_file(path, generation_path(path, 1),
+                               std::filesystem::copy_options::overwrite_existing,
+                               ec);
+  }
+  std::string doc;
+  doc.reserve(payload_json.size() + schema.size() + 32);
+  doc += "{\"schema\":";
+  doc += util::json_escape(schema);
+  doc += ",\"payload\":";
+  doc += payload_json;
+  doc += "}";
+  write_artifact(path, schema, doc);
+}
+
+util::JsonValue Checkpoint::load(const std::string& path,
+                                 const std::string& expected_schema) {
+  std::exception_ptr first_error;
+  for (int g = 0; g < kGenerations; ++g) {
+    const std::string gen_path = generation_path(path, g);
+    try {
+      const util::JsonValue payload = parse_checkpoint(
+          read_artifact(gen_path, expected_schema), gen_path, expected_schema);
+      if (g > 0) {
+        static obs::Counter& fallback =
+            obs::counter("io.checkpoint.generation_fallback");
+        fallback.add();
+        std::fprintf(stderr,
+                     "checkpoint: %s rejected, resumed from generation %d "
+                     "(%s)\n",
+                     path.c_str(), g, gen_path.c_str());
+      }
+      return payload;
+    } catch (const util::ParseError&) {
+      // Covers IntegrityError (a subtype), JSON parse failures, envelope-
+      // shape and schema mismatches, and a missing generation file.
+      if (!first_error) first_error = std::current_exception();
+    } catch (const IoError&) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  // Every generation failed: report the newest generation's verdict — it is
+  // the most recent state and the most useful diagnosis.
+  std::rethrow_exception(first_error);
+}
+
+bool Checkpoint::exists(const std::string& path) {
+  std::error_code ec;
+  for (int g = 0; g < kGenerations; ++g) {
+    if (std::filesystem::exists(generation_path(path, g), ec)) return true;
+  }
+  return false;
+}
+
+void Checkpoint::remove(const std::string& path) {
+  for (int g = 0; g < kGenerations; ++g) {
+    std::remove(generation_path(path, g).c_str());
+  }
+  std::remove((path + ".tmp").c_str());
+}
+
+}  // namespace minergy::io

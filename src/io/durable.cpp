@@ -1,0 +1,249 @@
+#include "io/durable.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "io/fault_fs.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace minergy::io {
+
+namespace {
+
+std::string describe(const std::string& op, const std::string& path,
+                     int error_number) {
+  std::string msg = op + " failed for " + path;
+  if (error_number != 0) {
+    msg += ": ";
+    msg += std::strerror(error_number);
+  }
+  return msg;
+}
+
+// RAII fd so every early throw below closes cleanly.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+  int release() {
+    const int f = fd;
+    fd = -1;
+    return f;
+  }
+};
+
+void count_fault_injected() {
+  static obs::Counter& c = obs::counter("io.fault.injected");
+  c.add();
+}
+
+// EINTR-safe full write of `data` to `fd`.
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void fsync_or_throw(int fd, const std::string& path) {
+  const FaultAction fault = FaultFs::instance().next("fsync");
+  if (fault.kind == FaultAction::Kind::kErrno) {
+    count_fault_injected();
+    static obs::Counter& c = obs::counter("io.fsync.failures");
+    c.add();
+    throw_io_error("fsync", path, fault.error_number);
+  }
+  if (::fsync(fd) != 0) {
+    static obs::Counter& c = obs::counter("io.fsync.failures");
+    c.add();
+    throw_io_error("fsync", path, errno);
+  }
+}
+
+}  // namespace
+
+IoError::IoError(const std::string& op, const std::string& path,
+                 int error_number)
+    : std::runtime_error(describe(op, path, error_number)),
+      op_(op),
+      path_(path),
+      error_number_(error_number) {}
+
+void throw_io_error(const std::string& op, const std::string& path,
+                    int error_number) {
+  if (error_number == ENOSPC || error_number == EDQUOT) {
+    throw DiskFullError(op, path, error_number);
+  }
+  throw IoError(op, path, error_number);
+}
+
+void atomic_write_durable(const std::string& path, std::string_view content) {
+  static obs::Counter& calls = obs::counter("io.write.calls");
+  static obs::Counter& failures = obs::counter("io.write.failures");
+  calls.add();
+  const std::string tmp = path + ".tmp";
+  const auto fail = [&](const char* op, int error_number) {
+    failures.add();
+    ::unlink(tmp.c_str());
+    throw_io_error(op, path, error_number);
+  };
+
+  Fd fd;
+  fd.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd.fd < 0) fail("open", errno);
+
+  const FaultAction write_fault = FaultFs::instance().next("write");
+  switch (write_fault.kind) {
+    case FaultAction::Kind::kErrno:
+      count_fault_injected();
+      // A real ENOSPC surfaces mid-write; model it as a partial write that
+      // the protocol then discards.
+      write_all(fd.fd, content.data(), content.size() / 2);
+      fail("write", write_fault.error_number);
+      break;
+    case FaultAction::Kind::kTear:
+      count_fault_injected();
+      write_all(fd.fd, content.data(),
+                std::min(write_fault.bytes, content.size()));
+      fail("write", write_fault.error_number);
+      break;
+    case FaultAction::Kind::kTearCommit: {
+      // The lost-write-after-rename failure mode: the torn prefix is
+      // committed under the final name and reported as success. Only the
+      // envelope CRC can catch this at read time.
+      count_fault_injected();
+      static obs::Counter& torn = obs::counter("io.fault.torn_commits");
+      torn.add();
+      write_all(fd.fd, content.data(),
+                std::min(write_fault.bytes, content.size()));
+      ::close(fd.release());
+      if (::rename(tmp.c_str(), path.c_str()) != 0) fail("rename", errno);
+      return;
+    }
+    case FaultAction::Kind::kShortRead:
+    case FaultAction::Kind::kNone:
+      if (!write_all(fd.fd, content.data(), content.size())) {
+        fail("write", errno);
+      }
+      break;
+  }
+
+  try {
+    fsync_or_throw(fd.fd, tmp);
+  } catch (const IoError&) {
+    failures.add();
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd.release());
+
+  const FaultAction rename_fault = FaultFs::instance().next("rename");
+  if (rename_fault.kind == FaultAction::Kind::kErrno) {
+    count_fault_injected();
+    static obs::Counter& c = obs::counter("io.rename.failures");
+    c.add();
+    fail("rename", rename_fault.error_number);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    static obs::Counter& c = obs::counter("io.rename.failures");
+    c.add();
+    fail("rename", errno);
+  }
+
+  try {
+    fsync_parent_dir(path);
+  } catch (const IoError&) {
+    // The content is committed under its final name; a failed directory
+    // fsync can only lose the rename across a power cut, which the
+    // generation/rescan protocols tolerate. Surface it to the caller so the
+    // service can degrade, but do not unlink the (complete) file.
+    failures.add();
+    throw;
+  }
+}
+
+std::string read_file_or_throw(const std::string& path) {
+  Fd fd;
+  fd.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd.fd < 0) {
+    // Same contract as the old util::read_file_or_throw: a missing file is
+    // a ParseError, which "no checkpoint yet" paths already treat as benign.
+    throw util::ParseError("cannot open file", path, 0);
+  }
+  std::string content;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd.fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io_error("read", path, errno);
+    }
+    if (n == 0) break;
+    content.append(buf, static_cast<std::size_t>(n));
+  }
+  const FaultAction fault = FaultFs::instance().next("read");
+  if (fault.kind == FaultAction::Kind::kErrno) {
+    count_fault_injected();
+    throw_io_error("read", path, fault.error_number);
+  }
+  if (fault.kind == FaultAction::Kind::kShortRead) {
+    count_fault_injected();
+    static obs::Counter& c = obs::counter("io.read.short_reads");
+    c.add();
+    if (fault.bytes < content.size()) content.resize(fault.bytes);
+  }
+  return content;
+}
+
+void rename_file(const std::string& from, const std::string& to) {
+  const FaultAction fault = FaultFs::instance().next("rename");
+  if (fault.kind == FaultAction::Kind::kErrno) {
+    count_fault_injected();
+    static obs::Counter& c = obs::counter("io.rename.failures");
+    c.add();
+    throw_io_error("rename", from + " -> " + to, fault.error_number);
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    static obs::Counter& c = obs::counter("io.rename.failures");
+    c.add();
+    throw_io_error("rename", from + " -> " + to, errno);
+  }
+}
+
+bool try_rename(const std::string& from, const std::string& to) {
+  const FaultAction fault = FaultFs::instance().next("rename");
+  if (fault.kind == FaultAction::Kind::kErrno) {
+    count_fault_injected();
+    static obs::Counter& c = obs::counter("io.rename.failures");
+    c.add();
+    return false;
+  }
+  return ::rename(from.c_str(), to.c_str()) == 0;
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  Fd fd;
+  fd.fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd.fd < 0) return;  // e.g. a filesystem that refuses directory opens
+  fsync_or_throw(fd.fd, dir);
+}
+
+}  // namespace minergy::io

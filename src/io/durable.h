@@ -1,0 +1,85 @@
+// Durable whole-file writes and reads with typed storage errors.
+//
+// Every persisted artifact in the tree (checkpoints, spool job files,
+// result envelopes, batch reports, run reports, health.json) goes through
+// this one write path:
+//
+//   atomic_write_durable(path, content)
+//     1. write path.tmp (O_TRUNC)
+//     2. fsync(path.tmp)          — data reaches the platter before ...
+//     3. rename(path.tmp, path)   — ... the name ever points at it
+//     4. fsync(parent directory)  — the rename itself is durable
+//
+// A crash or power cut between any two steps leaves either the old file or
+// the complete new file — never a torn one. Skipping step 2 is the classic
+// lost-write bug: the rename commits a name whose blocks may never land
+// (FaultFs's tearcommit effect simulates exactly that).
+//
+// Failures are typed, not stringly: ENOSPC/EDQUOT throw DiskFullError (the
+// service maps it to admission backpressure and a degraded health state),
+// everything else throws IoError carrying the op, path, and errno. Both
+// paths unlink the temp file so a failed write leaves no litter.
+//
+// All syscalls consult io::FaultFs first, so tests can schedule the Nth
+// write/fsync/rename to fail, tear, or short-read deterministically.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace minergy::io {
+
+// A storage operation failed. `op` is the logical step ("write", "fsync",
+// "rename", "read", "open"), `path` the file involved, `error_number` the
+// errno (0 when the kernel did not supply one).
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& op, const std::string& path, int error_number);
+
+  const std::string& op() const { return op_; }
+  const std::string& path() const { return path_; }
+  int error_number() const { return error_number_; }
+
+ private:
+  std::string op_;
+  std::string path_;
+  int error_number_;
+};
+
+// The disk (or quota) is full: ENOSPC / EDQUOT. Callers that can shed load
+// (spool admission) or degrade gracefully (the supervisor) catch this
+// subtype specifically.
+class DiskFullError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+// Throws DiskFullError for ENOSPC/EDQUOT, IoError otherwise.
+[[noreturn]] void throw_io_error(const std::string& op, const std::string& path,
+                                 int error_number);
+
+// The full temp → fsync → rename → fsync-parent protocol described above.
+void atomic_write_durable(const std::string& path, std::string_view content);
+
+// Whole-file read (FaultFs "read" op; a scheduled short=K delivers a
+// truncated prefix, which the envelope verifier then classifies). Throws
+// util::ParseError("cannot open file") on a missing file — same contract
+// as the old util::read_file_or_throw so "no checkpoint yet" handling is
+// unchanged — and IoError on a read that fails mid-flight.
+std::string read_file_or_throw(const std::string& path);
+
+// rename(2) with fault consultation; throws IoError on failure.
+void rename_file(const std::string& from, const std::string& to);
+
+// rename(2) returning success/failure instead of throwing — for claim-by-
+// rename races where losing is normal. Injected rename faults report as
+// failure (the caller treats it as a lost race and moves on).
+bool try_rename(const std::string& from, const std::string& to);
+
+// fsync the directory containing `path` (best effort on filesystems that
+// refuse O_RDONLY directory fsync; throws IoError only on injected faults
+// or genuine fsync failure).
+void fsync_parent_dir(const std::string& path);
+
+}  // namespace minergy::io

@@ -1,0 +1,168 @@
+#include "io/envelope.h"
+
+#include <array>
+#include <cstdio>
+
+#include "io/durable.h"
+#include "obs/metrics.h"
+
+namespace minergy::io {
+
+namespace {
+
+const char* kind_name(IntegrityError::Kind kind) {
+  switch (kind) {
+    case IntegrityError::Kind::kTruncated:
+      return "truncated";
+    case IntegrityError::Kind::kCorrupt:
+      return "corrupt";
+    case IntegrityError::Kind::kSchemaMismatch:
+      return "schema-mismatch";
+  }
+  return "unknown";
+}
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void count_rejection(IntegrityError::Kind kind) {
+  static obs::Counter& truncated =
+      obs::counter("io.envelope.rejected.truncated");
+  static obs::Counter& corrupt = obs::counter("io.envelope.rejected.corrupt");
+  static obs::Counter& schema =
+      obs::counter("io.envelope.rejected.schema_mismatch");
+  switch (kind) {
+    case IntegrityError::Kind::kTruncated:
+      truncated.add();
+      break;
+    case IntegrityError::Kind::kCorrupt:
+      corrupt.add();
+      break;
+    case IntegrityError::Kind::kSchemaMismatch:
+      schema.add();
+      break;
+  }
+}
+
+[[noreturn]] void reject(IntegrityError::Kind kind, const std::string& what,
+                         const std::string& path) {
+  count_rejection(kind);
+  throw IntegrityError(kind, what, path);
+}
+
+}  // namespace
+
+IntegrityError::IntegrityError(Kind kind, const std::string& what,
+                               const std::string& file)
+    : util::ParseError(std::string("artifact envelope ") + kind_name(kind) +
+                           ": " + what,
+                       file, 0),
+      kind_(kind) {}
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+std::string wrap_envelope(std::string_view payload, std::string_view schema) {
+  std::string doc(payload);
+  if (doc.empty() || doc.back() != '\n') doc += '\n';
+  char footer[160];
+  std::snprintf(footer, sizeof footer, "%.*sschema=%.*s len=%010zu crc32=%08x\n",
+                static_cast<int>(kEnvelopeMagic.size()), kEnvelopeMagic.data(),
+                static_cast<int>(schema.size()), schema.data(), doc.size(),
+                crc32(doc));
+  doc += footer;
+  return doc;
+}
+
+bool has_envelope_footer(std::string_view text) {
+  if (text.empty() || text.back() != '\n') return false;
+  const std::size_t line_start = text.rfind('\n', text.size() - 2);
+  const std::string_view last_line =
+      line_start == std::string_view::npos
+          ? text
+          : text.substr(line_start + 1);
+  return last_line.substr(0, kEnvelopeMagic.size()) == kEnvelopeMagic;
+}
+
+std::string unwrap_envelope(std::string_view text,
+                            std::string_view expected_schema,
+                            const std::string& path) {
+  if (text.empty()) {
+    reject(IntegrityError::Kind::kTruncated, "file is empty", path);
+  }
+  if (text.back() != '\n') {
+    reject(IntegrityError::Kind::kTruncated,
+           "footer line is cut (no trailing newline)", path);
+  }
+  const std::size_t line_start = text.rfind('\n', text.size() - 2);
+  const std::size_t footer_at =
+      line_start == std::string_view::npos ? 0 : line_start + 1;
+  const std::string_view footer =
+      text.substr(footer_at, text.size() - footer_at - 1);  // sans '\n'
+  if (footer.substr(0, kEnvelopeMagic.size()) != kEnvelopeMagic) {
+    reject(IntegrityError::Kind::kTruncated,
+           "no envelope footer (artifact truncated before the footer line)",
+           path);
+  }
+  char schema_buf[96];
+  std::size_t len = 0;
+  unsigned crc = 0;
+  const std::string footer_text(footer.substr(kEnvelopeMagic.size()));
+  if (std::sscanf(footer_text.c_str(), "schema=%95s len=%zu crc32=%x",
+                  schema_buf, &len, &crc) != 3) {
+    reject(IntegrityError::Kind::kTruncated,
+           "malformed envelope footer '" + footer_text + "'", path);
+  }
+  const std::string_view payload = text.substr(0, footer_at);
+  if (payload.size() != len) {
+    reject(IntegrityError::Kind::kTruncated,
+           "payload is " + std::to_string(payload.size()) +
+               " byte(s), footer recorded " + std::to_string(len),
+           path);
+  }
+  const std::uint32_t actual = crc32(payload);
+  if (actual != static_cast<std::uint32_t>(crc)) {
+    char msg[96];
+    std::snprintf(msg, sizeof msg,
+                  "crc32 %08x does not match footer %08x (bit rot)", actual,
+                  crc);
+    reject(IntegrityError::Kind::kCorrupt, msg, path);
+  }
+  if (!expected_schema.empty() && schema_buf != expected_schema) {
+    reject(IntegrityError::Kind::kSchemaMismatch,
+           "artifact schema '" + std::string(schema_buf) +
+               "' does not match expected '" + std::string(expected_schema) +
+               "'",
+           path);
+  }
+  static obs::Counter& verified = obs::counter("io.envelope.verified");
+  verified.add();
+  return std::string(payload);
+}
+
+std::string read_artifact(const std::string& path,
+                          std::string_view expected_schema) {
+  return unwrap_envelope(read_file_or_throw(path), expected_schema, path);
+}
+
+void write_artifact(const std::string& path, std::string_view schema,
+                    std::string_view payload) {
+  atomic_write_durable(path, wrap_envelope(payload, schema));
+}
+
+}  // namespace minergy::io

@@ -1,0 +1,143 @@
+#include "io/fault_fs.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace minergy::io {
+
+namespace {
+
+std::uint64_t parse_count(const std::string& text, const std::string& spec) {
+  if (text.empty()) {
+    throw std::invalid_argument("inject-io: missing call count in '" + spec +
+                                "'");
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v == 0) {
+    throw std::invalid_argument("inject-io: bad call count '" + text +
+                                "' in '" + spec + "' (want a 1-based integer)");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::size_t parse_bytes(const std::string& text, const std::string& spec) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0') {
+    throw std::invalid_argument("inject-io: bad byte count '" + text +
+                                "' in '" + spec + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+FaultFs& FaultFs::instance() {
+  static FaultFs fs;
+  return fs;
+}
+
+void FaultFs::configure(const std::string& spec) {
+  std::vector<Rule> rules;
+  for (const std::string& part : util::split(spec, ',')) {
+    const std::string directive{util::trim(part)};
+    if (directive.empty()) continue;
+    const std::size_t at = directive.find('@');
+    const std::size_t colon = directive.find(':', at == std::string::npos
+                                                        ? 0
+                                                        : at + 1);
+    if (at == std::string::npos || colon == std::string::npos) {
+      throw std::invalid_argument(
+          "inject-io: expected <op>@<N>:<effect>, got '" + directive + "'");
+    }
+    Rule rule;
+    rule.op = directive.substr(0, at);
+    if (rule.op != "write" && rule.op != "fsync" && rule.op != "rename" &&
+        rule.op != "read") {
+      throw std::invalid_argument("inject-io: unknown op '" + rule.op +
+                                  "' in '" + directive +
+                                  "' (want write|fsync|rename|read)");
+    }
+    rule.at = parse_count(directive.substr(at + 1, colon - at - 1), directive);
+    const std::string effect = directive.substr(colon + 1);
+    const std::size_t eq = effect.find('=');
+    const std::string name =
+        eq == std::string::npos ? effect : effect.substr(0, eq);
+    const std::string arg =
+        eq == std::string::npos ? std::string() : effect.substr(eq + 1);
+    if (name == "enospc") {
+      rule.action.kind = FaultAction::Kind::kErrno;
+      rule.action.error_number = ENOSPC;
+    } else if (name == "eio") {
+      rule.action.kind = FaultAction::Kind::kErrno;
+      rule.action.error_number = EIO;
+    } else if (name == "tear") {
+      rule.action.kind = FaultAction::Kind::kTear;
+      rule.action.error_number = EIO;
+      rule.action.bytes = parse_bytes(arg, directive);
+    } else if (name == "tearcommit") {
+      rule.action.kind = FaultAction::Kind::kTearCommit;
+      rule.action.bytes = parse_bytes(arg, directive);
+    } else if (name == "short") {
+      rule.action.kind = FaultAction::Kind::kShortRead;
+      rule.action.bytes = parse_bytes(arg, directive);
+    } else {
+      throw std::invalid_argument(
+          "inject-io: unknown effect '" + effect + "' in '" + directive +
+          "' (want enospc|eio|tear=K|tearcommit=K|short=K)");
+    }
+    if ((rule.action.kind == FaultAction::Kind::kTear ||
+         rule.action.kind == FaultAction::Kind::kTearCommit) &&
+        rule.op != "write") {
+      throw std::invalid_argument("inject-io: '" + name +
+                                  "' applies to write, not " + rule.op);
+    }
+    if (rule.action.kind == FaultAction::Kind::kShortRead &&
+        rule.op != "read") {
+      throw std::invalid_argument("inject-io: 'short' applies to read, not " +
+                                  rule.op);
+    }
+    rules.push_back(std::move(rule));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = rules.empty() ? std::string() : spec;
+  rules_ = std::move(rules);
+  counts_.clear();
+}
+
+FaultAction FaultFs::next(const char* op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rules_.empty()) return {};
+  std::uint64_t* count = nullptr;
+  for (auto& [name, n] : counts_) {
+    if (name == op) {
+      count = &n;
+      break;
+    }
+  }
+  if (count == nullptr) {
+    counts_.emplace_back(op, 0);
+    count = &counts_.back().second;
+  }
+  ++*count;
+  for (Rule& rule : rules_) {
+    if (!rule.fired && rule.op == op && rule.at == *count) {
+      rule.fired = true;
+      return rule.action;
+    }
+  }
+  return {};
+}
+
+void FaultFs::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_.clear();
+  rules_.clear();
+  counts_.clear();
+}
+
+}  // namespace minergy::io

@@ -1,0 +1,90 @@
+// Process-wide storage-fault injection for the durable I/O layer.
+//
+// Every logical storage operation the io layer performs — a whole-file
+// write, an fsync (file or parent directory), a rename, a whole-file read —
+// consults FaultFs before touching the kernel. A configured schedule can
+// fail the Nth call of an op with ENOSPC/EIO, tear a write at a byte
+// offset, commit a torn write as if it had succeeded (the lost-write-after-
+// rename failure mode that fsync discipline exists to prevent), or deliver
+// a short read. Counting is per-process and per-op, so a given spec
+// reproduces byte-for-byte — the same philosophy as serve/inject.h's
+// SIGKILL points, extended from process death to storage death.
+//
+// Spec grammar (comma-separated directives):
+//
+//   <op>@<N>:<effect>
+//
+//   op      write | fsync | rename | read
+//   N       1-based call count of that op within this process
+//   effect  enospc           fail with ENOSPC (typed io::DiskFullError)
+//           eio              fail with EIO (typed io::IoError)
+//           tear=<K>         write only the first K bytes, then fail (EIO);
+//                            the atomic-rename protocol discards the torn
+//                            temp file (write op only)
+//           tearcommit=<K>   write only the first K bytes but report
+//                            success — the final file lands torn, as after
+//                            a power cut on a non-ordered filesystem
+//                            (write op only)
+//           short=<K>        deliver only the first K bytes (read op only)
+//
+// Example: --inject-io=write@3:enospc,fsync@1:eio,read@2:short=17
+//
+// A directive fires exactly once, at its exact count. In a normal run no
+// schedule is configured and next() is a single branch on an empty vector.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace minergy::io {
+
+// The fault scheduled for one specific op call (kNone = proceed normally).
+struct FaultAction {
+  enum class Kind { kNone, kErrno, kTear, kTearCommit, kShortRead };
+  Kind kind = Kind::kNone;
+  int error_number = 0;    // for kErrno (kTear implies EIO)
+  std::size_t bytes = 0;   // tear offset / short-read length
+};
+
+class FaultFs {
+ public:
+  static FaultFs& instance();
+
+  // Installs a schedule from the spec grammar above; "" disarms. Throws
+  // std::invalid_argument on a malformed spec (unknown op/effect, bad
+  // count) so CLI callers can map it to a usage error.
+  void configure(const std::string& spec);
+
+  // The configured spec verbatim ("" when disarmed) — used to propagate the
+  // schedule into spawned worker processes, exactly like the kill switch.
+  const std::string& spec() const { return spec_; }
+
+  bool armed() const { return !rules_.empty(); }
+
+  // Consulted once per logical op; bumps the per-op call count and returns
+  // the fault scheduled for this call (each directive fires at most once).
+  FaultAction next(const char* op);
+
+  // Disarms and zeroes the per-op call counts (tests).
+  void reset();
+
+ private:
+  FaultFs() = default;
+
+  struct Rule {
+    std::string op;
+    std::uint64_t at = 0;
+    FaultAction action;
+    bool fired = false;
+  };
+
+  mutable std::mutex mu_;
+  std::string spec_;
+  std::vector<Rule> rules_;
+  // Per-op call counts, indexed by op name.
+  std::vector<std::pair<std::string, std::uint64_t>> counts_;
+};
+
+}  // namespace minergy::io

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/checkpoint.h"
 #include "util/json.h"
@@ -98,6 +99,21 @@ obs::RunReport read_report(const JsonValue& payload, const std::string& path) {
   return obs::RunReport::from_json(w.str(), path);
 }
 
+// A checkpoint that cannot land (full disk, flaky storage) loses
+// resumability, not correctness — the run itself is unaffected. Swallow the
+// typed storage error so an in-flight anneal survives ENOSPC, and leave a
+// counter + stderr trail so the loss is visible.
+void save_or_warn(const std::string& path, const std::string& schema,
+                  const std::string& payload_json) {
+  try {
+    util::Checkpoint::save(path, schema, payload_json);
+  } catch (const io::IoError& e) {
+    static obs::Counter& failed = obs::counter("opt.checkpoint.save_failed");
+    failed.add();
+    std::fprintf(stderr, "checkpoint: snapshot not saved: %s\n", e.what());
+  }
+}
+
 }  // namespace
 
 void AnnealCheckpoint::save(const std::string& path) const {
@@ -124,7 +140,7 @@ void AnnealCheckpoint::save(const std::string& path) const {
   w.key("report");
   write_report(w, report);
   w.end_object();
-  util::Checkpoint::save(path, kAnnealCheckpointSchema, w.str());
+  save_or_warn(path, kAnnealCheckpointSchema, w.str());
 }
 
 AnnealCheckpoint AnnealCheckpoint::load(const std::string& path) {
@@ -168,7 +184,7 @@ void JointCheckpoint::save(const std::string& path) const {
   w.key("report");
   write_report(w, report);
   w.end_object();
-  util::Checkpoint::save(path, kJointCheckpointSchema, w.str());
+  save_or_warn(path, kJointCheckpointSchema, w.str());
 }
 
 JointCheckpoint JointCheckpoint::load(const std::string& path) {

@@ -7,9 +7,11 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "io/checkpoint.h"
+#include "io/durable.h"
+#include "io/envelope.h"
 #include "obs/metrics.h"
 #include "util/check.h"
-#include "util/checkpoint.h"
 #include "util/json.h"
 
 namespace minergy::serve {
@@ -42,6 +44,14 @@ QueueFullError::QueueFullError(std::size_t depth, std::size_t limit,
                          std::to_string(retry_after_seconds) + " s"),
       depth_(depth),
       limit_(limit),
+      retry_after_(retry_after_seconds) {}
+
+QueueFullError::QueueFullError(const std::string& reason,
+                               double retry_after_seconds)
+    : std::runtime_error(reason + "; retry after " +
+                         std::to_string(retry_after_seconds) + " s"),
+      depth_(0),
+      limit_(0),
       retry_after_(retry_after_seconds) {}
 
 SpoolQueue::SpoolQueue(std::string root, SpoolOptions opts)
@@ -82,7 +92,19 @@ std::string SpoolQueue::submit(Job job) {
   }
   if (job.id.empty()) job.id = make_job_id();
   if (job.submitted_unix == 0.0) job.submitted_unix = unix_now();
-  util::atomic_write_file(job_path("pending", job.id), job.to_json());
+  try {
+    io::write_artifact(job_path("pending", job.id), kJobSchema, job.to_json());
+  } catch (const io::DiskFullError& e) {
+    // A full disk is the queue at its hardest bound: reject with the same
+    // typed backpressure as a full pending/ directory so clients retry
+    // instead of seeing an opaque write error.
+    obs::counter("serve.admission.enospc").add();
+    throw QueueFullError(std::string("disk full during admission (") +
+                             e.what() + ")",
+                         opts_.expected_job_seconds *
+                             static_cast<double>(std::max<std::size_t>(depth,
+                                                                       1)));
+  }
   obs::counter("serve.queue.submitted").add();
   return job.id;
 }
@@ -92,18 +114,20 @@ std::optional<Job> SpoolQueue::claim(double now_unix) {
     const std::string pending = job_path("pending", id);
     Job job;
     try {
-      job = Job::from_json(util::read_file_or_throw(pending), pending);
+      job = Job::from_json(io::read_artifact(pending, kJobSchema), pending);
     } catch (const util::ParseError& e) {
-      // A garbled job file must not wedge the queue head: synthesize a
-      // typed quarantine record for it and move on.
+      // A garbled job file — including an envelope verdict (truncation,
+      // bit rot, wrong schema), which is an io::IntegrityError and thus a
+      // ParseError — must not wedge the queue head: synthesize a typed
+      // quarantine record for it and move on.
       obs::counter("serve.queue.corrupt_jobs").add();
       Job corrupt;
       corrupt.id = id;
       corrupt.failure_type = "corrupt-job";
       corrupt.failure_detail = e.what();
       if (!fs::exists(job_path("quarantined", id))) {
-        util::atomic_write_file(job_path("quarantined", id),
-                                corrupt.to_json());
+        io::write_artifact(job_path("quarantined", id), kJobSchema,
+                           corrupt.to_json());
       }
       std::remove(pending.c_str());
       obs::counter("serve.jobs.quarantined").add();
@@ -111,7 +135,7 @@ std::optional<Job> SpoolQueue::claim(double now_unix) {
     }
     if (job.not_before_unix > now_unix) continue;  // backing off
     // The claim itself: exactly one claimant can win this rename.
-    if (std::rename(pending.c_str(), job_path("running", id).c_str()) != 0) {
+    if (!io::try_rename(pending, job_path("running", id))) {
       continue;  // raced by another claimant, or vanished
     }
     obs::counter("serve.queue.claimed").add();
@@ -121,13 +145,15 @@ std::optional<Job> SpoolQueue::claim(double now_unix) {
 }
 
 void SpoolQueue::update_running(const Job& job) {
-  util::atomic_write_file(job_path("running", job.id), job.to_json());
+  io::write_artifact(job_path("running", job.id), kJobSchema, job.to_json());
 }
 
 void SpoolQueue::remove_scratch(const std::string& id,
                                 bool keep_checkpoint) const {
   std::remove(result_path(id).c_str());
-  if (!keep_checkpoint) std::remove(checkpoint_path(id).c_str());
+  // Checkpoint files are generational (id.json, id.json.1, ...); remove
+  // the whole family so no stale generation survives into a later job.
+  if (!keep_checkpoint) io::Checkpoint::remove(checkpoint_path(id));
 }
 
 void SpoolQueue::write_terminal(Job job, const std::string& state,
@@ -136,7 +162,8 @@ void SpoolQueue::write_terminal(Job job, const std::string& state,
   // running/ entry, then scratch files. A crash between any two steps
   // leaves a state recovery re-finalizes idempotently (the result envelope
   // is still on disk until the very last step).
-  util::atomic_write_file(job_path(state, job.id), job.to_json(result_json));
+  io::write_artifact(job_path(state, job.id), kJobSchema,
+                     job.to_json(result_json));
   std::remove(job_path("running", job.id).c_str());
   remove_scratch(job.id, /*keep_checkpoint=*/false);
 }
@@ -177,16 +204,12 @@ void SpoolQueue::requeue(Job job, const std::string& outcome,
     job.attempts.back().outcome = outcome;
   }
   job.not_before_unix = not_before_unix;
-  if (!keep_checkpoint) std::remove(checkpoint_path(job.id).c_str());
+  if (!keep_checkpoint) io::Checkpoint::remove(checkpoint_path(job.id));
   std::remove(result_path(job.id).c_str());
   // Journal in place, then one atomic rename back to pending/ — there is
   // never an instant where the job exists in two state directories.
   update_running(job);
-  if (std::rename(job_path("running", job.id).c_str(),
-                  job_path("pending", job.id).c_str()) != 0) {
-    throw util::ParseError("requeue rename failed",
-                           job_path("running", job.id), 0);
-  }
+  io::rename_file(job_path("running", job.id), job_path("pending", job.id));
   obs::counter("serve.jobs.requeued").add();
 }
 
@@ -195,7 +218,7 @@ std::vector<Job> SpoolQueue::running_jobs() const {
   for (const std::string& id : list_ids(dir("running"))) {
     const std::string path = job_path("running", id);
     try {
-      jobs.push_back(Job::from_json(util::read_file_or_throw(path), path));
+      jobs.push_back(Job::from_json(io::read_artifact(path, kJobSchema), path));
     } catch (const util::ParseError&) {
       // update_running writes atomically, so a torn running/ record should
       // be impossible; if one appears anyway, surface it as corrupt rather
@@ -216,7 +239,10 @@ void SpoolQueue::collect_garbage() {
           fs::exists(job_path("running", id))) {
         continue;
       }
-      std::remove(job_path(scratch, id).c_str());
+      // Checkpoints are generational; remove() sweeps id.json.1/.2 (which
+      // list_ids never sees — their extension is not .json) along with the
+      // listed newest generation.
+      io::Checkpoint::remove(job_path(scratch, id));
       obs::counter("serve.queue.garbage_collected").add();
     }
   }
@@ -256,8 +282,8 @@ void SpoolQueue::write_health(const HealthInfo& info) const {
   for (const std::string& circuit : info.breaker_open) w.value(circuit);
   w.end_array();
   w.end_object();
-  util::atomic_write_file((fs::path(root_) / "health.json").string(),
-                          w.str() + "\n");
+  io::write_artifact((fs::path(root_) / "health.json").string(),
+                     "minergy.health.v1", w.str() + "\n");
 }
 
 }  // namespace minergy::serve

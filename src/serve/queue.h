@@ -39,6 +39,9 @@ class QueueFullError : public std::runtime_error {
  public:
   QueueFullError(std::size_t depth, std::size_t limit,
                  double retry_after_seconds);
+  // Admission rejected for a reason other than depth — e.g. ENOSPC while
+  // writing the job file (the disk itself is the full queue).
+  QueueFullError(const std::string& reason, double retry_after_seconds);
 
   std::size_t depth() const { return depth_; }
   std::size_t limit() const { return limit_; }

@@ -16,12 +16,16 @@
 #include <filesystem>
 #include <thread>
 
+#include <algorithm>
+
+#include "io/durable.h"
+#include "io/envelope.h"
+#include "io/fault_fs.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/inject.h"
 #include "serve/worker.h"
 #include "util/check.h"
-#include "util/checkpoint.h"
 #include "util/clock.h"
 
 namespace minergy::serve {
@@ -69,9 +73,17 @@ void Supervisor::refresh_health(const std::string& state) {
 // daemon never dispositioned. A committed result envelope means the work
 // finished — finalize it, never re-execute. Anything else is requeued with
 // its checkpoint intact so the optimizer resumes bit-exactly.
+bool Supervisor::owned_by_live_slot(const std::string& id) const {
+  return std::any_of(slots_.begin(), slots_.end(),
+                     [&id](const Slot& s) { return s.job.id == id; });
+}
+
 void Supervisor::recover() {
   const obs::Span span("serve.recover");
   for (Job& job : queue_.running_jobs()) {
+    // After a degraded-mode pause, recovery re-sweeps running/ while
+    // workers may still be alive; their jobs are not orphans.
+    if (owned_by_live_slot(job.id)) continue;
     if (job.circuit.empty()) {  // torn record (should be impossible)
       queue_.finalize_quarantined(std::move(job), "corrupt running record");
       continue;
@@ -104,8 +116,16 @@ void Supervisor::dispose_envelope(Job job) {
   std::string envelope;
   util::JsonValue env;
   try {
-    envelope = util::read_file_or_throw(path);
+    envelope = io::read_artifact(path, kJobResultSchema);
     env = util::JsonValue::parse(envelope, path);
+  } catch (const io::IntegrityError& e) {
+    // The commit point is fsynced and CRC-footed, so a verdict here means
+    // the storage really did lie (torn commit, bit rot). Treat it as a
+    // death: the retry path deletes the damaged envelope and re-runs.
+    obs::counter("serve.worker.corrupt_envelopes").add();
+    std::fprintf(stderr, "served: corrupt result envelope: %s\n", e.what());
+    handle_death(std::move(job), "error", 0, 0.0, unix_now());
+    return;
   } catch (const std::exception&) {
     // Atomic drops should never tear; treat the impossible as a death so
     // the job is retried rather than lost.
@@ -184,6 +204,11 @@ pid_t Supervisor::spawn_worker(const Job& job, std::uint64_t seed) {
   };
   if (!kill_switch_spec().empty()) {
     args.push_back("--inject-kill=" + kill_switch_spec());
+  }
+  // Storage-fault schedules propagate like the kill switch: every worker
+  // runs under the same per-process fault counters as the daemon.
+  if (io::FaultFs::instance().armed()) {
+    args.push_back("--inject-io=" + io::FaultFs::instance().spec());
   }
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
@@ -318,27 +343,83 @@ void Supervisor::drain() {
   slots_.clear();
 }
 
+// A storage fault (ENOSPC, EIO, failed fsync) anywhere in the protocol
+// must not kill the daemon: stop claiming work, advertise "degraded", and
+// probe with exponential backoff until writes land again. The queue's
+// crash-safety invariants make the abandoned loop iteration harmless — a
+// job stranded in running/ by the fault is re-swept by recover() exactly
+// like after a daemon death.
+void Supervisor::degraded_wait(const std::string& what) {
+  obs::counter("io.degraded.enter").add();
+  std::fprintf(stderr, "served: degraded (storage fault: %s); pausing "
+                       "admissions\n",
+               what.c_str());
+  try {
+    refresh_health("degraded");
+  } catch (const std::exception&) {
+    // The same fault may block the health write; the probe loop retries it.
+  }
+  double backoff = std::max(opts_.poll_seconds, 0.05);
+  while (!g_drain_requested) {
+    sleep_seconds(backoff);
+    backoff = std::min(backoff * 2.0, 5.0);
+    obs::counter("io.degraded.probes").add();
+    try {
+      // The probe is the health write itself: once it lands, monitors see a
+      // fresh "degraded" snapshot and the daemon can trust storage again.
+      refresh_health("degraded");
+      break;
+    } catch (const io::IoError&) {
+    }
+  }
+  obs::counter("io.degraded.exit").add();
+  std::fprintf(stderr, "served: storage writable again; resuming\n");
+}
+
 int Supervisor::run() {
   g_drain_requested = 0;
   install_drain_handlers();
-  refresh_health("starting");
-  recover();
-  refresh_health("serving");
+  bool started = false;
   for (;;) {
-    reap();
-    if (g_drain_requested) break;
-    spawn_ready(unix_now());
-    if (g_drain_requested) break;
-    const QueueCounts c = queue_.counts();
-    if (opts_.once && slots_.empty() && c.pending == 0) break;
-    if (util::monotonic_seconds() - last_health_monotonic_ >=
-        opts_.health_interval_seconds) {
-      refresh_health("serving");
+    try {
+      if (!started) {
+        refresh_health("starting");
+        recover();
+        started = true;
+        refresh_health("serving");
+      }
+      reap();
+      if (g_drain_requested) break;
+      spawn_ready(unix_now());
+      if (g_drain_requested) break;
+      const QueueCounts c = queue_.counts();
+      if (opts_.once && slots_.empty() && c.pending == 0) break;
+      if (util::monotonic_seconds() - last_health_monotonic_ >=
+          opts_.health_interval_seconds) {
+        refresh_health("serving");
+      }
+      sleep_seconds(opts_.poll_seconds);
+    } catch (const io::IoError& e) {
+      degraded_wait(e.what());
+      if (g_drain_requested) break;
+      // Re-run startup: recover() skips live slots and re-sweeps anything
+      // the aborted iteration stranded in running/.
+      started = false;
     }
-    sleep_seconds(opts_.poll_seconds);
   }
-  if (g_drain_requested) drain();
-  refresh_health("stopped");
+  if (g_drain_requested) {
+    try {
+      drain();
+    } catch (const io::IoError& e) {
+      // Requeue blocked by the fault: the jobs stay in running/ and the
+      // next daemon's recovery requeues them — nothing is lost.
+      std::fprintf(stderr, "served: drain degraded (%s)\n", e.what());
+    }
+  }
+  try {
+    refresh_health("stopped");
+  } catch (const io::IoError&) {
+  }
   return 0;
 }
 

@@ -73,6 +73,11 @@ class Supervisor {
   void spawn_ready(double now_unix);
   void drain();
   void refresh_health(const std::string& state);
+  // Storage-fault (ENOSPC/EIO) reaction: pause admissions, flip health.json
+  // to "degraded", and probe with exponential backoff until a write lands
+  // again (or a drain is requested). See docs/ROBUSTNESS.md.
+  void degraded_wait(const std::string& what);
+  bool owned_by_live_slot(const std::string& id) const;
 
   void dispose_envelope(Job job);
   void handle_death(Job job, const std::string& outcome, int exit_code,

@@ -15,9 +15,10 @@
 #include "opt/evaluator.h"
 #include "opt/joint_optimizer.h"
 #include "opt/robust_optimizer.h"
+#include "io/checkpoint.h"
+#include "io/envelope.h"
 #include "serve/inject.h"
 #include "util/check.h"
-#include "util/checkpoint.h"
 #include "util/guard.h"
 #include "util/json.h"
 
@@ -38,7 +39,7 @@ void write_error_envelope(const Job& job, const std::string& result_path,
   w.kv("error_type", type);
   w.kv("detail", detail);
   w.end_object();
-  util::atomic_write_file(result_path, w.str() + "\n");
+  io::write_artifact(result_path, kJobResultSchema, w.str() + "\n");
 }
 
 }  // namespace
@@ -75,8 +76,10 @@ int run_worker_job(const Job& job, std::uint64_t seed,
   if (job.deadline_seconds > 0.0) budget.wall_seconds = job.deadline_seconds;
   budget.max_evaluations = job.max_evaluations;
 
-  const bool resuming = !checkpoint_path.empty() &&
-                        std::filesystem::exists(checkpoint_path);
+  // exists() checks every generation, so a torn newest snapshot still
+  // enters the resume path and falls back to an older intact generation.
+  const bool resuming =
+      !checkpoint_path.empty() && io::Checkpoint::exists(checkpoint_path);
 
   opt::OptimizationResult result;
   double skew_b = 0.95;
@@ -158,9 +161,10 @@ int run_worker_job(const Job& job, std::uint64_t seed,
   w.key("certificate");
   util::emit(w, util::JsonValue::parse(cert.to_json(0), "<certificate>"));
   w.end_object();
-  // The envelope drop is the worker's commit point: atomic, so the parent
-  // (or recovery after a daemon death) sees either nothing or everything.
-  util::atomic_write_file(result_path, w.str() + "\n");
+  // The envelope drop is the worker's commit point: atomic + fsynced +
+  // CRC-footed, so the parent (or recovery after a daemon death) sees
+  // nothing, or everything, or a verifiably damaged file it can retry.
+  io::write_artifact(result_path, kJobResultSchema, w.str() + "\n");
   return 0;
 } catch (const util::ParseError& e) {
   write_error_envelope(job, result_path, "parse-error", e.what());

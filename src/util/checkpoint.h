@@ -1,44 +1,38 @@
-// Crash-safe checkpoint files.
+// Crash-safe checkpoint files — forwarding header.
 //
-// Long runs (annealing passes, batch sweeps over a circuit suite) must
-// survive being killed mid-flight: a checkpoint is a small JSON envelope
+// The real implementation moved to src/io/ when the durable I/O layer was
+// introduced: writes now fsync the file and its parent directory, carry a
+// CRC32 artifact-envelope footer, and keep io::Checkpoint::kGenerations
+// last-good generations with generation-by-generation resume fallback
+// (see io/checkpoint.h and docs/ROBUSTNESS.md, "Durability & integrity").
 //
-//   { "schema": "minergy.anneal_checkpoint.v1", "payload": { ... } }
-//
-// written atomically (temp file in the same directory, then rename) so a
-// crash during the write never leaves a torn file — the previous snapshot
-// stays intact. The payload encoding belongs to the owner of the schema
-// (see opt/checkpoint.h for the optimizer payloads); this layer only
-// guarantees atomic replacement and schema-checked loading.
+// This header keeps the historical util:: spellings alive so checkpoint
+// owners (opt/checkpoint.*) and older call sites compile unchanged while
+// transparently gaining the durable path. New code should include the io/
+// headers directly.
 #pragma once
 
 #include <string>
 #include <string_view>
 
-#include "util/json.h"
+#include "io/checkpoint.h"
+#include "io/durable.h"
+#include "io/envelope.h"
 
 namespace minergy::util {
 
-// Atomically replaces `path` with `content`: writes `path + ".tmp"`, flushes,
-// then renames over the target. Throws ParseError (file context) on I/O
-// failure.
-void atomic_write_file(const std::string& path, std::string_view content);
+// Atomic, durable whole-file replace (temp -> fsync -> rename -> fsync
+// parent dir). Throws io::IoError / io::DiskFullError on storage failure.
+inline void atomic_write_file(const std::string& path,
+                              std::string_view content) {
+  io::atomic_write_durable(path, content);
+}
 
 // Whole-file read; throws ParseError when the file cannot be opened.
-std::string read_file_or_throw(const std::string& path);
+inline std::string read_file_or_throw(const std::string& path) {
+  return io::read_file_or_throw(path);
+}
 
-struct Checkpoint {
-  // Writes { "schema": schema, "payload": <payload_json> } atomically.
-  // `payload_json` must be a complete JSON value (normally an object built
-  // with JsonWriter).
-  static void save(const std::string& path, const std::string& schema,
-                   const std::string& payload_json);
-
-  // Loads `path`, validates the envelope and the schema name, and returns
-  // the payload node. Throws ParseError on a missing/torn file or a schema
-  // mismatch — a caller can treat that as "start fresh" or as a hard error.
-  static JsonValue load(const std::string& path,
-                        const std::string& expected_schema);
-};
+using Checkpoint = io::Checkpoint;
 
 }  // namespace minergy::util

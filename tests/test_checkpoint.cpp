@@ -55,15 +55,22 @@ struct Harness {
   CircuitEvaluator eval;
 };
 
-// Unique-per-test scratch file, removed on destruction.
+// Unique-per-test scratch file, removed on destruction (checkpoints now
+// keep rotated generations, so those go too).
 struct ScratchFile {
   explicit ScratchFile(const std::string& stem)
       : path((std::filesystem::temp_directory_path() /
               ("minergy_test_" + stem + ".json"))
                  .string()) {
-    std::remove(path.c_str());
+    cleanup();
   }
-  ~ScratchFile() { std::remove(path.c_str()); }
+  ~ScratchFile() { cleanup(); }
+  void cleanup() const {
+    for (const std::string& p :
+         {path, path + ".1", path + ".2", path + ".tmp"}) {
+      std::remove(p.c_str());
+    }
+  }
   std::string path;
 };
 
@@ -293,10 +300,25 @@ TEST(ResumeRejection, AnnealFallsBackToFreshRunOnCorruptSnapshot) {
   obs::set_enabled(true);
   obs::Counter& rejected = obs::counter("opt.checkpoint.resume_rejected");
 
+  // The dangerous corruptions are the ones that still parse as JSON: the
+  // artifact footer is the file's final line, so stripping it leaves the
+  // complete, parseable payload (exactly what a torn write used to smuggle
+  // past the old checkpoint loader), and flipping one payload byte keeps
+  // the document well-formed while the CRC no longer matches.
+  const std::size_t footer_start = intact.rfind('\n', intact.size() - 2) + 1;
+  ASSERT_TRUE(intact.substr(footer_start).starts_with("#MINERGY1"));
+  const std::string parseable_truncation = intact.substr(0, footer_start);
+  std::string bit_rotted = intact;
+  const std::size_t digit = bit_rotted.find_first_of("0123456789");
+  ASSERT_NE(digit, std::string::npos);
+  bit_rotted[digit] = bit_rotted[digit] == '7' ? '8' : '7';
+
   ScratchFile bad("resume_rej_bad");
   int case_no = 0;
   for (const std::string& text :
-       {intact.substr(0, intact.size() / 2),    // truncated mid-document
+       {parseable_truncation,                   // valid JSON, footer gone
+        bit_rotted,                             // valid JSON, CRC mismatch
+        intact.substr(0, intact.size() / 2),    // truncated mid-document
         std::string("!!! not json at all"),     // garbage
         std::string()}) {                       // empty file
     SCOPED_TRACE("corruption case " + std::to_string(case_no++));

@@ -1,0 +1,431 @@
+// Durable I/O layer: artifact envelopes (CRC footer, typed integrity
+// verdicts), the atomic temp/fsync/rename write protocol under injected
+// storage faults, generational checkpoint fallback, and the exhaustive
+// byte-offset truncation sweeps — every possible torn prefix of a real
+// anneal checkpoint and a real spool job must land in a clean last-good
+// recovery or a typed IntegrityError, never in silently-accepted junk.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "io/checkpoint.h"
+#include "io/durable.h"
+#include "io/envelope.h"
+#include "io/fault_fs.h"
+#include "obs/metrics.h"
+#include "opt/checkpoint.h"
+#include "serve/job.h"
+#include "serve/queue.h"
+#include "util/check.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace minergy::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Every test that arms FaultFs must disarm it on exit; the schedule is
+// process-wide and would otherwise leak into later tests in this binary.
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec) {
+    FaultFs::instance().configure(spec);
+  }
+  ~FaultGuard() { FaultFs::instance().reset(); }
+};
+
+struct ScratchDir {
+  explicit ScratchDir(const std::string& stem)
+      : path((fs::temp_directory_path() / ("minergy_io_" + stem)).string()) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  std::string file(const std::string& name) const {
+    return (fs::path(path) / name).string();
+  }
+  std::string path;
+};
+
+void write_raw(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << text;
+}
+
+std::string read_raw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Classifies `text` through the verifier; kNone-equivalent is reported by
+// returning no value (the caller EXPECTs success separately).
+IntegrityError::Kind kind_of(const std::string& text,
+                             const std::string& schema) {
+  try {
+    unwrap_envelope(text, schema, "test");
+  } catch (const IntegrityError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected an IntegrityError";
+  return IntegrityError::Kind::kTruncated;
+}
+
+// ----------------------------------------------------------------- crc32
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The standard CRC-32 (IEEE 802.3 / zlib) check values.
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+// -------------------------------------------------------------- envelope
+
+TEST(Envelope, WrapUnwrapRoundTripsAndAppendsNewline) {
+  const std::string payload = "{\"answer\": 42}";  // no trailing newline
+  const std::string enveloped = wrap_envelope(payload, "minergy.test.v1");
+  EXPECT_TRUE(has_envelope_footer(enveloped));
+  EXPECT_FALSE(has_envelope_footer(payload));
+  // The payload comes back newline-terminated (head -n -1 compatibility).
+  EXPECT_EQ(unwrap_envelope(enveloped, "minergy.test.v1", "t"),
+            payload + "\n");
+  // "" accepts any schema id.
+  EXPECT_EQ(unwrap_envelope(enveloped, "", "t"), payload + "\n");
+}
+
+TEST(Envelope, ClassifiesTruncationBitRotAndSchemaMismatch) {
+  const std::string full = wrap_envelope("{\"a\": 1}\n", "minergy.test.v1");
+
+  // Truncation: empty file, cut footer, or footer missing entirely.
+  EXPECT_EQ(kind_of("", "minergy.test.v1"), IntegrityError::Kind::kTruncated);
+  EXPECT_EQ(kind_of(full.substr(0, full.size() - 1), "minergy.test.v1"),
+            IntegrityError::Kind::kTruncated);
+  const std::size_t footer_start = full.rfind('\n', full.size() - 2) + 1;
+  EXPECT_EQ(kind_of(full.substr(0, footer_start), "minergy.test.v1"),
+            IntegrityError::Kind::kTruncated);
+
+  // Bit rot: the payload differs but the footer is intact.
+  std::string rotted = full;
+  rotted[2] = rotted[2] == 'a' ? 'b' : 'a';
+  EXPECT_EQ(kind_of(rotted, "minergy.test.v1"),
+            IntegrityError::Kind::kCorrupt);
+
+  // Schema mismatch: a perfectly intact artifact of the wrong kind.
+  EXPECT_EQ(kind_of(full, "minergy.other.v1"),
+            IntegrityError::Kind::kSchemaMismatch);
+}
+
+TEST(Envelope, EveryProperPrefixIsRejected) {
+  const std::string full =
+      wrap_envelope("{\"x\": [1, 2, 3], \"y\": \"abc\"}\n", "minergy.test.v1");
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    SCOPED_TRACE("prefix length " + std::to_string(cut));
+    EXPECT_THROW(unwrap_envelope(full.substr(0, cut), "minergy.test.v1", "t"),
+                 IntegrityError);
+  }
+  EXPECT_NO_THROW(unwrap_envelope(full, "minergy.test.v1", "t"));
+}
+
+TEST(Envelope, WriteReadArtifactRoundTripsOnDisk) {
+  ScratchDir dir("artifact");
+  const std::string path = dir.file("a.json");
+  write_artifact(path, "minergy.test.v1", "{\"k\": true}");
+  EXPECT_TRUE(has_envelope_footer(read_raw(path)));
+  EXPECT_EQ(read_artifact(path, "minergy.test.v1"), "{\"k\": true}\n");
+  EXPECT_THROW(read_artifact(path, "minergy.other.v1"), IntegrityError);
+  // A missing file keeps the legacy "no artifact yet" contract.
+  EXPECT_THROW(read_artifact(dir.file("nope.json"), ""), util::ParseError);
+}
+
+// --------------------------------------------------------------- FaultFs
+
+TEST(FaultSpec, MalformedSpecsThrowValidSpecsRoundTrip) {
+  FaultFs& f = FaultFs::instance();
+  for (const char* bad :
+       {"write@0:enospc",      // counts are 1-based
+        "bogus@1:eio",         // unknown op
+        "write@1:flood",       // unknown effect
+        "write:enospc",        // missing count
+        "write@x:eio",         // non-numeric count
+        "read@1:tear=4",       // tear is write-only
+        "write@1:short=4",     // short is read-only
+        "write@1"}) {          // missing effect
+    SCOPED_TRACE(bad);
+    EXPECT_THROW(f.configure(bad), std::invalid_argument);
+    EXPECT_FALSE(f.armed());
+  }
+  f.configure("write@2:enospc, fsync@1:eio");
+  EXPECT_TRUE(f.armed());
+  EXPECT_EQ(f.spec(), "write@2:enospc, fsync@1:eio");
+  f.reset();
+  EXPECT_FALSE(f.armed());
+  EXPECT_EQ(f.spec(), "");
+}
+
+// ---------------------------------------------- durable writes under fault
+
+TEST(DurableWrite, EnospcIsTypedAndPreservesThePreviousFile) {
+  obs::set_enabled(true);
+  ScratchDir dir("enospc");
+  const std::string path = dir.file("f.json");
+  atomic_write_durable(path, "old\n");
+  const std::int64_t injected_before =
+      obs::counter("io.fault.injected").value();
+
+  FaultGuard faults("write@1:enospc");
+  EXPECT_THROW(atomic_write_durable(path, "new\n"), DiskFullError);
+  EXPECT_EQ(read_raw(path), "old\n") << "failed write damaged the old file";
+  EXPECT_FALSE(fs::exists(path + ".tmp")) << "temp-file litter";
+  EXPECT_EQ(obs::counter("io.fault.injected").value(), injected_before + 1);
+}
+
+TEST(DurableWrite, FsyncAndRenameFaultsPreserveThePreviousFile) {
+  ScratchDir dir("fsync_rename");
+  const std::string path = dir.file("f.json");
+  atomic_write_durable(path, "old\n");
+  {
+    FaultGuard faults("fsync@1:eio");
+    try {
+      atomic_write_durable(path, "new\n");
+      FAIL() << "injected fsync fault did not throw";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.op(), "fsync");
+      EXPECT_FALSE(dynamic_cast<const DiskFullError*>(&e));
+    }
+  }
+  EXPECT_EQ(read_raw(path), "old\n");
+  {
+    FaultGuard faults("rename@1:eio");
+    try {
+      atomic_write_durable(path, "new\n");
+      FAIL() << "injected rename fault did not throw";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.op(), "rename");
+    }
+  }
+  EXPECT_EQ(read_raw(path), "old\n");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(DurableWrite, TornWriteIsDiscardedTornCommitIsCaughtByTheReader) {
+  obs::set_enabled(true);
+  ScratchDir dir("tear");
+  const std::string path = dir.file("f.json");
+  write_artifact(path, "minergy.test.v1", "{\"v\": 1}");
+
+  // tear=K: the protocol discards the torn temp file; the old artifact
+  // survives untouched.
+  {
+    FaultGuard faults("write@1:tear=5");
+    EXPECT_THROW(write_artifact(path, "minergy.test.v1", "{\"v\": 2}"),
+                 IoError);
+  }
+  EXPECT_EQ(read_artifact(path, "minergy.test.v1"), "{\"v\": 1}\n");
+
+  // tearcommit=K: the write lies — reports success with a torn file under
+  // the final name (a power cut on a non-ordered filesystem). Only the
+  // envelope can catch this, at read time, as a truncation.
+  const std::int64_t torn_before =
+      obs::counter("io.fault.torn_commits").value();
+  {
+    FaultGuard faults("write@1:tearcommit=9");
+    EXPECT_NO_THROW(write_artifact(path, "minergy.test.v1", "{\"v\": 3}"));
+  }
+  EXPECT_EQ(obs::counter("io.fault.torn_commits").value(), torn_before + 1);
+  try {
+    read_artifact(path, "minergy.test.v1");
+    FAIL() << "torn-committed artifact passed verification";
+  } catch (const IntegrityError& e) {
+    EXPECT_EQ(e.kind(), IntegrityError::Kind::kTruncated);
+  }
+}
+
+TEST(DurableRead, ShortReadClassifiesAsTruncation) {
+  obs::set_enabled(true);
+  ScratchDir dir("short");
+  const std::string path = dir.file("f.json");
+  write_artifact(path, "minergy.test.v1", "{\"v\": 1}");
+  const std::int64_t shorts_before =
+      obs::counter("io.read.short_reads").value();
+  FaultGuard faults("read@1:short=7");
+  try {
+    read_artifact(path, "minergy.test.v1");
+    FAIL() << "short read passed verification";
+  } catch (const IntegrityError& e) {
+    EXPECT_EQ(e.kind(), IntegrityError::Kind::kTruncated);
+  }
+  EXPECT_EQ(obs::counter("io.read.short_reads").value(), shorts_before + 1);
+}
+
+// --------------------------------------------------- checkpoint generations
+
+TEST(GenerationalCheckpoint, RotatesFallsBackAndRemovesCleanly) {
+  obs::set_enabled(true);
+  ScratchDir dir("gens");
+  const std::string path = dir.file("ck.json");
+  for (int v = 1; v <= 3; ++v) {
+    Checkpoint::save(path, "minergy.test.v1",
+                     "{\"v\": " + std::to_string(v) + "}");
+  }
+  for (int g = 0; g < Checkpoint::kGenerations; ++g) {
+    EXPECT_TRUE(fs::exists(Checkpoint::generation_path(path, g)))
+        << "generation " << g << " missing";
+  }
+  EXPECT_DOUBLE_EQ(
+      Checkpoint::load(path, "minergy.test.v1").at("v").as_number(), 3.0);
+
+  // Tear the newest: load falls back one generation and counts it.
+  obs::Counter& fallback = obs::counter("io.checkpoint.generation_fallback");
+  const std::int64_t before = fallback.value();
+  const std::string newest = read_raw(path);
+  write_raw(path, newest.substr(0, newest.size() / 2));
+  EXPECT_DOUBLE_EQ(
+      Checkpoint::load(path, "minergy.test.v1").at("v").as_number(), 2.0);
+  EXPECT_EQ(fallback.value(), before + 1);
+
+  // Tear the fallback too: one more generation back.
+  const std::string prev = read_raw(Checkpoint::generation_path(path, 1));
+  write_raw(Checkpoint::generation_path(path, 1), prev.substr(0, 10));
+  EXPECT_DOUBLE_EQ(
+      Checkpoint::load(path, "minergy.test.v1").at("v").as_number(), 1.0);
+
+  // All generations damaged: a typed error, reporting the newest verdict.
+  write_raw(Checkpoint::generation_path(path, 2), "garbage");
+  EXPECT_THROW(Checkpoint::load(path, "minergy.test.v1"), util::ParseError);
+
+  EXPECT_TRUE(Checkpoint::exists(path));
+  Checkpoint::remove(path);
+  EXPECT_FALSE(Checkpoint::exists(path));
+  for (int g = 0; g < Checkpoint::kGenerations; ++g) {
+    EXPECT_FALSE(fs::exists(Checkpoint::generation_path(path, g)));
+  }
+}
+
+// ------------------------------------------------ exhaustive truncation sweeps
+
+// Every byte-offset truncation of a real anneal checkpoint must fall back
+// to the previous generation — recovery is total, not probabilistic. (The
+// envelope theorem behind it: no proper prefix of an enveloped artifact
+// verifies, because the footer is the suffix.)
+TEST(TruncationSweep, AnnealCheckpointRecoversLastGoodAtEveryOffset) {
+  ScratchDir dir("anneal_sweep");
+  const std::string path = dir.file("anneal_ck.json");
+
+  opt::AnnealCheckpoint ck;
+  ck.circuit = "s27";
+  ck.pass = 1;
+  ck.temperature = 2.5e-12;
+  ck.current.vdd = 1.5;
+  ck.current.vts = {0.45, 0.5};
+  ck.current.widths = {1.0, 2.5};
+  ck.current_cost = 5.0e-11;
+  ck.global_best = ck.current;
+  ck.global_best_cost = 4.5e-11;
+  ck.global_best_crit = 3.0e-9;
+  ck.global_best_energy = 4.5e-11;
+  util::Rng rng(7);
+  ck.rng = rng.state();
+
+  ck.move = 100;  // generation 1 (last good)
+  ck.save(path);
+  ck.move = 200;  // generation 0 (newest, about to be torn)
+  ck.save(path);
+  ASSERT_TRUE(fs::exists(Checkpoint::generation_path(path, 1)));
+
+  const std::string intact = read_raw(path);
+  ASSERT_GT(intact.size(), 128u);
+  for (std::size_t cut = 0; cut < intact.size(); ++cut) {
+    write_raw(path, intact.substr(0, cut));
+    opt::AnnealCheckpoint resumed;
+    try {
+      resumed = opt::AnnealCheckpoint::load(path);
+    } catch (const util::ParseError& e) {
+      ADD_FAILURE() << "offset " << cut
+                    << ": no generation recovered: " << e.what();
+      continue;
+    }
+    EXPECT_EQ(resumed.move, 100) << "offset " << cut
+                                 << " resumed from a torn snapshot";
+  }
+  write_raw(path, intact);
+  EXPECT_EQ(opt::AnnealCheckpoint::load(path).move, 200);
+}
+
+// Every byte-offset truncation of a spool job file must be a typed
+// quarantine on claim — never a half-parsed job, never a wedged queue head.
+TEST(TruncationSweep, SpoolJobQuarantinesEveryTornPrefix) {
+  obs::set_enabled(true);
+  ScratchDir dir("job_sweep");
+  serve::SpoolQueue q(dir.file("spool"));
+  serve::Job job;
+  job.circuit = "c17";
+  job.seed = 11;
+  const std::string id = q.submit(job);
+  const std::string pending = q.job_path("pending", id);
+  const std::string intact = read_raw(pending);
+  ASSERT_GT(intact.size(), 64u);
+
+  obs::Counter& corrupt = obs::counter("serve.queue.corrupt_jobs");
+  const std::int64_t before = corrupt.value();
+  for (std::size_t cut = 0; cut < intact.size(); ++cut) {
+    SCOPED_TRACE("prefix length " + std::to_string(cut));
+    write_raw(pending, intact.substr(0, cut));
+    EXPECT_FALSE(q.claim(/*now_unix=*/1e18).has_value());
+    EXPECT_FALSE(fs::exists(pending)) << "torn job wedged the queue head";
+    const std::string quarantined = q.job_path("quarantined", id);
+    ASSERT_TRUE(fs::exists(quarantined));
+    // The quarantine record itself is enveloped and carries a typed failure.
+    const util::JsonValue rec = util::JsonValue::parse(
+        read_artifact(quarantined, serve::kJobSchema), quarantined);
+    EXPECT_EQ(rec.at("failure").get_string("type", ""), "corrupt-job");
+    std::remove(quarantined.c_str());
+  }
+  EXPECT_EQ(corrupt.value(),
+            before + static_cast<std::int64_t>(intact.size()));
+
+  // The intact file still claims normally.
+  write_raw(pending, intact);
+  const auto claimed = q.claim(/*now_unix=*/1e18);
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(claimed->id, id);
+}
+
+// ------------------------------------------------- admission backpressure
+
+TEST(SpoolAdmission, EnospcIsTypedQueueFullWithRetryAfter) {
+  obs::set_enabled(true);
+  ScratchDir dir("admission");
+  serve::SpoolQueue q(dir.file("spool"));
+  obs::Counter& enospc = obs::counter("serve.admission.enospc");
+  const std::int64_t before = enospc.value();
+
+  serve::Job job;
+  job.circuit = "c17";
+  FaultGuard faults("write@1:enospc");
+  try {
+    q.submit(job);
+    FAIL() << "ENOSPC admission did not throw";
+  } catch (const serve::QueueFullError& e) {
+    EXPECT_GT(e.retry_after_seconds(), 0.0);
+    EXPECT_NE(std::string(e.what()).find("disk full"), std::string::npos);
+  }
+  EXPECT_EQ(enospc.value(), before + 1);
+  EXPECT_TRUE(q.ids_in("pending").empty())
+      << "rejected admission left a partial job file";
+
+  // The queue is usable again the moment the disk is.
+  FaultFs::instance().reset();
+  serve::Job retry;
+  retry.circuit = "c17";
+  EXPECT_FALSE(q.submit(retry).empty());
+}
+
+}  // namespace
+}  // namespace minergy::io

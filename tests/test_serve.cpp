@@ -12,6 +12,7 @@
 #include <set>
 #include <string>
 
+#include "io/envelope.h"
 #include "obs/metrics.h"
 #include "serve/breaker.h"
 #include "serve/job.h"
@@ -39,6 +40,12 @@ struct ScratchSpool {
 void write_file(const std::string& path, const std::string& text) {
   std::ofstream out(path, std::ios::trunc);
   out << text;
+}
+
+// Envelope-verified record read (all persisted artifacts now carry the io
+// artifact footer; "" accepts any schema).
+util::JsonValue read_record(const std::string& path) {
+  return util::JsonValue::parse(io::read_artifact(path, ""), path);
 }
 
 // A synthesized worker result envelope, bypassing real optimization so the
@@ -245,7 +252,8 @@ TEST(SpoolQueue, DoneIsFirstWriteWinsForLateRetries) {
   // A late duplicate attempt (recovery replay) lands while done/ already
   // holds the result: counted, dropped, running/ and scratch cleared.
   write_file(q.job_path("running", id), job.to_json());
-  write_file(q.result_path(id), fake_envelope(id, true, true, true));
+  io::write_artifact(q.result_path(id), kJobResultSchema,
+             fake_envelope(id, true, true, true));
   write_file(q.checkpoint_path(id), "{}");
   const std::int64_t dupes_before =
       obs::counter("serve.queue.duplicate_results").value();
@@ -271,8 +279,7 @@ TEST(SpoolQueue, CorruptPendingJobIsQuarantinedNotWedged) {
   EXPECT_EQ(claimed->id, good_id);
   EXPECT_FALSE(fs::exists(q.job_path("pending", "a-corrupt")));
   ASSERT_TRUE(fs::exists(q.job_path("quarantined", "a-corrupt")));
-  const util::JsonValue rec = util::JsonValue::parse(
-      util::read_file_or_throw(q.job_path("quarantined", "a-corrupt")));
+  const util::JsonValue rec = read_record(q.job_path("quarantined", "a-corrupt"));
   EXPECT_EQ(rec.at("failure").get_string("type", ""), "corrupt-job");
 }
 
@@ -326,7 +333,7 @@ TEST(SpoolQueue, HealthFileIsValidAndReflectsQueueState) {
   q.write_health(info);
   const std::string path = (fs::path(spool.root) / "health.json").string();
   const util::JsonValue h =
-      util::JsonValue::parse(util::read_file_or_throw(path), path);
+      read_record(path);
   EXPECT_EQ(h.get_string("schema", ""), "minergy.health.v1");
   EXPECT_EQ(h.get_string("state", ""), "serving");
   EXPECT_DOUBLE_EQ(h.get_number("workers_active", -1), 3.0);
@@ -396,15 +403,15 @@ TEST(Supervisor, RecoveryFinalizesCommittedEnvelopeWithoutReExecution) {
   q.update_running(job);
   // The previous daemon died after the worker committed but before the
   // bookkeeping: the envelope on disk is the commit point.
-  write_file(q.result_path(id), fake_envelope(id, true, true, true));
+  io::write_artifact(q.result_path(id), kJobResultSchema,
+             fake_envelope(id, true, true, true));
 
   Supervisor supervisor(q, fast_supervisor_options());
   EXPECT_EQ(supervisor.run(), 0);
   EXPECT_TRUE(fs::exists(q.job_path("done", id)));
   EXPECT_FALSE(fs::exists(q.job_path("running", id)));
   EXPECT_FALSE(fs::exists(q.result_path(id)));
-  const util::JsonValue rec = util::JsonValue::parse(
-      util::read_file_or_throw(q.job_path("done", id)));
+  const util::JsonValue rec = read_record(q.job_path("done", id));
   EXPECT_TRUE(rec.at("result").get_bool("certified", false));
   ASSERT_FALSE(rec.at("attempts").items().empty());
   EXPECT_EQ(rec.at("attempts").items().back().get_string("outcome", ""),
@@ -429,8 +436,7 @@ TEST(Supervisor, RecoveryRequeuesOrphanThenRetryBudgetQuarantines) {
   // requeued job ran once under /bin/true (exit without envelope = error),
   // and the spent retry budget quarantined it.
   ASSERT_TRUE(fs::exists(q.job_path("quarantined", id)));
-  const util::JsonValue rec = util::JsonValue::parse(
-      util::read_file_or_throw(q.job_path("quarantined", id)));
+  const util::JsonValue rec = read_record(q.job_path("quarantined", id));
   const auto& attempts = rec.at("attempts").items();
   ASSERT_EQ(attempts.size(), 2u);
   EXPECT_EQ(attempts[0].get_string("outcome", ""), "interrupted");
@@ -456,8 +462,7 @@ TEST(Supervisor, RecoveryQuarantinesEndlesslyInterruptedJobs) {
   Supervisor supervisor(q, opts);
   EXPECT_EQ(supervisor.run(), 0);
   ASSERT_TRUE(fs::exists(q.job_path("quarantined", id)));
-  const util::JsonValue rec = util::JsonValue::parse(
-      util::read_file_or_throw(q.job_path("quarantined", id)));
+  const util::JsonValue rec = read_record(q.job_path("quarantined", id));
   EXPECT_NE(rec.at("failure").get_string("detail", "").find("interrupted"),
             std::string::npos);
 }
@@ -470,13 +475,13 @@ TEST(Supervisor, TypedWorkerFailureLandsInFailedWithEnvelope) {
   JobAttempt attempt;
   job.attempts.push_back(attempt);
   q.update_running(job);
-  write_file(q.result_path(id), fake_envelope(id, false, false, false));
+  io::write_artifact(q.result_path(id), kJobResultSchema,
+                     fake_envelope(id, false, false, false));
 
   Supervisor supervisor(q, fast_supervisor_options());
   EXPECT_EQ(supervisor.run(), 0);
   ASSERT_TRUE(fs::exists(q.job_path("failed", id)));
-  const util::JsonValue rec = util::JsonValue::parse(
-      util::read_file_or_throw(q.job_path("failed", id)));
+  const util::JsonValue rec = read_record(q.job_path("failed", id));
   EXPECT_EQ(rec.at("failure").get_string("type", ""), "numeric-error");
   EXPECT_EQ(rec.at("result").get_string("error_type", ""), "numeric-error");
 }
@@ -489,14 +494,14 @@ TEST(Supervisor, UncertifiedEnvelopeIsARejectedResultNotARetry) {
   JobAttempt attempt;
   job.attempts.push_back(attempt);
   q.update_running(job);
-  write_file(q.result_path(id),
-             fake_envelope(id, true, /*feasible=*/true, /*certified=*/false));
+  io::write_artifact(
+      q.result_path(id), kJobResultSchema,
+      fake_envelope(id, true, /*feasible=*/true, /*certified=*/false));
 
   Supervisor supervisor(q, fast_supervisor_options());
   EXPECT_EQ(supervisor.run(), 0);
   ASSERT_TRUE(fs::exists(q.job_path("failed", id)));
-  const util::JsonValue rec = util::JsonValue::parse(
-      util::read_file_or_throw(q.job_path("failed", id)));
+  const util::JsonValue rec = read_record(q.job_path("failed", id));
   EXPECT_EQ(rec.at("failure").get_string("type", ""), "uncertified");
 }
 

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "io/envelope.h"
 #include "serve/job.h"
 #include "serve/queue.h"
 #include "util/checkpoint.h"
@@ -120,7 +121,9 @@ std::string submit_job(SpoolQueue& q, const std::string& circuit,
 util::JsonValue read_record(const SpoolQueue& q, const std::string& state,
                             const std::string& id) {
   const std::string path = q.job_path(state, id);
-  return util::JsonValue::parse(util::read_file_or_throw(path), path);
+  // All persisted records now carry the io artifact-envelope footer; strip
+  // and CRC-verify it before parsing ("" accepts any schema id).
+  return util::JsonValue::parse(io::read_artifact(path, ""), path);
 }
 
 // The exactly-once oracle: every submitted id is in exactly one terminal
@@ -327,7 +330,7 @@ TEST(ServeChaos, DrainedAnnealResumesBitExactlyAfterRestart) {
   ASSERT_TRUE(fs::exists(qa.job_path("pending", ida)));
   ASSERT_TRUE(fs::exists(ck_path));
   const Job requeued = Job::from_json(
-      util::read_file_or_throw(qa.job_path("pending", ida)), "pending");
+      io::read_artifact(qa.job_path("pending", ida), kJobSchema), "pending");
   ASSERT_FALSE(requeued.attempts.empty());
   EXPECT_EQ(requeued.attempts.back().outcome, "interrupted");
   EXPECT_EQ(requeued.failed_attempts(), 0);
@@ -366,7 +369,7 @@ TEST(ServeChaos, HealthFileTracksDaemonLifecycle) {
   ASSERT_EQ(run_served(fast_daemon_flags(spool.root)), 0);
   const std::string path = (fs::path(spool.root) / "health.json").string();
   const util::JsonValue h =
-      util::JsonValue::parse(util::read_file_or_throw(path), path);
+      util::JsonValue::parse(io::read_artifact(path, "minergy.health.v1"), path);
   EXPECT_EQ(h.get_string("schema", ""), "minergy.health.v1");
   EXPECT_EQ(h.get_string("state", ""), "stopped");
   EXPECT_DOUBLE_EQ(h.at("queue").get_number("done", -1), 1.0);

@@ -67,6 +67,7 @@
 #include "opt/evaluator.h"
 #include "opt/joint_optimizer.h"
 #include "opt/robust_optimizer.h"
+#include "io/envelope.h"
 #include "util/checkpoint.h"
 #include "util/cli.h"
 #include "util/json.h"
@@ -209,9 +210,10 @@ int run_worker(const util::Cli& cli) {
   w.key("certificate");
   util::emit(w, util::JsonValue::parse(cert.to_json(0), "<certificate>"));
   w.end_object();
-  // Atomic drop: the parent never sees a half-written result file, even if
-  // this worker is SIGKILLed mid-write.
-  util::atomic_write_file(out_path, w.str() + "\n");
+  // Atomic, fsynced, CRC-footed drop: the parent never sees a half-written
+  // result file, even if this worker is SIGKILLed mid-write — and a torn or
+  // bit-rotted file is rejected at read time, not trusted.
+  io::write_artifact(out_path, kWorkerSchema, w.str() + "\n");
   return 0;
 }
 
@@ -355,7 +357,7 @@ void emit_report(const std::string& path,
   }
   w.end_array();
   w.end_object();
-  util::atomic_write_file(path, w.str() + "\n");
+  io::write_artifact(path, kReportSchema, w.str() + "\n");
 }
 
 int run_batch(const std::string& self, const util::Cli& cli) {
@@ -421,9 +423,19 @@ int run_batch(const std::string& self, const util::Cli& cli) {
         run.attempts.push_back(a);
         if (a.outcome == "interrupted") break;
         if (ok) {
-          run.status = "ok";
-          run.result_json = util::read_file_or_throw(scratch);
-          break;
+          try {
+            run.result_json = io::read_artifact(scratch, kWorkerSchema);
+            run.status = "ok";
+            break;
+          } catch (const io::IntegrityError& e) {
+            // The worker exited 0 but its result file fails verification
+            // (torn write, bit rot): treat the attempt as an error and let
+            // the normal retry schedule re-run it.
+            obs::counter("batch.corrupt_results").add();
+            run.attempts.back().outcome = "error";
+            std::fprintf(stderr, "batch: corrupt result for %s/%s: %s\n",
+                         circuit.c_str(), optimizer.c_str(), e.what());
+          }
         }
       }
       if (run.status.empty() && g_interrupt_requested) {
@@ -480,7 +492,12 @@ int verify_report(const util::Cli& cli) {
   const std::string path = cli.get("verify-report", std::string());
   std::string text;
   try {
-    text = util::read_file_or_throw(path);
+    text = io::read_artifact(path, kReportSchema);
+  } catch (const io::IntegrityError& e) {
+    // The file exists but its envelope fails: that is a verdict about the
+    // report's content (exit 1), not a caller mistake (exit 2).
+    std::fprintf(stderr, "verify: %s\n", e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -35,6 +35,8 @@
 #include "activity/activity.h"
 #include "bench_suite/experiment.h"
 #include "bench_suite/iscas.h"
+#include "io/durable.h"
+#include "io/envelope.h"
 #include "netlist/bench_io.h"
 #include "netlist/verilog_io.h"
 #include "obs/metrics.h"
@@ -166,12 +168,14 @@ int main(int argc, char** argv) try {
   }
 
   if (!report_path.empty()) {
-    std::ofstream out(report_path);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write %s\n", report_path.c_str());
+    try {
+      io::write_artifact(report_path, "minergy.run_report.v1",
+                         result.report.to_json() + "\n");
+    } catch (const io::IoError& e) {
+      std::fprintf(stderr, "error: cannot write %s: %s\n", report_path.c_str(),
+                   e.what());
       return 2;
     }
-    out << result.report.to_json() << '\n';
     std::fprintf(stderr, "run report written to %s\n", report_path.c_str());
   }
   return result.feasible && certified ? 0 : 1;

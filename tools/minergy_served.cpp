@@ -27,6 +27,9 @@
 //   --max-pending=N       admission bound for --submit (default 64)
 //   --inject-kill=PT[@K]  chaos hook: SIGKILL self at the K-th visit of
 //                         protocol point PT (see src/serve/inject.h)
+//   --inject-io=SPEC      chaos hook: storage-fault schedule, e.g.
+//                         write@3:enospc,fsync@1:eio (see src/io/fault_fs.h);
+//                         propagated into workers like --inject-kill
 //
 // Submit flags: --circuit, --optimizer (robust|joint|baseline|anneal),
 //   --seed, --fc, --activity, --deadline=S (propagated into the watchdog
@@ -47,6 +50,8 @@
 #include <map>
 #include <string>
 
+#include "io/envelope.h"
+#include "io/fault_fs.h"
 #include "obs/metrics.h"
 #include "obs/session.h"
 #include "serve/inject.h"
@@ -67,7 +72,7 @@ constexpr const char* kUsage =
     "  modes: (default) daemon | --submit | --status | --worker (internal)\n"
     "  daemon: [--workers=N] [--once] [--poll=S] [--timeout=S] [--retries=N]\n"
     "          [--backoff=S] [--breaker-threshold=N] [--breaker-cooldown=S]\n"
-    "          [--drain-grace=S] [--inject-kill=POINT[@K]]\n"
+    "          [--drain-grace=S] [--inject-kill=POINT[@K]] [--inject-io=SPEC]\n"
     "  submit: --circuit=NAME [--optimizer=robust|joint|baseline|anneal]\n"
     "          [--seed=S] [--fc=HZ] [--activity=D] [--deadline=S]\n"
     "          [--max-evals=N] [--anneal-moves=N] [--max-pending=N]\n"
@@ -116,7 +121,8 @@ int run_worker_mode(const util::Cli& cli, serve::SpoolQueue& queue) {
   const std::string path = queue.job_path("running", id);
   serve::Job job;
   try {
-    job = serve::Job::from_json(util::read_file_or_throw(path), path);
+    job = serve::Job::from_json(io::read_artifact(path, serve::kJobSchema),
+                                path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "worker: %s\n", e.what());
     return 2;
@@ -161,7 +167,14 @@ int run_status(const util::Cli& cli, serve::SpoolQueue& queue) {
       const std::string path = queue.job_path(state, id);
       util::JsonValue rec;
       try {
-        rec = util::JsonValue::parse(util::read_file_or_throw(path), path);
+        // Envelope-verified: a record that parses but fails its CRC or
+        // length is reported as an integrity violation, not silently
+        // accepted.
+        rec = util::JsonValue::parse(
+            io::read_artifact(path, serve::kJobSchema), path);
+      } catch (const io::IntegrityError& e) {
+        complain(std::string("integrity violation: ") + e.what());
+        continue;
       } catch (const std::exception& e) {
         complain(std::string("unreadable record: ") + e.what());
         continue;
@@ -229,6 +242,7 @@ int main(int argc, char** argv) try {
     return 0;
   }
   serve::configure_kill_switch(cli.get("inject-kill", std::string()));
+  io::FaultFs::instance().configure(cli.get("inject-io", std::string()));
   const std::string spool = cli.get("spool", std::string());
   if (spool.empty()) {
     std::fprintf(stderr, "error: --spool=DIR is required\n%s", kUsage);

@@ -14,11 +14,15 @@
 // obs::RunReport::from_json (schema minergy.run_report.v1) and the energies
 // of accepted trajectory points form a non-increasing sequence — the
 // optimizers' "accepted = improved the best feasible energy" contract.
+// Reports carrying an io artifact-envelope footer are CRC-verified before
+// parsing; --verify-envelope makes the footer mandatory, so CI can insist
+// that a report really went through the durable write path.
 //
 // Exit codes are distinct by failure class so CI can tell them apart:
 // 0 everything holds, 1 a validation failed (malformed trace, broken
-// nesting, non-monotone report), 2 bad arguments or an unreadable input
-// file. Used by the `obs_smoke` CTest fixture (see tests/CMakeLists.txt).
+// nesting, non-monotone or corrupt report, missing envelope under
+// --verify-envelope), 2 bad arguments or an unreadable input file. Used by
+// the `obs_smoke` CTest fixture (see tests/CMakeLists.txt).
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -26,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "io/envelope.h"
 #include "obs/report.h"
 #include "util/check.h"
 #include "util/cli.h"
@@ -129,8 +134,22 @@ int check_trace(const std::string& path, std::size_t min_spans) {
   return 0;
 }
 
-int check_report(const std::string& path) {
-  const obs::RunReport report = obs::RunReport::from_json(slurp(path), path);
+int check_report(const std::string& path, bool require_envelope) {
+  std::string text = slurp(path);
+  if (io::has_envelope_footer(text)) {
+    try {
+      text = io::unwrap_envelope(text, "minergy.run_report.v1", path);
+    } catch (const io::IntegrityError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  } else if (require_envelope) {
+    std::fprintf(stderr,
+                 "%s: no artifact-envelope footer (--verify-envelope)\n",
+                 path.c_str());
+    return 1;
+  }
+  const obs::RunReport report = obs::RunReport::from_json(text, path);
   const std::vector<double> accepted = report.accepted_energies();
   for (std::size_t i = 1; i < accepted.size(); ++i) {
     if (accepted[i] > accepted[i - 1] * (1.0 + 1e-12)) {
@@ -156,7 +175,7 @@ int main(int argc, char** argv) try {
   if (cli.positional().empty() && !cli.has("report")) {
     std::fprintf(stderr,
                  "usage: trace_check [trace.json] [--min-spans=N] "
-                 "[--report=FILE]\n");
+                 "[--report=FILE] [--verify-envelope]\n");
     return 2;
   }
   int rc = 0;
@@ -165,7 +184,8 @@ int main(int argc, char** argv) try {
                      static_cast<std::size_t>(cli.get("min-spans", 0)));
   }
   if (rc == 0 && cli.has("report")) {
-    rc = check_report(cli.get("report", std::string()));
+    rc = check_report(cli.get("report", std::string()),
+                      cli.has("verify-envelope"));
   }
   return rc;
 } catch (const std::invalid_argument& e) {
