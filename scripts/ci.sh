@@ -9,7 +9,11 @@
 # (scheduled ENOSPC/EIO, torn writes, short reads). A final leg serves a
 # real spool under a *randomized* storage-fault schedule (reproduce with
 # CI_FAULT_SEED=<seed>) and audits the spool afterwards, then verifies a
-# run report's artifact-envelope footer end to end.
+# run report's artifact-envelope footer end to end. Two telemetry legs
+# close the gate: an exposition smoke that scrapes a live daemon's
+# /metrics, /health and /jobs over HTTP and verifies its JSONL event log
+# with trace_check --verify-eventlog, and a perf-trajectory leg that
+# archives the Table-1 baseline's counter snapshot under bench/trajectory/.
 #
 #   $ scripts/ci.sh                  # from the repo root
 #   $ CI_JOBS=4 scripts/ci.sh        # cap build parallelism
@@ -107,4 +111,70 @@ build-ci-release/tools/minergy_report --builtin=s27 --optimizer=baseline \
   --certify --report="$run_report"
 build-ci-release/tools/trace_check --report="$run_report" --verify-envelope
 
-step "OK: all builds green, fault+obs+serve+diskfault labels pass, batch results certified"
+# Exposition smoke: a real daemon on an ephemeral port, scraped over HTTP
+# while it drains two jobs, with every state transition captured in the
+# event log. The scrape must expose the e2e latency histogram (the SLO of
+# 1 ms guarantees at least one slo_violation lands in the log too), /health
+# and /jobs must serve valid JSON from memory, and after the daemon exits
+# the event log must pass the structural verifier.
+step "exposition + event-log smoke"
+expo_spool=build-ci-release/ci_expo_spool
+expo_log=build-ci-release/ci_expo_events.jsonl
+expo_port_file=build-ci-release/ci_expo_port
+rm -rf "$expo_spool" "$expo_log" "$expo_log.1" "$expo_port_file"
+"$served" --spool="$expo_spool" --submit --circuit=c17 --seed=11
+"$served" --spool="$expo_spool" --submit --circuit=s27 --seed=12
+# No --once: the daemon keeps serving so the scrapes cannot race a fast
+# drain; a SIGTERM after the checks exercises the graceful-stop path.
+"$served" --spool="$expo_spool" --workers=2 --poll=0.005 --timeout=60 \
+  --listen=0 --port-file="$expo_port_file" --event-log="$expo_log" \
+  --slo-e2e-ms=1 --snapshot-interval-s=0.2 \
+  --perf-record=build-ci-release/BENCH_minergy_served.json &
+served_pid=$!
+expo_port=""
+for _ in $(seq 1 100); do
+  if [ -s "$expo_port_file" ]; then expo_port=$(cat "$expo_port_file"); break; fi
+  sleep 0.1
+done
+[ -n "$expo_port" ] || { echo "daemon never wrote its port file"; exit 1; }
+# Scrape until both jobs have drained: the histogram then has samples and
+# the slo_violation events are guaranteed to be in the log.
+metrics=""
+for _ in $(seq 1 300); do
+  metrics=$(curl -sf "http://127.0.0.1:$expo_port/metrics" || true)
+  if echo "$metrics" | grep -q '^serve_jobs_done 2'; then break; fi
+  sleep 0.1
+done
+echo "$metrics" | grep -q '^serve_jobs_done 2' \
+  || { echo "daemon never finished the two jobs"; kill "$served_pid"; exit 1; }
+echo "$metrics" | grep -q '^# TYPE serve_job_e2e_micros histogram' \
+  || { echo "/metrics lacks the e2e latency histogram"; exit 1; }
+echo "$metrics" | grep -q '^serve_job_e2e_micros_bucket{le="+Inf"} 2' \
+  || { echo "e2e histogram did not record both jobs"; exit 1; }
+echo "$metrics" | grep -q '^serve_spool_pending ' \
+  || { echo "/metrics lacks the spool gauges"; exit 1; }
+curl -sf "http://127.0.0.1:$expo_port/health" \
+  | grep -q '"schema": *"minergy.health.v1"' \
+  || { echo "/health is not a minergy.health.v1 document"; exit 1; }
+curl -sf "http://127.0.0.1:$expo_port/jobs" \
+  | grep -q '"schema": *"minergy.jobs.v1"' \
+  || { echo "/jobs is not a minergy.jobs.v1 document"; exit 1; }
+kill -TERM "$served_pid"
+wait "$served_pid"
+build-ci-release/tools/trace_check --verify-eventlog="$expo_log"
+grep -q '"kind":"slo_violation"' "$expo_log" \
+  || { echo "event log has no slo_violation under a 1 ms SLO"; exit 1; }
+test -s build-ci-release/BENCH_minergy_served.json \
+  || { echo "periodic snapshot left no perf record"; exit 1; }
+"$served" --spool="$expo_spool" --status --verify --expect-jobs=2
+
+# Perf trajectory: re-run the Table-1 baseline with a perf record and
+# archive the counters next to previous runs, so regressions show up as a
+# diffable series rather than vibes (see bench/trajectory/README.md).
+step "perf trajectory (table1_baseline)"
+traj=build-ci-release/BENCH_table1_baseline.json
+build-ci-release/bench/table1_baseline --circuit=s27 --perf-record="$traj"
+mkdir -p bench/trajectory
+cp "$traj" bench/trajectory/BENCH_table1_baseline.latest.json
+
+step "OK: all builds green, fault+obs+serve+diskfault labels pass, batch results certified, exposition scraped live"

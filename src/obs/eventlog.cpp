@@ -1,0 +1,146 @@
+#include "obs/eventlog.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace minergy::obs {
+
+namespace {
+
+double unix_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+EventLog& EventLog::instance() {
+  static EventLog* log = new EventLog();  // leaked: outlives static dtors
+  return *log;
+}
+
+bool EventLog::open(const std::string& path, std::int64_t max_bytes,
+                    std::string* error) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // A pre-existing log belongs to an earlier run: rotate it aside so this
+  // segment starts at seq 1 and the verifier's pairing oracle holds within
+  // one daemon lifetime.
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0 && st.st_size > 0) {
+    std::rename(path.c_str(), (path + ".1").c_str());
+  }
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  fd_ = fd;
+  path_ = path;
+  max_bytes_ = max_bytes > 0 ? max_bytes : 8 * 1024 * 1024;
+  seq_ = 0;
+  bytes_ = 0;
+  armed_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void EventLog::close() {
+  armed_.store(false, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void EventLog::rotate_locked() {
+  ::close(fd_);
+  fd_ = -1;
+  std::rename(path_.c_str(), (path_ + ".1").c_str());
+  const int fd =
+      ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_TRUNC, 0644);
+  if (fd < 0) {
+    // Storage refused the fresh segment; disarm rather than drop lines
+    // silently one by one.
+    armed_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  fd_ = fd;
+  bytes_ = 0;
+  counter("obs.eventlog.rotations").add();
+}
+
+void EventLog::write_line_locked(const std::string& line) {
+  if (fd_ < 0) return;
+  // One write() per line: O_APPEND makes concurrent appends atomic and a
+  // SIGKILL can only fall between lines, never inside one.
+  const ssize_t n = ::write(fd_, line.data(), line.size());
+  if (n == static_cast<ssize_t>(line.size())) {
+    bytes_ += n;
+  } else {
+    counter("obs.eventlog.write_failures").add();
+  }
+}
+
+std::string EventLog::format_locked(const Event& e) {
+  util::JsonWriter w(0);
+  w.begin_object();
+  w.kv("schema", kEventSchema);
+  w.kv("seq", ++seq_);
+  w.kv("t_unix", unix_seconds());
+  w.kv("severity", e.severity.empty() ? "info" : e.severity);
+  w.kv("kind", e.kind);
+  if (!e.job.empty()) w.kv("job", e.job);
+  if (!e.circuit.empty()) w.kv("circuit", e.circuit);
+  if (e.attempt > 0) {
+    w.kv("attempt", e.attempt);
+    if (!e.job.empty()) {
+      w.kv("span", e.job + "#" + std::to_string(e.attempt));
+    }
+  }
+  if (!e.detail.empty()) w.kv("detail", e.detail);
+  for (const auto& [k, v] : e.num) w.kv(k, v);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+void EventLog::emit(const Event& e) {
+  if (!armed()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return;
+  std::string line = format_locked(e);
+  if (bytes_ + static_cast<std::int64_t>(line.size()) > max_bytes_ &&
+      bytes_ > 0) {
+    rotate_locked();
+    if (fd_ < 0) return;
+    Event rotated;
+    rotated.kind = "log_rotated";
+    rotated.detail = "size cap " + std::to_string(max_bytes_) + " bytes";
+    // The rotation marker takes the next seq; re-render the pending event
+    // so its seq stays above it.
+    --seq_;
+    const std::string marker = format_locked(rotated);
+    write_line_locked(marker);
+    line = format_locked(e);
+  }
+  write_line_locked(line);
+  counter("obs.eventlog.events").add();
+}
+
+}  // namespace minergy::obs

@@ -1,0 +1,106 @@
+// Append-only JSONL structured event log (schema minergy.event.v1).
+//
+// Counters say how often; the event log says what happened and in what
+// order. The service daemon appends one JSON object per line at every job
+// state transition, retry/backoff decision, breaker trip / half-open
+// probe, ENOSPC degradation, certification verdict and SLO violation, so a
+// post-mortem can replay exactly what the daemon did — including runs that
+// ended in SIGKILL: each line is a single O_APPEND write() that either
+// lands whole or not at all, so a killed daemon never leaves a torn line.
+//
+// Line shape (field order fixed; optional fields omitted when unset):
+//
+//   {"schema":"minergy.event.v1","seq":17,"t_unix":1754650000.123,
+//    "severity":"info","kind":"job_claimed","job":"j-...","circuit":"s27",
+//    "attempt":2,"span":"j-...#2","detail":"...","backoff_s":0.5}
+//
+//   seq       monotonically increasing per log, strictly (the verifier's
+//             ordering oracle); continues across size-cap rotation
+//   span      correlation id <job>#<attempt>, matching the attempt journal
+//             in the spool job file
+//   severity  debug | info | warn | error
+//
+// Rotation: opening an existing log rotates it to <path>.1 and starts a
+// fresh segment at seq 1; exceeding the size cap mid-run rotates the same
+// way, logs a `log_rotated` event, and keeps counting seq — so a rotated
+// segment is recognizable by first seq > 1 and trace_check relaxes its
+// claimed/done pairing check accordingly.
+//
+// The log is process-global (obs::EventLog::instance()), armed by
+// obs::Session's --event-log flag, and a disarmed emit is one relaxed
+// atomic load — the instrumentation stays in the service code at zero cost
+// for every process that never opens a log.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace minergy::obs {
+
+inline constexpr const char kEventSchema[] = "minergy.event.v1";
+
+struct Event {
+  std::string kind;              // e.g. "job_claimed", "breaker_trip"
+  std::string severity = "info"; // debug | info | warn | error
+  std::string job;               // job id (omitted when empty)
+  std::string circuit;           // circuit name (omitted when empty)
+  int attempt = 0;               // 1-based; omitted when 0
+  std::string detail;            // free-form context (omitted when empty)
+  // Extra numeric fields appended verbatim, e.g. {"backoff_s", 0.5}.
+  std::vector<std::pair<std::string, double>> num;
+};
+
+class EventLog {
+ public:
+  static EventLog& instance();
+
+  // Opens (creating or rotating) `path` and arms the log. max_bytes caps a
+  // segment; exceeding it rotates to <path>.1. Returns false with *error
+  // set when the file cannot be opened (the log stays disarmed).
+  bool open(const std::string& path, std::int64_t max_bytes,
+            std::string* error);
+
+  // Flushes and disarms. Idempotent.
+  void close();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Appends one event (no-op when disarmed). Thread-safe.
+  void emit(const Event& e);
+
+  std::int64_t last_seq() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return seq_;
+  }
+  std::string path() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return path_;
+  }
+
+ private:
+  EventLog() = default;
+  void rotate_locked();
+  void write_line_locked(const std::string& line);
+  std::string format_locked(const Event& e);
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::string path_;
+  std::int64_t max_bytes_ = 8 * 1024 * 1024;
+  std::int64_t seq_ = 0;
+  std::int64_t bytes_ = 0;
+  int fd_ = -1;
+};
+
+// Convenience: emit into the global log when armed; otherwise one relaxed
+// atomic load. Instrumentation sites use this directly.
+inline void event(const Event& e) {
+  EventLog& log = EventLog::instance();
+  if (log.armed()) log.emit(e);
+}
+
+}  // namespace minergy::obs

@@ -1,0 +1,105 @@
+// Embedded HTTP exposition server: live /metrics, /health and /jobs.
+//
+// A long-running daemon's counters and health must be scrapeable while it
+// works, not reconstructed from files after it exits. ExpositionServer is a
+// zero-dependency, single-thread HTTP/1.0 responder bound to
+// 127.0.0.1:<port> (port 0 picks an ephemeral one):
+//
+//   GET /metrics   Prometheus text exposition of the global obs::Registry —
+//                  counters, gauges, and log-bucket histograms rendered as
+//                  `_bucket{le="..."}` / `_sum` / `_count` series plus
+//                  `_p50` / `_p95` / `_p99` gauges. Dotted internal names
+//                  map to Prometheus names by replacing every character
+//                  outside [a-zA-Z0-9_:] with '_' (docs/OBSERVABILITY.md
+//                  has the full map).
+//   GET /health    the latest document published under "/health" (the
+//                  daemon publishes its minergy.health.v1 JSON from memory
+//                  on every refresh — no file read on the scrape path).
+//   GET /jobs      the latest "/jobs" document (live spool-state partition
+//                  plus breaker states, schema minergy.jobs.v1).
+//
+// One thread serves requests serially from a blocking poll/accept loop —
+// scrapes are rare and tiny, so concurrency buys nothing and a serial loop
+// cannot race itself. All shared state is either atomic (the Registry) or
+// a mutex-guarded map of published snapshot strings, so the daemon's
+// control loop publishes and the server thread reads without data races
+// (proven TSan-clean by tests/test_expose.cpp).
+//
+// Malformed traffic is answered, never fatal: non-GET -> 405, unknown path
+// -> 404, an oversized or unparsable request line -> 400. Without start()
+// no thread exists and the process pays nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace minergy::obs {
+
+class ExpositionServer {
+ public:
+  // Request-line cap: anything longer is a 400, never a buffer risk.
+  static constexpr std::size_t kMaxRequestBytes = 4096;
+
+  static ExpositionServer& instance();
+
+  // Binds 127.0.0.1:port (0 = kernel-chosen ephemeral port) and starts the
+  // serving thread. Returns false and fills *error on failure (port in
+  // use, out of fds, or the server is already running).
+  bool start(int port, std::string* error);
+
+  // Stops the serving thread and closes the socket. Idempotent; safe to
+  // call when never started.
+  void stop();
+
+  bool running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+  // The bound port (valid while running; 0 otherwise).
+  int port() const { return port_.load(std::memory_order_relaxed); }
+
+  // Publishes a snapshot document served verbatim at `path` (e.g.
+  // "/health"). Replaces any previous document. Callers pay only a mutex
+  // and a string copy even when the server is not running; gate on
+  // running() in hot paths.
+  void publish(const std::string& path, const std::string& content_type,
+               std::string body);
+
+  // The Prometheus text exposition of the global Registry (what GET
+  // /metrics serves). Public so tests and tools can render without a
+  // socket.
+  static std::string render_prometheus();
+
+  // Testing hook: total requests answered since start().
+  std::int64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ExpositionServer() = default;
+
+  void serve_loop();
+  void handle_connection(int fd);
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<int> port_{0};
+  std::atomic<std::int64_t> requests_{0};
+  int listen_fd_ = -1;
+  std::thread thread_;
+
+  mutable std::mutex mu_;  // guards docs_
+  // path -> {content_type, body}
+  std::map<std::string, std::pair<std::string, std::string>> docs_;
+};
+
+// Translates one internal instrument name to its Prometheus family name:
+// every character outside [a-zA-Z0-9_:] becomes '_'. A '{' starts a label
+// set that is kept verbatim (see obs::labeled_name in metrics.h).
+std::string prometheus_name(std::string_view raw);
+
+}  // namespace minergy::obs

@@ -104,6 +104,39 @@ std::map<std::string, double> Registry::gauge_snapshot() const {
   return out;
 }
 
+std::map<std::string, HistogramSnapshot> Registry::histogram_snapshot()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      snap.buckets[static_cast<std::size_t>(b)] = h.bucket_count(b);
+    }
+    snap.count = h.count();
+    snap.sum = h.sum();
+    snap.p50 = h.percentile(0.50);
+    snap.p95 = h.percentile(0.95);
+    snap.p99 = h.percentile(0.99);
+    out[name] = snap;
+  }
+  return out;
+}
+
+std::string labeled_name(std::string_view family, std::string_view key,
+                         std::string_view value) {
+  std::string out(family);
+  out += '{';
+  out += key;
+  out += "=\"";
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\"}";
+  return out;
+}
+
 void Registry::reset() {
   const std::lock_guard<std::mutex> lock(mu_);
   for (auto& kv : counters_) kv.second.reset();

@@ -114,6 +114,17 @@ class ScopedTimer {
   double start_us_;
 };
 
+// Point-in-time copy of one histogram: raw bucket counts plus the derived
+// aggregates the Prometheus exposition and perf records need.
+struct HistogramSnapshot {
+  std::array<std::int64_t, Histogram::kBuckets> buckets{};
+  std::int64_t count = 0;
+  double sum = 0.0;  // approximate: bucket midpoints x counts
+  double p50 = 0.0;  // bucket upper bounds containing each quantile
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
 // Name -> instrument registry. Lookup takes a mutex; instruments are stored
 // node-stably so returned references remain valid forever. Hot paths are
 // expected to cache the reference:
@@ -131,6 +142,7 @@ class Registry {
   // Snapshot of every registered counter's current value (including zeros).
   std::map<std::string, std::int64_t> counter_snapshot() const;
   std::map<std::string, double> gauge_snapshot() const;
+  std::map<std::string, HistogramSnapshot> histogram_snapshot() const;
 
   // Zeroes every instrument (registration survives; addresses are stable).
   void reset();
@@ -156,5 +168,14 @@ inline Gauge& gauge(std::string_view name) {
 inline Histogram& histogram(std::string_view name) {
   return Registry::instance().histogram(name);
 }
+
+// Builds the labeled-instrument naming convention understood by the
+// Prometheus exposition (obs/expose.h): `family{key="value"}`. The family
+// part is translated to a Prometheus name; the label set is emitted
+// verbatim (value quotes/backslashes escaped here). Instruments sharing a
+// family but differing in label sort adjacently in the registry, so the
+// exposition emits one TYPE line per family.
+std::string labeled_name(std::string_view family, std::string_view key,
+                         std::string_view value);
 
 }  // namespace minergy::obs

@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 #include <utility>
 
+#include "obs/eventlog.h"
+#include "obs/expose.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/clock.h"
@@ -22,16 +25,94 @@ Session::Session(const util::Cli& cli, std::string default_name)
       perf_path_ = "BENCH_" + name_ + ".json";
     }
   }
-  if (!trace_path_.empty() || metrics_ || !perf_path_.empty()) {
+  const bool listen = cli.has("listen");
+  const bool event_log = cli.has("event-log");
+  if (!trace_path_.empty() || metrics_ || !perf_path_.empty() || listen ||
+      event_log) {
     set_enabled(true);
     start_us_ = util::monotonic_micros();
   }
   if (!trace_path_.empty()) Tracer::instance().start();
+  if (event_log) {
+    const std::string path = cli.get("event-log", std::string());
+    const std::int64_t max_bytes =
+        static_cast<std::int64_t>(cli.get("event-log-max-kb", 8192.0)) * 1024;
+    std::string error;
+    if (path.empty() || path == "true" ||
+        !EventLog::instance().open(path, max_bytes, &error)) {
+      throw std::runtime_error("--event-log: cannot open " +
+                               (path.empty() ? "(missing FILE)" : error));
+    }
+    event_log_ = true;
+  }
+  if (listen) {
+    std::string error;
+    if (!ExpositionServer::instance().start(cli.get("listen", 0), &error)) {
+      throw std::runtime_error("--listen: cannot bind: " + error);
+    }
+    exposing_ = true;
+    const int port = ExpositionServer::instance().port();
+    std::fprintf(stderr, "[obs] exposition: http://127.0.0.1:%d/metrics\n",
+                 port);
+    const std::string port_file = cli.get("port-file", std::string());
+    if (!port_file.empty()) {
+      // Write-then-rename so a polling script never reads a torn port.
+      const std::string tmp = port_file + ".tmp";
+      std::ofstream out(tmp, std::ios::trunc);
+      out << port << '\n';
+      out.close();
+      if (!out || std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+        ExpositionServer::instance().stop();
+        throw std::runtime_error("--port-file: cannot write " + port_file);
+      }
+    }
+  }
+}
+
+int Session::listen_port() const {
+  return exposing_ ? ExpositionServer::instance().port() : 0;
+}
+
+std::string Session::perf_record_json() const {
+  util::JsonWriter w(1);
+  w.begin_object();
+  w.kv("schema", "minergy.perf_record.v1");
+  w.kv("bench", name_);
+  w.kv("wall_seconds", (util::monotonic_micros() - start_us_) * 1e-6);
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : Registry::instance().counter_snapshot()) {
+    if (v != 0) w.kv(name, v);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : Registry::instance().gauge_snapshot()) {
+    if (v != 0.0) w.kv(name, v);
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : Registry::instance().histogram_snapshot()) {
+    if (h.count == 0) continue;
+    w.key(name).begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.kv("p50", h.p50);
+    w.kv("p95", h.p95);
+    w.kv("p99", h.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
 }
 
 void Session::finish() {
   if (finished_) return;
   finished_ = true;
+  if (exposing_) {
+    ExpositionServer::instance().stop();
+    exposing_ = false;
+  }
+  if (event_log_) EventLog::instance().close();
   if (!trace_path_.empty()) {
     Tracer::instance().stop();
     if (Tracer::instance().write_file(trace_path_)) {
@@ -43,25 +124,9 @@ void Session::finish() {
     }
   }
   if (!perf_path_.empty()) {
-    util::JsonWriter w(1);
-    w.begin_object();
-    w.kv("schema", "minergy.perf_record.v1");
-    w.kv("bench", name_);
-    w.kv("wall_seconds", (util::monotonic_micros() - start_us_) * 1e-6);
-    w.key("counters").begin_object();
-    for (const auto& [name, v] : Registry::instance().counter_snapshot()) {
-      if (v != 0) w.kv(name, v);
-    }
-    w.end_object();
-    w.key("gauges").begin_object();
-    for (const auto& [name, v] : Registry::instance().gauge_snapshot()) {
-      if (v != 0.0) w.kv(name, v);
-    }
-    w.end_object();
-    w.end_object();
     std::ofstream out(perf_path_);
     if (out) {
-      out << w.str() << '\n';
+      out << perf_record_json() << '\n';
       std::fprintf(stderr, "[obs] perf record: %s\n", perf_path_.c_str());
     } else {
       std::fprintf(stderr, "[obs] error: cannot write perf record to %s\n",

@@ -13,10 +13,19 @@
 //   --verbose           alias for --metrics
 //   --perf-record[=F]   write a BENCH_<name>.json perf record (wall time +
 //                       counter snapshot) at exit; F overrides the filename
+//   --listen=PORT       serve GET /metrics (Prometheus text format),
+//                       /health and /jobs over HTTP on 127.0.0.1:PORT while
+//                       the process runs; PORT 0 picks an ephemeral port
+//   --port-file=FILE    write the bound exposition port to FILE (how
+//                       scripts discover a --listen=0 port)
+//   --event-log=FILE    append-only JSONL structured event log (schema
+//                       minergy.event.v1; see obs/eventlog.h)
+//   --event-log-max-kb=N  event-log segment size cap before rotation to
+//                       FILE.1 (default 8192)
 //
 // Any of the flags enables metric collection for the process; with none of
 // them the session is inert and instrumentation stays on its disabled fast
-// path.
+// path — no exposition thread, no open log, no clocks.
 #pragma once
 
 #include <string>
@@ -27,6 +36,9 @@ namespace minergy::obs {
 
 class Session {
  public:
+  // Throws std::runtime_error when --listen is given but the port cannot
+  // be bound, or --event-log cannot be opened: a daemon asked to be
+  // observable must not silently run blind.
   Session(const util::Cli& cli, std::string default_name);
   ~Session();
   Session(const Session&) = delete;
@@ -34,8 +46,19 @@ class Session {
 
   bool verbose() const { return metrics_; }
   bool tracing() const { return !trace_path_.empty(); }
+  // True when the embedded HTTP exposition server is running.
+  bool exposing() const { return exposing_; }
+  // Bound exposition port (0 when not exposing).
+  int listen_port() const;
+
+  // The perf-record document (schema minergy.perf_record.v1) as of now.
+  // Used by the daemon's periodic snapshot flush as well as finish().
+  std::string perf_record_json() const;
+  // The --perf-record output path ("" when the flag is absent).
+  const std::string& perf_path() const { return perf_path_; }
 
   // Writes all requested outputs now (idempotent; the destructor calls it).
+  // Also stops the exposition server and closes the event log.
   void finish();
 
  private:
@@ -43,6 +66,8 @@ class Session {
   std::string trace_path_;
   std::string perf_path_;
   bool metrics_ = false;
+  bool exposing_ = false;
+  bool event_log_ = false;
   bool finished_ = false;
   double start_us_ = 0.0;
 };

@@ -1,15 +1,42 @@
 #include "serve/breaker.h"
 
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 
 namespace minergy::serve {
+
+namespace {
+
+// Live per-circuit state gauge for the /metrics exposition:
+// 0 = closed, 0.5 = half-open (probe in flight), 1 = open.
+void set_state_gauge(const std::string& circuit, double state) {
+  obs::gauge(obs::labeled_name("serve.breaker.state", "circuit", circuit))
+      .set(state);
+}
+
+void breaker_event(const char* kind, const std::string& circuit,
+                   const std::string& severity, const std::string& detail) {
+  obs::Event e;
+  e.kind = kind;
+  e.severity = severity;
+  e.circuit = circuit;
+  e.detail = detail;
+  obs::event(e);
+}
+
+}  // namespace
 
 CircuitBreaker::CircuitBreaker(BreakerOptions opts) : opts_(opts) {}
 
 void CircuitBreaker::record_success(const std::string& circuit) {
   State& s = by_circuit_[circuit];
-  if (s.tripped) obs::counter("serve.breaker.resets").add();
+  if (s.tripped) {
+    obs::counter("serve.breaker.resets").add();
+    breaker_event("breaker_close", circuit, "info",
+                  "probe succeeded; breaker closed");
+  }
   s = State{};
+  set_state_gauge(circuit, 0.0);
 }
 
 void CircuitBreaker::record_death(const std::string& circuit,
@@ -21,12 +48,19 @@ void CircuitBreaker::record_death(const std::string& circuit,
     s.probe_in_flight = false;
     s.tripped_at = now_unix;
     obs::counter("serve.breaker.trips").add();
+    set_state_gauge(circuit, 1.0);
+    breaker_event("breaker_trip", circuit, "warn",
+                  "half-open probe died; re-tripped");
     return;
   }
   if (!s.tripped && s.consecutive_deaths >= opts_.threshold) {
     s.tripped = true;
     s.tripped_at = now_unix;
     obs::counter("serve.breaker.trips").add();
+    set_state_gauge(circuit, 1.0);
+    breaker_event("breaker_trip", circuit, "warn",
+                  std::to_string(s.consecutive_deaths) +
+                      " consecutive worker deaths");
   }
 }
 
@@ -40,6 +74,9 @@ bool CircuitBreaker::should_short_circuit(const std::string& circuit,
     // Half-open: let one probe through; its outcome decides what happens.
     s.probe_in_flight = true;
     obs::counter("serve.breaker.probes").add();
+    set_state_gauge(circuit, 0.5);
+    breaker_event("breaker_probe", circuit, "info",
+                  "cooldown elapsed; admitting one probe");
     return false;
   }
   obs::counter("serve.breaker.short_circuits").add();
@@ -57,6 +94,22 @@ std::vector<std::string> CircuitBreaker::open_circuits(
     }
   }
   return open;
+}
+
+std::vector<std::pair<std::string, std::string>> CircuitBreaker::states(
+    double now_unix) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [circuit, s] : by_circuit_) {
+    const char* state = "closed";
+    if (s.tripped) {
+      state = s.probe_in_flight ? "half_open"
+              : now_unix - s.tripped_at < opts_.cooldown_seconds
+                  ? "open"
+                  : "half_open";
+    }
+    out.emplace_back(circuit, state);
+  }
+  return out;
 }
 
 }  // namespace minergy::serve

@@ -10,6 +10,7 @@
 #include "io/checkpoint.h"
 #include "io/durable.h"
 #include "io/envelope.h"
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/json.h"
@@ -106,6 +107,11 @@ std::string SpoolQueue::submit(Job job) {
                                                                        1)));
   }
   obs::counter("serve.queue.submitted").add();
+  obs::Event ev;
+  ev.kind = "job_submitted";
+  ev.job = job.id;
+  ev.circuit = job.circuit;
+  obs::event(ev);
   return job.id;
 }
 
@@ -131,6 +137,12 @@ std::optional<Job> SpoolQueue::claim(double now_unix) {
       }
       std::remove(pending.c_str());
       obs::counter("serve.jobs.quarantined").add();
+      obs::Event ev;
+      ev.kind = "job_quarantined";
+      ev.severity = "warn";
+      ev.job = id;
+      ev.detail = std::string("corrupt job file: ") + e.what();
+      obs::event(ev);
       continue;
     }
     if (job.not_before_unix > now_unix) continue;  // backing off
@@ -139,6 +151,20 @@ std::optional<Job> SpoolQueue::claim(double now_unix) {
       continue;  // raced by another claimant, or vanished
     }
     obs::counter("serve.queue.claimed").add();
+    // Queue wait: from the instant the job became eligible (submission, or
+    // the end of its retry backoff) to this claim.
+    const double eligible_unix =
+        std::max(job.submitted_unix, job.not_before_unix);
+    const double wait_s =
+        eligible_unix > 0.0 ? std::max(0.0, now_unix - eligible_unix) : 0.0;
+    obs::histogram("serve.job.queue_wait_micros").record(wait_s * 1e6);
+    obs::Event ev;
+    ev.kind = "job_claimed";
+    ev.job = job.id;
+    ev.circuit = job.circuit;
+    ev.attempt = job.started_attempts() + 1;
+    ev.num.emplace_back("queue_wait_s", wait_s);
+    obs::event(ev);
     return job;
   }
   return std::nullopt;
@@ -154,6 +180,33 @@ void SpoolQueue::remove_scratch(const std::string& id,
   // Checkpoint files are generational (id.json, id.json.1, ...); remove
   // the whole family so no stale generation survives into a later job.
   if (!keep_checkpoint) io::Checkpoint::remove(checkpoint_path(id));
+}
+
+void SpoolQueue::note_terminal(const Job& job, const char* kind,
+                               const std::string& severity) {
+  const double e2e_s =
+      job.submitted_unix > 0.0 ? unix_now() - job.submitted_unix : 0.0;
+  obs::histogram("serve.job.e2e_micros").record(e2e_s * 1e6);
+  obs::Event ev;
+  ev.kind = kind;
+  ev.severity = severity;
+  ev.job = job.id;
+  ev.circuit = job.circuit;
+  ev.attempt = job.started_attempts();
+  if (!job.failure_type.empty()) ev.detail = job.failure_type;
+  ev.num.emplace_back("e2e_s", e2e_s);
+  obs::event(ev);
+  if (opts_.slo_e2e_seconds > 0.0 && e2e_s > opts_.slo_e2e_seconds) {
+    obs::counter("serve.slo.violations").add();
+    obs::Event slo;
+    slo.kind = "slo_violation";
+    slo.severity = "warn";
+    slo.job = job.id;
+    slo.circuit = job.circuit;
+    slo.num.emplace_back("e2e_s", e2e_s);
+    slo.num.emplace_back("slo_s", opts_.slo_e2e_seconds);
+    obs::event(slo);
+  }
 }
 
 void SpoolQueue::write_terminal(Job job, const std::string& state,
@@ -178,6 +231,7 @@ void SpoolQueue::finalize_done(const Job& job,
     remove_scratch(job.id, /*keep_checkpoint=*/false);
     return;
   }
+  note_terminal(job, "job_done", "info");
   write_terminal(job, "done", result_json);
   obs::counter("serve.jobs.done").add();
 }
@@ -187,6 +241,7 @@ void SpoolQueue::finalize_failed(Job job, const std::string& type,
                                  const std::string& result_json) {
   job.failure_type = type;
   job.failure_detail = detail;
+  note_terminal(job, "job_failed", "warn");
   write_terminal(std::move(job), "failed", result_json);
   obs::counter("serve.jobs.failed").add();
 }
@@ -194,6 +249,7 @@ void SpoolQueue::finalize_failed(Job job, const std::string& type,
 void SpoolQueue::finalize_quarantined(Job job, const std::string& reason) {
   job.failure_type = "quarantined";
   job.failure_detail = reason;
+  note_terminal(job, "job_quarantined", "warn");
   write_terminal(std::move(job), "quarantined", std::string());
   obs::counter("serve.jobs.quarantined").add();
 }
@@ -211,6 +267,17 @@ void SpoolQueue::requeue(Job job, const std::string& outcome,
   update_running(job);
   io::rename_file(job_path("running", job.id), job_path("pending", job.id));
   obs::counter("serve.jobs.requeued").add();
+  obs::Event ev;
+  ev.kind = "job_requeued";
+  ev.job = job.id;
+  ev.circuit = job.circuit;
+  ev.attempt = job.started_attempts();
+  ev.detail = outcome;
+  if (not_before_unix > 0.0) {
+    ev.num.emplace_back("not_before_in_s",
+                        std::max(0.0, not_before_unix - unix_now()));
+  }
+  obs::event(ev);
 }
 
 std::vector<Job> SpoolQueue::running_jobs() const {
@@ -263,6 +330,11 @@ std::vector<std::string> SpoolQueue::ids_in(const std::string& state) const {
 }
 
 void SpoolQueue::write_health(const HealthInfo& info) const {
+  io::write_artifact((fs::path(root_) / "health.json").string(),
+                     "minergy.health.v1", health_json(info));
+}
+
+std::string SpoolQueue::health_json(const HealthInfo& info) const {
   const QueueCounts c = counts();
   util::JsonWriter w(2);
   w.begin_object();
@@ -282,8 +354,7 @@ void SpoolQueue::write_health(const HealthInfo& info) const {
   for (const std::string& circuit : info.breaker_open) w.value(circuit);
   w.end_array();
   w.end_object();
-  io::write_artifact((fs::path(root_) / "health.json").string(),
-                     "minergy.health.v1", w.str() + "\n");
+  return w.str() + "\n";
 }
 
 }  // namespace minergy::serve

@@ -58,6 +58,10 @@ struct SpoolOptions {
   std::size_t max_pending = 64;
   // Rough per-job service time used to size the retry-after hint.
   double expected_job_seconds = 5.0;
+  // Latency SLO on end-to-end job time (submit -> terminal state), in
+  // seconds; 0 disables. A finalization past the objective increments
+  // serve.slo.violations and logs an `slo_violation` event.
+  double slo_e2e_seconds = 0.0;
 };
 
 struct QueueCounts {
@@ -134,8 +138,17 @@ class SpoolQueue {
   // Atomically refreshes <root>/health.json.
   void write_health(const HealthInfo& info) const;
 
+  // The minergy.health.v1 document as a string — write_health persists it,
+  // and the daemon publishes the same bytes to the /health exposition
+  // endpoint so scrapes are served from memory, not the file.
+  std::string health_json(const HealthInfo& info) const;
+
  private:
   std::string dir(const std::string& state) const;
+  // Latency bookkeeping at a terminal transition: records the end-to-end
+  // histogram, checks the SLO, and logs the job_* event.
+  void note_terminal(const Job& job, const char* kind,
+                     const std::string& severity);
   void write_terminal(Job job, const std::string& state,
                       const std::string& result_json);
   void remove_scratch(const std::string& id, bool keep_checkpoint) const;

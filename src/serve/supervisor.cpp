@@ -21,12 +21,15 @@
 #include "io/durable.h"
 #include "io/envelope.h"
 #include "io/fault_fs.h"
+#include "obs/eventlog.h"
+#include "obs/expose.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/inject.h"
 #include "serve/worker.h"
 #include "util/check.h"
 #include "util/clock.h"
+#include "util/json.h"
 
 namespace minergy::serve {
 
@@ -61,12 +64,81 @@ Supervisor::Supervisor(SpoolQueue& queue, SupervisorOptions opts)
 }
 
 void Supervisor::refresh_health(const std::string& state) {
+  const double now_unix = unix_now();
   HealthInfo info;
   info.state = state;
   info.workers_active = static_cast<int>(slots_.size());
-  info.breaker_open = breaker_.open_circuits(unix_now());
+  info.breaker_open = breaker_.open_circuits(now_unix);
   queue_.write_health(info);
   last_health_monotonic_ = util::monotonic_seconds();
+
+  // Live exposition: the same health document the file just got, plus the
+  // /jobs spool partition, published from memory so a scrape never touches
+  // the spool filesystem. Gated on running() — without --listen this whole
+  // block is one relaxed atomic load.
+  if (obs::ExpositionServer::instance().running()) {
+    obs::ExpositionServer::instance().publish(
+        "/health", "application/json", queue_.health_json(info));
+    const QueueCounts c = queue_.counts();
+    obs::gauge("serve.spool.pending").set(static_cast<double>(c.pending));
+    obs::gauge("serve.spool.running").set(static_cast<double>(c.running));
+    obs::gauge("serve.spool.done").set(static_cast<double>(c.done));
+    obs::gauge("serve.spool.failed").set(static_cast<double>(c.failed));
+    obs::gauge("serve.spool.quarantined")
+        .set(static_cast<double>(c.quarantined));
+    obs::gauge("serve.workers.active")
+        .set(static_cast<double>(info.workers_active));
+    util::JsonWriter w(2);
+    w.begin_object();
+    w.kv("schema", "minergy.jobs.v1");
+    w.kv("state", state);
+    w.kv("workers_active", info.workers_active);
+    w.key("queue").begin_object();
+    w.kv("pending", c.pending);
+    w.kv("running", c.running);
+    w.kv("done", c.done);
+    w.kv("failed", c.failed);
+    w.kv("quarantined", c.quarantined);
+    w.end_object();
+    w.key("breakers").begin_array();
+    for (const auto& [circuit, breaker_state] : breaker_.states(now_unix)) {
+      w.begin_object();
+      w.kv("circuit", circuit);
+      w.kv("state", breaker_state);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    obs::ExpositionServer::instance().publish("/jobs", "application/json",
+                                              w.str() + "\n");
+  }
+  log_spool_state(state);
+}
+
+// One spool_state event whenever the partition changes (and at lifecycle
+// transitions): the tail of the event log always reconstructs the counts
+// `minergy_served --status` would report.
+void Supervisor::log_spool_state(const std::string& state) {
+  if (!obs::EventLog::instance().armed()) return;
+  const QueueCounts c = queue_.counts();
+  if (counts_ever_logged_ && c.pending == last_logged_counts_.pending &&
+      c.running == last_logged_counts_.running &&
+      c.done == last_logged_counts_.done &&
+      c.failed == last_logged_counts_.failed &&
+      c.quarantined == last_logged_counts_.quarantined) {
+    return;
+  }
+  last_logged_counts_ = c;
+  counts_ever_logged_ = true;
+  obs::Event ev;
+  ev.kind = "spool_state";
+  ev.detail = state;
+  ev.num.emplace_back("pending", static_cast<double>(c.pending));
+  ev.num.emplace_back("running", static_cast<double>(c.running));
+  ev.num.emplace_back("done", static_cast<double>(c.done));
+  ev.num.emplace_back("failed", static_cast<double>(c.failed));
+  ev.num.emplace_back("quarantined", static_cast<double>(c.quarantined));
+  obs::event(ev);
 }
 
 // Daemon-restart recovery: every running/ entry is an attempt some previous
@@ -136,6 +208,19 @@ void Supervisor::dispose_envelope(Job job) {
     job.attempts.back().outcome = "ok";
   }
   breaker_.record_success(job.circuit);
+  if (obs::EventLog::instance().armed()) {
+    obs::Event ev;
+    ev.kind = "cert_verdict";
+    ev.job = job.id;
+    ev.circuit = job.circuit;
+    ev.attempt = job.started_attempts();
+    const bool certified = env.get_bool("certified", false);
+    ev.severity = certified ? "info" : "warn";
+    ev.detail = !env.get_bool("ok", false) ? "error"
+                : certified               ? "certified"
+                                          : "uncertified";
+    obs::event(ev);
+  }
   kill_point("daemon.pre-finalize");
   if (!env.get_bool("ok", false)) {
     queue_.finalize_failed(std::move(job), env.get_string("error_type", "error"),
@@ -177,6 +262,18 @@ void Supervisor::handle_death(Job job, const std::string& outcome,
                : outcome == "crash" ? "serve.worker.crashes"
                                     : "serve.worker.errors")
       .add();
+  if (obs::EventLog::instance().armed()) {
+    obs::Event ev;
+    ev.kind = "worker_exit";
+    ev.severity = "warn";
+    ev.job = job.id;
+    ev.circuit = job.circuit;
+    ev.attempt = job.started_attempts();
+    ev.detail = outcome;
+    ev.num.emplace_back("exit_code", exit_code);
+    ev.num.emplace_back("wall_s", wall_seconds);
+    obs::event(ev);
+  }
   const int failed = job.failed_attempts();
   if (failed > opts_.max_retries) {
     obs::Tracer::instance().instant("serve.quarantine", "serve");
@@ -188,6 +285,17 @@ void Supervisor::handle_death(Job job, const std::string& outcome,
   obs::counter("serve.jobs.retries").add();
   const double backoff =
       opts_.backoff_seconds * static_cast<double>(1 << (failed - 1));
+  if (obs::EventLog::instance().armed()) {
+    obs::Event ev;
+    ev.kind = "retry_scheduled";
+    ev.job = job.id;
+    ev.circuit = job.circuit;
+    ev.attempt = job.started_attempts();
+    ev.detail = "after " + outcome;
+    ev.num.emplace_back("backoff_s", backoff);
+    ev.num.emplace_back("failed_attempts", failed);
+    obs::event(ev);
+  }
   job.next_backoff_seconds = backoff;
   kill_point("daemon.pre-requeue");
   queue_.requeue(std::move(job), outcome, now_unix + backoff,
@@ -261,6 +369,15 @@ void Supervisor::spawn_ready(double now_unix) {
       continue;
     }
     obs::counter("serve.worker.spawned").add();
+    if (obs::EventLog::instance().armed()) {
+      obs::Event ev;
+      ev.kind = "worker_spawned";
+      ev.job = job.id;
+      ev.circuit = job.circuit;
+      ev.attempt = job.started_attempts();
+      ev.detail = "seed " + std::to_string(seed);
+      obs::event(ev);
+    }
     Slot slot;
     slot.pid = pid;
     slot.job = std::move(job);
@@ -288,10 +405,12 @@ void Supervisor::reap() {
       Job job = std::move(slot.job);
       slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
       kill_point("daemon.post-reap");
+      obs::histogram("serve.job.exec_micros").record(elapsed * 1e6);
       handle_death(std::move(job), "timeout", -SIGKILL, elapsed, unix_now());
       continue;
     }
     const double wall = util::monotonic_seconds() - slot.started_monotonic;
+    obs::histogram("serve.job.exec_micros").record(wall * 1e6);
     Job job = std::move(slot.job);
     slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
     kill_point("daemon.post-reap");
@@ -320,6 +439,13 @@ void Supervisor::reap() {
 void Supervisor::drain() {
   const obs::Span span("serve.drain");
   obs::counter("serve.drain.requests").add();
+  {
+    obs::Event ev;
+    ev.kind = "daemon_drain";
+    ev.num.emplace_back("workers_in_flight",
+                        static_cast<double>(slots_.size()));
+    obs::event(ev);
+  }
   const double t0 = util::monotonic_seconds();
   while (!slots_.empty() &&
          util::monotonic_seconds() - t0 < opts_.drain_grace_seconds) {
@@ -351,6 +477,13 @@ void Supervisor::drain() {
 // like after a daemon death.
 void Supervisor::degraded_wait(const std::string& what) {
   obs::counter("io.degraded.enter").add();
+  {
+    obs::Event ev;
+    ev.kind = "degraded_enter";
+    ev.severity = "error";
+    ev.detail = what;
+    obs::event(ev);
+  }
   std::fprintf(stderr, "served: degraded (storage fault: %s); pausing "
                        "admissions\n",
                what.c_str());
@@ -373,12 +506,32 @@ void Supervisor::degraded_wait(const std::string& what) {
     }
   }
   obs::counter("io.degraded.exit").add();
+  {
+    obs::Event ev;
+    ev.kind = "degraded_exit";
+    ev.detail = "storage writable again";
+    obs::event(ev);
+  }
   std::fprintf(stderr, "served: storage writable again; resuming\n");
 }
 
 int Supervisor::run() {
   g_drain_requested = 0;
   install_drain_handlers();
+  // Pre-register the service latency instruments so the very first
+  // /metrics scrape — before any job completes — already exposes the
+  // serve_job_* histogram families instead of an absent series.
+  obs::histogram("serve.job.queue_wait_micros");
+  obs::histogram("serve.job.exec_micros");
+  obs::histogram("serve.job.e2e_micros");
+  obs::counter("serve.slo.violations");
+  {
+    obs::Event ev;
+    ev.kind = "daemon_start";
+    ev.num.emplace_back("pid", static_cast<double>(::getpid()));
+    ev.num.emplace_back("workers", static_cast<double>(opts_.workers));
+    obs::event(ev);
+  }
   bool started = false;
   for (;;) {
     try {
@@ -397,6 +550,12 @@ int Supervisor::run() {
       if (util::monotonic_seconds() - last_health_monotonic_ >=
           opts_.health_interval_seconds) {
         refresh_health("serving");
+      }
+      if (opts_.snapshot_interval_seconds > 0.0 && opts_.snapshot_hook &&
+          util::monotonic_seconds() - last_snapshot_monotonic_ >=
+              opts_.snapshot_interval_seconds) {
+        last_snapshot_monotonic_ = util::monotonic_seconds();
+        opts_.snapshot_hook();
       }
       sleep_seconds(opts_.poll_seconds);
     } catch (const io::IoError& e) {
@@ -419,6 +578,15 @@ int Supervisor::run() {
   try {
     refresh_health("stopped");
   } catch (const io::IoError&) {
+  }
+  // Final snapshot + lifecycle marker: the event log's tail reconstructs
+  // the terminal spool partition even for a daemon that never exits
+  // cleanly (spool_state lines were also emitted on every change).
+  if (opts_.snapshot_hook) opts_.snapshot_hook();
+  {
+    obs::Event ev;
+    ev.kind = "daemon_stop";
+    obs::event(ev);
   }
   return 0;
 }

@@ -26,6 +26,7 @@
 
 #include <sys/types.h>
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,12 @@ struct SupervisorOptions {
   double health_interval_seconds = 0.25;
   bool once = false;  // exit when pending/ and the pool are both empty
   BreakerOptions breaker{};
+  // Periodic telemetry flush: every snapshot_interval_seconds the control
+  // loop invokes snapshot_hook (when set), so a crashed daemon still
+  // leaves its last counter snapshot on disk instead of exit-only metrics.
+  // The hook must not throw (storage faults are its own problem to log).
+  double snapshot_interval_seconds = 0.0;
+  std::function<void()> snapshot_hook;
 };
 
 class Supervisor {
@@ -73,6 +80,7 @@ class Supervisor {
   void spawn_ready(double now_unix);
   void drain();
   void refresh_health(const std::string& state);
+  void log_spool_state(const std::string& state);
   // Storage-fault (ENOSPC/EIO) reaction: pause admissions, flip health.json
   // to "degraded", and probe with exponential backoff until a write lands
   // again (or a drain is requested). See docs/ROBUSTNESS.md.
@@ -89,6 +97,9 @@ class Supervisor {
   CircuitBreaker breaker_;
   std::vector<Slot> slots_;
   double last_health_monotonic_ = -1.0;
+  double last_snapshot_monotonic_ = -1.0;
+  QueueCounts last_logged_counts_{};
+  bool counts_ever_logged_ = false;
 };
 
 }  // namespace minergy::serve

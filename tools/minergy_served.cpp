@@ -31,6 +31,23 @@
 //                         write@3:enospc,fsync@1:eio (see src/io/fault_fs.h);
 //                         propagated into workers like --inject-kill
 //
+// Live telemetry flags (daemon mode; see docs/OBSERVABILITY.md):
+//   --listen=PORT         embedded HTTP exposition on 127.0.0.1:PORT
+//                         (0 = ephemeral): GET /metrics (Prometheus text),
+//                         /health (minergy.health.v1, from memory), /jobs
+//                         (spool partition + breaker states)
+//   --port-file=FILE      write the bound port to FILE (--listen=0 discovery)
+//   --event-log=FILE      append-only JSONL event log (minergy.event.v1):
+//                         one line per state transition, retry, breaker
+//                         action, degradation, certification verdict;
+//                         validate with trace_check --verify-eventlog=FILE
+//   --event-log-max-kb=N  event-log segment cap before rotation (def. 8192)
+//   --slo-e2e-ms=N        end-to-end latency SLO: finalizations slower than
+//                         N ms bump serve.slo.violations + log slo_violation
+//   --snapshot-interval-s=S  flush the --perf-record counter snapshot every
+//                         S seconds (atomic write), not only at exit, so a
+//                         crashed daemon leaves its last telemetry behind
+//
 // Submit flags: --circuit, --optimizer (robust|joint|baseline|anneal),
 //   --seed, --fc, --activity, --deadline=S (propagated into the watchdog
 //   budget), --max-evals, --anneal-moves, --inject (worker chaos hook).
@@ -50,6 +67,7 @@
 #include <map>
 #include <string>
 
+#include "io/durable.h"
 #include "io/envelope.h"
 #include "io/fault_fs.h"
 #include "obs/metrics.h"
@@ -73,6 +91,9 @@ constexpr const char* kUsage =
     "  daemon: [--workers=N] [--once] [--poll=S] [--timeout=S] [--retries=N]\n"
     "          [--backoff=S] [--breaker-threshold=N] [--breaker-cooldown=S]\n"
     "          [--drain-grace=S] [--inject-kill=POINT[@K]] [--inject-io=SPEC]\n"
+    "          [--listen=PORT] [--port-file=FILE] [--event-log=FILE]\n"
+    "          [--event-log-max-kb=N] [--slo-e2e-ms=N]\n"
+    "          [--snapshot-interval-s=S] [--perf-record[=FILE]]\n"
     "  submit: --circuit=NAME [--optimizer=robust|joint|baseline|anneal]\n"
     "          [--seed=S] [--fc=HZ] [--activity=D] [--deadline=S]\n"
     "          [--max-evals=N] [--anneal-moves=N] [--max-pending=N]\n"
@@ -82,6 +103,7 @@ constexpr const char* kUsage =
 serve::SpoolOptions spool_options(const util::Cli& cli) {
   serve::SpoolOptions o;
   o.max_pending = static_cast<std::size_t>(cli.get("max-pending", 64));
+  o.slo_e2e_seconds = cli.get("slo-e2e-ms", 0.0) * 1e-3;
   return o;
 }
 
@@ -201,7 +223,8 @@ int run_status(const util::Cli& cli, serve::SpoolQueue& queue) {
   return 0;
 }
 
-int run_daemon(const util::Cli& cli, serve::SpoolQueue& queue) {
+int run_daemon(const util::Cli& cli, serve::SpoolQueue& queue,
+               obs::Session& session) {
   serve::SupervisorOptions opts;
   // Workers re-exec this binary; resolve the real path so the daemon works
   // regardless of how it was invoked.
@@ -223,6 +246,22 @@ int run_daemon(const util::Cli& cli, serve::SpoolQueue& queue) {
   opts.once = cli.has("once");
   opts.breaker.threshold = cli.get("breaker-threshold", 3);
   opts.breaker.cooldown_seconds = cli.get("breaker-cooldown", 30.0);
+  opts.snapshot_interval_seconds = cli.get("snapshot-interval-s", 0.0);
+  if (opts.snapshot_interval_seconds > 0.0) {
+    // Periodic counter-snapshot flush: the daemon's perf record survives a
+    // SIGKILL. The session owns the canonical path when --perf-record was
+    // given; otherwise snapshots land next to nothing in particular, so use
+    // a stable default the operator can find.
+    std::string snap_path = session.perf_path();
+    if (snap_path.empty()) snap_path = "BENCH_minergy_served.json";
+    opts.snapshot_hook = [&session, snap_path]() {
+      try {
+        io::atomic_write_durable(snap_path, session.perf_record_json() + "\n");
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "served: snapshot flush failed: %s\n", e.what());
+      }
+    };
+  }
   serve::Supervisor supervisor(queue, opts);
   const int rc = supervisor.run();
   const serve::QueueCounts c = queue.counts();
@@ -254,7 +293,7 @@ int main(int argc, char** argv) try {
   if (cli.has("status")) return run_status(cli, queue);
   obs::Session session(cli, "minergy_served");
   obs::set_enabled(true);
-  return run_daemon(cli, queue);
+  return run_daemon(cli, queue, session);
 } catch (const std::invalid_argument& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 2;

@@ -3,12 +3,22 @@
 //   $ trace_check trace.json                  # Chrome-trace well-formedness
 //   $ trace_check trace.json --min-spans=1    # and reject an empty capture
 //   $ trace_check trace.json --report=run.json
+//   $ trace_check --verify-eventlog=events.jsonl  # daemon event stream
 //
 // Trace checks: the file parses, has a traceEvents array, every event
 // carries name/ph/ts (complete "X" events also dur >= 0), and within each
 // (pid, tid) lane the complete events nest properly — a span either fully
 // contains or is fully disjoint from every other span in its lane, the
 // invariant Perfetto's flame view relies on.
+//
+// Event-log checks (--verify-eventlog=FILE): the file is the daemon's
+// append-only JSONL event stream (schema minergy.event.v1, one object per
+// line; see src/obs/eventlog.h). Every line must parse, carry the schema
+// id, a non-empty kind, a known severity, and a strictly increasing seq;
+// every job_done / job_failed must be preceded by a job_claimed for the
+// same job id. Rotation relaxes the pairing rule: a segment whose first
+// seq > 1 is a mid-stream continuation (the claim may live in the rotated
+// .1 file), so only ordering and well-formedness are enforced there.
 //
 // Report checks (--report=FILE): the file round-trips through
 // obs::RunReport::from_json (schema minergy.run_report.v1) and the energies
@@ -25,12 +35,15 @@
 // the `obs_smoke` CTest fixture (see tests/CMakeLists.txt).
 #include <algorithm>
 #include <cstdio>
+#include <cstdint>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "io/envelope.h"
+#include "obs/eventlog.h"
 #include "obs/report.h"
 #include "util/check.h"
 #include "util/cli.h"
@@ -168,14 +181,83 @@ int check_report(const std::string& path, bool require_envelope) {
   return 0;
 }
 
+int check_eventlog(const std::string& path) {
+  std::istringstream in(slurp(path));
+  std::string line;
+  std::size_t lineno = 0;
+  std::int64_t last_seq = 0;
+  bool rotated_segment = false;
+  std::set<std::string> claimed;
+  std::size_t events = 0, terminal = 0;
+  auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), lineno, what.c_str());
+    return 1;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    util::JsonValue e;
+    try {
+      e = util::JsonValue::parse(line, path + ":" + std::to_string(lineno));
+    } catch (const std::exception& ex) {
+      return fail(std::string("unparseable event line: ") + ex.what());
+    }
+    if (e.get_string("schema", "") != obs::kEventSchema) {
+      return fail("schema is not " + std::string(obs::kEventSchema));
+    }
+    const double seq_raw = e.get_number("seq", -1.0);
+    const std::int64_t seq = static_cast<std::int64_t>(seq_raw);
+    if (seq < 1 || static_cast<double>(seq) != seq_raw) {
+      return fail("seq is not a positive integer");
+    }
+    if (seq <= last_seq) {
+      return fail("seq " + std::to_string(seq) +
+                  " does not increase past " + std::to_string(last_seq));
+    }
+    if (events == 0 && seq > 1) rotated_segment = true;
+    last_seq = seq;
+    ++events;
+    const std::string kind = e.get_string("kind", "");
+    if (kind.empty()) return fail("event has no kind");
+    const std::string severity = e.get_string("severity", "");
+    if (severity != "debug" && severity != "info" && severity != "warn" &&
+        severity != "error") {
+      return fail("unknown severity '" + severity + "'");
+    }
+    const std::string job = e.get_string("job", "");
+    if (kind == "job_claimed" && !job.empty()) claimed.insert(job);
+    if (kind == "job_done" || kind == "job_failed") {
+      ++terminal;
+      if (job.empty()) return fail(kind + " event carries no job id");
+      // A rotated segment may have lost the claim to the .1 file — only a
+      // fresh (seq-starts-at-1) log can prove claim-before-finalize.
+      if (!rotated_segment && claimed.count(job) == 0) {
+        return fail(kind + " for job " + job + " with no earlier job_claimed");
+      }
+    }
+    if (kind == "job_quarantined") ++terminal;
+  }
+  if (events == 0) {
+    std::fprintf(stderr, "%s: event log is empty\n", path.c_str());
+    return 1;
+  }
+  std::printf("%s: OK (%zu events, %zu terminal, final seq %lld%s)\n",
+              path.c_str(), events, terminal,
+              static_cast<long long>(last_seq),
+              rotated_segment ? ", rotated segment" : "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
-  if (cli.positional().empty() && !cli.has("report")) {
+  if (cli.positional().empty() && !cli.has("report") &&
+      !cli.has("verify-eventlog")) {
     std::fprintf(stderr,
                  "usage: trace_check [trace.json] [--min-spans=N] "
-                 "[--report=FILE] [--verify-envelope]\n");
+                 "[--report=FILE] [--verify-envelope] "
+                 "[--verify-eventlog=FILE]\n");
     return 2;
   }
   int rc = 0;
@@ -186,6 +268,9 @@ int main(int argc, char** argv) try {
   if (rc == 0 && cli.has("report")) {
     rc = check_report(cli.get("report", std::string()),
                       cli.has("verify-envelope"));
+  }
+  if (rc == 0 && cli.has("verify-eventlog")) {
+    rc = check_eventlog(cli.get("verify-eventlog", std::string()));
   }
   return rc;
 } catch (const std::invalid_argument& e) {
