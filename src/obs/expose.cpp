@@ -37,13 +37,25 @@ void send_all(int fd, std::string_view data) {
 
 std::string http_response(int status, const std::string& reason,
                           const std::string& content_type,
-                          std::string_view body) {
+                          std::string_view body,
+                          const std::string& extra_headers = std::string()) {
   std::string out = "HTTP/1.0 " + std::to_string(status) + " " + reason +
                     "\r\nContent-Type: " + content_type +
                     "\r\nContent-Length: " + std::to_string(body.size()) +
-                    "\r\nConnection: close\r\n\r\n";
+                    "\r\n" + extra_headers + "Connection: close\r\n\r\n";
   out.append(body);
   return out;
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Status";
+  }
 }
 
 void append_number(std::string& out, double v) {
@@ -217,9 +229,11 @@ void ExpositionServer::stop() {
 
 void ExpositionServer::publish(const std::string& path,
                                const std::string& content_type,
-                               std::string body) {
+                               std::string body, int status,
+                               std::string extra_headers) {
   const std::lock_guard<std::mutex> lock(mu_);
-  docs_[path] = {content_type, std::move(body)};
+  docs_[path] =
+      Doc{content_type, std::move(body), status, std::move(extra_headers)};
 }
 
 // Poll with a short timeout so stop() is honored promptly without signals
@@ -291,7 +305,7 @@ void ExpositionServer::handle_connection(int fd) {
                                render_prometheus()));
     return;
   }
-  std::pair<std::string, std::string> doc;
+  Doc doc;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     const auto it = docs_.find(path);
@@ -304,7 +318,8 @@ void ExpositionServer::handle_connection(int fd) {
     doc = it->second;
   }
   counter("expose.scrapes").add();
-  send_all(fd, http_response(200, "OK", doc.first, doc.second));
+  send_all(fd, http_response(doc.status, reason_phrase(doc.status),
+                             doc.content_type, doc.body, doc.extra_headers));
 }
 
 }  // namespace minergy::obs

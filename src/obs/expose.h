@@ -65,9 +65,14 @@ class ExpositionServer {
   // Publishes a snapshot document served verbatim at `path` (e.g.
   // "/health"). Replaces any previous document. Callers pay only a mutex
   // and a string copy even when the server is not running; gate on
-  // running() in hot paths.
+  // running() in hot paths. `status` is the HTTP status the document is
+  // served with (200 or 503 — a degraded daemon publishes its health with
+  // 503 so load balancers stop routing to it; /metrics stays 200 always),
+  // and `extra_headers` is zero or more complete "Name: value\r\n" lines
+  // (e.g. "Retry-After: 5\r\n") inserted into the response head.
   void publish(const std::string& path, const std::string& content_type,
-               std::string body);
+               std::string body, int status = 200,
+               std::string extra_headers = std::string());
 
   // The Prometheus text exposition of the global Registry (what GET
   // /metrics serves). Public so tests and tools can render without a
@@ -92,9 +97,15 @@ class ExpositionServer {
   int listen_fd_ = -1;
   std::thread thread_;
 
+  struct Doc {
+    std::string content_type;
+    std::string body;
+    int status = 200;
+    std::string extra_headers;  // raw "Name: value\r\n" lines
+  };
+
   mutable std::mutex mu_;  // guards docs_
-  // path -> {content_type, body}
-  std::map<std::string, std::pair<std::string, std::string>> docs_;
+  std::map<std::string, Doc> docs_;
 };
 
 // Translates one internal instrument name to its Prometheus family name:

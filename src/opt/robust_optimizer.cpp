@@ -155,7 +155,15 @@ OptimizationResult RobustOptimizer::run() const {
   };
 
   // --- Tier 0: full joint optimization -----------------------------------
-  {
+  if (opts_.start_tier > 0) {
+    // Brownout (or an explicit caller choice): the expensive tier is
+    // skipped by policy, not because it failed — record it as such so the
+    // provenance trail distinguishes "degraded" from "broken".
+    obs::counter("opt.robust.tier_skips").add();
+    notes.push_back("joint: skipped (start_tier=" +
+                    std::to_string(opts_.start_tier) + ")");
+    record_failure("joint", seconds_since(t0), "skipped (start_tier)");
+  } else {
     const obs::Span span("robust.tier.joint");
     obs::counter("opt.robust.tier_attempts").add();
     const double started = seconds_since(t0);
@@ -185,7 +193,12 @@ OptimizationResult RobustOptimizer::run() const {
   }
 
   // --- Tier 1: conventional fixed-Vts flow --------------------------------
-  {
+  if (opts_.start_tier > 1) {
+    obs::counter("opt.robust.tier_skips").add();
+    notes.push_back("baseline: skipped (start_tier=" +
+                    std::to_string(opts_.start_tier) + ")");
+    record_failure("baseline", seconds_since(t0), "skipped (start_tier)");
+  } else {
     const obs::Span span("robust.tier.baseline");
     obs::counter("opt.robust.tier_attempts").add();
     const double started = seconds_since(t0);

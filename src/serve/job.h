@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/sched.h"
 #include "util/json.h"
 
 namespace minergy::serve {
@@ -52,6 +53,18 @@ struct Job {
   double deadline_seconds = 0.0;
   std::int64_t max_evaluations = 0;  // 0 = unlimited
   int anneal_moves = 0;              // 0 = AnnealingOptions default
+  // Scheduling class (serve/sched.h): claim order is priority band first,
+  // EDF within a band; shedding drops background before batch and never
+  // touches interactive. Journaled as a string in minergy.job.v1.
+  Priority priority = Priority::kBatch;
+  // Submitting client, for per-client token-bucket quotas (--quota). Empty
+  // = unattributed (never quota-limited).
+  std::string client;
+  // Absolute completion deadline: a job still queued past this instant is
+  // expired to failed/ with a `deadline_expired` verdict instead of wasting
+  // a worker. Distinct from deadline_seconds (the per-attempt compute
+  // budget). 0 = none.
+  double complete_by_unix = 0.0;
   // Test hook (chaos harness): "crash-pre-run" | "crash-pre-result" | "hang"
   // make the worker die or wedge at a deterministic point.
   std::string inject;

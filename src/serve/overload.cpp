@@ -1,0 +1,355 @@
+#include "serve/overload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "io/durable.h"
+#include "io/envelope.h"
+#include "obs/eventlog.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/json.h"
+
+namespace minergy::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char kQuotaSchema[] = "minergy.quota.v1";
+
+// Quota state is keyed by client name on disk; anything outside the
+// filename-safe set maps to '_' (collisions just share a bucket, which only
+// ever under-admits for adversarial names).
+std::string quota_filename(const std::string& client) {
+  std::string out;
+  out.reserve(client.size());
+  for (const char c : client) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+}  // namespace
+
+ShedError::ShedError(const std::string& reason, double retry_after_seconds)
+    : std::runtime_error(reason + "; retry after " +
+                         std::to_string(retry_after_seconds) + " s"),
+      retry_after_(retry_after_seconds) {}
+
+// --- policy document -------------------------------------------------------
+
+std::string OverloadPolicy::to_json() const {
+  util::JsonWriter w(2);
+  w.begin_object();
+  w.kv("schema", kOverloadSchema);
+  w.kv("shed_level", shed_level);
+  w.kv("brownout_level", brownout_level);
+  w.kv("retry_after_seconds", retry_after_seconds);
+  w.kv("updated_unix", updated_unix);
+  w.key("quotas").begin_object();
+  for (const auto& [client, rps] : quotas) w.kv(client, rps);
+  w.end_object();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+OverloadPolicy OverloadPolicy::from_json(const std::string& text,
+                                         const std::string& source) {
+  const util::JsonValue root = util::JsonValue::parse(text, source);
+  if (!root.is_object() ||
+      root.get_string("schema", "") != kOverloadSchema) {
+    throw util::ParseError(
+        "not a " + std::string(kOverloadSchema) + " document", source, 0);
+  }
+  OverloadPolicy p;
+  p.shed_level = static_cast<int>(root.get_number("shed_level", 0.0));
+  p.brownout_level =
+      static_cast<int>(root.get_number("brownout_level", 0.0));
+  p.retry_after_seconds = root.get_number("retry_after_seconds", 1.0);
+  p.updated_unix = root.get_number("updated_unix", 0.0);
+  if (root.has("quotas")) {
+    for (const auto& [client, v] : root.at("quotas").members()) {
+      p.quotas[client] = v.as_number();
+    }
+  }
+  return p;
+}
+
+// --- controller ------------------------------------------------------------
+
+OverloadController::OverloadController(OverloadOptions opts)
+    : opts_(opts) {
+  if (opts_.shed_window_seconds <= 0.0) opts_.shed_window_seconds = 1.0;
+  if (opts_.brownout_max_level < 0) opts_.brownout_max_level = 0;
+  if (opts_.brownout_max_level > 2) opts_.brownout_max_level = 2;
+  if (opts_.min_window_samples < 1) opts_.min_window_samples = 1;
+}
+
+void OverloadController::prune(
+    std::deque<std::pair<double, double>>& window, double now_unix,
+    double span) const {
+  while (!window.empty() && now_unix - window.front().first > span) {
+    window.pop_front();
+  }
+}
+
+void OverloadController::observe_sojourn(double wait_seconds,
+                                         double now_unix) {
+  if (!opts_.shed_enabled()) return;
+  sojourns_.emplace_back(now_unix, std::max(0.0, wait_seconds));
+  prune(sojourns_, now_unix, opts_.shed_window_seconds);
+}
+
+void OverloadController::observe_e2e(double e2e_seconds, double now_unix) {
+  if (!opts_.brownout_enabled()) return;
+  e2es_.emplace_back(now_unix, std::max(0.0, e2e_seconds));
+  last_e2e_observed_ = now_unix;
+  prune(e2es_, now_unix, opts_.shed_window_seconds);
+}
+
+double OverloadController::window_min_sojourn() const {
+  double m = sojourns_.front().second;
+  for (const auto& [t, v] : sojourns_) m = std::min(m, v);
+  return m;
+}
+
+double OverloadController::window_p95_e2e() const {
+  std::vector<double> v;
+  v.reserve(e2es_.size());
+  for (const auto& [t, s] : e2es_) v.push_back(s);
+  const std::size_t idx =
+      std::min(v.size() - 1,
+               static_cast<std::size_t>(0.95 * static_cast<double>(v.size())));
+  std::nth_element(v.begin(),
+                   v.begin() + static_cast<std::ptrdiff_t>(idx), v.end());
+  return v[idx];
+}
+
+// CoDel on the claim wait: a transient burst leaves at least one job that
+// waited almost nothing, so the window *minimum* only exceeds the target
+// when the queue is persistently backed up. One window of sustained
+// overload escalates background -> background+batch.
+bool OverloadController::tick_shed(double now_unix) {
+  if (!opts_.shed_enabled()) return false;
+  prune(sojourns_, now_unix, opts_.shed_window_seconds);
+  int next = 0;
+  if (!sojourns_.empty() &&
+      window_min_sojourn() > opts_.shed_target_seconds) {
+    if (overload_since_unix_ < 0.0) overload_since_unix_ = now_unix;
+    next = now_unix - overload_since_unix_ >= opts_.shed_window_seconds ? 2
+                                                                        : 1;
+  } else {
+    overload_since_unix_ = -1.0;
+  }
+  if (next == shed_level_) return false;
+  const int prev = shed_level_;
+  shed_level_ = next;
+  obs::gauge("serve.shed.level").set(static_cast<double>(next));
+  obs::Event ev;
+  ev.kind = next > 0 ? "shed_start" : "shed_stop";
+  ev.severity = next > 0 ? "warn" : "info";
+  ev.detail = next >= 2   ? "shedding background + batch"
+              : next == 1 ? "shedding background"
+                          : "queue sojourn back under target";
+  ev.num.emplace_back("level", static_cast<double>(next));
+  ev.num.emplace_back("prev_level", static_cast<double>(prev));
+  obs::event(ev);
+  return true;
+}
+
+void OverloadController::set_brownout_level(int level, double now_unix,
+                                            double p95, const char* why) {
+  const int prev = brownout_level_;
+  brownout_level_ = level;
+  last_brownout_change_ = now_unix;
+  obs::gauge("serve.brownout.level").set(static_cast<double>(level));
+  obs::counter(level > prev ? "serve.brownout.degrades"
+                            : "serve.brownout.recovers")
+      .add();
+  obs::Event ev;
+  ev.kind = level > prev ? "brownout_degrade" : "brownout_recover";
+  ev.severity = level > prev ? "warn" : "info";
+  ev.detail = why;
+  ev.num.emplace_back("level", static_cast<double>(level));
+  ev.num.emplace_back("prev_level", static_cast<double>(prev));
+  ev.num.emplace_back("p95_s", p95);
+  ev.num.emplace_back("slo_s", opts_.slo_e2e_seconds);
+  obs::event(ev);
+}
+
+bool OverloadController::tick_brownout(double now_unix) {
+  if (!opts_.brownout_enabled()) return false;
+  prune(e2es_, now_unix, opts_.shed_window_seconds);
+  // Hysteresis: at most one level change per dwell period, in either
+  // direction, so the ladder cannot flap on a noisy p95.
+  if (last_brownout_change_ >= 0.0 &&
+      now_unix - last_brownout_change_ < opts_.brownout_dwell_seconds) {
+    return false;
+  }
+  if (static_cast<int>(e2es_.size()) >= opts_.min_window_samples) {
+    const double p95 = window_p95_e2e();
+    if (p95 > opts_.slo_e2e_seconds &&
+        brownout_level_ < opts_.brownout_max_level) {
+      set_brownout_level(brownout_level_ + 1, now_unix, p95,
+                         "windowed p95 over SLO");
+      // Judge the next step on post-transition completions only.
+      e2es_.clear();
+      return true;
+    }
+    if (p95 < opts_.brownout_recover_ratio * opts_.slo_e2e_seconds &&
+        brownout_level_ > 0) {
+      set_brownout_level(brownout_level_ - 1, now_unix, p95,
+                         "windowed p95 under recovery threshold");
+      e2es_.clear();
+      return true;
+    }
+    return false;
+  }
+  // Idle recovery: a full window with no completions at all means the burst
+  // is over — walk back up so a brownout never outlives the load that
+  // caused it.
+  if (brownout_level_ > 0 && e2es_.empty() &&
+      (last_e2e_observed_ < 0.0 ||
+       now_unix - last_e2e_observed_ > opts_.shed_window_seconds)) {
+    set_brownout_level(brownout_level_ - 1, now_unix, 0.0, "idle window");
+    return true;
+  }
+  return false;
+}
+
+bool OverloadController::tick(double now_unix) {
+  const bool shed_changed = tick_shed(now_unix);
+  const bool brownout_changed = tick_brownout(now_unix);
+  return shed_changed || brownout_changed;
+}
+
+OverloadPolicy OverloadController::policy(double now_unix) const {
+  OverloadPolicy p;
+  p.shed_level = shed_level_;
+  p.brownout_level = brownout_level_;
+  p.retry_after_seconds = opts_.retry_after_seconds;
+  p.updated_unix = now_unix;
+  p.quotas = opts_.quotas;
+  return p;
+}
+
+// --- admission-side enforcement --------------------------------------------
+
+OverloadPolicy load_policy(const std::string& spool_root, double now_unix) {
+  (void)now_unix;
+  const std::string path =
+      (fs::path(spool_root) / "overload.json").string();
+  try {
+    return OverloadPolicy::from_json(
+        io::read_artifact(path, kOverloadSchema), path);
+  } catch (const std::exception&) {
+    // No daemon, a dead daemon, or a torn write: admission must fail open.
+    return OverloadPolicy{};
+  }
+}
+
+void enforce_admission(const std::string& spool_root,
+                       const OverloadPolicy& policy, Priority priority,
+                       const std::string& client, double now_unix) {
+  if (policy.fresh(now_unix) &&
+      sheds_at_level(priority, policy.shed_level)) {
+    obs::counter("serve.shed.admission_rejections").add();
+    throw ShedError(
+        "load shed: service is shedding " +
+            std::string(to_string(priority)) + "-class admissions",
+        std::max(0.1, policy.retry_after_seconds));
+  }
+  if (client.empty()) return;
+  const auto it = policy.quotas.find(client);
+  if (it == policy.quotas.end() || it->second <= 0.0) return;
+  const double rps = it->second;
+  const double burst = std::max(1.0, rps);
+
+  const fs::path dir = fs::path(spool_root) / "quota";
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string path =
+      (dir / (quota_filename(client) + ".json")).string();
+  double tokens = burst;
+  double updated = now_unix;
+  try {
+    const util::JsonValue bucket = util::JsonValue::parse(
+        io::read_artifact(path, kQuotaSchema), path);
+    tokens = bucket.get_number("tokens", burst);
+    updated = bucket.get_number("updated_unix", now_unix);
+  } catch (const std::exception&) {
+    // First admission for this client, or a corrupt bucket: start full.
+    obs::counter("serve.quota.resets").add();
+  }
+  if (now_unix > updated) {
+    tokens = std::min(burst, tokens + (now_unix - updated) * rps);
+  }
+  if (tokens < 1.0) {
+    obs::counter("serve.quota.rejections").add();
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%.3g rps", rps);
+    throw ShedError("quota exceeded for client '" + client + "' (" + buf +
+                        ")",
+                    (1.0 - tokens) / rps);
+  }
+  tokens -= 1.0;
+  util::JsonWriter w(2);
+  w.begin_object();
+  w.kv("schema", kQuotaSchema);
+  w.kv("client", client);
+  w.kv("tokens", tokens);
+  w.kv("updated_unix", now_unix);
+  w.end_object();
+  try {
+    io::write_artifact(path, kQuotaSchema, w.str() + "\n");
+  } catch (const io::IoError&) {
+    // An unwritable bucket must not block admission (the job write itself
+    // will surface a real disk fault as QueueFullError); fail open.
+    obs::counter("serve.quota.persist_failures").add();
+  }
+  obs::counter("serve.quota.admissions").add();
+}
+
+std::map<std::string, double> parse_quota_spec(const std::string& spec) {
+  std::map<std::string, double> quotas;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= item.size()) {
+      throw std::invalid_argument("bad --quota item '" + item +
+                                  "' (expected CLIENT:RPS)");
+    }
+    const std::string client = item.substr(0, colon);
+    double rps = 0.0;
+    try {
+      std::size_t used = 0;
+      rps = std::stod(item.substr(colon + 1), &used);
+      if (used != item.size() - colon - 1) {
+        throw std::invalid_argument("trailing junk");
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad --quota rate in '" + item + "'");
+    }
+    if (!(rps > 0.0)) {
+      throw std::invalid_argument("--quota rate must be positive in '" +
+                                  item + "'");
+    }
+    quotas[client] = rps;
+  }
+  return quotas;
+}
+
+}  // namespace minergy::serve

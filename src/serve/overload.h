@@ -1,0 +1,177 @@
+// Closed-loop overload protection for the optimization service.
+//
+// The paper's core trade — spend optimization effort to buy energy at a
+// fixed delay target — exists one level up in the service: under overload
+// the daemon must spend *less* optimizer fidelity to keep latency. Three
+// cooperating mechanisms, all driven by explicit timestamps so the chaos
+// harness can run them against a virtual clock:
+//
+//   Shedding   CoDel-style control on queue sojourn: when the *minimum*
+//              claim wait over a sliding window stays above the target the
+//              queue is genuinely backed up (not just bursty), and the
+//              controller starts dropping the lowest priority class
+//              (level 1 = background, level 2 = background + batch;
+//              interactive never sheds). Sheds happen in two places: the
+//              daemon drops already-queued shed-class jobs to failed/ with
+//              a typed "shed" failure, and submitters are rejected at
+//              admission with a ShedError (distinct from QueueFullError)
+//              carrying a retry-after hint.
+//
+//   Quotas     Per-client token buckets (--quota=CLIENT:RPS), persisted
+//              under <spool>/quota/ so they survive across the short-lived
+//              --submit processes. Approximate under concurrent submitters
+//              (last-writer-wins refill), which only ever over-admits by a
+//              token — acceptable for rate limiting, never for accounting.
+//
+//   Brownout   Feedback on the windowed p95 of end-to-end latency vs the
+//              --slo-e2e-ms objective: p95 over the SLO steps the fidelity
+//              ladder down one level (level 1 forces RobustOptimizer to
+//              start at the baseline tier, level 2 at max-drive, watchdog
+//              budgets shrink proportionally), p95 back under
+//              recover_ratio * SLO — or a fully idle window — steps it
+//              back up. A dwell time between transitions provides the
+//              hysteresis; every transition emits a brownout_* event and
+//              moves the serve.brownout.level gauge.
+//
+// The daemon publishes its current decision as <spool>/overload.json
+// (schema minergy.overload.v1) so admission-side enforcement in a separate
+// --submit process sees the same policy the control loop computed.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "serve/sched.h"
+
+namespace minergy::serve {
+
+inline constexpr const char kOverloadSchema[] = "minergy.overload.v1";
+// A policy older than this is ignored for shedding decisions (the daemon
+// that wrote it is likely gone); quotas are configuration and still apply.
+inline constexpr double kPolicyStaleSeconds = 30.0;
+
+// Admission rejected by load shedding or a client quota — a *policy*
+// rejection, distinct from QueueFullError's *capacity* rejection: the queue
+// may have room, the service is choosing not to take this class of work.
+class ShedError : public std::runtime_error {
+ public:
+  ShedError(const std::string& reason, double retry_after_seconds);
+  double retry_after_seconds() const { return retry_after_; }
+
+ private:
+  double retry_after_;
+};
+
+struct OverloadOptions {
+  // CoDel target on queue sojourn; 0 disables shedding entirely.
+  double shed_target_seconds = 0.0;
+  // Sliding window over which the minimum sojourn is tracked; staying above
+  // the target for a further full window escalates level 1 -> 2.
+  double shed_window_seconds = 1.0;
+  // Brownout reference (the e2e SLO); 0 disables the brownout controller.
+  double slo_e2e_seconds = 0.0;
+  // Hysteresis: minimum time between brownout level changes.
+  double brownout_dwell_seconds = 2.0;
+  // Step back up once windowed p95 < recover_ratio * SLO.
+  double brownout_recover_ratio = 0.7;
+  int brownout_max_level = 2;
+  // Minimum windowed samples before a brownout decision fires either way.
+  int min_window_samples = 3;
+  // Retry-after hint carried by ShedError and the published policy.
+  double retry_after_seconds = 1.0;
+  // client -> sustained requests/second (burst = max(1, rps) tokens).
+  std::map<std::string, double> quotas;
+
+  bool shed_enabled() const { return shed_target_seconds > 0.0; }
+  bool brownout_enabled() const { return slo_e2e_seconds > 0.0; }
+  bool enabled() const {
+    return shed_enabled() || brownout_enabled() || !quotas.empty();
+  }
+};
+
+// The daemon's published decision, as read back by admission-side code.
+struct OverloadPolicy {
+  int shed_level = 0;
+  int brownout_level = 0;
+  double retry_after_seconds = 1.0;
+  double updated_unix = 0.0;
+  std::map<std::string, double> quotas;
+
+  bool fresh(double now_unix) const {
+    return updated_unix > 0.0 &&
+           now_unix - updated_unix <= kPolicyStaleSeconds;
+  }
+  std::string to_json() const;
+  static OverloadPolicy from_json(const std::string& text,
+                                  const std::string& source);
+};
+
+// Feedback controller owned by the daemon's control loop. All methods take
+// explicit timestamps; nothing here reads a clock.
+class OverloadController {
+ public:
+  explicit OverloadController(OverloadOptions opts = {});
+
+  const OverloadOptions& options() const { return opts_; }
+
+  // Queue sojourn of one claimed job (seconds waited from eligibility to
+  // claim) — the CoDel signal.
+  void observe_sojourn(double wait_seconds, double now_unix);
+  // End-to-end latency of one finalized job — the brownout signal.
+  void observe_e2e(double e2e_seconds, double now_unix);
+
+  // Re-evaluates both loops. Returns true when either level changed (the
+  // caller then republishes the policy document).
+  bool tick(double now_unix);
+
+  int shed_level() const { return shed_level_; }
+  int brownout_level() const { return brownout_level_; }
+  // True when `p` drops at the current shed level.
+  bool should_shed(Priority p) const {
+    return sheds_at_level(p, shed_level_);
+  }
+  double shed_retry_after() const { return opts_.retry_after_seconds; }
+
+  OverloadPolicy policy(double now_unix) const;
+
+ private:
+  void prune(std::deque<std::pair<double, double>>& window, double now_unix,
+             double span) const;
+  double window_min_sojourn() const;
+  double window_p95_e2e() const;
+  bool tick_shed(double now_unix);
+  bool tick_brownout(double now_unix);
+  void set_brownout_level(int level, double now_unix, double p95,
+                          const char* why);
+
+  OverloadOptions opts_;
+  std::deque<std::pair<double, double>> sojourns_;  // (observed_at, seconds)
+  std::deque<std::pair<double, double>> e2es_;      // (observed_at, seconds)
+  int shed_level_ = 0;
+  int brownout_level_ = 0;
+  double overload_since_unix_ = -1.0;    // first tick the window min exceeded
+  double last_brownout_change_ = -1.0;   // dwell anchor
+  double last_e2e_observed_ = -1.0;      // idle-recovery detection
+};
+
+// --- admission-side enforcement (runs in the --submit process) ------------
+
+// Reads <spool_root>/overload.json; absent, corrupt, or unreadable gives a
+// permissive default policy (never blocks admission on a missing daemon).
+OverloadPolicy load_policy(const std::string& spool_root, double now_unix);
+
+// Applies the policy to one admission: throws ShedError when the job's
+// class is being shed (policy must be fresh) or when `client` has a quota
+// and its token bucket is empty. On success consumes one token from the
+// bucket persisted at <spool_root>/quota/<client>.json.
+void enforce_admission(const std::string& spool_root,
+                       const OverloadPolicy& policy, Priority priority,
+                       const std::string& client, double now_unix);
+
+// Parses "--quota=CLIENT:RPS[,CLIENT:RPS...]"; throws std::invalid_argument
+// on bad grammar (empty client, non-positive or non-numeric rate).
+std::map<std::string, double> parse_quota_spec(const std::string& spec);
+
+}  // namespace minergy::serve

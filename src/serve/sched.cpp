@@ -1,0 +1,80 @@
+#include "serve/sched.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/check.h"
+
+namespace minergy::serve {
+
+const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kBackground:
+      return "background";
+  }
+  return "batch";
+}
+
+Priority priority_from_string(const std::string& s,
+                              const std::string& source) {
+  if (s == "interactive") return Priority::kInteractive;
+  if (s == "batch") return Priority::kBatch;
+  if (s == "background") return Priority::kBackground;
+  throw util::ParseError("unknown priority class '" + s +
+                             "' (expected interactive|batch|background)",
+                         source, 0);
+}
+
+namespace {
+
+// EDF sort key within a band: a job with no deadline must sort after every
+// deadlined one, so map 0 to +infinity-ish via a (has_deadline, deadline)
+// pair instead of comparing raw doubles.
+std::tuple<int, bool, double, double, const std::string&> sort_key(
+    const SchedEntry& e) {
+  const bool no_deadline = e.complete_by_unix <= 0.0;
+  return {static_cast<int>(e.priority), no_deadline, e.complete_by_unix,
+          e.submitted_unix, e.id};
+}
+
+}  // namespace
+
+ClaimPlan plan_claims(const std::vector<SchedEntry>& entries,
+                      double now_unix) {
+  ClaimPlan plan;
+  std::vector<const SchedEntry*> eligible;
+  for (const SchedEntry& e : entries) {
+    if (e.complete_by_unix > 0.0 && e.complete_by_unix < now_unix) {
+      plan.expired.push_back(e.id);
+      continue;
+    }
+    if (e.not_before_unix > now_unix) continue;  // backing off
+    eligible.push_back(&e);
+  }
+  std::sort(eligible.begin(), eligible.end(),
+            [](const SchedEntry* a, const SchedEntry* b) {
+              return sort_key(*a) < sort_key(*b);
+            });
+  plan.order.reserve(eligible.size());
+  for (const SchedEntry* e : eligible) plan.order.push_back(e->id);
+  std::sort(plan.expired.begin(), plan.expired.end());
+  return plan;
+}
+
+bool sheds_at_level(Priority p, int shed_level) {
+  switch (p) {
+    case Priority::kInteractive:
+      return false;  // interactive never sheds
+    case Priority::kBatch:
+      return shed_level >= 2;
+    case Priority::kBackground:
+      return shed_level >= 1;
+  }
+  return false;
+}
+
+}  // namespace minergy::serve

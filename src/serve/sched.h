@@ -1,0 +1,66 @@
+// Deadline/priority claim scheduling for the spool queue.
+//
+// FIFO claim order is the wrong policy under load: an interactive request
+// stuck behind a pile of background re-optimizations misses its deadline
+// even though the queue had capacity for it, and a job whose deadline has
+// already passed wastes a whole worker producing an answer nobody can use.
+// This module computes the claim plan the queue executes instead:
+//
+//   1. Jobs whose completion deadline (complete_by_unix) already passed are
+//      expired — the queue moves them straight to failed/ with a
+//      `deadline_expired` verdict, no worker spent.
+//   2. Eligible jobs are ordered by priority band (interactive < batch <
+//      background), then earliest-deadline-first within a band (jobs with
+//      no deadline sort after all deadlined ones), then submission time,
+//      then id — a total order, so two claimants walking the same pending/
+//      snapshot agree on it and only the rename race decides ownership.
+//
+// The functions here are pure (no filesystem, no clock): the queue feeds
+// them a snapshot of pending/ plus an explicit `now`, which is what makes
+// the overload chaos harness's virtual-clock tests deterministic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace minergy::serve {
+
+// Priority classes, journaled in minergy.job.v1. Lower value = claimed
+// first; shedding works from the other end (background sheds first,
+// interactive never sheds before background/batch are gone).
+enum class Priority : int {
+  kInteractive = 0,
+  kBatch = 1,
+  kBackground = 2,
+};
+
+// "interactive" | "batch" | "background".
+const char* to_string(Priority p);
+// Strict parse; throws util::ParseError on an unknown class (a corrupt job
+// file quarantines, a bad --priority flag is a usage error at the CLI).
+Priority priority_from_string(const std::string& s, const std::string& source);
+
+// One pending job, as the scheduler sees it.
+struct SchedEntry {
+  std::string id;
+  Priority priority = Priority::kBatch;
+  double complete_by_unix = 0.0;  // absolute completion deadline; 0 = none
+  double not_before_unix = 0.0;   // retry backoff; ineligible before this
+  double submitted_unix = 0.0;
+};
+
+struct ClaimPlan {
+  // Eligible ids in claim order: priority band, then EDF within the band.
+  std::vector<std::string> order;
+  // Ids whose complete_by_unix already passed (backoff ignored — a missed
+  // deadline is missed regardless of when the retry would become eligible).
+  std::vector<std::string> expired;
+};
+
+ClaimPlan plan_claims(const std::vector<SchedEntry>& entries, double now_unix);
+
+// Shedding policy: which classes drop at which shed level. Level 1 sheds
+// background, level 2 sheds background + batch; interactive never sheds.
+bool sheds_at_level(Priority p, int shed_level);
+
+}  // namespace minergy::serve

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "serve/breaker.h"
+#include "serve/overload.h"
 #include "serve/queue.h"
 
 namespace minergy::serve {
@@ -56,6 +57,11 @@ struct SupervisorOptions {
   // The hook must not throw (storage faults are its own problem to log).
   double snapshot_interval_seconds = 0.0;
   std::function<void()> snapshot_hook;
+  // Overload protection (serve/overload.h): shedding, quotas and the
+  // brownout feedback loop. Disabled by default; the control loop ticks the
+  // controller, publishes <spool>/overload.json for admission-side
+  // enforcement, and passes the brownout level into every spawned worker.
+  OverloadOptions overload{};
 };
 
 class Supervisor {
@@ -78,6 +84,9 @@ class Supervisor {
   void recover();
   void reap();
   void spawn_ready(double now_unix);
+  // Ticks the overload controller and (re)publishes <spool>/overload.json
+  // on level changes or freshness expiry.
+  void tick_overload(double now_unix);
   void drain();
   void refresh_health(const std::string& state);
   void log_spool_state(const std::string& state);
@@ -95,9 +104,11 @@ class Supervisor {
   SpoolQueue& queue_;
   SupervisorOptions opts_;
   CircuitBreaker breaker_;
+  OverloadController overload_;
   std::vector<Slot> slots_;
   double last_health_monotonic_ = -1.0;
   double last_snapshot_monotonic_ = -1.0;
+  double last_policy_unix_ = -1.0;
   QueueCounts last_logged_counts_{};
   bool counts_ever_logged_ = false;
 };

@@ -29,11 +29,17 @@ namespace minergy::serve {
 // Runs `job`, certifies the result, writes the envelope to `result_path`.
 // `checkpoint_path` is used for periodic snapshots and (when the file
 // exists) for resume; pass "" to disable. `attempt_seed` is the seed chosen
-// by the supervisor's retry schedule. Returns the worker process exit code:
-// 0 = envelope written (any verdict), 2 = malformed job. Typed optimization
-// errors are reported inside the envelope (ok=false), not via exit codes.
+// by the supervisor's retry schedule. `brownout_level` is the daemon's
+// fidelity ladder position at spawn time (0 = full fidelity; 1 forces a
+// robust run to start at the baseline tier, 2 at max-drive, and shrinks
+// any wall-clock watchdog budget proportionally — 1/2 and 1/4). The level
+// is recorded in the result envelope so a degraded answer carries its
+// provenance. Returns the worker process exit code: 0 = envelope written
+// (any verdict), 2 = malformed job. Typed optimization errors are reported
+// inside the envelope (ok=false), not via exit codes.
 int run_worker_job(const Job& job, std::uint64_t attempt_seed,
                    const std::string& result_path,
-                   const std::string& checkpoint_path);
+                   const std::string& checkpoint_path,
+                   int brownout_level = 0);
 
 }  // namespace minergy::serve

@@ -235,6 +235,30 @@ TEST_F(ExposeTest, PublishedDocumentServedFromMemory) {
             std::string::npos);
 }
 
+TEST_F(ExposeTest, PublishedStatusAndExtraHeadersAreServed) {
+  // The brownout/degraded readiness path: /health publishes as 503 with a
+  // Retry-After header so load balancers back off, while /metrics stays 200
+  // (a browned-out service must remain scrapable).
+  const int port = start_ephemeral();
+  obs::ExpositionServer::instance().publish(
+      "/health", "application/json",
+      "{\"schema\":\"minergy.health.v1\",\"status\":\"degraded\"}", 503,
+      "Retry-After: 3\r\n");
+  const std::string response = http_get(port, "/health");
+  EXPECT_EQ(status_line(response), "HTTP/1.0 503 Service Unavailable");
+  EXPECT_NE(response.find("Retry-After: 3\r\n"), std::string::npos);
+  EXPECT_NE(body_of(response).find("\"status\":\"degraded\""),
+            std::string::npos);
+  EXPECT_EQ(status_line(http_get(port, "/metrics")), "HTTP/1.0 200 OK");
+  // Recovery republishes as a plain 200 with no stale extra headers.
+  obs::ExpositionServer::instance().publish(
+      "/health", "application/json",
+      "{\"schema\":\"minergy.health.v1\",\"status\":\"ok\"}");
+  const std::string recovered = http_get(port, "/health");
+  EXPECT_EQ(status_line(recovered), "HTTP/1.0 200 OK");
+  EXPECT_EQ(recovered.find("Retry-After"), std::string::npos);
+}
+
 TEST_F(ExposeTest, MalformedRequestsGetTypedErrorsNeverCrash) {
   const int port = start_ephemeral();
   EXPECT_EQ(status_line(http_exchange(port, "POST /metrics HTTP/1.0\r\n\r\n")),

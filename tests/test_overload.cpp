@@ -1,0 +1,741 @@
+// Overload-protection suite (`ctest -L overload`): deterministic,
+// virtual-clock tests for the deadline/priority scheduler, the CoDel-style
+// shed controller, per-client quotas, and the SLO brownout feedback loop —
+// plus SIGKILL chaos at the new shed/expire protocol points proving the
+// exactly-once contract extends to jobs the service *refuses*.
+//
+// Nothing here sleeps to provoke an overload: the controller and scheduler
+// take explicit timestamps, so bursts are synthesized by feeding the exact
+// sojourn/e2e samples a loaded daemon would have observed.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/envelope.h"
+#include "netlist/generator.h"
+#include "opt/evaluator.h"
+#include "opt/robust_optimizer.h"
+#include "serve/inject.h"
+#include "serve/job.h"
+#include "serve/overload.h"
+#include "serve/queue.h"
+#include "serve/sched.h"
+#include "util/check.h"
+#include "util/json.h"
+
+#ifndef MINERGY_SERVED_BIN
+#error "MINERGY_SERVED_BIN must point at the minergy_served executable"
+#endif
+
+namespace minergy::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScratchSpool {
+  explicit ScratchSpool(const std::string& stem)
+      : root((fs::temp_directory_path() / ("minergy_overload_" + stem))
+                 .string()) {
+    fs::remove_all(root);
+  }
+  ~ScratchSpool() { fs::remove_all(root); }
+  std::string root;
+};
+
+SchedEntry entry(const std::string& id, Priority p, double complete_by = 0.0,
+                 double submitted = 100.0, double not_before = 0.0) {
+  SchedEntry e;
+  e.id = id;
+  e.priority = p;
+  e.complete_by_unix = complete_by;
+  e.submitted_unix = submitted;
+  e.not_before_unix = not_before;
+  return e;
+}
+
+// ------------------------------------------------------------ scheduler
+
+TEST(Sched, PriorityBandsBeforeDeadlines) {
+  // An interactive job with a *later* deadline still beats every batch job:
+  // bands are strict, EDF only orders within one.
+  const std::vector<SchedEntry> entries = {
+      entry("bat-early", Priority::kBatch, 2000.0),
+      entry("int-late", Priority::kInteractive, 9000.0),
+      entry("bg-urgent", Priority::kBackground, 1001.0),
+  };
+  const ClaimPlan plan = plan_claims(entries, 1000.0);
+  EXPECT_TRUE(plan.expired.empty());
+  ASSERT_EQ(plan.order.size(), 3u);
+  EXPECT_EQ(plan.order[0], "int-late");
+  EXPECT_EQ(plan.order[1], "bat-early");
+  EXPECT_EQ(plan.order[2], "bg-urgent");
+}
+
+TEST(Sched, EdfWithinBandAndNoDeadlineSortsLast) {
+  const std::vector<SchedEntry> entries = {
+      entry("none-a", Priority::kBatch, 0.0, 50.0),
+      entry("late", Priority::kBatch, 5000.0, 99.0),
+      entry("soon", Priority::kBatch, 1500.0, 99.0),
+      entry("none-b", Priority::kBatch, 0.0, 40.0),
+  };
+  const ClaimPlan plan = plan_claims(entries, 1000.0);
+  ASSERT_EQ(plan.order.size(), 4u);
+  EXPECT_EQ(plan.order[0], "soon");
+  EXPECT_EQ(plan.order[1], "late");
+  // Deadline-less jobs sort after all deadlined ones, FIFO by submit time.
+  EXPECT_EQ(plan.order[2], "none-b");
+  EXPECT_EQ(plan.order[3], "none-a");
+}
+
+TEST(Sched, ExpiredAndBackingOffArePartitionedOut) {
+  const std::vector<SchedEntry> entries = {
+      entry("dead", Priority::kInteractive, 999.0),
+      entry("dead-backing-off", Priority::kBatch, 500.0, 100.0, 2000.0),
+      entry("backing-off", Priority::kBatch, 0.0, 100.0, 2000.0),
+      entry("live", Priority::kBackground),
+  };
+  const ClaimPlan plan = plan_claims(entries, 1000.0);
+  // A missed deadline expires even while backing off — the retry could
+  // never produce a usable answer.
+  EXPECT_EQ(plan.expired, (std::vector<std::string>{"dead",
+                                                    "dead-backing-off"}));
+  EXPECT_EQ(plan.order, std::vector<std::string>{"live"});
+}
+
+TEST(Sched, TotalOrderIsDeterministic) {
+  // Identical metadata falls through to the id tiebreak, so two claimants
+  // walking the same snapshot agree on one order.
+  const std::vector<SchedEntry> entries = {
+      entry("b", Priority::kBatch, 0.0, 100.0),
+      entry("a", Priority::kBatch, 0.0, 100.0),
+      entry("c", Priority::kBatch, 0.0, 100.0),
+  };
+  const ClaimPlan plan = plan_claims(entries, 1000.0);
+  EXPECT_EQ(plan.order, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Sched, ShedLadderNeverTouchesInteractive) {
+  for (int level = 0; level <= 3; ++level) {
+    EXPECT_FALSE(sheds_at_level(Priority::kInteractive, level));
+  }
+  EXPECT_FALSE(sheds_at_level(Priority::kBackground, 0));
+  EXPECT_TRUE(sheds_at_level(Priority::kBackground, 1));
+  EXPECT_FALSE(sheds_at_level(Priority::kBatch, 1));
+  EXPECT_TRUE(sheds_at_level(Priority::kBatch, 2));
+}
+
+TEST(Sched, PriorityStringsRoundTripAndRejectJunk) {
+  for (const Priority p : {Priority::kInteractive, Priority::kBatch,
+                           Priority::kBackground}) {
+    EXPECT_EQ(priority_from_string(to_string(p), "<test>"), p);
+  }
+  EXPECT_THROW(priority_from_string("urgent", "<test>"), util::ParseError);
+  EXPECT_THROW(priority_from_string("", "<test>"), util::ParseError);
+}
+
+// --------------------------------------------------------- shed controller
+
+OverloadOptions shed_opts(double target = 0.05, double window = 1.0) {
+  OverloadOptions o;
+  o.shed_target_seconds = target;
+  o.shed_window_seconds = window;
+  return o;
+}
+
+TEST(ShedController, BurstWithOneFastClaimDoesNotShed) {
+  // The CoDel property: a burst that still lets one job through quickly is
+  // not an overload — only the window *minimum* over target sheds.
+  OverloadController ctl(shed_opts());
+  ctl.observe_sojourn(2.0, 10.0);
+  ctl.observe_sojourn(3.0, 10.2);
+  ctl.observe_sojourn(0.001, 10.4);  // one nearly-instant claim
+  EXPECT_FALSE(ctl.tick(10.5));
+  EXPECT_EQ(ctl.shed_level(), 0);
+  EXPECT_FALSE(ctl.should_shed(Priority::kBackground));
+}
+
+TEST(ShedController, SustainedOverloadEscalatesThenClears) {
+  OverloadController ctl(shed_opts(0.05, 1.0));
+  ctl.observe_sojourn(0.4, 10.0);
+  ctl.observe_sojourn(0.5, 10.3);
+  EXPECT_TRUE(ctl.tick(10.3));  // min over target -> level 1
+  EXPECT_EQ(ctl.shed_level(), 1);
+  EXPECT_TRUE(ctl.should_shed(Priority::kBackground));
+  EXPECT_FALSE(ctl.should_shed(Priority::kBatch));
+
+  // Still over target one full window later: escalate to 2 (batch too).
+  ctl.observe_sojourn(0.6, 11.2);
+  EXPECT_TRUE(ctl.tick(11.4));
+  EXPECT_EQ(ctl.shed_level(), 2);
+  EXPECT_TRUE(ctl.should_shed(Priority::kBatch));
+  EXPECT_FALSE(ctl.should_shed(Priority::kInteractive));
+
+  // One fast claim ends the episode immediately.
+  ctl.observe_sojourn(0.001, 11.5);
+  EXPECT_TRUE(ctl.tick(11.5));
+  EXPECT_EQ(ctl.shed_level(), 0);
+}
+
+TEST(ShedController, EmptyWindowClears) {
+  OverloadController ctl(shed_opts(0.05, 1.0));
+  ctl.observe_sojourn(0.4, 10.0);
+  ASSERT_TRUE(ctl.tick(10.1));
+  ASSERT_EQ(ctl.shed_level(), 1);
+  // No claims for a full window: the sample ages out and shedding stops
+  // (an empty queue cannot be overloaded).
+  EXPECT_TRUE(ctl.tick(11.5));
+  EXPECT_EQ(ctl.shed_level(), 0);
+}
+
+// ------------------------------------------------------ brownout controller
+
+OverloadOptions brownout_opts(double slo = 0.1, double dwell = 2.0,
+                              double window = 1.0) {
+  OverloadOptions o;
+  o.slo_e2e_seconds = slo;
+  o.brownout_dwell_seconds = dwell;
+  o.shed_window_seconds = window;
+  return o;
+}
+
+void feed_e2e(OverloadController& ctl, double seconds, double at, int n = 3) {
+  for (int i = 0; i < n; ++i) ctl.observe_e2e(seconds, at);
+}
+
+TEST(BrownoutController, DegradesOnP95OverSloAndRecoversWithHysteresis) {
+  OverloadController ctl(brownout_opts(0.1, 2.0));
+  feed_e2e(ctl, 1.0, 10.0);
+  EXPECT_TRUE(ctl.tick(10.0));
+  EXPECT_EQ(ctl.brownout_level(), 1);
+
+  // Dwell: more bad samples inside the dwell window must not double-step.
+  feed_e2e(ctl, 1.0, 10.5);
+  EXPECT_FALSE(ctl.tick(10.5));
+  EXPECT_EQ(ctl.brownout_level(), 1);
+
+  feed_e2e(ctl, 1.0, 12.4);
+  EXPECT_TRUE(ctl.tick(12.5));
+  EXPECT_EQ(ctl.brownout_level(), 2);  // capped at brownout_max_level
+
+  // p95 back under recover_ratio * SLO: step down one level per dwell.
+  feed_e2e(ctl, 0.01, 14.9);
+  EXPECT_TRUE(ctl.tick(15.0));
+  EXPECT_EQ(ctl.brownout_level(), 1);
+  feed_e2e(ctl, 0.01, 17.4);
+  EXPECT_TRUE(ctl.tick(17.5));
+  EXPECT_EQ(ctl.brownout_level(), 0);
+}
+
+TEST(BrownoutController, MidbandP95HoldsLevel) {
+  // Between recover_ratio*SLO and SLO nothing changes — that is the
+  // hysteresis band that stops flapping.
+  OverloadController ctl(brownout_opts(0.1, 0.5));
+  feed_e2e(ctl, 1.0, 10.0);
+  ASSERT_TRUE(ctl.tick(10.0));
+  ASSERT_EQ(ctl.brownout_level(), 1);
+  feed_e2e(ctl, 0.09, 11.0);  // over 0.7*SLO, under SLO
+  EXPECT_FALSE(ctl.tick(11.0));
+  EXPECT_EQ(ctl.brownout_level(), 1);
+}
+
+TEST(BrownoutController, IdleWindowRecoversWithoutCompletions) {
+  // A brownout must never outlive the burst: when the service goes fully
+  // idle there are no e2e samples to prove recovery with, so an empty
+  // window steps the ladder back up by itself.
+  OverloadController ctl(brownout_opts(0.1, 2.0, 1.0));
+  feed_e2e(ctl, 1.0, 10.0);
+  ASSERT_TRUE(ctl.tick(10.0));
+  ASSERT_EQ(ctl.brownout_level(), 1);
+  EXPECT_FALSE(ctl.tick(11.0));  // dwell not elapsed yet
+  EXPECT_TRUE(ctl.tick(13.0));   // dwell + idle window elapsed
+  EXPECT_EQ(ctl.brownout_level(), 0);
+}
+
+TEST(BrownoutController, FewSamplesMakeNoDecision) {
+  OverloadOptions o = brownout_opts();
+  o.min_window_samples = 3;
+  OverloadController ctl(o);
+  feed_e2e(ctl, 5.0, 10.0, 2);  // terrible, but only two samples
+  EXPECT_FALSE(ctl.tick(10.0));
+  EXPECT_EQ(ctl.brownout_level(), 0);
+}
+
+// ------------------------------------------------------------ policy file
+
+TEST(OverloadPolicy, RoundTripsAndExpires) {
+  OverloadPolicy p;
+  p.shed_level = 2;
+  p.brownout_level = 1;
+  p.retry_after_seconds = 3.5;
+  p.updated_unix = 1000.0;
+  p.quotas = {{"alice", 2.0}, {"bob", 0.5}};
+  const OverloadPolicy q =
+      OverloadPolicy::from_json(p.to_json(), "<round-trip>");
+  EXPECT_EQ(q.shed_level, 2);
+  EXPECT_EQ(q.brownout_level, 1);
+  EXPECT_DOUBLE_EQ(q.retry_after_seconds, 3.5);
+  EXPECT_EQ(q.quotas, p.quotas);
+  EXPECT_TRUE(q.fresh(1000.0 + kPolicyStaleSeconds));
+  EXPECT_FALSE(q.fresh(1000.0 + kPolicyStaleSeconds + 1.0));
+  EXPECT_THROW(OverloadPolicy::from_json("{\"schema\":\"nope\"}", "<bad>"),
+               util::ParseError);
+}
+
+TEST(OverloadPolicy, LoadFailsOpenOnMissingOrCorrupt) {
+  ScratchSpool spool("policy_failopen");
+  fs::create_directories(spool.root);
+  // Missing file: permissive default.
+  OverloadPolicy p = load_policy(spool.root, 1000.0);
+  EXPECT_EQ(p.shed_level, 0);
+  EXPECT_FALSE(p.fresh(1000.0));
+  // Corrupt file (no envelope footer, not even JSON): still permissive.
+  {
+    std::FILE* f =
+        std::fopen((fs::path(spool.root) / "overload.json").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("%% not a policy %%", f);
+    std::fclose(f);
+  }
+  p = load_policy(spool.root, 1000.0);
+  EXPECT_EQ(p.shed_level, 0);
+}
+
+// ----------------------------------------------------------------- quotas
+
+TEST(Quota, SpecParsesAndRejectsBadGrammar) {
+  const auto q = parse_quota_spec("alice:2,bob:0.5,svc.batch-7:10");
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.at("alice"), 2.0);
+  EXPECT_DOUBLE_EQ(q.at("bob"), 0.5);
+  EXPECT_DOUBLE_EQ(q.at("svc.batch-7"), 10.0);
+  EXPECT_TRUE(parse_quota_spec("").empty());
+  EXPECT_THROW(parse_quota_spec("alice"), std::invalid_argument);
+  EXPECT_THROW(parse_quota_spec("alice:"), std::invalid_argument);
+  EXPECT_THROW(parse_quota_spec(":2"), std::invalid_argument);
+  EXPECT_THROW(parse_quota_spec("alice:fast"), std::invalid_argument);
+  EXPECT_THROW(parse_quota_spec("alice:2x"), std::invalid_argument);
+  EXPECT_THROW(parse_quota_spec("alice:-1"), std::invalid_argument);
+  EXPECT_THROW(parse_quota_spec("alice:0"), std::invalid_argument);
+}
+
+TEST(Quota, TokenBucketEnforcesBurstAndRefill) {
+  ScratchSpool spool("quota_bucket");
+  fs::create_directories(spool.root);
+  OverloadPolicy policy;
+  policy.quotas = {{"alice", 2.0}};  // 2 rps, burst 2
+
+  // Burst drains in two admissions; the third is a typed ShedError whose
+  // retry-after is the time until one token refills.
+  enforce_admission(spool.root, policy, Priority::kBatch, "alice", 100.0);
+  enforce_admission(spool.root, policy, Priority::kBatch, "alice", 100.0);
+  try {
+    enforce_admission(spool.root, policy, Priority::kBatch, "alice", 100.0);
+    FAIL() << "third admission in the same instant must be rejected";
+  } catch (const ShedError& e) {
+    EXPECT_NEAR(e.retry_after_seconds(), 0.5, 1e-9);
+  }
+  // 0.6 s later 1.2 tokens refilled: one admission passes, the next fails.
+  enforce_admission(spool.root, policy, Priority::kBatch, "alice", 100.6);
+  EXPECT_THROW(enforce_admission(spool.root, policy, Priority::kBatch,
+                                 "alice", 100.6),
+               ShedError);
+  // Unattributed and un-quota'd clients are never limited.
+  enforce_admission(spool.root, policy, Priority::kBatch, "", 100.0);
+  enforce_admission(spool.root, policy, Priority::kBatch, "mallory", 100.0);
+}
+
+TEST(Quota, AdmissionShedsByClassOnlyWhenPolicyIsFresh) {
+  ScratchSpool spool("admission_shed");
+  fs::create_directories(spool.root);
+  OverloadPolicy policy;
+  policy.shed_level = 1;
+  policy.retry_after_seconds = 4.0;
+  policy.updated_unix = 1000.0;
+
+  try {
+    enforce_admission(spool.root, policy, Priority::kBackground, "", 1001.0);
+    FAIL() << "background admission must shed at level 1";
+  } catch (const ShedError& e) {
+    EXPECT_NEAR(e.retry_after_seconds(), 4.0, 1e-9);
+  }
+  enforce_admission(spool.root, policy, Priority::kBatch, "", 1001.0);
+
+  policy.shed_level = 2;
+  EXPECT_THROW(enforce_admission(spool.root, policy, Priority::kBatch, "",
+                                 1001.0),
+               ShedError);
+  enforce_admission(spool.root, policy, Priority::kInteractive, "", 1001.0);
+
+  // A stale policy (dead daemon) must not shed anything.
+  EXPECT_NO_THROW(enforce_admission(spool.root, policy,
+                                    Priority::kBackground, "",
+                                    1000.0 + kPolicyStaleSeconds + 5.0));
+}
+
+// --------------------------------------------------- job schema round trip
+
+TEST(JobSchema, PrioritySchedulingFieldsRoundTrip) {
+  Job job;
+  job.id = "rt-1";
+  job.circuit = "c17";
+  job.priority = Priority::kInteractive;
+  job.client = "alice";
+  job.complete_by_unix = 1234.5;
+  const Job back = Job::from_json(job.to_json(), "<round-trip>");
+  EXPECT_EQ(back.priority, Priority::kInteractive);
+  EXPECT_EQ(back.client, "alice");
+  EXPECT_DOUBLE_EQ(back.complete_by_unix, 1234.5);
+  // Pre-PR-7 job files (no priority field) parse as batch-class.
+  Job legacy;
+  legacy.id = "rt-2";
+  legacy.circuit = "c17";
+  const Job defaulted = Job::from_json(legacy.to_json(), "<legacy>");
+  EXPECT_EQ(defaulted.priority, Priority::kBatch);
+  EXPECT_TRUE(defaulted.client.empty());
+  EXPECT_DOUBLE_EQ(defaulted.complete_by_unix, 0.0);
+}
+
+// --------------------------------------------------- spool queue integration
+
+Job make_job(const std::string& id, Priority p, double submitted,
+             double complete_by = 0.0) {
+  Job job;
+  job.id = id;
+  job.circuit = "c17";
+  job.optimizer = "baseline";
+  job.priority = p;
+  job.submitted_unix = submitted;
+  job.complete_by_unix = complete_by;
+  return job;
+}
+
+Job read_terminal(const SpoolQueue& q, const std::string& state,
+                  const std::string& id) {
+  const std::string path = q.job_path(state, id);
+  return Job::from_json(io::read_artifact(path, kJobSchema), path);
+}
+
+TEST(QueueSched, ClaimFollowsPriorityThenEdf) {
+  ScratchSpool spool("queue_edf");
+  SpoolQueue q(spool.root);
+  q.submit(make_job("bat-none", Priority::kBatch, 100.0));
+  q.submit(make_job("bg", Priority::kBackground, 90.0, 2000.0));
+  q.submit(make_job("bat-edf", Priority::kBatch, 110.0, 5000.0));
+  q.submit(make_job("int", Priority::kInteractive, 120.0));
+
+  std::vector<std::string> order;
+  while (const auto job = q.claim(1000.0)) order.push_back(job->id);
+  EXPECT_EQ(order, (std::vector<std::string>{"int", "bat-edf", "bat-none",
+                                             "bg"}));
+}
+
+TEST(QueueSched, ExpiredJobFailsTypedWithoutAWorker) {
+  ScratchSpool spool("queue_expire");
+  SpoolQueue q(spool.root);
+  q.submit(make_job("dead", Priority::kBatch, 100.0, 900.0));
+  q.submit(make_job("live", Priority::kBatch, 100.0, 9000.0));
+
+  const auto claimed = q.claim(1000.0);
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(claimed->id, "live");
+  EXPECT_FALSE(q.claim(1000.0).has_value());
+
+  const Job dead = read_terminal(q, "failed", "dead");
+  EXPECT_EQ(dead.failure_type, "deadline_expired");
+  EXPECT_NE(dead.failure_detail.find("deadline missed"), std::string::npos);
+  EXPECT_TRUE(q.ids_in("pending").empty());
+}
+
+TEST(QueueShed, ExactShedServedPartitionUnderLevelOne) {
+  ScratchSpool spool("queue_shed1");
+  SpoolQueue q(spool.root);
+  OverloadController ctl(shed_opts(0.05, 1.0));
+  q.set_overload_controller(&ctl);
+
+  q.submit(make_job("bg-a", Priority::kBackground, 90.0));
+  q.submit(make_job("bg-b", Priority::kBackground, 91.0));
+  q.submit(make_job("bat", Priority::kBatch, 92.0));
+  q.submit(make_job("int", Priority::kInteractive, 93.0));
+
+  // Synthesize the persistent backlog the daemon would have measured.
+  ctl.observe_sojourn(0.5, 999.9);
+  ASSERT_TRUE(ctl.tick(999.9));
+  ASSERT_EQ(ctl.shed_level(), 1);
+
+  // One claim pass sheds exactly the background class and serves the rest,
+  // interactive first.
+  std::vector<std::string> served;
+  while (const auto job = q.claim(1000.0)) served.push_back(job->id);
+  EXPECT_EQ(served, (std::vector<std::string>{"int", "bat"}));
+
+  const std::vector<std::string> shed = q.ids_in("failed");
+  EXPECT_EQ(std::set<std::string>(shed.begin(), shed.end()),
+            (std::set<std::string>{"bg-a", "bg-b"}));
+  for (const std::string& id : shed) {
+    const Job job = read_terminal(q, "failed", id);
+    EXPECT_EQ(job.failure_type, "shed");
+    EXPECT_NE(job.failure_detail.find("level 1"), std::string::npos);
+  }
+  EXPECT_TRUE(q.ids_in("pending").empty());
+}
+
+TEST(QueueShed, LevelTwoShedsBatchButNeverInteractive) {
+  ScratchSpool spool("queue_shed2");
+  SpoolQueue q(spool.root);
+  OverloadController ctl(shed_opts(0.05, 1.0));
+  q.set_overload_controller(&ctl);
+
+  q.submit(make_job("bat", Priority::kBatch, 92.0));
+  q.submit(make_job("int", Priority::kInteractive, 93.0));
+  q.submit(make_job("bg", Priority::kBackground, 94.0));
+
+  ctl.observe_sojourn(0.5, 998.0);
+  ASSERT_TRUE(ctl.tick(998.0));
+  ctl.observe_sojourn(0.5, 999.5);
+  ASSERT_TRUE(ctl.tick(999.5));  // one window of sustained overload
+  ASSERT_EQ(ctl.shed_level(), 2);
+
+  std::vector<std::string> served;
+  while (const auto job = q.claim(1000.0)) served.push_back(job->id);
+  EXPECT_EQ(served, std::vector<std::string>{"int"});
+  const std::vector<std::string> shed = q.ids_in("failed");
+  EXPECT_EQ(std::set<std::string>(shed.begin(), shed.end()),
+            (std::set<std::string>{"bat", "bg"}));
+}
+
+TEST(QueueShed, SubmitRejectedByPublishedPolicy) {
+  ScratchSpool spool("queue_admission");
+  SpoolQueue q(spool.root);
+  // Publish the policy exactly like the daemon's control loop does.
+  OverloadController ctl(shed_opts());
+  ctl.observe_sojourn(0.5, unix_now());
+  ASSERT_TRUE(ctl.tick(unix_now()));
+  io::write_artifact((fs::path(spool.root) / "overload.json").string(),
+                     kOverloadSchema, ctl.policy(unix_now()).to_json());
+
+  EXPECT_THROW(q.submit(make_job("bg", Priority::kBackground, 0.0)),
+               ShedError);
+  EXPECT_NO_THROW(q.submit(make_job("bat", Priority::kBatch, 0.0)));
+  EXPECT_EQ(q.counts().pending, 1u);
+}
+
+// -------------------------------------------- brownout fidelity ladder
+
+TEST(Brownout, StartTierSkipsExpensiveTiersWithProvenance) {
+  netlist::GeneratorSpec spec;
+  spec.num_inputs = 4;
+  spec.num_outputs = 4;
+  spec.num_dffs = 4;
+  spec.num_gates = 30;
+  spec.depth = 5;
+  spec.seed = 7;
+  const netlist::Netlist nl = netlist::generate_random_logic(spec);
+  const tech::Technology tech = tech::Technology::generic350();
+  activity::ActivityProfile profile;
+  profile.input_density = 0.2;
+  const opt::CircuitEvaluator eval(nl, tech, profile,
+                                   {.clock_frequency = 100e6});
+
+  opt::RobustOptions ropts;
+  ropts.start_tier = 2;
+  const opt::OptimizationResult r = opt::RobustOptimizer(eval, ropts).run();
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.tier, opt::ResultTier::kLastResort);
+  ASSERT_EQ(r.report.tiers.size(), 3u);
+  EXPECT_EQ(r.report.tiers[0].failure_reason, "skipped (start_tier)");
+  EXPECT_EQ(r.report.tiers[1].failure_reason, "skipped (start_tier)");
+  EXPECT_TRUE(r.report.tiers[2].selected);
+
+  opt::RobustOptions one;
+  one.start_tier = 1;
+  const opt::OptimizationResult r1 = opt::RobustOptimizer(eval, one).run();
+  EXPECT_TRUE(r1.feasible);
+  EXPECT_EQ(r1.tier, opt::ResultTier::kBaseline);
+  EXPECT_EQ(r1.report.tiers[0].failure_reason, "skipped (start_tier)");
+}
+
+// ------------------------------------------------ SIGKILL chaos: shed/expire
+
+void sleep_seconds(double s) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+pid_t spawn_served(const std::vector<std::string>& flags) {
+  std::vector<std::string> args = {MINERGY_SERVED_BIN};
+  args.insert(args.end(), flags.begin(), flags.end());
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& s : args) argv.push_back(s.data());
+  argv.push_back(nullptr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    const int null_fd = open("/dev/null", O_WRONLY);
+    if (null_fd >= 0) {
+      dup2(null_fd, STDOUT_FILENO);
+      dup2(null_fd, STDERR_FILENO);
+      close(null_fd);
+    }
+    execv(argv[0], argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+int wait_exit(pid_t pid, double timeout_seconds, bool* timed_out = nullptr) {
+  if (timed_out != nullptr) *timed_out = false;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  int status = 0;
+  for (;;) {
+    const pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == pid) return status;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      if (timed_out != nullptr) *timed_out = true;
+      kill(pid, SIGKILL);
+      waitpid(pid, &status, 0);
+      return status;
+    }
+    sleep_seconds(0.01);
+  }
+}
+
+int run_served(const std::vector<std::string>& flags,
+               double timeout_seconds = 120.0) {
+  bool timed_out = false;
+  const int status =
+      wait_exit(spawn_served(flags), timeout_seconds, &timed_out);
+  EXPECT_FALSE(timed_out) << "daemon did not exit within the cap";
+  return status;
+}
+
+TEST(OverloadChaos, KillMidExpireRecoversExactlyOnce) {
+  // Phase 1: a real daemon meets an already-expired job and is SIGKILLed
+  // between the claim rename and the failed/ finalize — the worst possible
+  // instant for the expiry decision.
+  ScratchSpool spool("kill_expire");
+  {
+    SpoolQueue q(spool.root);
+    q.submit(make_job("dead", Priority::kBatch, 100.0, 900.0));
+    q.submit(make_job("live", Priority::kBatch, 100.0));
+  }
+  const int killed = run_served({"--spool=" + spool.root, "--once",
+                                 "--workers=1", "--poll=0.005",
+                                 "--timeout=30",
+                                 "--inject-kill=daemon.pre-expire@1"});
+  ASSERT_TRUE(WIFSIGNALED(killed) && WTERMSIG(killed) == SIGKILL)
+      << "kill point daemon.pre-expire did not fire";
+
+  // The half-finished expiry left the job in running/ with no envelope.
+  {
+    SpoolQueue q(spool.root);
+    EXPECT_EQ(q.ids_in("running"), std::vector<std::string>{"dead"});
+  }
+
+  // Phase 2: a clean daemon recovers the orphan, re-expires it, and drains
+  // the live job normally — each job terminal exactly once.
+  const int clean = run_served({"--spool=" + spool.root, "--once",
+                                "--workers=1", "--poll=0.005",
+                                "--timeout=30"});
+  EXPECT_TRUE(WIFEXITED(clean) && WEXITSTATUS(clean) == 0);
+  SpoolQueue q(spool.root);
+  EXPECT_TRUE(q.ids_in("pending").empty());
+  EXPECT_TRUE(q.ids_in("running").empty());
+  EXPECT_EQ(q.ids_in("done"), std::vector<std::string>{"live"});
+  EXPECT_EQ(q.ids_in("failed"), std::vector<std::string>{"dead"});
+  EXPECT_EQ(read_terminal(q, "failed", "dead").failure_type,
+            "deadline_expired");
+  const int status = run_served({"--spool=" + spool.root, "--status",
+                                 "--verify", "--expect-jobs=2"});
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+TEST(OverloadChaos, KillMidShedRecoversExactlyOnce) {
+  // The shed decision is not directly reachable from the daemon CLI in a
+  // deterministic way (it needs real measured sojourns), so the child half
+  // of this test drives the queue in-process with the kill switch armed:
+  // fork, force shed level 1, claim — the child SIGKILLs itself at
+  // daemon.pre-shed, exactly as a loaded daemon would.
+  ScratchSpool spool("kill_shed");
+  {
+    SpoolQueue q(spool.root);
+    q.submit(make_job("bg", Priority::kBackground, 90.0));
+    q.submit(make_job("int", Priority::kInteractive, 91.0));
+  }
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    configure_kill_switch("daemon.pre-shed@1");
+    SpoolQueue q(spool.root);
+    OverloadController ctl(shed_opts(0.05, 1.0));
+    q.set_overload_controller(&ctl);
+    ctl.observe_sojourn(0.5, 999.9);
+    ctl.tick(999.9);
+    (void)q.claim(1000.0);
+    _exit(0);  // unreachable when the kill point fires
+  }
+  const int killed = wait_exit(pid, 30.0);
+  ASSERT_TRUE(WIFSIGNALED(killed) && WTERMSIG(killed) == SIGKILL)
+      << "kill point daemon.pre-shed did not fire";
+
+  // Mid-shed death: the background job is wedged in running/ (claim rename
+  // won, verdict not yet written). Recover the way the daemon does —
+  // requeue as interrupted — then re-run the shed pass to completion.
+  SpoolQueue q(spool.root);
+  ASSERT_EQ(q.ids_in("running"), std::vector<std::string>{"bg"});
+  std::vector<Job> orphans = q.running_jobs();
+  ASSERT_EQ(orphans.size(), 1u);
+  q.requeue(orphans.front(), "interrupted", 0.0, true);
+
+  OverloadController ctl(shed_opts(0.05, 1.0));
+  q.set_overload_controller(&ctl);
+  ctl.observe_sojourn(0.5, 1001.0);
+  ASSERT_TRUE(ctl.tick(1001.0));
+  std::vector<std::string> served;
+  while (const auto job = q.claim(1002.0)) served.push_back(job->id);
+  EXPECT_EQ(served, std::vector<std::string>{"int"});
+  EXPECT_EQ(q.ids_in("failed"), std::vector<std::string>{"bg"});
+  EXPECT_EQ(read_terminal(q, "failed", "bg").failure_type, "shed");
+  EXPECT_TRUE(q.ids_in("pending").empty());
+}
+
+TEST(OverloadChaos, DaemonServesMixedPrioritiesWithDeadlines) {
+  // End-to-end through the real binary: an expired job and two live ones of
+  // different classes drain to the exact expected partition, and the
+  // envelopes of served jobs carry brownout provenance (level 0 here).
+  ScratchSpool spool("daemon_mixed");
+  {
+    SpoolQueue q(spool.root);
+    q.submit(make_job("expired", Priority::kBackground, 100.0, 900.0));
+    Job interactive = make_job("int", Priority::kInteractive, 0.0);
+    interactive.complete_by_unix = unix_now() + 3600.0;
+    q.submit(std::move(interactive));
+    q.submit(make_job("bat", Priority::kBatch, 0.0));
+  }
+  const int rc = run_served({"--spool=" + spool.root, "--once",
+                             "--workers=2", "--poll=0.005", "--timeout=60"});
+  EXPECT_TRUE(WIFEXITED(rc) && WEXITSTATUS(rc) == 0);
+  SpoolQueue q(spool.root);
+  EXPECT_EQ(q.ids_in("failed"), std::vector<std::string>{"expired"});
+  const std::vector<std::string> done = q.ids_in("done");
+  EXPECT_EQ(std::set<std::string>(done.begin(), done.end()),
+            (std::set<std::string>{"int", "bat"}));
+  for (const std::string& id : done) {
+    const std::string path = q.job_path("done", id);
+    const util::JsonValue rec = util::JsonValue::parse(
+        io::read_artifact(path, kJobSchema), path);
+    EXPECT_EQ(rec.at("result").get_number("brownout_level", -1.0), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace minergy::serve

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "io/envelope.h"
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "serve/breaker.h"
 #include "serve/job.h"
@@ -369,6 +370,56 @@ TEST(CircuitBreaker, TripsAfterThresholdThenHalfOpensOneProbe) {
   breaker.record_success("s27");                           // probe succeeded
   EXPECT_FALSE(breaker.should_short_circuit("s27", now));
   EXPECT_TRUE(breaker.open_circuits(now).empty());
+}
+
+TEST(CircuitBreaker, HalfOpenProbeRaceAdmitsExactlyOneAndLogsEachProbe) {
+  // The probe race: in one control-loop pass, two workers' spawn decisions
+  // both consult a breaker whose cooldown just elapsed. The half-open state
+  // is shared — exactly one decision may admit the probe, the other must
+  // keep short-circuiting, and the event log must carry exactly one
+  // breaker_probe line per admitted probe (the eventlog is how operators
+  // count probes, so a double-emit would report phantom recoveries).
+  ScratchSpool spool("breaker_probe_race");
+  fs::create_directories(spool.root);
+  const std::string log_path =
+      (fs::path(spool.root) / "events.jsonl").string();
+  std::string error;
+  ASSERT_TRUE(obs::EventLog::instance().open(log_path, 1 << 20, &error))
+      << error;
+
+  BreakerOptions opts;
+  opts.threshold = 2;
+  opts.cooldown_seconds = 10.0;
+  CircuitBreaker breaker(opts);
+  breaker.record_death("s27", 100.0);
+  breaker.record_death("s27", 100.0);  // trips
+
+  // Round 1: cooldown elapsed, two concurrent-in-the-loop decisions.
+  int admitted = 0;
+  for (int worker = 0; worker < 2; ++worker) {
+    if (!breaker.should_short_circuit("s27", 111.0)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 1);
+  breaker.record_death("s27", 111.0);  // probe died: re-trip
+
+  // Round 2: a fresh cooldown, the same race, again exactly one probe.
+  admitted = 0;
+  for (int worker = 0; worker < 2; ++worker) {
+    if (!breaker.should_short_circuit("s27", 122.0)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 1);
+  breaker.record_success("s27");  // probe succeeded: closed
+  EXPECT_FALSE(breaker.should_short_circuit("s27", 122.0));
+
+  obs::EventLog::instance().close();
+  std::ifstream in(log_path);
+  int probe_lines = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (line.find("\"kind\":\"breaker_probe\"") != std::string::npos) {
+      ++probe_lines;
+    }
+  }
+  EXPECT_EQ(probe_lines, 2) << "one breaker_probe event per admitted probe";
 }
 
 TEST(CircuitBreaker, SuccessResetsTheDeathStreak) {
