@@ -16,7 +16,10 @@
 # with trace_check --verify-eventlog, and a perf-trajectory leg that
 # archives the Table-1 baseline's counter snapshot under bench/trajectory/.
 # An overload smoke drives a live daemon 30x past one worker's capacity and
-# requires sheds, a quota rejection, a brownout, and a full recovery.
+# requires sheds, a quota rejection, a brownout, and a full recovery. The
+# high-availability label (-L ha) covers the leader lease, split-brain
+# chaos and the anti-entropy scrubber; a failover smoke then kill -9s a
+# live leader and requires its hot standby to take over and drain cleanly.
 #
 #   $ scripts/ci.sh                  # from the repo root
 #   $ CI_JOBS=4 scripts/ci.sh        # cap build parallelism
@@ -43,12 +46,12 @@ run_labelled_tests() {
 step "configure + build (Release)"
 cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-ci-release -j "$JOBS"
-run_labelled_tests build-ci-release fault obs serve diskfault overload
+run_labelled_tests build-ci-release fault obs serve diskfault overload ha
 
 step "configure + build (AddressSanitizer)"
 cmake -B build-ci-asan -S . -DMINERGY_SANITIZE=address
 cmake --build build-ci-asan -j "$JOBS"
-run_labelled_tests build-ci-asan fault obs serve diskfault overload
+run_labelled_tests build-ci-asan fault obs serve diskfault overload ha
 
 # ThreadSanitizer pass: the serve daemon forks workers and the obs layer is
 # the one place the codebase shares atomics across threads — run both labels
@@ -56,7 +59,7 @@ run_labelled_tests build-ci-asan fault obs serve diskfault overload
 step "configure + build (ThreadSanitizer)"
 cmake -B build-ci-tsan -S . -DMINERGY_SANITIZE=thread
 cmake --build build-ci-tsan -j "$JOBS"
-run_labelled_tests build-ci-tsan serve obs overload
+run_labelled_tests build-ci-tsan serve obs overload ha
 
 # Certified batch run: each circuit optimizes in its own subprocess and the
 # parent re-derives every verdict with opt::Certifier. minergy_batch exits
@@ -270,6 +273,50 @@ test -f "$ovl_spool/done/$int_id.json" \
   || { echo "interactive job $int_id did not finish in done/"; exit 1; }
 "$served" --spool="$ovl_spool" --status --verify
 
+# Failover smoke: a leader and a hot standby share one spool over the
+# leader lease; the leader is SIGKILLed mid-run, the standby must take over
+# within about one lease TTL, drain all six jobs, and leave a spool that
+# audits clean — exactly one takeover in the standby's event log, both
+# logs passing the lease-ordering verifier, and an offline scrub finding
+# nothing to repair.
+step "failover smoke (kill -9 the leader, standby finishes)"
+ha_spool=build-ci-release/ci_ha_spool
+ha_leader_log=build-ci-release/ci_ha_leader_events.jsonl
+ha_standby_log=build-ci-release/ci_ha_standby_events.jsonl
+rm -rf "$ha_spool" "$ha_leader_log" "$ha_leader_log.1" \
+  "$ha_standby_log" "$ha_standby_log.1"
+for i in $(seq 1 6); do
+  "$served" --spool="$ha_spool" --submit --circuit=c17 --seed="$i" >/dev/null
+done
+"$served" --spool="$ha_spool" --workers=2 --poll=0.005 --timeout=60 \
+  --lease-ttl-s=1 --lease-margin-s=0.25 --event-log="$ha_leader_log" &
+ha_leader_pid=$!
+"$served" --spool="$ha_spool" --once --standby --workers=2 --poll=0.005 \
+  --timeout=60 --lease-ttl-s=1 --lease-margin-s=0.25 \
+  --event-log="$ha_standby_log" &
+ha_standby_pid=$!
+# Let the leader finish at least two jobs, then murder it mid-run.
+ha_done=0
+for _ in $(seq 1 600); do
+  ha_done=$(ls "$ha_spool/done" 2>/dev/null | wc -l)
+  [ "$ha_done" -ge 2 ] && break
+  sleep 0.1
+done
+[ "$ha_done" -ge 2 ] \
+  || { echo "leader never finished two jobs"; kill "$ha_leader_pid"; exit 1; }
+kill -9 "$ha_leader_pid"
+wait "$ha_leader_pid" || true
+wait "$ha_standby_pid" \
+  || { echo "standby did not drain the spool after the takeover"; exit 1; }
+"$served" --spool="$ha_spool" --status --verify --expect-jobs=6
+ha_takeovers=$(grep -c '"kind":"lease_acquired"' "$ha_standby_log")
+[ "$ha_takeovers" -eq 1 ] \
+  || { echo "expected exactly one takeover, saw $ha_takeovers"; exit 1; }
+build-ci-release/tools/trace_check --verify-eventlog="$ha_leader_log"
+build-ci-release/tools/trace_check --verify-eventlog="$ha_standby_log"
+"$served" --spool="$ha_spool" --scrub \
+  || { echo "post-failover scrub found damage"; exit 1; }
+
 # Perf trajectory: re-run the Table-1 baseline with a perf record and
 # archive the counters next to previous runs, so regressions show up as a
 # diffable series rather than vibes (see bench/trajectory/README.md).
@@ -279,4 +326,4 @@ build-ci-release/bench/table1_baseline --circuit=s27 --perf-record="$traj"
 mkdir -p bench/trajectory
 cp "$traj" bench/trajectory/BENCH_table1_baseline.latest.json
 
-step "OK: all builds green, fault+obs+serve+diskfault+overload labels pass, batch results certified, exposition scraped live, overload shed+browned out+recovered"
+step "OK: all builds green, fault+obs+serve+diskfault+overload+ha labels pass, batch results certified, exposition scraped live, overload shed+browned out+recovered, standby survived kill -9 of its leader"

@@ -6,33 +6,53 @@
 namespace minergy::serve {
 
 namespace {
-std::string g_spec;       // as configured, for worker propagation
-std::string g_point;      // parsed point name
-int g_remaining = 0;      // visits left before the kill fires
+
+// One parsed switch: the raw spec (for worker propagation), the point name,
+// and how many visits remain before it fires.
+struct Switch {
+  std::string spec;
+  std::string point;
+  int remaining = 0;
+
+  void configure(const std::string& s) {
+    spec = s;
+    point.clear();
+    remaining = 0;
+    if (s.empty()) return;
+    const std::size_t at = s.rfind('@');
+    if (at == std::string::npos) {
+      point = s;
+      remaining = 1;
+    } else {
+      point = s.substr(0, at);
+      remaining = std::atoi(s.c_str() + at + 1);
+      if (remaining <= 0) remaining = 1;
+    }
+  }
+
+  // True when the named visit is the one this switch fires on.
+  bool fires(const char* p) {
+    if (point.empty() || point != p) return false;
+    return --remaining == 0;
+  }
+};
+
+Switch g_kill;
+Switch g_stop;
+
 }  // namespace
 
-void configure_kill_switch(const std::string& spec) {
-  g_spec = spec;
-  g_point.clear();
-  g_remaining = 0;
-  if (spec.empty()) return;
-  const std::size_t at = spec.rfind('@');
-  if (at == std::string::npos) {
-    g_point = spec;
-    g_remaining = 1;
-  } else {
-    g_point = spec.substr(0, at);
-    g_remaining = std::atoi(spec.c_str() + at + 1);
-    if (g_remaining <= 0) g_remaining = 1;
-  }
-}
+void configure_kill_switch(const std::string& spec) { g_kill.configure(spec); }
 
-const std::string& kill_switch_spec() { return g_spec; }
+void configure_stop_switch(const std::string& spec) { g_stop.configure(spec); }
+
+const std::string& kill_switch_spec() { return g_kill.spec; }
+
+const std::string& stop_switch_spec() { return g_stop.spec; }
 
 void kill_point(const char* point) {
-  if (g_point.empty() || g_point != point) return;
-  if (--g_remaining > 0) return;
-  std::raise(SIGKILL);
+  if (g_kill.fires(point)) std::raise(SIGKILL);
+  if (g_stop.fires(point)) std::raise(SIGSTOP);
 }
 
 }  // namespace minergy::serve

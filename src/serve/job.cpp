@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "util/check.h"
+#include "util/clock.h"
 #include "util/rng.h"
 
 namespace minergy::serve {
@@ -45,6 +46,9 @@ std::string Job::to_json(const std::string& result_json) const {
   if (!client.empty()) w.kv("client", client);
   if (complete_by_unix > 0.0) w.kv("complete_by_unix", complete_by_unix);
   if (!inject.empty()) w.kv("inject", inject);
+  if (fence_token > 0) {
+    w.kv("fence_token", static_cast<std::int64_t>(fence_token));
+  }
   w.kv("submitted_unix", submitted_unix);
   w.kv("not_before_unix", not_before_unix);
   if (next_backoff_seconds > 0.0) {
@@ -102,6 +106,8 @@ Job Job::from_json(const std::string& text, const std::string& source) {
   j.client = root.get_string("client", "");
   j.complete_by_unix = root.get_number("complete_by_unix", 0.0);
   j.inject = root.get_string("inject", "");
+  j.fence_token =
+      static_cast<std::uint64_t>(root.get_number("fence_token", 0.0));
   j.submitted_unix = root.get_number("submitted_unix", 0.0);
   j.not_before_unix = root.get_number("not_before_unix", 0.0);
   j.next_backoff_seconds = root.get_number("next_backoff_seconds", 0.0);
@@ -150,10 +156,6 @@ std::uint64_t attempt_seed(const Job& job, int failed_attempt_index) {
                         static_cast<std::uint64_t>(failed_attempt_index));
 }
 
-double unix_now() {
-  return std::chrono::duration<double>(
-             std::chrono::system_clock::now().time_since_epoch())
-      .count();
-}
+double unix_now() { return util::Clock::system().unix_monotone(); }
 
 }  // namespace minergy::serve

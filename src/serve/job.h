@@ -69,6 +69,13 @@ struct Job {
   // make the worker die or wedge at a deterministic point.
   std::string inject;
 
+  // The leader-lease fencing token (serve/lease.h) under which this job was
+  // claimed, journaled into the running record and re-checked at every
+  // mutating queue operation: a paused-and-resumed zombie leader whose
+  // lease was stolen carries a stale token and its finalizes are rejected.
+  // 0 = claimed outside any lease (in-process tests, legacy spools).
+  std::uint64_t fence_token = 0;
+
   double submitted_unix = 0.0;
   double not_before_unix = 0.0;  // backoff: ineligible for claim before this
   // Backoff that produced not_before_unix; copied into the next attempt's
@@ -107,8 +114,11 @@ std::string make_job_id();
 // minergy_batch).
 std::uint64_t attempt_seed(const Job& job, int failed_attempt_index);
 
-// Wall-clock seconds since the Unix epoch (backoff eligibility must survive
-// daemon restarts, so it cannot use the monotonic clock).
+// Unix-epoch seconds for backoff eligibility, shed windows and lease
+// timestamps. Backoff must survive daemon restarts, so the LEVEL is wall
+// clock — but the value is routed through util::Clock::system()'s
+// unix_monotone() clamp, so a backward wall-clock jump can never produce a
+// negative backoff or re-open a shed window mid-run.
 double unix_now();
 
 }  // namespace minergy::serve

@@ -1,0 +1,188 @@
+// Filesystem leader lease with fencing tokens (schema minergy.lease.v1).
+//
+// Any number of `minergy_served` daemons may point at one spool; exactly
+// one — the leader — claims, spawns and finalizes jobs, while the others
+// (`--standby`) tail the spool read-only and take over when the leader
+// dies. The coordination primitive is a single envelope-wrapped file,
+// `<spool>/leader.lease`, holding:
+//
+//   fencing_token   strictly increasing across ownership changes; every
+//                   job claim journals the token it was claimed under, and
+//                   every mutating queue operation re-checks it against
+//                   the on-disk lease (queue.cpp), so a paused-and-resumed
+//                   zombie leader can never finalize stale work
+//   owner           host + pid + pid-start-ticks: a globally stable
+//                   process identity (pid reuse is detected by the start
+//                   time from /proc/<pid>/stat)
+//   renewed_unix    heartbeat; the leader rewrites the record every ttl/3
+//
+// Expiry is judged by OBSERVED staleness on the local CLOCK_MONOTONIC
+// axis: a standby steals only after watching the lease bytes stay
+// unchanged for ttl + margin of its own monotonic time, so a backward (or
+// forward) wall-clock jump on either host can never cause a premature
+// steal. Two fast paths skip the wait: a `released` record (clean leader
+// shutdown), and a dead-owner probe — when the recorded owner is on this
+// host and its pid is gone or was recycled (start-ticks mismatch), the
+// lease is reclaimed immediately, so a SIGKILLed leader restarting on the
+// same spool never deadlocks on its own stale lease.
+//
+// Acquisition is CAS-shaped: create `lease.claim.<token>` with
+// O_CREAT|O_EXCL (the interlock — one winner per token), write the new
+// record into it, rename() it onto leader.lease, then re-read and verify.
+// rename() is not itself a compare-and-swap, so after any write the writer
+// verifies the on-disk record is its own; a lost verify demotes the writer
+// to standby. The fencing check at the finalize commit point is the hard
+// backstop for the remaining window.
+//
+// All lease I/O uses plain POSIX calls, NOT the io::FaultFs-instrumented
+// artifact layer: lease traffic must not consume scheduled fault-injection
+// events meant for the artifact protocol under test.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "util/clock.h"
+
+namespace minergy::serve {
+
+inline constexpr const char kLeaseSchema[] = "minergy.lease.v1";
+
+// A mutating queue operation was attempted under a stale fencing token:
+// this process's lease was stolen (or released) since the job was claimed.
+// The supervisor reacts by reaping its workers and demoting to standby;
+// the new leader requeues the interrupted work.
+class FencedError : public std::runtime_error {
+ public:
+  FencedError(std::uint64_t held, std::uint64_t current,
+              const std::string& op);
+
+  std::uint64_t held_token() const { return held_; }
+  std::uint64_t current_token() const { return current_; }
+
+ private:
+  std::uint64_t held_;
+  std::uint64_t current_;
+};
+
+// Stable process identity: pid alone is reusable, pid + kernel start ticks
+// (field 22 of /proc/<pid>/stat) is not.
+struct LeaseOwner {
+  std::string host;
+  std::int64_t pid = 0;
+  std::int64_t pid_start_ticks = 0;
+
+  // The calling process's identity. `host_override` substitutes the
+  // hostname component so tests can run several distinct "hosts" in one
+  // process (disabling the same-host dead-owner probe between them).
+  static LeaseOwner self(const std::string& host_override = std::string());
+
+  bool operator==(const LeaseOwner& o) const {
+    return host == o.host && pid == o.pid &&
+           pid_start_ticks == o.pid_start_ticks;
+  }
+  bool operator!=(const LeaseOwner& o) const { return !(*this == o); }
+};
+
+// The on-disk lease document.
+struct LeaseRecord {
+  std::uint64_t fencing_token = 0;
+  LeaseOwner owner;
+  double acquired_unix = 0.0;
+  double renewed_unix = 0.0;
+  double ttl_seconds = 0.0;
+  bool released = false;  // clean shutdown: next acquirer skips the wait
+
+  std::string to_json() const;
+  // Throws util::ParseError on structural damage or wrong schema.
+  static LeaseRecord from_json(const std::string& text,
+                               const std::string& source);
+};
+
+struct LeaseOptions {
+  // The leader renews every ttl/3; a lease unrenewed for ttl + margin (of
+  // the observer's monotonic clock) is stealable.
+  double ttl_seconds = 2.0;
+  double margin_seconds = 0.5;
+  // Hot-standby start: never claim a FRESH spool (no lease file) until it
+  // has been observed empty for a full expiry window, so a standby racing
+  // a cold-starting leader defers to it. All other acquisition paths
+  // (released lease, dead owner, observed expiry) behave identically.
+  bool standby = false;
+  // Identity override for in-process multi-daemon tests ("" = real host).
+  std::string host_override;
+};
+
+// One daemon's view of the lease. Not thread-safe; the supervisor drives
+// it from its single control loop.
+class LeaseManager {
+ public:
+  LeaseManager(const std::string& spool_root, const LeaseOptions& opts,
+               util::Clock* clock = nullptr);
+
+  // One acquisition attempt (non-blocking). Returns true when this process
+  // is the leader afterwards. Standbys call this every poll; each call
+  // also advances the staleness observation.
+  bool try_acquire();
+
+  // Heartbeat. Returns false — and demotes to standby — when the lease was
+  // lost (stolen, or this process failed to renew within its own ttl and
+  // self-demotes rather than clobbering a successor). Call at least every
+  // ttl/3 while leader; cheap no-op when called early (< ttl/3 since the
+  // last write).
+  bool renew();
+
+  // Clean handover: marks the record released (same token) so the next
+  // acquirer skips the expiry wait. No-op when not leader.
+  void release();
+
+  // Forced demotion without touching the file — used when a FencedError
+  // surfaces before the next renew() would have noticed the steal. Logs
+  // lease_lost; no-op when not leader.
+  void demote(const std::string& why);
+
+  // The fencing check: true iff the on-disk lease still carries `token`
+  // AND names this process as owner. Any read failure is false (fail
+  // closed — a mutating op must not proceed on an unreadable lease).
+  bool fence_ok(std::uint64_t token) const;
+
+  bool is_leader() const { return leader_; }
+  std::uint64_t token() const { return token_; }
+  const LeaseOwner& identity() const { return identity_; }
+  const std::string& lease_path() const { return lease_path_; }
+  const LeaseOptions& options() const { return opts_; }
+
+  // The current on-disk record, if readable and intact.
+  std::optional<LeaseRecord> read() const;
+
+ private:
+  bool write_record(const LeaseRecord& rec, bool via_claim_file);
+  bool claim_with_token(std::uint64_t token, bool reclaim);
+  void note_lost(const std::string& why);
+
+  std::string root_;
+  std::string lease_path_;
+  LeaseOptions opts_;
+  util::Clock* clock_;
+  LeaseOwner identity_;
+
+  bool leader_ = false;
+  std::uint64_t token_ = 0;
+  double last_renew_monotonic_ = 0.0;
+
+  // Staleness observation (standby side): the lease bytes last seen and
+  // when (monotonic) they were first seen unchanged.
+  bool observed_init_ = false;
+  std::string observed_bytes_;
+  double observed_since_monotonic_ = 0.0;
+};
+
+// Worker-side fence probe: true when `lease_path` is missing/unreadable
+// (fail open — plain spools without a daemon lease must keep working) or
+// carries exactly `token`. A readable lease with a different token returns
+// false: the claim is stale and the worker must not commit its result.
+bool lease_token_matches(const std::string& lease_path, std::uint64_t token);
+
+}  // namespace minergy::serve

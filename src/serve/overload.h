@@ -99,9 +99,13 @@ struct OverloadPolicy {
   double updated_unix = 0.0;
   std::map<std::string, double> quotas;
 
+  // Bounded on BOTH sides: a policy stamped in the future (the publisher's
+  // wall clock jumped forward, then was corrected) must read as stale, not
+  // as fresh-for-hours. Admission fails open on a stale policy either way.
   bool fresh(double now_unix) const {
-    return updated_unix > 0.0 &&
-           now_unix - updated_unix <= kPolicyStaleSeconds;
+    if (updated_unix <= 0.0) return false;
+    const double age = now_unix - updated_unix;
+    return age >= -kPolicyStaleSeconds && age <= kPolicyStaleSeconds;
   }
   std::string to_json() const;
   static OverloadPolicy from_json(const std::string& text,

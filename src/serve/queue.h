@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "serve/job.h"
+#include "serve/lease.h"
 #include "serve/overload.h"
 #include "serve/sched.h"
 
@@ -89,6 +90,11 @@ struct HealthInfo {
   int brownout_level = 0;
   int shed_level = 0;
   std::vector<std::string> breaker_open;
+  // "leader" | "standby": which role this daemon is serving in the HA
+  // plane (serve/lease.h). Single-daemon spools are always the leader.
+  std::string role = "leader";
+  // The leader's current fencing token (0 for a standby / no lease).
+  std::uint64_t lease_token = 0;
 };
 
 class SpoolQueue {
@@ -105,6 +111,15 @@ class SpoolQueue {
   void set_overload_controller(OverloadController* controller) {
     overload_ = controller;
   }
+
+  // Points the queue at the daemon's leader lease. When set, every claim
+  // journals the current fencing token into the job, and every mutating
+  // operation (update_running, finalize_*, requeue) re-validates the job's
+  // token against the on-disk lease first, throwing FencedError when the
+  // lease moved on — the backstop that stops a paused-and-resumed zombie
+  // leader from finalizing stale work. nullptr (the default) disables
+  // fencing: in-process tests and single-daemon spools are unaffected.
+  void set_lease(LeaseManager* lease) { lease_ = lease; }
 
   // Admission: assigns an id (when empty) and a submit timestamp, enforces
   // the published overload policy (<root>/overload.json: shedding + client
@@ -171,6 +186,9 @@ class SpoolQueue {
 
  private:
   std::string dir(const std::string& state) const;
+  // Throws FencedError (and logs a fenced_reject event) when `job` was
+  // claimed under a token the on-disk lease no longer carries.
+  void check_fence(const Job& job, const char* op) const;
   // Latency bookkeeping at a terminal transition: records the end-to-end
   // histogram, feeds the overload controller, checks the SLO, and logs the
   // job_* event.
@@ -188,6 +206,7 @@ class SpoolQueue {
   std::string root_;
   SpoolOptions opts_;
   OverloadController* overload_ = nullptr;
+  LeaseManager* lease_ = nullptr;
 };
 
 }  // namespace minergy::serve

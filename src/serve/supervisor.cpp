@@ -21,6 +21,7 @@
 #include "io/durable.h"
 #include "io/envelope.h"
 #include "io/fault_fs.h"
+#include "io/scrub.h"
 #include "obs/eventlog.h"
 #include "obs/expose.h"
 #include "obs/metrics.h"
@@ -60,7 +61,8 @@ Supervisor::Supervisor(SpoolQueue& queue, SupervisorOptions opts)
     : queue_(queue),
       opts_(std::move(opts)),
       breaker_(opts_.breaker),
-      overload_(opts_.overload) {
+      overload_(opts_.overload),
+      lease_(queue.root(), opts_.lease) {
   MINERGY_CHECK_MSG(!opts_.worker_binary.empty(),
                     "SupervisorOptions.worker_binary is required");
   if (opts_.workers < 1) opts_.workers = 1;
@@ -68,7 +70,12 @@ Supervisor::Supervisor(SpoolQueue& queue, SupervisorOptions opts)
   // for the shed level; the controller lives as long as the supervisor,
   // which run_daemon keeps alive for the queue's whole service life.
   if (opts_.overload.enabled()) queue_.set_overload_controller(&overload_);
+  // Every mutating queue operation from here on re-checks its job's fencing
+  // token against the on-disk lease; see SpoolQueue::check_fence.
+  queue_.set_lease(&lease_);
 }
+
+Supervisor::~Supervisor() { queue_.set_lease(nullptr); }
 
 // Publish-on-change plus freshness refresh: the policy file carries its
 // updated_unix, and admission-side enforcement ignores a stale one, so the
@@ -91,6 +98,8 @@ void Supervisor::refresh_health(const std::string& state) {
   const double now_unix = unix_now();
   HealthInfo info;
   info.state = state;
+  info.role = "leader";
+  info.lease_token = lease_.token();
   info.workers_active = static_cast<int>(slots_.size());
   info.breaker_open = breaker_.open_circuits(now_unix);
   info.brownout_level = overload_.brownout_level();
@@ -131,6 +140,9 @@ void Supervisor::refresh_health(const std::string& state) {
         .set(static_cast<double>(c.quarantined));
     obs::gauge("serve.workers.active")
         .set(static_cast<double>(info.workers_active));
+    obs::gauge("serve.lease.token")
+        .set(static_cast<double>(info.lease_token));
+    obs::gauge("serve.lease.is_leader").set(lease_.is_leader() ? 1.0 : 0.0);
     util::JsonWriter w(2);
     w.begin_object();
     w.kv("schema", "minergy.jobs.v1");
@@ -199,6 +211,15 @@ void Supervisor::recover() {
     // After a degraded-mode pause, recovery re-sweeps running/ while
     // workers may still be alive; their jobs are not orphans.
     if (owned_by_live_slot(job.id)) continue;
+    // Token adoption: the orphan was claimed under a previous leadership
+    // (possibly a different daemon's). This leader now owns its
+    // disposition, so the journaled token is rewritten to the current one
+    // — otherwise every finalize/requeue below would fence against a token
+    // the current lease no longer carries.
+    if (job.fence_token != lease_.token()) {
+      kill_point("daemon.pre-adopt");
+      job.fence_token = lease_.token();
+    }
     if (job.circuit.empty()) {  // torn record (should be impossible)
       queue_.finalize_quarantined(std::move(job), "corrupt running record");
       continue;
@@ -355,6 +376,15 @@ pid_t Supervisor::spawn_worker(const Job& job, std::uint64_t seed) {
   };
   if (!kill_switch_spec().empty()) {
     args.push_back("--inject-kill=" + kill_switch_spec());
+  }
+  if (!stop_switch_spec().empty()) {
+    args.push_back("--inject-stop=" + stop_switch_spec());
+  }
+  // Fenced claims re-verify the lease immediately before the envelope
+  // commit (worker.cpp): a worker spawned by a since-deposed leader exits
+  // 75 instead of landing a stale result.
+  if (job.fence_token > 0) {
+    args.push_back("--lease-path=" + lease_.lease_path());
   }
   // Brownout rides into the worker as a flag (the job file is immutable
   // once journaled): the level at spawn time decides this attempt's
@@ -565,6 +595,69 @@ void Supervisor::degraded_wait(const std::string& what) {
   std::fprintf(stderr, "served: storage writable again; resuming\n");
 }
 
+// The lease is gone (renew observed a steal, or a mutating queue op
+// fenced). This process must stop acting as leader IMMEDIATELY and must
+// not write another byte into the spool under its stale token: the workers
+// are SIGKILLed (no requeue, no journaling — the new leader's recovery
+// sweep owns those running/ entries now) and the daemon drops back into
+// the standby acquisition loop.
+void Supervisor::on_lease_lost(const std::string& why) {
+  obs::counter("serve.lease.workers_reaped")
+      .add(static_cast<std::int64_t>(slots_.size()));
+  for (Slot& slot : slots_) {
+    kill(slot.pid, SIGKILL);
+    int status = 0;
+    waitpid(slot.pid, &status, 0);
+  }
+  slots_.clear();
+  lease_.demote(why);  // no-op when renew() already noted the loss
+  obs::gauge("serve.lease.is_leader").set(0.0);
+  std::fprintf(stderr, "served: lease lost (%s); demoting to standby\n",
+               why.c_str());
+}
+
+// Standby heartbeat: everything a monitor needs (role, spool partition,
+// gauges) without a single spool write — health.json belongs to the
+// leader; the standby's view is served from memory over /health.
+void Supervisor::standby_tick() {
+  if (last_health_monotonic_ >= 0.0 &&
+      util::monotonic_seconds() - last_health_monotonic_ <
+          opts_.health_interval_seconds) {
+    return;
+  }
+  last_health_monotonic_ = util::monotonic_seconds();
+  HealthInfo info;
+  info.state = "standby";
+  info.role = "standby";
+  info.workers_active = 0;
+  obs::gauge("serve.lease.is_leader").set(0.0);
+  if (obs::ExpositionServer::instance().running()) {
+    obs::ExpositionServer::instance().publish("/health", "application/json",
+                                              queue_.health_json(info));
+    const QueueCounts c = queue_.counts();
+    obs::gauge("serve.spool.pending").set(static_cast<double>(c.pending));
+    obs::gauge("serve.spool.running").set(static_cast<double>(c.running));
+    obs::gauge("serve.spool.done").set(static_cast<double>(c.done));
+    obs::gauge("serve.spool.failed").set(static_cast<double>(c.failed));
+    obs::gauge("serve.spool.quarantined")
+        .set(static_cast<double>(c.quarantined));
+    obs::gauge("serve.workers.active").set(0.0);
+  }
+  log_spool_state("standby");
+}
+
+void Supervisor::maybe_scrub() {
+  if (opts_.scrub_interval_seconds <= 0.0 || !lease_.is_leader()) return;
+  const double now = util::monotonic_seconds();
+  if (last_scrub_monotonic_ >= 0.0 &&
+      now - last_scrub_monotonic_ < opts_.scrub_interval_seconds) {
+    return;
+  }
+  last_scrub_monotonic_ = now;
+  const obs::Span span("serve.scrub");
+  io::SpoolScrubber(queue_.root()).run();
+}
+
 int Supervisor::run() {
   g_drain_requested = 0;
   install_drain_handlers();
@@ -579,9 +672,16 @@ int Supervisor::run() {
   // serve_shed_level even for a daemon that never degrades.
   obs::gauge("serve.brownout.level");
   obs::gauge("serve.shed.level");
+  // Lease + scrub families likewise, so a standby's very first scrape (or a
+  // leader that never loses the lease) still exposes the full catalogue.
+  obs::gauge("serve.lease.token");
+  obs::gauge("serve.lease.is_leader");
+  obs::counter("serve.lease.fenced_rejects");
+  obs::counter("io.scrub.passes");
   {
     obs::Event ev;
     ev.kind = "daemon_start";
+    ev.detail = opts_.lease.standby ? "standby" : "leader";
     ev.num.emplace_back("pid", static_cast<double>(::getpid()));
     ev.num.emplace_back("workers", static_cast<double>(opts_.workers));
     obs::event(ev);
@@ -589,16 +689,43 @@ int Supervisor::run() {
   bool started = false;
   for (;;) {
     try {
+      // Role gate: everything below this block runs only while holding the
+      // lease. A non-leader polls for acquisition; winning it restarts the
+      // startup sequence (recover under the freshly-journaled token).
+      if (!lease_.is_leader()) {
+        if (!lease_.try_acquire()) {
+          standby_tick();
+          if (g_drain_requested) break;
+          if (opts_.once) {
+            const QueueCounts c = queue_.counts();
+            if (c.pending == 0 && c.running == 0) break;
+          }
+          sleep_seconds(std::max(opts_.poll_seconds,
+                                 opts_.lease.ttl_seconds / 8.0));
+          continue;
+        }
+        kill_point("lease.post-acquire");
+        started = false;
+      }
       if (!started) {
         refresh_health("starting");
         recover();
         started = true;
         refresh_health("serving");
       }
+      // Heartbeat before touching any work: a failed renew means some other
+      // daemon owns the spool now — reap without writing and re-enter the
+      // acquisition loop.
+      if (!lease_.renew()) {
+        on_lease_lost("lease expired or stolen");
+        started = false;
+        continue;
+      }
       reap();
       if (g_drain_requested) break;
       tick_overload(unix_now());
       spawn_ready(unix_now());
+      maybe_scrub();
       if (g_drain_requested) break;
       const QueueCounts c = queue_.counts();
       if (opts_.once && slots_.empty() && c.pending == 0) break;
@@ -613,6 +740,11 @@ int Supervisor::run() {
         opts_.snapshot_hook();
       }
       sleep_seconds(opts_.poll_seconds);
+    } catch (const FencedError& e) {
+      // A mutating queue op lost the fencing race before renew() noticed:
+      // identical reaction, the queue already refused the stale write.
+      on_lease_lost(e.what());
+      started = false;
     } catch (const io::IoError& e) {
       degraded_wait(e.what());
       if (g_drain_requested) break;
@@ -621,19 +753,26 @@ int Supervisor::run() {
       started = false;
     }
   }
-  if (g_drain_requested) {
+  if (lease_.is_leader()) {
+    if (g_drain_requested) {
+      try {
+        drain();
+      } catch (const FencedError& e) {
+        on_lease_lost(e.what());
+      } catch (const io::IoError& e) {
+        // Requeue blocked by the fault: the jobs stay in running/ and the
+        // next daemon's recovery requeues them — nothing is lost.
+        std::fprintf(stderr, "served: drain degraded (%s)\n", e.what());
+      }
+    }
     try {
-      drain();
-    } catch (const io::IoError& e) {
-      // Requeue blocked by the fault: the jobs stay in running/ and the
-      // next daemon's recovery requeues them — nothing is lost.
-      std::fprintf(stderr, "served: drain degraded (%s)\n", e.what());
+      refresh_health("stopped");
+    } catch (const io::IoError&) {
     }
   }
-  try {
-    refresh_health("stopped");
-  } catch (const io::IoError&) {
-  }
+  // Clean handover: mark the record released so a standby skips the expiry
+  // wait. No-op when this daemon is not (or no longer) the leader.
+  lease_.release();
   // Final snapshot + lifecycle marker: the event log's tail reconstructs
   // the terminal spool partition even for a daemon that never exits
   // cleanly (spool_state lines were also emitted on every change).

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "serve/breaker.h"
+#include "serve/lease.h"
 #include "serve/overload.h"
 #include "serve/queue.h"
 
@@ -62,11 +63,22 @@ struct SupervisorOptions {
   // controller, publishes <spool>/overload.json for admission-side
   // enforcement, and passes the brownout level into every spawned worker.
   OverloadOptions overload{};
+  // HA role (serve/lease.h): every daemon runs under the spool's leader
+  // lease. A daemon that holds (or wins) the lease serves; one that does
+  // not becomes a hot standby — tails the spool read-only, publishes
+  // /health + /metrics with role=standby, and takes over within about one
+  // lease TTL of leader death. lease.standby additionally makes a cold
+  // start defer to a racing leader on a fresh spool (--standby).
+  LeaseOptions lease{};
+  // Leader-only anti-entropy pass (io/scrub.h) every this many seconds
+  // between claim passes; 0 disables.
+  double scrub_interval_seconds = 0.0;
 };
 
 class Supervisor {
  public:
   Supervisor(SpoolQueue& queue, SupervisorOptions opts);
+  ~Supervisor();
 
   // Installs SIGTERM/SIGINT drain handlers, recovers running/ orphans, then
   // serves until drained (signal) or — with options.once — until the queue
@@ -95,6 +107,15 @@ class Supervisor {
   // again (or a drain is requested). See docs/ROBUSTNESS.md.
   void degraded_wait(const std::string& what);
   bool owned_by_live_slot(const std::string& id) const;
+  // Lease loss (renew failure or a FencedError from the queue): SIGKILL
+  // every worker WITHOUT touching the spool — this process no longer owns
+  // it; the new leader's recovery requeues the stranded running/ entries.
+  void on_lease_lost(const std::string& why);
+  // Standby heartbeat: publish /health (role=standby) and the spool gauges
+  // from memory + read-only spool counts. Never writes into the spool.
+  void standby_tick();
+  // Leader-only anti-entropy pass at the configured cadence.
+  void maybe_scrub();
 
   void dispose_envelope(Job job);
   void handle_death(Job job, const std::string& outcome, int exit_code,
@@ -105,8 +126,10 @@ class Supervisor {
   SupervisorOptions opts_;
   CircuitBreaker breaker_;
   OverloadController overload_;
+  LeaseManager lease_;
   std::vector<Slot> slots_;
   double last_health_monotonic_ = -1.0;
+  double last_scrub_monotonic_ = -1.0;
   double last_snapshot_monotonic_ = -1.0;
   double last_policy_unix_ = -1.0;
   QueueCounts last_logged_counts_{};

@@ -18,6 +18,7 @@
 #include "io/checkpoint.h"
 #include "io/envelope.h"
 #include "serve/inject.h"
+#include "serve/lease.h"
 #include "util/check.h"
 #include "util/guard.h"
 #include "util/json.h"
@@ -47,7 +48,7 @@ void write_error_envelope(const Job& job, const std::string& result_path,
 int run_worker_job(const Job& job, std::uint64_t seed,
                    const std::string& result_path,
                    const std::string& checkpoint_path,
-                   int brownout_level) try {
+                   int brownout_level, const std::string& lease_path) try {
   if (job.circuit.empty() || result_path.empty()) return 2;
   if (brownout_level < 0) brownout_level = 0;
   if (brownout_level > 2) brownout_level = 2;
@@ -146,6 +147,17 @@ int run_worker_job(const Job& job, std::uint64_t seed,
 
   if (job.inject == "crash-pre-result") std::raise(SIGKILL);
   kill_point("worker.pre-result");
+
+  // Fence before the commit point: if the lease moved past the token this
+  // job was claimed under, the spawning leader is a zombie and this result
+  // must never land — the new leader re-runs the job. Fail-open when the
+  // job carries no token or the lease is missing (plain single-daemon
+  // spools and in-process tests).
+  if (!lease_path.empty() && job.fence_token > 0 &&
+      !lease_token_matches(lease_path, job.fence_token)) {
+    obs::counter("serve.lease.worker_fenced").add();
+    return kWorkerFencedExit;
+  }
 
   util::JsonWriter w(2);
   w.begin_object();

@@ -34,12 +34,22 @@ namespace minergy::serve {
 // robust run to start at the baseline tier, 2 at max-drive, and shrinks
 // any wall-clock watchdog budget proportionally — 1/2 and 1/4). The level
 // is recorded in the result envelope so a degraded answer carries its
-// provenance. Returns the worker process exit code: 0 = envelope written
-// (any verdict), 2 = malformed job. Typed optimization errors are reported
-// inside the envelope (ok=false), not via exit codes.
+// provenance. `lease_path` (when non-empty AND the job carries a fencing
+// token) is re-checked immediately before the envelope drop: if the
+// spool's leader lease no longer carries the job's token, the claim is
+// stale — the spawning leader was deposed mid-flight — and the worker
+// exits 75 WITHOUT writing an envelope, so the new leader's re-execution
+// of the same job can never race a zombie's commit. Returns the worker
+// process exit code: 0 = envelope written (any verdict), 2 = malformed
+// job, 75 = fenced (stale lease token; no envelope). Typed optimization
+// errors are reported inside the envelope (ok=false), not via exit codes.
 int run_worker_job(const Job& job, std::uint64_t attempt_seed,
                    const std::string& result_path,
                    const std::string& checkpoint_path,
-                   int brownout_level = 0);
+                   int brownout_level = 0,
+                   const std::string& lease_path = std::string());
+
+// The exit code a fenced worker returns instead of writing an envelope.
+inline constexpr int kWorkerFencedExit = 75;
 
 }  // namespace minergy::serve

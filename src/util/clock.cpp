@@ -1,0 +1,69 @@
+#include "util/clock.h"
+
+#include <time.h>
+
+#include <map>
+#include <mutex>
+
+namespace minergy::util {
+
+namespace {
+
+double read_clock(clockid_t id) {
+  struct timespec ts;
+  clock_gettime(id, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+double Clock::monotonic() const { return read_clock(CLOCK_MONOTONIC); }
+
+double Clock::wall_unix() const { return read_clock(CLOCK_REALTIME); }
+
+// Per-clock floor state lives in a function-static map keyed by the clock
+// instance so VirtualClock objects in tests each get independent floors and
+// nothing needs to be declared in the header. The map only ever holds a
+// handful of entries (the system clock plus test clocks) and entries are
+// never erased — a Clock's floor must outlive any concurrent caller.
+struct Clock::Floor {
+  std::mutex mu;
+  bool seeded = false;
+  double last_unix = 0.0;  // last value returned
+  double last_mono = 0.0;  // monotonic() when it was returned
+};
+
+Clock::Floor& Clock::floor() {
+  static std::mutex map_mu;
+  static std::map<const Clock*, Floor>* floors = new std::map<const Clock*, Floor>();
+  std::lock_guard<std::mutex> lock(map_mu);
+  return (*floors)[this];
+}
+
+double Clock::unix_monotone() {
+  Floor& f = floor();
+  std::lock_guard<std::mutex> lock(f.mu);
+  const double mono = monotonic();
+  const double wall = wall_unix();
+  if (!f.seeded) {
+    f.seeded = true;
+    f.last_unix = wall;
+    f.last_mono = mono;
+    return wall;
+  }
+  // The clock must advance by at least the monotonic elapsed time even if
+  // the wall clock stepped backwards; a forward wall step wins outright.
+  const double floor_unix = f.last_unix + (mono - f.last_mono);
+  const double out = wall > floor_unix ? wall : floor_unix;
+  f.last_unix = out;
+  f.last_mono = mono;
+  return out;
+}
+
+Clock& Clock::system() {
+  static Clock* clock = new Clock();
+  return *clock;
+}
+
+}  // namespace minergy::util

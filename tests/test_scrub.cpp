@@ -1,0 +1,372 @@
+// Anti-entropy scrubber suite: every artifact class in a spool, damaged at
+// every byte offset, is either repaired (from generational history, or by
+// retiring a regenerable scratch/singleton document) or quarantined with
+// its bytes preserved — never silently deleted, never left to rot.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/checkpoint.h"
+#include "io/envelope.h"
+#include "io/scrub.h"
+#include "obs/metrics.h"
+#include "serve/job.h"
+#include "serve/queue.h"
+
+#ifndef MINERGY_SERVED_BIN
+#error "MINERGY_SERVED_BIN must point at the minergy_served executable"
+#endif
+
+namespace minergy::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScratchSpool {
+  explicit ScratchSpool(const std::string& stem)
+      : root((fs::temp_directory_path() / ("minergy_scrub_" + stem)).string()) {
+    fs::remove_all(root);
+  }
+  ~ScratchSpool() { fs::remove_all(root); }
+  std::string root;
+};
+
+int run_served(const std::vector<std::string>& flags,
+               double timeout_seconds = 120.0) {
+  std::vector<std::string> args = {MINERGY_SERVED_BIN};
+  args.insert(args.end(), flags.begin(), flags.end());
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& s : args) argv.push_back(s.data());
+  argv.push_back(nullptr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    const int null_fd = open("/dev/null", O_WRONLY);
+    if (null_fd >= 0) {
+      dup2(null_fd, STDOUT_FILENO);
+      dup2(null_fd, STDERR_FILENO);
+      close(null_fd);
+    }
+    execv(argv[0], argv.data());
+    _exit(127);
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  int status = 0;
+  for (;;) {
+    const pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == pid) return status;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      kill(pid, SIGKILL);
+      waitpid(pid, &status, 0);
+      ADD_FAILURE() << "minergy_served did not exit within the cap";
+      return status;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+std::string submit_job(serve::SpoolQueue& q, const std::string& circuit,
+                       std::uint64_t seed) {
+  serve::Job job;
+  job.circuit = circuit;
+  job.optimizer = "baseline";
+  job.seed = seed;
+  return q.submit(job);
+}
+
+// Drives one c17 job to done/ so the spool holds the full artifact set
+// (terminal record, health.json, released leader.lease).
+std::string populate_spool(serve::SpoolQueue& q) {
+  const std::string id = submit_job(q, "c17", 1);
+  const int status = run_served(
+      {"--spool=" + q.root(), "--once", "--workers=1", "--poll=0.005",
+       "--timeout=20", "--retries=1", "--backoff=0.01"});
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_TRUE(fs::exists(q.job_path("done", id)));
+  return id;
+}
+
+std::string slurp_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void flip_byte(const std::string& path, std::size_t offset) {
+  std::string bytes = slurp_bytes(path);
+  ASSERT_LT(offset, bytes.size());
+  bytes[offset] = static_cast<char>(bytes[offset] ^ 0x01);
+  write_bytes(path, bytes);
+}
+
+std::size_t files_in(const std::string& dir) {
+  if (!fs::exists(dir)) return 0;
+  std::size_t n = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file()) ++n;
+  }
+  return n;
+}
+
+TEST(Scrub, CleanSpoolIsExitZeroAndTouchesNothing) {
+  ScratchSpool spool("clean");
+  serve::SpoolQueue q(spool.root);
+  const std::string id = populate_spool(q);
+
+  SpoolScrubber scrubber(spool.root);
+  const ScrubReport report = scrubber.run();
+  EXPECT_GT(report.checked, 0) << "scrubber walked an empty spool";
+  EXPECT_EQ(report.repaired, 0);
+  EXPECT_EQ(report.quarantined, 0);
+  EXPECT_EQ(report.exit_code(), 0);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_FALSE(fs::exists(scrubber.quarantine_dir()))
+      << "a clean pass created the quarantine directory";
+  EXPECT_TRUE(fs::exists(q.job_path("done", id)));
+
+  // The offline mode agrees.
+  const int status = run_served({"--spool=" + spool.root, "--scrub"});
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+// The tentpole sweep: truncate a terminal job record to EVERY prefix
+// length. Each prefix must be detected and quarantined — bytes preserved
+// byte-for-byte, a synthesized terminal record keeping the audit exact.
+TEST(Scrub, EveryTruncationPrefixOfAJobRecordIsQuarantined) {
+  ScratchSpool spool("prefix");
+  serve::SpoolQueue q(spool.root);
+  const std::string id = populate_spool(q);
+  const std::string done_path = q.job_path("done", id);
+  const std::string quarantined_path = q.job_path("quarantined", id);
+  const std::string original = slurp_bytes(done_path);
+  ASSERT_GT(original.size(), 0u);
+
+  SpoolScrubber scrubber(spool.root);
+  for (std::size_t k = 0; k < original.size(); ++k) {
+    write_bytes(done_path, original.substr(0, k));
+    const ScrubReport report = scrubber.run();
+    ASSERT_EQ(report.quarantined, 1)
+        << "prefix of length " << k << " was not quarantined";
+    ASSERT_EQ(report.exit_code(), 2);
+    ASSERT_FALSE(fs::exists(done_path))
+        << "damaged record left in done/ at prefix " << k;
+    ASSERT_TRUE(fs::exists(quarantined_path))
+        << "no synthesized terminal record at prefix " << k;
+    // Never delete: the damaged bytes are preserved exactly.
+    ASSERT_EQ(files_in(scrubber.quarantine_dir()), 1u);
+    const std::string preserved = slurp_bytes(
+        fs::directory_iterator(scrubber.quarantine_dir())->path().string());
+    ASSERT_EQ(preserved, original.substr(0, k))
+        << "quarantined bytes differ from the damaged file at prefix " << k;
+
+    // The spool auditor accepts the repaired-by-quarantine spool (rc 4
+    // flags the quarantined job). Subprocesses are costly; sample.
+    if (k == 0 || k == original.size() / 2 || k == original.size() - 1) {
+      const int status = run_served({"--spool=" + spool.root, "--status",
+                                     "--verify", "--expect-jobs=1"});
+      ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 4)
+          << "--status --verify rejected the scrubbed spool at prefix " << k;
+    }
+
+    // Restore for the next prefix.
+    fs::remove(quarantined_path);
+    fs::remove_all(scrubber.quarantine_dir());
+    write_bytes(done_path, original);
+  }
+  const ScrubReport healthy = scrubber.run();
+  EXPECT_EQ(healthy.exit_code(), 0);
+}
+
+TEST(Scrub, BitFlipsAreDetectedAtEveryStride) {
+  ScratchSpool spool("bitflip");
+  serve::SpoolQueue q(spool.root);
+  const std::string id = populate_spool(q);
+  const std::string done_path = q.job_path("done", id);
+  const std::string original = slurp_bytes(done_path);
+  ASSERT_GT(original.size(), 17u);
+
+  SpoolScrubber scrubber(spool.root);
+  std::vector<std::size_t> offsets;
+  for (std::size_t off = 0; off < original.size(); off += 17) {
+    offsets.push_back(off);
+  }
+  offsets.push_back(original.size() - 1);
+  obs::set_enabled(true);
+  const std::int64_t quarantined_before =
+      obs::counter("io.scrub.quarantined").value();
+  for (const std::size_t off : offsets) {
+    std::string damaged = original;
+    damaged[off] = static_cast<char>(damaged[off] ^ 0x01);
+    write_bytes(done_path, damaged);
+    const ScrubReport report = scrubber.run();
+    ASSERT_EQ(report.quarantined, 1)
+        << "single-bit flip at offset " << off << " went undetected";
+    fs::remove(q.job_path("quarantined", id));
+    fs::remove_all(scrubber.quarantine_dir());
+    write_bytes(done_path, original);
+  }
+  EXPECT_EQ(obs::counter("io.scrub.quarantined").value(),
+            quarantined_before + static_cast<std::int64_t>(offsets.size()))
+      << "io.scrub.quarantined did not count every finding";
+}
+
+TEST(Scrub, DamagedNewestCheckpointIsPromotedFromOlderGeneration) {
+  ScratchSpool spool("ckpt_promote");
+  serve::SpoolQueue q(spool.root);  // creates the directory tree
+  const std::string ck = q.checkpoint_path("job-1");
+  const std::string schema = "minergy.anneal_checkpoint.v1";
+  Checkpoint::save(ck, schema, "{\"step\": 1}");
+  Checkpoint::save(ck, schema, "{\"step\": 2}");
+  Checkpoint::save(ck, schema, "{\"step\": 3}");
+  const std::string second_newest =
+      slurp_bytes(Checkpoint::generation_path(ck, 1));
+
+  flip_byte(Checkpoint::generation_path(ck, 0), 40);
+  SpoolScrubber scrubber(spool.root);
+  const ScrubReport report = scrubber.run();
+  EXPECT_EQ(report.repaired, 1);
+  EXPECT_EQ(report.quarantined, 0);
+  EXPECT_EQ(report.exit_code(), 1);
+  // The newest slot now holds the promoted (intact, second-newest) bytes
+  // and loads cleanly; the damaged bytes are preserved, not deleted.
+  EXPECT_EQ(slurp_bytes(Checkpoint::generation_path(ck, 0)), second_newest);
+  EXPECT_NO_THROW(Checkpoint::load(ck, schema));
+  EXPECT_EQ(files_in(scrubber.quarantine_dir()), 1u);
+}
+
+TEST(Scrub, DamagedOlderGenerationIsRetiredWithoutTouchingNewest) {
+  ScratchSpool spool("ckpt_retire");
+  serve::SpoolQueue q(spool.root);
+  const std::string ck = q.checkpoint_path("job-2");
+  const std::string schema = "minergy.anneal_checkpoint.v1";
+  Checkpoint::save(ck, schema, "{\"step\": 1}");
+  Checkpoint::save(ck, schema, "{\"step\": 2}");
+  Checkpoint::save(ck, schema, "{\"step\": 3}");
+  const std::string newest = slurp_bytes(Checkpoint::generation_path(ck, 0));
+
+  flip_byte(Checkpoint::generation_path(ck, 2), 40);
+  const ScrubReport report = SpoolScrubber(spool.root).run();
+  EXPECT_EQ(report.repaired, 1);
+  EXPECT_EQ(report.quarantined, 0);
+  EXPECT_EQ(slurp_bytes(Checkpoint::generation_path(ck, 0)), newest)
+      << "retiring an older generation disturbed the newest";
+  EXPECT_FALSE(fs::exists(Checkpoint::generation_path(ck, 2)));
+}
+
+TEST(Scrub, CheckpointFamilyWithNoIntactGenerationIsQuarantined) {
+  ScratchSpool spool("ckpt_lost");
+  serve::SpoolQueue q(spool.root);
+  const std::string ck = q.checkpoint_path("job-3");
+  const std::string schema = "minergy.anneal_checkpoint.v1";
+  Checkpoint::save(ck, schema, "{\"step\": 1}");
+  Checkpoint::save(ck, schema, "{\"step\": 2}");
+  Checkpoint::save(ck, schema, "{\"step\": 3}");
+  for (int g = 0; g < Checkpoint::kGenerations; ++g) {
+    flip_byte(Checkpoint::generation_path(ck, g), 40);
+  }
+  SpoolScrubber scrubber(spool.root);
+  const ScrubReport report = scrubber.run();
+  EXPECT_EQ(report.quarantined, Checkpoint::kGenerations)
+      << "a fully-damaged family must be quarantined, not 'repaired'";
+  EXPECT_EQ(report.exit_code(), 2);
+  EXPECT_EQ(files_in(scrubber.quarantine_dir()),
+            static_cast<std::size_t>(Checkpoint::kGenerations));
+}
+
+TEST(Scrub, DamagedSingletonDocumentsAreRetiredForRepublish) {
+  ScratchSpool spool("singleton");
+  serve::SpoolQueue q(spool.root);
+  populate_spool(q);
+  const std::string health = spool.root + "/health.json";
+  ASSERT_TRUE(fs::exists(health));
+  flip_byte(health, 30);
+  SpoolScrubber scrubber(spool.root);
+  const ScrubReport report = scrubber.run();
+  EXPECT_EQ(report.repaired, 1);
+  EXPECT_EQ(report.exit_code(), 1);
+  EXPECT_FALSE(fs::exists(health))
+      << "damaged health.json left in place (daemon republishes it)";
+  EXPECT_EQ(files_in(scrubber.quarantine_dir()), 1u);
+}
+
+TEST(Scrub, DamagedResultEnvelopeIsRetiredAsRegenerable) {
+  ScratchSpool spool("result");
+  serve::SpoolQueue q(spool.root);
+  const std::string stray = q.result_path("ghost-1");
+  write_bytes(stray, "definitely not an envelope\n");
+  const ScrubReport report = SpoolScrubber(spool.root).run();
+  EXPECT_EQ(report.repaired, 1)
+      << "a damaged scratch result is regenerable: retiring it is a repair";
+  EXPECT_EQ(report.quarantined, 0);
+  EXPECT_FALSE(fs::exists(stray));
+}
+
+TEST(Scrub, ReportOnlyModeCountsButTouchesNothing) {
+  ScratchSpool spool("report_only");
+  serve::SpoolQueue q(spool.root);
+  const std::string id = populate_spool(q);
+  const std::string done_path = q.job_path("done", id);
+  flip_byte(done_path, 50);
+  const std::string damaged = slurp_bytes(done_path);
+
+  ScrubOptions opts;
+  opts.repair = false;
+  SpoolScrubber scrubber(spool.root, opts);
+  const ScrubReport report = scrubber.run();
+  EXPECT_EQ(report.quarantined, 1);
+  EXPECT_EQ(report.exit_code(), 2);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].action, "reported");
+  EXPECT_TRUE(fs::exists(done_path)) << "report-only mode moved a file";
+  EXPECT_EQ(slurp_bytes(done_path), damaged);
+  EXPECT_FALSE(fs::exists(scrubber.quarantine_dir()));
+  EXPECT_FALSE(fs::exists(q.job_path("quarantined", id)));
+}
+
+TEST(Scrub, OfflineModeMapsDispositionsToExitCodes) {
+  ScratchSpool spool("offline");
+  serve::SpoolQueue q(spool.root);
+  const std::string id = populate_spool(q);
+
+  // 1 = damage found, all of it repaired (a damaged older generation).
+  const std::string ck = q.checkpoint_path("job-9");
+  const std::string schema = "minergy.anneal_checkpoint.v1";
+  Checkpoint::save(ck, schema, "{\"step\": 1}");
+  Checkpoint::save(ck, schema, "{\"step\": 2}");
+  flip_byte(Checkpoint::generation_path(ck, 1), 40);
+  int status = run_served({"--spool=" + spool.root, "--scrub"});
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 1)
+      << "repaired-only pass must exit 1";
+
+  // 2 = at least one artifact quarantined (a damaged job record).
+  flip_byte(q.job_path("done", id), 50);
+  status = run_served({"--spool=" + spool.root, "--scrub"});
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 2)
+      << "quarantining pass must exit 2";
+
+  // 0 = nothing left to find on the now-healthy spool.
+  status = run_served({"--spool=" + spool.root, "--scrub"});
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "a scrubbed spool must scrub clean";
+}
+
+}  // namespace
+}  // namespace minergy::io

@@ -27,9 +27,24 @@
 //   --max-pending=N       admission bound for --submit (default 64)
 //   --inject-kill=PT[@K]  chaos hook: SIGKILL self at the K-th visit of
 //                         protocol point PT (see src/serve/inject.h)
+//   --inject-stop=PT[@K]  chaos hook: SIGSTOP self (a zombie leader, not a
+//                         dead one) at the K-th visit of point PT
 //   --inject-io=SPEC      chaos hook: storage-fault schedule, e.g.
 //                         write@3:enospc,fsync@1:eio (see src/io/fault_fs.h);
 //                         propagated into workers like --inject-kill
+//
+// High-availability flags (daemon mode; see docs/ROBUSTNESS.md, "High
+// availability & scrubbing"): every daemon runs under the spool's fenced
+// leader lease (<spool>/leader.lease, schema minergy.lease.v1); exactly one
+// serves, the rest stand by and take over within ~1 lease TTL:
+//   --standby             hot-standby start: never claim a fresh spool until
+//                         it has been observed leaderless for a full expiry
+//                         window (defers to a cold-starting leader)
+//   --lease-ttl-s=S       lease heartbeat TTL (default 2); renewed at TTL/3
+//   --lease-margin-s=S    extra observed staleness before a steal (def. 0.5)
+//   --scrub-interval-s=S  leader-only anti-entropy pass cadence (0 = off)
+//   --scrub               offline mode: one scrubber pass over the spool,
+//                         then exit 0 (clean) / 1 (repaired) / 2 (quarantined)
 //
 // Live telemetry flags (daemon mode; see docs/OBSERVABILITY.md):
 //   --listen=PORT         embedded HTTP exposition on 127.0.0.1:PORT
@@ -96,6 +111,7 @@
 #include "io/durable.h"
 #include "io/envelope.h"
 #include "io/fault_fs.h"
+#include "io/scrub.h"
 #include "obs/metrics.h"
 #include "obs/session.h"
 #include "serve/inject.h"
@@ -115,10 +131,14 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: minergy_served --spool=DIR [mode] [flags]\n"
-    "  modes: (default) daemon | --submit | --status | --worker (internal)\n"
+    "  modes: (default) daemon | --submit | --status | --scrub |\n"
+    "         --worker (internal)\n"
     "  daemon: [--workers=N] [--once] [--poll=S] [--timeout=S] [--retries=N]\n"
     "          [--backoff=S] [--breaker-threshold=N] [--breaker-cooldown=S]\n"
-    "          [--drain-grace=S] [--inject-kill=POINT[@K]] [--inject-io=SPEC]\n"
+    "          [--drain-grace=S] [--inject-kill=POINT[@K]]\n"
+    "          [--inject-stop=POINT[@K]] [--inject-io=SPEC]\n"
+    "          [--standby] [--lease-ttl-s=S] [--lease-margin-s=S]\n"
+    "          [--scrub-interval-s=S]\n"
     "          [--listen=PORT] [--port-file=FILE] [--event-log=FILE]\n"
     "          [--event-log-max-kb=N] [--slo-e2e-ms=N]\n"
     "          [--snapshot-interval-s=S] [--perf-record[=FILE]]\n"
@@ -132,7 +152,8 @@ constexpr const char* kUsage =
     "          [--complete-by-s=S]\n"
     "  status: [--verify] [--expect-jobs=N]\n"
     "  exit codes: 0 ok, 1 validation failure, 2 usage error,\n"
-    "              4 (status) quarantined job(s) present\n";
+    "              4 (status) quarantined job(s) present\n"
+    "              (--scrub: 0 clean, 1 repaired, 2 quarantined)\n";
 
 serve::SpoolOptions spool_options(const util::Cli& cli) {
   serve::SpoolOptions o;
@@ -203,7 +224,26 @@ int run_worker_mode(const util::Cli& cli, serve::SpoolQueue& queue) {
       cli.get("attempt-seed", static_cast<double>(job.seed)));
   return serve::run_worker_job(job, seed, queue.result_path(id),
                                queue.checkpoint_path(id),
-                               cli.get("brownout-level", 0));
+                               cli.get("brownout-level", 0),
+                               cli.get("lease-path", std::string()));
+}
+
+// Offline anti-entropy pass: one scrubber sweep, a human-readable summary,
+// and the repair verdict as the exit code (0 clean, 1 repaired,
+// 2 quarantined) so CI and operators can gate on it.
+int run_scrub(serve::SpoolQueue& queue) {
+  const io::ScrubReport report = io::SpoolScrubber(queue.root()).run();
+  for (const io::ScrubFinding& f : report.findings) {
+    std::fprintf(stderr, "scrub: %s %s: %s%s%s\n", f.action.c_str(),
+                 f.path.c_str(), f.problem.c_str(),
+                 f.detail.empty() ? "" : " — ", f.detail.c_str());
+  }
+  std::printf(
+      "scrub %s\n  checked %d  clean %d  repaired %d  quarantined %d  "
+      "vanished %d\n",
+      queue.root().c_str(), report.checked, report.clean, report.repaired,
+      report.quarantined, report.vanished);
+  return report.exit_code();
 }
 
 int run_status(const util::Cli& cli, serve::SpoolQueue& queue) {
@@ -299,6 +339,10 @@ int run_daemon(const util::Cli& cli, serve::SpoolQueue& queue,
   opts.backoff_seconds = cli.get("backoff", 0.5);
   opts.drain_grace_seconds = cli.get("drain-grace", 2.0);
   opts.once = cli.has("once");
+  opts.lease.standby = cli.has("standby");
+  opts.lease.ttl_seconds = cli.get("lease-ttl-s", 2.0);
+  opts.lease.margin_seconds = cli.get("lease-margin-s", 0.5);
+  opts.scrub_interval_seconds = cli.get("scrub-interval-s", 0.0);
   opts.breaker.threshold = cli.get("breaker-threshold", 3);
   opts.breaker.cooldown_seconds = cli.get("breaker-cooldown", 30.0);
   opts.overload.shed_target_seconds = cli.get("shed-target-ms", 0.0) * 1e-3;
@@ -359,6 +403,7 @@ int main(int argc, char** argv) try {
     return 0;
   }
   serve::configure_kill_switch(cli.get("inject-kill", std::string()));
+  serve::configure_stop_switch(cli.get("inject-stop", std::string()));
   io::FaultFs::instance().configure(cli.get("inject-io", std::string()));
   const std::string spool = cli.get("spool", std::string());
   if (spool.empty()) {
@@ -369,6 +414,7 @@ int main(int argc, char** argv) try {
   if (cli.has("worker")) return run_worker_mode(cli, queue);
   if (cli.has("submit")) return run_submit(cli, queue);
   if (cli.has("status")) return run_status(cli, queue);
+  if (cli.has("scrub")) return run_scrub(queue);
   obs::Session session(cli, "minergy_served");
   obs::set_enabled(true);
   return run_daemon(cli, queue, session);
