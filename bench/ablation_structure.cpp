@@ -13,10 +13,12 @@
 #include "bench_suite/experiment.h"
 #include "netlist/stats.h"
 #include "netlist/transform.h"
+#include "opt/eval_cache.h"
 #include "opt/evaluator.h"
 #include "opt/joint_optimizer.h"
 #include "obs/session.h"
 #include "util/cli.h"
+#include "util/thread_pool.h"
 #include "util/table.h"
 
 using namespace minergy;
@@ -39,6 +41,11 @@ double optimize(const netlist::Netlist& nl,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  // Evaluation engine knobs, shared by every driver: --threads=N
+  // (0 = hardware concurrency; 1 = bit-exact serial path) and
+  // --eval-cache=0/1 (memoized evaluator results, default on).
+  util::set_global_threads(cli.get("threads", 0));
+  opt::set_eval_cache_enabled(cli.get("eval-cache", 1) != 0);
   const obs::Session session(cli, "ablation_structure");
   bench_suite::ExperimentConfig cfg;
   cfg.clock_frequency = cli.get("fc", 300e6);

@@ -12,10 +12,12 @@
 #include <iostream>
 
 #include "bench_suite/experiment.h"
+#include "opt/eval_cache.h"
 #include "opt/evaluator.h"
 #include "opt/sizer.h"
 #include "obs/session.h"
 #include "util/cli.h"
+#include "util/thread_pool.h"
 #include "util/search.h"
 #include "util/table.h"
 
@@ -23,6 +25,11 @@ using namespace minergy;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  // Evaluation engine knobs, shared by every driver: --threads=N
+  // (0 = hardware concurrency; 1 = bit-exact serial path) and
+  // --eval-cache=0/1 (memoized evaluator results, default on).
+  util::set_global_threads(cli.get("threads", 0));
+  opt::set_eval_cache_enabled(cli.get("eval-cache", 1) != 0);
   const obs::Session session(cli, "physics_balance");
   const std::string circuit = cli.get("circuit", std::string("s298*"));
 

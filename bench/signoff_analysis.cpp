@@ -11,18 +11,25 @@
 #include <iostream>
 
 #include "bench_suite/experiment.h"
+#include "opt/eval_cache.h"
 #include "opt/evaluator.h"
 #include "opt/joint_optimizer.h"
 #include "opt/yield.h"
 #include "timing/sta.h"
 #include "obs/session.h"
 #include "util/cli.h"
+#include "util/thread_pool.h"
 #include "util/table.h"
 
 using namespace minergy;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  // Evaluation engine knobs, shared by every driver: --threads=N
+  // (0 = hardware concurrency; 1 = bit-exact serial path) and
+  // --eval-cache=0/1 (memoized evaluator results, default on).
+  util::set_global_threads(cli.get("threads", 0));
+  opt::set_eval_cache_enabled(cli.get("eval-cache", 1) != 0);
   const obs::Session session(cli, "signoff_analysis");
   bench_suite::ExperimentConfig cfg;
   cfg.clock_frequency = cli.get("fc", 300e6);

@@ -17,7 +17,9 @@
 
 #include "bench_suite/experiment.h"
 #include "obs/session.h"
+#include "opt/eval_cache.h"
 #include "util/cli.h"
+#include "util/thread_pool.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -25,6 +27,11 @@ using namespace minergy;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  // Evaluation engine knobs, shared by every driver: --threads=N
+  // (0 = hardware concurrency; 1 = bit-exact serial path) and
+  // --eval-cache=0/1 (memoized evaluator results, default on).
+  util::set_global_threads(cli.get("threads", 0));
+  opt::set_eval_cache_enabled(cli.get("eval-cache", 1) != 0);
   const obs::Session session(cli, "table1_baseline");
   bench_suite::ExperimentConfig cfg;
   cfg.clock_frequency = cli.get("fc", 300e6);

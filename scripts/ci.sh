@@ -46,20 +46,23 @@ run_labelled_tests() {
 step "configure + build (Release)"
 cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-ci-release -j "$JOBS"
-run_labelled_tests build-ci-release fault obs serve diskfault overload ha
+run_labelled_tests build-ci-release fault obs serve diskfault overload ha par
 
 step "configure + build (AddressSanitizer)"
 cmake -B build-ci-asan -S . -DMINERGY_SANITIZE=address
 cmake --build build-ci-asan -j "$JOBS"
-run_labelled_tests build-ci-asan fault obs serve diskfault overload ha
+run_labelled_tests build-ci-asan fault obs serve diskfault overload ha par
 
-# ThreadSanitizer pass: the serve daemon forks workers and the obs layer is
-# the one place the codebase shares atomics across threads — run both labels
-# under TSan to catch real races rather than relying on review.
+# ThreadSanitizer pass: the serve daemon forks workers, the obs layer
+# shares atomics across threads, and the parallel evaluation engine (the
+# `par` label: thread pool, levelized STA, parallel width search,
+# multi-chain anneal, evaluation cache) is the hottest shared-state code in
+# the tree — run all of them under TSan to catch real races rather than
+# relying on review.
 step "configure + build (ThreadSanitizer)"
 cmake -B build-ci-tsan -S . -DMINERGY_SANITIZE=thread
 cmake --build build-ci-tsan -j "$JOBS"
-run_labelled_tests build-ci-tsan serve obs overload ha
+run_labelled_tests build-ci-tsan serve obs overload ha par
 
 # Certified batch run: each circuit optimizes in its own subprocess and the
 # parent re-derives every verdict with opt::Certifier. minergy_batch exits
@@ -325,5 +328,35 @@ traj=build-ci-release/BENCH_table1_baseline.json
 build-ci-release/bench/table1_baseline --circuit=s27 --perf-record="$traj"
 mkdir -p bench/trajectory
 cp "$traj" bench/trajectory/BENCH_table1_baseline.latest.json
+
+# Parallel-engine trajectory: the Table-2 heuristic on the largest bundled
+# circuit, once with the evaluation engine fully disarmed (--threads=1
+# --eval-cache=0, the historical serial path) and once at the defaults
+# (hardware threads + cache). Both perf records — each carrying its own
+# wall_seconds — land in one archived document together with the machine's
+# hardware_concurrency, so the engine's speedup is a diffable series and a
+# 1-core CI runner is distinguishable from a real regression. The two flows
+# must print identical result rows; the `par` determinism oracles above
+# already enforce that bit-exactly.
+step "perf trajectory (table2_heuristic, serial vs parallel+cache)"
+t2_serial=build-ci-release/BENCH_table2_serial.json
+t2_par=build-ci-release/BENCH_table2_parallel.json
+build-ci-release/bench/table2_heuristic --circuit='s832*' \
+  --threads=1 --eval-cache=0 --perf-record="$t2_serial" >/dev/null
+build-ci-release/bench/table2_heuristic --circuit='s832*' \
+  --perf-record="$t2_par" >/dev/null
+{
+  printf '{\n'
+  printf '"schema": "minergy.perf_trajectory.v1",\n'
+  printf '"bench": "table2_heuristic",\n'
+  printf '"circuit": "s832*",\n'
+  printf '"hardware_concurrency": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+  printf '"serial_threads1_cache_off": '
+  cat "$t2_serial"
+  printf ',\n"parallel_default": '
+  cat "$t2_par"
+  printf '}\n'
+} > bench/trajectory/BENCH_table2_heuristic.latest.json
+grep -H '"wall_seconds"' "$t2_serial" "$t2_par"
 
 step "OK: all builds green, fault+obs+serve+diskfault+overload+ha labels pass, batch results certified, exposition scraped live, overload shed+browned out+recovered, standby survived kill -9 of its leader"

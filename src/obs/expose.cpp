@@ -157,7 +157,10 @@ std::string ExpositionServer::render_prometheus() {
     out += '\n';
     out += family + "_count" + labels + ' ' + std::to_string(h.count) + '\n';
     // Approximate quantiles (bucket upper bounds) as sibling gauges — a
-    // histogram family cannot legally carry quantile series.
+    // histogram family cannot legally carry quantile series. An empty
+    // histogram (freshly started daemon) has no meaningful quantiles, so the
+    // siblings are omitted rather than risking unparseable values.
+    if (h.count == 0) continue;
     for (const auto& [suffix, q] :
          {std::pair<const char*, double>{"_p50", h.p50},
           {"_p95", h.p95},

@@ -49,7 +49,11 @@ double Histogram::sum() const {
 
 double Histogram::percentile(double p) const {
   const std::int64_t total = count();
-  if (total == 0) return 0.0;
+  // Degenerate inputs must not leak NaN into the exposition gauges: an empty
+  // histogram (freshly started daemon) and a non-positive/NaN quantile both
+  // render as 0; quantiles above 1 saturate at the top bucket.
+  if (total == 0 || !(p > 0.0)) return 0.0;
+  if (p > 1.0) p = 1.0;
   const double target = p * static_cast<double>(total);
   std::int64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {

@@ -1,0 +1,80 @@
+#include "opt/eval_cache.h"
+
+#include <atomic>
+#include <bit>
+
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace minergy::opt {
+namespace {
+
+std::uint64_t mix_in(std::uint64_t h, std::uint64_t word) {
+  // Chained SplitMix64: absorb, then scramble. hash_mix is bijective, so two
+  // chains differing in any absorbed word differ in the running state.
+  return util::hash_mix(h ^ word);
+}
+
+std::uint64_t digest(std::uint64_t seed, double vdd,
+                     std::span<const double> vts,
+                     std::span<const double> widths, double extra) {
+  std::uint64_t h = util::hash_mix(seed);
+  h = mix_in(h, std::bit_cast<std::uint64_t>(vdd));
+  h = mix_in(h, static_cast<std::uint64_t>(vts.size()));
+  for (double v : vts) h = mix_in(h, std::bit_cast<std::uint64_t>(v));
+  h = mix_in(h, static_cast<std::uint64_t>(widths.size()));
+  for (double w : widths) h = mix_in(h, std::bit_cast<std::uint64_t>(w));
+  h = mix_in(h, std::bit_cast<std::uint64_t>(extra));
+  return h;
+}
+
+std::atomic<bool> g_cache_enabled{true};
+thread_local int tl_bypass_depth = 0;
+
+}  // namespace
+
+EvalKey EvalKey::of(double vdd, std::span<const double> vts,
+                    std::span<const double> widths, double extra) {
+  EvalKey k;
+  // Two independent digests of the same data (distinct seeds): a false hit
+  // requires a simultaneous 64+64-bit collision.
+  k.a = digest(0x9e3779b97f4a7c15ull, vdd, vts, widths, extra);
+  k.b = digest(0xc2b2ae3d27d4eb4full, vdd, vts, widths, extra);
+  return k;
+}
+
+void set_eval_cache_enabled(bool enabled) {
+  g_cache_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool eval_cache_enabled() {
+  return g_cache_enabled.load(std::memory_order_relaxed);
+}
+
+EvalCacheBypass::EvalCacheBypass() { ++tl_bypass_depth; }
+EvalCacheBypass::~EvalCacheBypass() { --tl_bypass_depth; }
+
+bool eval_cache_active() {
+  return tl_bypass_depth == 0 && eval_cache_enabled();
+}
+
+namespace detail {
+
+void note_cache_hit() {
+  static obs::Counter& c = obs::counter("opt.eval.cache.hits");
+  c.add();
+}
+
+void note_cache_miss() {
+  static obs::Counter& c = obs::counter("opt.eval.cache.misses");
+  c.add();
+}
+
+void note_cache_evict() {
+  static obs::Counter& c = obs::counter("opt.eval.cache.evictions");
+  c.add();
+}
+
+}  // namespace detail
+
+}  // namespace minergy::opt

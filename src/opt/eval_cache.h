@@ -1,0 +1,146 @@
+// Memoization for the evaluation hot path.
+//
+// Procedure 2's nested (Vdd, Vts) binary search re-probes identical operating
+// points across iterations: the refine step re-evaluates the sweep's best
+// point, the multi-Vt assignment re-runs STA on the incumbent state, and the
+// annealing optimizer revisits rejected states. The convexity of the energy
+// surface in the probed region (see PAPERS.md, Energy/Frequency Convexity
+// Rule) means those repeats are exact, not approximate — so a lookup keyed on
+// the full operating point returns a value bit-identical to recomputation,
+// and caching cannot change any optimizer trajectory, only its wall-clock.
+//
+// Keys are a pair of independent 64-bit digests (chained SplitMix64 over the
+// raw bit patterns of Vdd, the Vts vector and the widths vector, plus the
+// cycle limit for STA lookups). A false hit needs both digests to collide on
+// the same bucket (~2^-128); there is no value comparison on hit.
+//
+// Thread-safety: every public method takes an internal mutex, so concurrent
+// annealing chains may share one evaluator. Certification bypasses the cache
+// entirely (EvalCacheBypass) so a certificate never depends on cached state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+
+namespace minergy::opt {
+
+// Digest of one full operating point. Default-constructed digests compare
+// unequal to any digest of real data only probabilistically — always build
+// via EvalKey::of.
+struct EvalKey {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  bool operator==(const EvalKey& other) const {
+    return a == other.a && b == other.b;
+  }
+
+  // Digests (vdd, vts[], widths[], extra). `extra` folds in any additional
+  // scalar the cached computation depends on (the STA cycle limit); pass 0.0
+  // when there is none.
+  static EvalKey of(double vdd, std::span<const double> vts,
+                    std::span<const double> widths, double extra);
+};
+
+struct EvalKeyHash {
+  std::size_t operator()(const EvalKey& k) const {
+    return static_cast<std::size_t>(k.a ^ (k.b >> 1));
+  }
+};
+
+// Mutex-protected LRU map from EvalKey to a value type. Hit/miss/evict
+// traffic is reported through the shared opt.eval.cache.* counters.
+template <typename Value>
+class EvalCache {
+ public:
+  explicit EvalCache(std::size_t capacity) : capacity_(capacity) {}
+
+  // Returns true and copies the value on a hit (also refreshing LRU order).
+  bool lookup(const EvalKey& key, Value* out);
+
+  // Inserts or refreshes; evicts the least recently used entry beyond
+  // capacity.
+  void insert(const EvalKey& key, const Value& value);
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
+
+ private:
+  using Entry = std::pair<EvalKey, Value>;
+  using List = std::list<Entry>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  List lru_;  // front = most recent
+  std::unordered_map<EvalKey, typename List::iterator, EvalKeyHash> map_;
+};
+
+// Global switch, default on. Cached values are bit-identical to fresh
+// computation, so this only affects wall-clock and the obs counters; the
+// --eval-cache=0 flag exists for the speedup baseline and for debugging.
+void set_eval_cache_enabled(bool enabled);
+bool eval_cache_enabled();
+
+// Scoped, thread-local bypass: while alive on this thread, evaluator lookups
+// and inserts are skipped regardless of the global switch. The certifier
+// holds one across certify() so certificates are always recomputed from
+// scratch.
+class EvalCacheBypass {
+ public:
+  EvalCacheBypass();
+  ~EvalCacheBypass();
+  EvalCacheBypass(const EvalCacheBypass&) = delete;
+  EvalCacheBypass& operator=(const EvalCacheBypass&) = delete;
+};
+
+// True when caching applies on this thread right now (global switch on and
+// no bypass in scope). Internal predicate for the evaluator.
+bool eval_cache_active();
+
+// Counter taps shared by every cache instance (declared here so the template
+// can report without pulling obs headers into this header).
+namespace detail {
+void note_cache_hit();
+void note_cache_miss();
+void note_cache_evict();
+}  // namespace detail
+
+template <typename Value>
+bool EvalCache<Value>::lookup(const EvalKey& key, Value* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    detail::note_cache_miss();
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->second;
+  detail::note_cache_hit();
+  return true;
+}
+
+template <typename Value>
+void EvalCache<Value>::insert(const EvalKey& key, const Value& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, value);
+  map_.emplace(key, lru_.begin());
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    detail::note_cache_evict();
+  }
+}
+
+}  // namespace minergy::opt

@@ -8,6 +8,7 @@
 #include "opt/sizer.h"
 #include "util/check.h"
 #include "util/guard.h"
+#include "util/thread_pool.h"
 
 namespace minergy::opt {
 namespace {
@@ -109,6 +110,14 @@ timing::TimingReport CircuitEvaluator::sta(const CircuitState& state,
                                            double cycle_limit) const {
   static obs::Counter& c_calls = obs::counter("opt.eval.sta_calls");
   c_calls.add();
+  const bool cached = eval_cache_active();
+  EvalKey key;
+  if (cached) {
+    // cycle_limit is folded into the key: it changes slacks, not arrivals.
+    key = EvalKey::of(state.vdd, state.vts, state.widths, cycle_limit);
+    timing::TimingReport hit;
+    if (sta_cache_.lookup(key, &hit)) return hit;
+  }
   std::vector<double> vts_corner(state.vts.size());
   for (std::size_t i = 0; i < state.vts.size(); ++i) {
     vts_corner[i] = delay_vts(state.vts[i]);
@@ -117,6 +126,7 @@ timing::TimingReport CircuitEvaluator::sta(const CircuitState& state,
       timing::run_sta(delay_, state.widths, state.vdd,
                       std::span<const double>(vts_corner), cycle_limit);
   check_finite_report(nl_, report);
+  if (cached) sta_cache_.insert(key, report);
   return report;
 }
 
@@ -130,26 +140,43 @@ power::EnergyBreakdown CircuitEvaluator::energy(
   static obs::Histogram& h_micros = obs::histogram("opt.eval.energy_micros");
   c_calls.add();
   const obs::ScopedTimer timer(h_micros);
-  power::EnergyBreakdown total;
-  for (netlist::GateId id : nl_.combinational()) {
+  const bool cached = eval_cache_active();
+  EvalKey key;
+  if (cached) {
+    key = EvalKey::of(state.vdd, state.vts, state.widths, 0.0);
+    power::EnergyBreakdown hit;
+    if (energy_cache_.lookup(key, &hit)) return hit;
+  }
+  // Per-gate terms are independent, so they fan across the pool into slots;
+  // the reduction then runs serially in topological (= the old serial loop's)
+  // order, keeping the floating-point sum bit-identical at any thread count.
+  const auto& topo = nl_.combinational();
+  util::ThreadPool& pool = util::global_pool();
+  std::vector<power::EnergyBreakdown> per_gate(topo.size());
+  pool.parallel_for(topo.size(), [&](std::size_t i) {
+    const netlist::GateId id = topo[i];
     // Dynamic energy at nominal threshold (capacitances are Vt-independent
     // here), leakage at the low-Vt corner.
     const power::EnergyBreakdown nominal =
         energy_.gate_energy(id, state.widths, state.vdd, state.vts[id]);
     if (settings_.vts_tolerance == 0.0) {
-      total += nominal;
+      per_gate[i] = nominal;
     } else {
       const power::EnergyBreakdown leaky = energy_.gate_energy(
           id, state.widths, state.vdd, leakage_vts(state.vts[id]));
-      total.dynamic_energy += nominal.dynamic_energy;
-      total.static_energy += leaky.static_energy;
+      per_gate[i].dynamic_energy = nominal.dynamic_energy;
+      per_gate[i].static_energy = leaky.static_energy;
     }
-  }
+  });
+  power::EnergyBreakdown total;
+  for (const power::EnergyBreakdown& e : per_gate) total += e;
   if (settings_.include_short_circuit) {
     // Input transition times come from the gate delays of the driving
     // stage: one STA at the delay corner.
     const timing::TimingReport report = sta(state, cycle_time());
-    for (netlist::GateId id : nl_.combinational()) {
+    std::vector<double> sc(topo.size(), 0.0);
+    pool.parallel_for(topo.size(), [&](std::size_t i) {
+      const netlist::GateId id = topo[i];
       double slowest_fanin = 0.0;
       bool source_driven_only = true;
       for (netlist::GateId f : nl_.gate(id).fanins) {
@@ -160,9 +187,10 @@ power::EnergyBreakdown CircuitEvaluator::energy(
       }
       const double tau_in = source_driven_only ? settings_.input_slew
                                                : 2.0 * slowest_fanin;
-      total.short_circuit_energy += energy_.short_circuit_energy(
-          id, state.widths, state.vdd, state.vts[id], tau_in);
-    }
+      sc[i] = energy_.short_circuit_energy(id, state.widths, state.vdd,
+                                           state.vts[id], tau_in);
+    });
+    for (double e : sc) total.short_circuit_energy += e;
   }
   // Boundary guard: a single corrupt per-gate term poisons the sum, so on a
   // non-finite total re-walk the gates to name the culprit.
@@ -177,6 +205,7 @@ power::EnergyBreakdown CircuitEvaluator::energy(
     }
     throw util::NumericError(total.total(), "total energy per cycle");
   }
+  if (cached) energy_cache_.insert(key, total);
   return total;
 }
 

@@ -16,6 +16,7 @@
 #include "interconnect/wire_model.h"
 #include "netlist/netlist.h"
 #include "opt/circuit_state.h"
+#include "opt/eval_cache.h"
 #include "power/energy_model.h"
 #include "tech/device_model.h"
 #include "tech/technology.h"
@@ -113,6 +114,13 @@ class CircuitEvaluator {
   timing::DelayCalculator delay_;
   power::EnergyModel energy_;
   timing::DelayBudgeter budgeter_;
+
+  // Memoized results for the nested binary search's repeated probes. Cached
+  // values are bit-identical to recomputation (see eval_cache.h), so these
+  // never change an optimizer trajectory. STA reports are large, energy
+  // breakdowns tiny — hence the asymmetric capacities.
+  mutable EvalCache<timing::TimingReport> sta_cache_{128};
+  mutable EvalCache<power::EnergyBreakdown> energy_cache_{4096};
 };
 
 // Diagnoses an unreachable cycle-time constraint: probes the max-drive

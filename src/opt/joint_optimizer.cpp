@@ -147,8 +147,16 @@ void JointOptimizer::refine(const timing::BudgetResult& budgets, Probe* best,
   };
   // 1-D polish on Vdd in a +/-30% window around the discrete optimum; the
   // best probe seen anywhere is captured by `penalized`.
-  const double lo = std::max(tech.vdd_min, 0.7 * center_vdd);
-  const double hi = std::min(tech.vdd_max, 1.3 * center_vdd);
+  double lo = std::max(tech.vdd_min, 0.7 * center_vdd);
+  double hi = std::min(tech.vdd_max, 1.3 * center_vdd);
+  if (!(lo <= hi)) {
+    // The window lies entirely outside the technology's legal Vdd range
+    // (possible when resuming a checkpoint taken under a different
+    // technology): an inverted interval would trip golden_section_min's
+    // precondition check. Collapse to the legal point nearest the center so
+    // the polish degenerates to re-probing it.
+    lo = hi = std::clamp(center_vdd, tech.vdd_min, tech.vdd_max);
+  }
   util::golden_section_min(lo, hi, opts_.refine_steps, [&](double vdd) {
     double best_vts = energy_at_vdd(vdd);
     Probe p;
@@ -190,6 +198,23 @@ void JointOptimizer::assign_threshold_groups(
   // energy.
   for (int gi = nv - 1; gi >= 1 && !ctx.dog->expired(); --gi) {
     double lo = base_vts, hi = tech.vts_max;
+    {
+      // Probe the upper endpoint first: the fixed-midpoint bisection below
+      // never evaluates `hi` itself, so when vts_max is feasible the group
+      // would otherwise settle one half-interval short of it and leak
+      // subthreshold energy.
+      std::vector<double> vts = best->state.vts;
+      for (netlist::GateId id : nl.combinational()) {
+        if (group[id] == gi) vts[id] = hi;
+      }
+      Probe p = probe(best->state.vdd, vts, budgets, ctx);
+      if (p.feasible && p.energy.total() <= best->energy.total()) {
+        mark_accepted(ctx.report, p.traj);
+        *best = p;
+        group_vts[static_cast<std::size_t>(gi)] = hi;
+        continue;
+      }
+    }
     for (int s = 0; s < opts_.steps && !ctx.dog->expired(); ++s) {
       const double mid = 0.5 * (lo + hi);
       std::vector<double> vts = best->state.vts;

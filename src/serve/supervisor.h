@@ -41,6 +41,9 @@ struct SupervisorOptions {
   // Absolute path of the binary to exec for workers (minergy_served).
   std::string worker_binary;
   int workers = 2;                  // concurrent worker subprocesses
+  // Evaluation threads inside each worker (forwarded as --threads=N;
+  // 0 = leave the worker at its default, hardware concurrency).
+  int worker_threads = 0;
   double poll_seconds = 0.02;       // control-loop cadence
   double timeout_seconds = 300.0;   // per-attempt wall clock before SIGKILL
   int max_retries = 2;              // extra attempts after the first

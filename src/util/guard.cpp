@@ -40,11 +40,11 @@ Watchdog::Watchdog(const WatchdogBudget& budget)
 
 void Watchdog::restart() {
   start_ = std::chrono::steady_clock::now();
-  evaluations_ = 0;
+  evaluations_.store(0, std::memory_order_relaxed);
 }
 
 bool Watchdog::note_evaluation(std::int64_t n) {
-  evaluations_ += n;
+  evaluations_.fetch_add(n, std::memory_order_relaxed);
   return expired();
 }
 

@@ -12,6 +12,7 @@
 // surfaces stall a probe, not the process.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <limits>
@@ -76,14 +77,18 @@ class Watchdog {
   // budget ran out ("evaluation budget" / "wall-clock deadline").
   const char* expiry_reason() const;
 
-  std::int64_t evaluations() const { return evaluations_; }
+  std::int64_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
   double elapsed_seconds() const;
   const WatchdogBudget& budget() const { return budget_; }
 
  private:
   WatchdogBudget budget_;
   std::chrono::steady_clock::time_point start_;
-  std::int64_t evaluations_ = 0;
+  // Atomic so concurrent annealing chains can share one watchdog; the count
+  // is a budget, not a result, so relaxed ordering is enough.
+  std::atomic<std::int64_t> evaluations_{0};
 };
 
 }  // namespace minergy::util

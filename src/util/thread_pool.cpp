@@ -1,0 +1,219 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace minergy::util {
+
+namespace {
+
+obs::Counter& pool_jobs() {
+  static obs::Counter& c = obs::counter("util.pool.jobs");
+  return c;
+}
+
+obs::Counter& pool_inline_jobs() {
+  static obs::Counter& c = obs::counter("util.pool.inline_jobs");
+  return c;
+}
+
+obs::Counter& pool_tasks() {
+  static obs::Counter& c = obs::counter("util.pool.tasks");
+  return c;
+}
+
+// Set while a thread (worker or caller) is executing parallel_for indices.
+// A nested parallel_for issued from inside a task must not wait on pool
+// capacity that its own thread is occupying, so it runs inline instead.
+thread_local bool tl_in_job = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  // One broadcast job at a time. Workers claim indices with fetch_add so no
+  // index runs twice; the last thread to finish signals done_cv. Errors keep
+  // the lowest-index exception so the rethrow matches what a serial loop
+  // would have surfaced first.
+  struct Job {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::mutex error_mutex;
+    std::size_t error_index = 0;
+    std::exception_ptr error;
+
+    void run_indices() {
+      tl_in_job = true;
+      std::size_t done = 0;
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        try {
+          (*fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error || i < error_index) {
+            error = std::current_exception();
+            error_index = i;
+          }
+        }
+        ++done;
+      }
+      tl_in_job = false;
+      if (done > 0) {
+        pool_tasks().add(static_cast<std::int64_t>(done));
+        completed.fetch_add(done, std::memory_order_acq_rel);
+      }
+    }
+  };
+
+  explicit Impl(int threads) {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    lanes = threads <= 0 ? static_cast<int>(hw) : threads;
+    const int workers_wanted = lanes - 1;
+    workers.reserve(static_cast<std::size_t>(workers_wanted > 0 ? workers_wanted : 0));
+    for (int w = 0; w < workers_wanted; ++w) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stopping = true;
+    }
+    job_cv.notify_all();
+    for (auto& t : workers) t.join();
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        job_cv.wait(lock, [&] { return stopping || epoch != seen_epoch; });
+        if (stopping) return;
+        seen_epoch = epoch;
+        job = current;
+      }
+      if (!job) continue;
+      job->run_indices();
+      if (job->completed.load(std::memory_order_acquire) >= job->n) {
+        // Acquire the mutex (empty critical section) before notifying so the
+        // caller cannot evaluate its wait predicate between our fetch_add and
+        // this notify and then sleep through it.
+        { std::lock_guard<std::mutex> lock(mutex); }
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    auto job = std::make_shared<Job>();
+    job->n = n;
+    job->fn = &fn;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      current = job;
+      ++epoch;
+    }
+    job_cv.notify_all();
+    // The caller is a lane too: it claims indices alongside the workers, so
+    // a pool is never idle while its owner spins.
+    job->run_indices();
+    if (job->completed.load(std::memory_order_acquire) < n) {
+      std::unique_lock<std::mutex> lock(mutex);
+      done_cv.wait(lock, [&] {
+        return job->completed.load(std::memory_order_acquire) >= n;
+      });
+    }
+    {
+      // Drop the pool's reference so `fn` cannot be touched after return;
+      // workers that saw this epoch have already finished their indices.
+      std::lock_guard<std::mutex> lock(mutex);
+      if (current == job) current.reset();
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+  int lanes = 1;
+  std::vector<std::thread> workers;
+  std::mutex mutex;
+  std::condition_variable job_cv;
+  std::condition_variable done_cv;
+  std::shared_ptr<Job> current;
+  std::uint64_t epoch = 0;
+  bool stopping = false;
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(new Impl(threads)) {}
+
+ThreadPool::~ThreadPool() { delete impl_; }
+
+int ThreadPool::threads() const { return impl_->lanes; }
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || impl_->workers.empty() || tl_in_job) {
+    pool_inline_jobs().add(1);
+    const bool was_in_job = tl_in_job;
+    tl_in_job = true;
+    try {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    } catch (...) {
+      tl_in_job = was_in_job;
+      throw;
+    }
+    tl_in_job = was_in_job;
+    pool_tasks().add(static_cast<std::int64_t>(n));
+    return;
+  }
+  pool_jobs().add(1);
+  impl_->run(n, fn);
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+int g_requested_threads = 0;  // <= 0: hardware concurrency
+
+int resolve_lanes(int n) {
+  if (n > 0) return n;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(g_requested_threads);
+  return *g_pool;
+}
+
+void set_global_threads(int n) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_requested_threads = n;
+  if (g_pool && g_pool->threads() != resolve_lanes(n)) g_pool.reset();
+}
+
+int global_threads() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return g_pool ? g_pool->threads() : resolve_lanes(g_requested_threads);
+}
+
+}  // namespace minergy::util

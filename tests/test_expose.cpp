@@ -177,6 +177,31 @@ TEST_F(ExposeTest, HistogramBucketsAreCumulativeAndMonotone) {
   EXPECT_EQ(total, 32);
 }
 
+TEST_F(ExposeTest, EmptyHistogramOmitsQuantileSiblingsAndNeverRendersNan) {
+  // A freshly started daemon registers latency histograms before any sample
+  // lands. The family must still render (count 0, +Inf bucket 0) so scrapers
+  // see the series exists, but the _p50/_p95/_p99 sibling gauges are
+  // omitted: there is no meaningful quantile of nothing, and a NaN value
+  // line breaks strict Prometheus parsers.
+  obs::histogram("test.expose.empty_micros");
+  const std::string text = obs::ExpositionServer::render_prometheus();
+  EXPECT_NE(text.find("test_expose_empty_micros_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expose_empty_micros_count 0"), std::string::npos);
+  EXPECT_EQ(text.find("test_expose_empty_micros_p50"), std::string::npos);
+  EXPECT_EQ(text.find("test_expose_empty_micros_p95"), std::string::npos);
+  EXPECT_EQ(text.find("test_expose_empty_micros_p99"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  EXPECT_EQ(text.find("NaN"), std::string::npos) << text;
+  EXPECT_EQ(text.find("inf "), std::string::npos) << text;
+
+  // Once a sample lands, the siblings appear with finite values.
+  obs::histogram("test.expose.empty_micros").record(42.0);
+  const std::string after = obs::ExpositionServer::render_prometheus();
+  EXPECT_NE(after.find("test_expose_empty_micros_p50"), std::string::npos);
+  EXPECT_EQ(after.find("nan"), std::string::npos) << after;
+}
+
 TEST_F(ExposeTest, LabeledGaugeRendersWithLabels) {
   obs::gauge(obs::labeled_name("serve.breaker.state", "circuit", "s27"))
       .set(1.0);

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
 
+#include "bench_suite/iscas.h"
 #include "netlist/generator.h"
 #include "opt/annealing_optimizer.h"
+#include "opt/checkpoint.h"
 #include "opt/baseline_optimizer.h"
 #include "opt/evaluator.h"
 #include "opt/joint_optimizer.h"
@@ -218,6 +223,87 @@ TEST(JointOptimizer, MultiThresholdNoWorseThanSingle) {
   EXPECT_LE(r2.energy.total(), r1.energy.total() * (1.0 + 1e-12));
   EXPECT_LE(r2.vts_groups.size(), 2u);
   EXPECT_TRUE(s.eval.meets_timing(r2.state, 0.95));
+}
+
+TEST(JointOptimizer, RefineClampsWindowWhenTechRangeExcludesIt) {
+  // Regression: the refine polish searches Vdd in a +/-30% window around the
+  // sweep's center. When that window lies entirely outside the technology's
+  // legal range (reachable by resuming a snapshot taken under a different
+  // technology), the interval inverted and golden_section_min's precondition
+  // check killed the run. The fix collapses the window to the nearest legal
+  // point.
+  Netlist nl = make_circuit();
+  tech::Technology tech = tech::Technology::generic350();
+  tech.vdd_min = 0.9;
+  tech.vdd_max = 1.1;  // 0.7 * 3.3 = 2.31 > vdd_max: naive window inverts
+  const CircuitEvaluator eval(nl, tech, Harness::profile(),
+                              {.clock_frequency = 5e6});
+
+  OptimizerOptions opts;
+  JointCheckpoint ck;
+  ck.circuit = nl.name();
+  ck.next_step = opts.steps;  // sweep complete; resume goes straight to refine
+  ck.vdd_lo = tech.vdd_min;
+  ck.vdd_hi = tech.vdd_max;
+  ck.prev_total = 1.0;
+  ck.has_best = true;
+  ck.best_state = CircuitState::uniform(nl, 3.3, 0.4, 4.0);
+  ck.best_energy.dynamic_energy = 1.0;  // absurd; any real probe beats it
+  ck.best_critical_delay = 1e-9;
+  ck.best_feasible = true;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "minergy_narrow_vdd_ck.json")
+          .string();
+  ck.save(path);
+  opts.resume_path = path;
+
+  OptimizationResult r;
+  EXPECT_NO_THROW(r = JointOptimizer(eval, opts).run());
+  // The refine probes run at the clamped legal point and replace the crafted
+  // out-of-range best.
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GE(r.state.vdd, tech.vdd_min - 1e-12);
+  EXPECT_LE(r.state.vdd, tech.vdd_max + 1e-12);
+  EXPECT_LT(r.energy.total(), 1.0);
+  for (const std::string& p : {path, path + ".1", path + ".2"}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(JointOptimizer, MultiThresholdAcceptsVtsMaxEndpoint) {
+  // Regression for the per-group Vts raise loop: fixed-midpoint bisection
+  // over [base_vts, vts_max] never evaluates vts_max itself, so a slack
+  // group that is feasible at the technology ceiling settled one
+  // half-interval short of it and leaked subthreshold energy. With the
+  // endpoint probe, a relaxed clock must park the slackest group exactly at
+  // vts_max, and multi-Vt stays monotonically no worse than single-Vt.
+  for (const char* name : {"s27", "s344*"}) {
+    SCOPED_TRACE(name);
+    const netlist::Netlist nl = bench_suite::make_circuit(name);
+    tech::Technology tech = tech::Technology::generic350();
+    // Pin the supply high: at a low optimized Vdd the ceiling threshold
+    // would starve the gates of overdrive and stay infeasible, which is the
+    // uninteresting case. With Vdd >= 2.5 V and a relaxed clock, vts_max is
+    // feasible and strictly cuts leakage, so the endpoint must be taken.
+    tech.vdd_min = 2.5;
+    const CircuitEvaluator eval(nl, tech, Harness::profile(),
+                                {.clock_frequency = 20e6});
+    OptimizerOptions nv1;
+    OptimizerOptions nv2;
+    nv2.num_thresholds = 2;
+    const OptimizationResult r1 = JointOptimizer(eval, nv1).run();
+    const OptimizationResult r2 = JointOptimizer(eval, nv2).run();
+    ASSERT_TRUE(r1.feasible && r2.feasible);
+    EXPECT_LE(r2.energy.total(), r1.energy.total() * (1.0 + 1e-12));
+    for (const double v : r2.state.vts) {
+      EXPECT_GE(v, tech.vts_min - 1e-12);
+      EXPECT_LE(v, tech.vts_max + 1e-12);
+    }
+    // The slackest group reaches the ceiling exactly (bit-equal assignment,
+    // not a bisection limit point).
+    ASSERT_FALSE(r2.vts_groups.empty());
+    EXPECT_EQ(r2.vts_groups.back(), tech.vts_max);
+  }
 }
 
 TEST(JointOptimizer, MoreSlackMeansLessEnergy) {

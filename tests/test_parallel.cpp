@@ -1,0 +1,362 @@
+// Parallel evaluation engine: thread-pool semantics, the bit-exactness
+// contract (any --threads value produces the identical result, double for
+// double), and the evaluation cache's transparency (cached results change
+// wall-clock, never answers).
+//
+// These are the `par` CTest label's determinism oracles; scripts/ci.sh runs
+// them in Release and again under TSan, where the concurrent sections double
+// as the data-race oracle for the pool, the levelized STA, the parallel
+// width search and the multi-chain anneal.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_suite/experiment.h"
+#include "bench_suite/iscas.h"
+#include "netlist/generator.h"
+#include "obs/metrics.h"
+#include "opt/annealing_optimizer.h"
+#include "opt/baseline_optimizer.h"
+#include "opt/certifier.h"
+#include "opt/eval_cache.h"
+#include "opt/evaluator.h"
+#include "opt/joint_optimizer.h"
+#include "opt/sizer.h"
+#include "timing/delay_budget.h"
+#include "timing/sta.h"
+#include "util/thread_pool.h"
+
+namespace minergy {
+namespace {
+
+// Thread count and cache enable are process-global knobs; every test leaves
+// them the way it found them so ordering cannot couple tests.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_cache_enabled_ = opt::eval_cache_enabled();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    util::set_global_threads(0);
+    opt::set_eval_cache_enabled(was_cache_enabled_);
+  }
+
+ private:
+  bool was_cache_enabled_ = false;
+};
+
+netlist::Netlist make_random(std::uint64_t seed = 11, int gates = 90,
+                             int depth = 9) {
+  netlist::GeneratorSpec spec;
+  spec.num_inputs = 7;
+  spec.num_outputs = 6;
+  spec.num_dffs = 5;
+  spec.num_gates = gates;
+  spec.depth = depth;
+  spec.seed = seed;
+  return netlist::generate_random_logic(spec);
+}
+
+activity::ActivityProfile profile(double density = 0.25) {
+  activity::ActivityProfile p;
+  p.input_density = density;
+  return p;
+}
+
+// --- ThreadPool unit semantics ---------------------------------------------
+
+TEST_F(ParallelTest, ParallelForRunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(ParallelTest, SingleLanePoolRunsInline) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // safe: inline = this thread only
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "n=0 must not invoke"; });
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(8, [&](std::size_t outer) {
+    // The nested call must not wait on pool capacity its own thread holds.
+    pool.parallel_for(8, [&](std::size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(ParallelTest, LowestIndexExceptionWinsLikeASerialLoop) {
+  util::ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    try {
+      pool.parallel_for(256, [&](std::size_t i) {
+        if (i == 17 || i == 200) {
+          throw std::runtime_error("boom " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 17");
+    }
+    // The pool survives a throwing job and keeps working.
+    std::atomic<int> count{0};
+    pool.parallel_for(32, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 32);
+  }
+}
+
+TEST_F(ParallelTest, GlobalPoolHonorsRequestedThreadCount) {
+  util::set_global_threads(3);
+  EXPECT_EQ(util::global_threads(), 3);
+  EXPECT_EQ(util::global_pool().threads(), 3);
+  util::set_global_threads(1);
+  EXPECT_EQ(util::global_pool().threads(), 1);
+  util::set_global_threads(0);  // hardware concurrency
+  EXPECT_GE(util::global_threads(), 1);
+}
+
+// --- bit-exactness oracles: threads=1 vs threads=N -------------------------
+
+// Every oracle runs the same computation at 1, 2 and 8 threads and compares
+// doubles with operator== — the contract is bit-identical, not "close".
+
+TEST_F(ParallelTest, StaIsBitIdenticalAtAnyThreadCount) {
+  const netlist::Netlist nl = make_random();
+  const tech::Technology tech = tech::Technology::generic350();
+  const tech::DeviceModel dev(tech);
+  const interconnect::WireModel wires(tech, nl);
+  const timing::DelayCalculator calc(nl, dev, wires);
+  const std::vector<double> widths(nl.size(), 4.0);
+  const std::vector<double> vts(nl.size(), 0.3);
+  const double cycle = 4.0e-9;
+
+  util::set_global_threads(1);
+  const timing::TimingReport ref =
+      timing::run_sta(calc, widths, 2.5, std::span<const double>(vts), cycle);
+  for (const int threads : {2, 8}) {
+    util::set_global_threads(threads);
+    const timing::TimingReport r = timing::run_sta(
+        calc, widths, 2.5, std::span<const double>(vts), cycle);
+    EXPECT_EQ(r.critical_delay, ref.critical_delay) << threads;
+    EXPECT_EQ(r.gate_delay, ref.gate_delay) << threads;
+    EXPECT_EQ(r.arrival, ref.arrival) << threads;
+    EXPECT_EQ(r.slack, ref.slack) << threads;
+    EXPECT_EQ(r.critical_path, ref.critical_path) << threads;
+  }
+}
+
+TEST_F(ParallelTest, SizerAndEnergyAreBitIdenticalAtAnyThreadCount) {
+  const netlist::Netlist nl = make_random(23);
+  const tech::Technology tech = tech::Technology::generic350();
+  const opt::CircuitEvaluator eval(nl, tech, profile(),
+                                   {.clock_frequency = 200e6});
+  opt::set_eval_cache_enabled(false);  // force real recomputation per run
+  const timing::BudgetResult budgets =
+      eval.budgeter().assign(0.95 * eval.cycle_time());
+  const std::vector<double> vts(nl.size(), 0.25);
+
+  util::set_global_threads(1);
+  const opt::SizingResult ref_sz =
+      opt::GateSizer(eval.delay_calculator()).size(budgets.t_max, 2.8, vts);
+  opt::CircuitState state;
+  state.vdd = 2.8;
+  state.vts = vts;
+  state.widths = ref_sz.widths;
+  const power::EnergyBreakdown ref_e = eval.energy(state);
+
+  for (const int threads : {2, 8}) {
+    util::set_global_threads(threads);
+    const opt::SizingResult sz =
+        opt::GateSizer(eval.delay_calculator()).size(budgets.t_max, 2.8, vts);
+    EXPECT_EQ(sz.widths, ref_sz.widths) << threads;
+    EXPECT_EQ(sz.all_budgets_met, ref_sz.all_budgets_met) << threads;
+    EXPECT_EQ(sz.gates_missed, ref_sz.gates_missed) << threads;
+    const power::EnergyBreakdown e = eval.energy(state);
+    EXPECT_EQ(e.dynamic_energy, ref_e.dynamic_energy) << threads;
+    EXPECT_EQ(e.static_energy, ref_e.static_energy) << threads;
+    EXPECT_EQ(e.short_circuit_energy, ref_e.short_circuit_energy) << threads;
+  }
+}
+
+void expect_same_result(const opt::OptimizationResult& a,
+                        const opt::OptimizationResult& b,
+                        const std::string& trace) {
+  SCOPED_TRACE(trace);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.state.vdd, b.state.vdd);
+  EXPECT_EQ(a.state.vts, b.state.vts);
+  EXPECT_EQ(a.state.widths, b.state.widths);
+  EXPECT_EQ(a.energy.dynamic_energy, b.energy.dynamic_energy);
+  EXPECT_EQ(a.energy.static_energy, b.energy.static_energy);
+  EXPECT_EQ(a.energy.short_circuit_energy, b.energy.short_circuit_energy);
+  EXPECT_EQ(a.critical_delay, b.critical_delay);
+}
+
+TEST_F(ParallelTest, JointOptimizerIsBitIdenticalAtAnyThreadCount) {
+  const netlist::Netlist nl = make_random(31, 70, 8);
+  const opt::CircuitEvaluator eval(nl, tech::Technology::generic350(),
+                                   profile(), {.clock_frequency = 150e6});
+  opt::OptimizerOptions opts;
+  opts.num_thresholds = 2;
+  util::set_global_threads(1);
+  const opt::OptimizationResult ref = opt::JointOptimizer(eval, opts).run();
+  for (const int threads : {2, 8}) {
+    util::set_global_threads(threads);
+    const opt::OptimizationResult r = opt::JointOptimizer(eval, opts).run();
+    expect_same_result(r, ref, "threads=" + std::to_string(threads));
+  }
+}
+
+TEST_F(ParallelTest, MultiChainAnnealIsBitIdenticalAtAnyThreadCount) {
+  const netlist::Netlist nl = make_random(47, 60, 7);
+  const opt::CircuitEvaluator eval(nl, tech::Technology::generic350(),
+                                   profile(), {.clock_frequency = 150e6});
+  opt::AnnealingOptions opts;
+  opts.max_moves = 600;
+  opts.passes = 2;
+  opts.chains = 3;
+  opts.seed = 99;
+  util::set_global_threads(1);
+  const opt::OptimizationResult ref = opt::AnnealingOptimizer(eval, opts).run();
+  for (const int threads : {2, 8}) {
+    util::set_global_threads(threads);
+    const opt::OptimizationResult r = opt::AnnealingOptimizer(eval, opts).run();
+    expect_same_result(r, ref, "threads=" + std::to_string(threads));
+  }
+  // circuit_evaluations sums over chains, so it is thread-count invariant
+  // too (each chain's budget and move sequence are fixed by its seed).
+  util::set_global_threads(8);
+  const opt::OptimizationResult again =
+      opt::AnnealingOptimizer(eval, opts).run();
+  EXPECT_EQ(again.circuit_evaluations, ref.circuit_evaluations);
+}
+
+TEST_F(ParallelTest, SingleChainAnnealMatchesChainZeroOfMultiChainSeeding) {
+  // chains=1 must stay the historical algorithm: same seed, same answer as
+  // the dedicated single-chain path, at any thread count.
+  const netlist::Netlist nl = make_random(53, 50, 6);
+  const opt::CircuitEvaluator eval(nl, tech::Technology::generic350(),
+                                   profile(), {.clock_frequency = 150e6});
+  opt::AnnealingOptions one;
+  one.max_moves = 400;
+  one.passes = 2;
+  one.seed = 7;
+  one.chains = 1;
+  util::set_global_threads(1);
+  const opt::OptimizationResult serial =
+      opt::AnnealingOptimizer(eval, one).run();
+  util::set_global_threads(8);
+  const opt::OptimizationResult pooled =
+      opt::AnnealingOptimizer(eval, one).run();
+  expect_same_result(pooled, serial, "chains=1 pooled");
+}
+
+// --- evaluation cache: transparent memoization -----------------------------
+
+TEST_F(ParallelTest, EvalKeyDistinguishesStatesAndExtras) {
+  const std::vector<double> vts{0.2, 0.3};
+  const std::vector<double> w{1.0, 2.0};
+  const opt::EvalKey a = opt::EvalKey::of(1.5, vts, w, 0.0);
+  EXPECT_EQ(a, opt::EvalKey::of(1.5, vts, w, 0.0));
+  EXPECT_FALSE(a == opt::EvalKey::of(1.5000001, vts, w, 0.0));
+  EXPECT_FALSE(a == opt::EvalKey::of(1.5, vts, w, 1e-9));
+  std::vector<double> w2 = w;
+  w2[1] = std::nextafter(w2[1], 3.0);
+  EXPECT_FALSE(a == opt::EvalKey::of(1.5, vts, w2, 0.0));
+}
+
+TEST_F(ParallelTest, CacheOnAndOffProduceIdenticalCertifiedResults) {
+  // The table1_baseline flow (cycle-time selection, baseline optimization,
+  // independent certification) on three bundled ISCAS circuits: the cache
+  // must change hit counters, never a single reported double.
+  util::set_global_threads(1);
+  obs::Counter& hits = obs::counter("opt.eval.cache.hits");
+  obs::Counter& misses = obs::counter("opt.eval.cache.misses");
+  for (const char* name : {"s27", "s298*", "s344*"}) {
+    SCOPED_TRACE(name);
+    const netlist::Netlist nl = bench_suite::make_circuit(name);
+    bench_suite::ExperimentConfig cfg;
+    cfg.clock_frequency = 100e6;
+    bool scaled = false;
+    const double tc = bench_suite::choose_cycle_time(nl, cfg, &scaled);
+    const opt::CircuitEvaluator eval(nl, cfg.tech, profile(0.3),
+                                     {.clock_frequency = 1.0 / tc});
+
+    opt::set_eval_cache_enabled(false);
+    const opt::OptimizationResult cold =
+        opt::BaselineOptimizer(eval, cfg.opts).run();
+
+    opt::set_eval_cache_enabled(true);
+    const std::int64_t h0 = hits.value();
+    const std::int64_t m0 = misses.value();
+    const opt::OptimizationResult warm1 =
+        opt::BaselineOptimizer(eval, cfg.opts).run();
+    EXPECT_GT(misses.value(), m0);  // first cached run populates
+    const opt::OptimizationResult warm2 =
+        opt::BaselineOptimizer(eval, cfg.opts).run();
+    EXPECT_GT(hits.value(), h0);  // identical re-run hits the memo
+
+    expect_same_result(warm1, cold, "cache-on vs cache-off");
+    expect_same_result(warm2, cold, "cache-hit vs cache-off");
+
+    // Certification re-derives every number with the cache bypassed; a
+    // cached result must survive it exactly like a recomputed one.
+    opt::CertifyOptions copts;
+    copts.skew_b = cfg.opts.skew_b;
+    const opt::Certificate cert = opt::Certifier(eval, copts).certify(warm2);
+    EXPECT_TRUE(cert.certified) << cert.summary();
+  }
+}
+
+TEST_F(ParallelTest, CertifierBypassesTheCache) {
+  const netlist::Netlist nl = make_random(61, 40, 5);
+  const opt::CircuitEvaluator eval(nl, tech::Technology::generic350(),
+                                   profile(), {.clock_frequency = 150e6});
+  opt::set_eval_cache_enabled(true);
+  util::set_global_threads(1);
+  const opt::OptimizationResult r = opt::BaselineOptimizer(eval, {}).run();
+  obs::Counter& hits = obs::counter("opt.eval.cache.hits");
+  obs::Counter& misses = obs::counter("opt.eval.cache.misses");
+  const std::int64_t h0 = hits.value();
+  const std::int64_t m0 = misses.value();
+  {
+    // Everything under an active bypass skips lookup AND insert.
+    const opt::EvalCacheBypass no_cache;
+    EXPECT_FALSE(opt::eval_cache_active());
+    (void)eval.sta(r.state, eval.cycle_time());
+    (void)eval.energy(r.state);
+  }
+  EXPECT_TRUE(opt::eval_cache_active());
+  EXPECT_EQ(hits.value(), h0);
+  EXPECT_EQ(misses.value(), m0);
+}
+
+}  // namespace
+}  // namespace minergy

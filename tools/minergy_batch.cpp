@@ -63,6 +63,7 @@
 #include "obs/trace.h"
 #include "opt/annealing_optimizer.h"
 #include "opt/baseline_optimizer.h"
+#include "opt/eval_cache.h"
 #include "opt/certifier.h"
 #include "opt/evaluator.h"
 #include "opt/joint_optimizer.h"
@@ -70,6 +71,7 @@
 #include "io/envelope.h"
 #include "util/checkpoint.h"
 #include "util/cli.h"
+#include "util/thread_pool.h"
 #include "util/json.h"
 #include "util/rng.h"
 
@@ -85,6 +87,7 @@ constexpr const char* kUsage =
     "                     [--seed=S] [--retries=N] [--timeout=S]\n"
     "                     [--backoff=S] [--fc=HZ] [--activity=D]\n"
     "                     [--report=FILE] [--inject-hang=NAME]\n"
+    "                     [--threads=N] [--eval-cache=0|1]\n"
     "       minergy_batch --verify-report=FILE [--min-circuits=N]\n"
     "                     [--expect-quarantined=NAME] [--allow-interrupted]\n"
     "  exit codes: 0 ok, 1 validation failure, 2 usage error,\n"
@@ -253,6 +256,8 @@ Attempt run_attempt(const std::string& self, const util::Cli& cli,
       "--out=" + out_path,
       "--fc=" + std::to_string(cli.get("fc", 300e6)),
       "--activity=" + std::to_string(cli.get("activity", 0.3)),
+      "--threads=" + std::to_string(cli.get("threads", 0)),
+      "--eval-cache=" + std::to_string(cli.get("eval-cache", 1)),
   };
   const std::string hang = cli.get("inject-hang", std::string());
   if (!hang.empty()) args.push_back("--inject-hang=" + hang);
@@ -565,6 +570,12 @@ int verify_report(const util::Cli& cli) {
 
 int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
+  // Evaluation engine knobs, parsed before mode dispatch so both the batch
+  // parent and re-exec'd --worker children honor them: --threads=N
+  // (0 = hardware concurrency; 1 = bit-exact serial path) and
+  // --eval-cache=0/1 (memoized evaluator results, default on).
+  util::set_global_threads(cli.get("threads", 0));
+  opt::set_eval_cache_enabled(cli.get("eval-cache", 1) != 0);
   if (cli.has("help")) {
     std::printf("%s", kUsage);
     return 0;

@@ -120,6 +120,7 @@
 #include "serve/queue.h"
 #include "serve/supervisor.h"
 #include "serve/worker.h"
+#include "util/thread_pool.h"
 #include "util/check.h"
 #include "util/checkpoint.h"
 #include "util/cli.h"
@@ -133,7 +134,8 @@ constexpr const char* kUsage =
     "usage: minergy_served --spool=DIR [mode] [flags]\n"
     "  modes: (default) daemon | --submit | --status | --scrub |\n"
     "         --worker (internal)\n"
-    "  daemon: [--workers=N] [--once] [--poll=S] [--timeout=S] [--retries=N]\n"
+    "  daemon: [--workers=N] [--worker-threads=N] [--once] [--poll=S]\n"
+    "          [--timeout=S] [--retries=N]\n"
     "          [--backoff=S] [--breaker-threshold=N] [--breaker-cooldown=S]\n"
     "          [--drain-grace=S] [--inject-kill=POINT[@K]]\n"
     "          [--inject-stop=POINT[@K]] [--inject-io=SPEC]\n"
@@ -206,6 +208,9 @@ int run_submit(const util::Cli& cli, serve::SpoolQueue& queue) {
 }
 
 int run_worker_mode(const util::Cli& cli, serve::SpoolQueue& queue) {
+  // Evaluation parallelism for this job (forwarded by the supervisor's
+  // --worker-threads; 0 = hardware concurrency).
+  util::set_global_threads(cli.get("threads", 0));
   const std::string id = cli.get("job-id", std::string());
   if (id.empty()) {
     std::fprintf(stderr, "worker: --job-id is required\n");
@@ -333,6 +338,7 @@ int run_daemon(const util::Cli& cli, serve::SpoolQueue& queue,
     opts.worker_binary = cli.program();
   }
   opts.workers = cli.get("workers", 2);
+  opts.worker_threads = cli.get("worker-threads", 0);
   opts.poll_seconds = cli.get("poll", 0.02);
   opts.timeout_seconds = cli.get("timeout", 300.0);
   opts.max_retries = cli.get("retries", 2);
